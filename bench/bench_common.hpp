@@ -1,0 +1,70 @@
+// bench_common.hpp — shared scaffolding for the experiment binaries.
+//
+// Every bench accepts `--quick` (smaller grids, for smoke runs) and prints
+// self-describing sections so that `for b in build/bench/*; do $b; done`
+// produces a readable experiment log. CSV dumps land next to the binary when
+// `--csv` is passed.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "routing/experiment.hpp"
+#include "runtime/table.hpp"
+#include "runtime/timer.hpp"
+
+namespace nav::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  bool csv = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+  }
+  return opt;
+}
+
+inline void section(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "========================================================\n";
+  std::cout << experiment << "\n";
+  std::cout << "claim under test: " << claim << "\n";
+  std::cout << "========================================================\n";
+}
+
+/// Runs one family sweep and prints its table and exponent fits.
+inline std::vector<routing::SweepRow> run_and_print(
+    const routing::SweepConfig& config, const BenchOptions& opt) {
+  Timer timer;
+  auto rows = routing::run_sweep(config);
+  std::cout << routing::sweep_table(rows).to_ascii();
+  std::cout << "exponent fits (greedy diameter ~ n^slope):\n"
+            << routing::fit_table(routing::fit_exponents(rows)).to_ascii();
+  std::cout << "[" << config.family << " sweep took "
+            << Table::num(timer.seconds(), 1) << "s]\n";
+  if (opt.csv) {
+    const std::string path = "sweep_" + config.family + ".csv";
+    routing::sweep_table(rows).save_csv(path);
+    std::cout << "csv written: " << path << "\n";
+  }
+  return rows;
+}
+
+/// Geometric size grid 2^lo .. 2^hi.
+inline std::vector<graph::NodeId> pow2_sizes(unsigned lo, unsigned hi) {
+  std::vector<graph::NodeId> sizes;
+  for (unsigned e = lo; e <= hi; ++e) sizes.push_back(graph::NodeId{1} << e);
+  return sizes;
+}
+
+}  // namespace nav::bench

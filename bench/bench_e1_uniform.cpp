@@ -1,0 +1,41 @@
+// bench_e1_uniform.cpp — Experiment E1: the uniform scheme across families.
+//
+// Claim (paper §1, Peleg): for ANY n-node graph, greedy routing under the
+// uniform augmentation takes O(sqrt n) expected steps. The bound is tight on
+// the path. On families whose balls grow faster the scheme does better
+// (grid: ~n^{1/3}; expanders: ~log n, capped by the diameter).
+//
+// Output: one sweep table per family + the fitted exponent. Expected shape:
+//   path/cycle/caterpillar   exponent ~ 0.5
+//   grid2d/torus2d           exponent ~ 1/3
+//   balanced_tree/gnp        near-flat (diameter-capped)
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::banner("E1: uniform scheme — the O(sqrt n) universal baseline",
+                "greedy diameter under phi_unif is O(sqrt n) on every family; "
+                "tight (exponent ~0.5) on path-like families");
+
+  const unsigned hi = opt.quick ? 13 : 17;
+  for (const auto* family :
+       {"path", "cycle", "caterpillar", "grid2d", "torus2d", "balanced_tree",
+        "gnp"}) {
+    bench::section(std::string("E1: uniform on ") + family);
+    routing::SweepConfig config;
+    config.family = family;
+    config.sizes = bench::pow2_sizes(10, hi);
+    config.schemes = {"uniform"};
+    config.trials.num_pairs = 12;
+    config.trials.resamples = 16;
+    config.seed = 0xE1;
+    bench::run_and_print(config, opt);
+  }
+
+  bench::section("E1 summary");
+  std::cout
+      << "PASS criteria: path/cycle/caterpillar exponents in [0.40, 0.60];\n"
+         "grid/torus exponents in [0.25, 0.42]; tree/gnp well below 0.3.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// bench_e2_adversarial.cpp — Experiment E2: Theorem 1's Ω(sqrt n) adversary.
+//
+// Claim (Theorem 1): for ANY augmentation matrix of size n there is a
+// labeling of the n-node path forcing greedy diameter Ω(sqrt n). The bench
+// realises the proof constructively for three structured matrices — the
+// uniform matrix U, the Theorem 2 hierarchy matrix A, and the mix M=(A+U)/2 —
+// finding a sqrt(n)-label set of internal mass < 1 and planting it on
+// consecutive path nodes.
+//
+// Expected shape: measured steps between the adversarial endpoints scale as
+// ~n^0.5 for EVERY matrix (exponent fit ~0.5), sitting above the proof's
+// (|S|/3)·(1 - mass) floor.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/name_independent.hpp"
+#include "routing/trial_runner.hpp"
+
+namespace {
+
+using namespace nav;
+
+core::MatrixPtr make_matrix(const std::string& kind, core::Label n) {
+  if (kind == "U") return std::make_shared<core::UniformMatrix>(n);
+  if (kind == "A") return std::make_shared<core::HierarchyMatrix>(n);
+  return std::make_shared<core::MixMatrix>(
+      std::make_shared<core::HierarchyMatrix>(n),
+      std::make_shared<core::UniformMatrix>(n));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::banner("E2: Theorem 1 — name-independent schemes hit Omega(sqrt n)",
+                "for any matrix, some labeling of the path forces "
+                "Omega(sqrt n) greedy steps between segment endpoints");
+
+  const unsigned hi = opt.quick ? 11 : 14;
+  for (const auto* kind : {"U", "A", "M"}) {
+    bench::section(std::string("E2: adversarial labeling vs matrix ") + kind);
+    Table table({"matrix", "n", "segment", "internal mass", "steps (mean)",
+                 "ci95", "steps/sqrt(n)", "floor (|S|/3)(1-mass)"});
+    std::vector<double> ns, steps;
+    for (unsigned e = 8; e <= hi; ++e) {
+      const core::Label n = core::Label{1} << e;
+      Rng rng(0xE2 + e);
+      const auto matrix = make_matrix(kind, n);
+      const auto inst = core::make_adversarial_path(*matrix, rng);
+      core::MatrixScheme scheme(matrix, inst.labeling);
+
+      graph::TargetDistanceCache oracle(inst.path, 4);
+      const auto est = routing::estimate_pair(
+          inst.path, &scheme, oracle, inst.source, inst.target, 32,
+          Rng(0x5eed ^ e));
+      const double segment =
+          static_cast<double>(inst.segment_end - inst.segment_begin);
+      const double floor = segment / 3.0 * (1.0 - inst.internal_mass);
+      table.add_row({kind, Table::integer(n), Table::num(segment, 0),
+                     Table::num(inst.internal_mass, 3),
+                     Table::num(est.mean_steps, 1),
+                     Table::num(est.ci_halfwidth, 1),
+                     Table::num(est.mean_steps / std::sqrt(n), 2),
+                     Table::num(floor, 1)});
+      ns.push_back(n);
+      steps.push_back(est.mean_steps);
+    }
+    std::cout << table.to_ascii();
+    const auto fit = fit_power_law(ns, steps);
+    std::cout << "exponent fit: " << Table::num(fit.slope, 3)
+              << " (R^2 = " << Table::num(fit.r_squared, 3) << ")\n";
+  }
+
+  bench::section("E2 summary");
+  std::cout << "PASS criteria: every matrix's exponent in [0.40, 0.60]; every\n"
+               "measured mean above its (|S|/3)(1-mass) floor. This matches\n"
+               "Theorem 1: no name-independent matrix beats sqrt(n), so the\n"
+               "labeling L of Theorem 2 is essential.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// bench_e7_ablation.cpp — Experiment E7: ablating the constructions.
+//
+// Three ablations that probe WHY the paper's constructions are built the way
+// they are:
+//  (a) M = (A+U)/2 vs its halves (Thm 2): A alone loses the universal sqrt-n
+//      fallback; U alone loses the polylog hierarchy. Plus the strict
+//      label-class U variant and a random labeling (destroys the hierarchy's
+//      meaning — the decomposition labeling is what carries the structure).
+//  (b) the ball scheme's k-mixture vs a single fixed radius 2^k (Thm 4): any
+//      fixed k is tuned to one distance scale; the uniform mixture over
+//      log n scales is what makes the scheme distance-oblivious.
+//  (c) the rank-based scheme as an external comparator.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::banner("E7: ablations — why (A+U)/2, why the k-mixture, why L",
+                "removing any ingredient of either construction costs "
+                "polynomial factors somewhere");
+
+  const unsigned hi = opt.quick ? 12 : 14;
+
+  // (a) ML halves and labelings on the path (ps = 1: hierarchy shines).
+  bench::section("E7a: ML ingredients on path");
+  {
+    routing::SweepConfig config;
+    config.family = "path";
+    config.sizes = bench::pow2_sizes(9, hi);
+    config.schemes = {"ml", "ml-A-only", "ml-U-only", "ml-labelU",
+                      "ml-random-label"};
+    config.trials.num_pairs = 8;
+    config.trials.resamples = 10;
+    config.seed = 0xE7A;
+    bench::run_and_print(config, opt);
+    std::cout
+        << "expectation: ml-A-only matches ml on the path (the hierarchy\n"
+           "does the work when ps=1); ml-U-only ~ uniform (~n^0.5);\n"
+           "ml-random-label loses the polylog behaviour (labeling carries\n"
+           "the structure, Thm 1 says no labeling-free matrix can win).\n";
+  }
+
+  // (a') same on a tree to show A-only remains fine with proper L.
+  bench::section("E7a': ML ingredients on random trees");
+  {
+    routing::SweepConfig config;
+    config.family = "random_tree";
+    config.sizes = bench::pow2_sizes(9, hi);
+    config.schemes = {"ml", "ml-A-only", "ml-U-only"};
+    config.trials.num_pairs = 8;
+    config.trials.resamples = 10;
+    config.seed = 0xE7B;
+    bench::run_and_print(config, opt);
+  }
+
+  // (b) ball mixture vs fixed radii on the path.
+  bench::section("E7b: ball k-mixture vs fixed k on path");
+  {
+    const unsigned e = opt.quick ? 12 : 15;
+    const graph::NodeId n = graph::NodeId{1} << e;
+    const auto log_n = e;
+    routing::SweepConfig config;
+    config.family = "path";
+    config.sizes = {n};
+    config.schemes = {"ball",
+                      "ball-fixed:" + std::to_string(log_n / 3),
+                      "ball-fixed:" + std::to_string(log_n / 2),
+                      "ball-fixed:" + std::to_string(2 * log_n / 3),
+                      "ball-fixed:" + std::to_string(log_n)};
+    config.trials.num_pairs = 8;
+    config.trials.resamples = 10;
+    config.seed = 0xE7C;
+    bench::run_and_print(config, opt);
+    std::cout
+        << "expectation: small fixed k ~ slow long-range progress; k = log n\n"
+           "~ uniform (~sqrt n); the mixture is competitive with the best\n"
+           "fixed k without knowing the distance scale in advance.\n";
+  }
+
+  // (c) literature comparators on the path (moderate n: BFS sampling).
+  bench::section("E7c: distance/density-adaptive comparators");
+  {
+    routing::SweepConfig config;
+    config.family = "path";
+    config.sizes = bench::pow2_sizes(9, opt.quick ? 11 : 12);
+    config.schemes = {"ball", "rank", "kleinberg:1.0", "growth"};
+    config.trials.num_pairs = 6;
+    config.trials.resamples = 8;
+    config.seed = 0xE7D;
+    bench::run_and_print(config, opt);
+    std::cout
+        << "expectation: on the 1-D path, rank, harmonic alpha=1, and the\n"
+           "ball-harmonic 'growth' scheme ([6,21]'s bounded-growth recipe)\n"
+           "are all polylog — beating ball's n^{1/3} on this bounded-growth\n"
+           "instance. The paper's point: those guarantees are class-specific\n"
+           "(bounded growth), while the ball scheme's ~n^{1/3} holds on\n"
+           "EVERY graph. Class knowledge buys polylog; universality costs\n"
+           "n^{1/3}.\n";
+  }
+
+  bench::section("E7 summary");
+  std::cout << "PASS criteria: (a) ml-random-label and ml-U-only exponents\n"
+               ">= 0.4 on the path while ml/ml-A-only stay polylog-flat;\n"
+               "(b) the mixture is within 2x of the best fixed k and far\n"
+               "from the worst; (c) informational.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// bench_e8_kleinberg.cpp — Experiment E8: the Kleinberg baseline in context.
+//
+// The paper builds on Kleinberg's small-world model [13]: on a 2D torus the
+// distance-harmonic scheme Pr(u->v) ∝ dist^{-alpha} is polylog-navigable
+// exactly at alpha = 2 (the lattice dimension), degrading polynomially on
+// both sides — the classic U-shaped curve. This bench regenerates the curve
+// and places the paper's universal schemes on it: uniform (= alpha 0) and
+// the ball scheme, which needs no tuned exponent at all.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "core/ball_scheme.hpp"
+#include "graph/generators.hpp"
+#include "core/kleinberg_scheme.hpp"
+#include "core/uniform_scheme.hpp"
+#include "routing/trial_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::banner("E8: Kleinberg alpha-sweep on the 2D torus",
+                "greedy routing is polylog exactly at alpha = 2; the ball "
+                "scheme is competitive without knowing the dimension");
+
+  const std::vector<graph::NodeId> sides =
+      opt.quick ? std::vector<graph::NodeId>{32, 64}
+                : std::vector<graph::NodeId>{32, 64, 128, 256, 512};
+  const double alphas[] = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+
+  for (const auto side : sides) {
+    bench::section("E8: torus side " + Table::integer(side) + " (n = " +
+                   Table::integer(static_cast<std::uint64_t>(side) * side) + ")");
+    const auto g = graph::make_torus2d(side, side);
+    graph::TargetDistanceCache oracle(g, 16);
+    routing::TrialConfig trials;
+    trials.num_pairs = 10;
+    trials.resamples = 12;
+
+    Table table({"scheme", "greedy diam (est)", "ci95", "mean"});
+    auto run = [&](const core::AugmentationScheme& scheme) {
+      const auto est = routing::estimate_greedy_diameter(
+          g, &scheme, oracle, trials, Rng(0xE8 ^ side));
+      table.add_row({scheme.name(),
+                     Table::num(est.max_mean_steps, 1),
+                     Table::num(est.max_ci_halfwidth, 1),
+                     Table::num(est.overall_mean_steps, 1)});
+      return est.max_mean_steps;
+    };
+
+    double best_alpha = -1.0, best_steps = 1e18;
+    for (const double alpha : alphas) {
+      core::TorusKleinbergScheme scheme(side, alpha);
+      const double steps = run(scheme);
+      if (steps < best_steps) {
+        best_steps = steps;
+        best_alpha = alpha;
+      }
+    }
+    core::UniformScheme uniform(g);
+    run(uniform);
+    core::BallScheme ball(g);
+    run(ball);
+    std::cout << table.to_ascii();
+    std::cout << "best alpha at this size: " << Table::num(best_alpha, 1)
+              << "\n";
+  }
+
+  bench::section("E8 summary");
+  std::cout
+      << "PASS criteria: each size shows the U-shape with a catastrophic\n"
+         "right flank (alpha >= 2.5 blows up polynomially), and the optimal\n"
+         "alpha drifts monotonically upward toward the asymptotic optimum 2\n"
+         "as n grows (0 -> 0.5 -> 1 -> 1.5 -> ... ) — the classic finite-size\n"
+         "effect reported for Kleinberg grids (cf. Martel-Nguyen, PODC'04).\n"
+         "Uniform matches alpha=0 closely; the untuned ball scheme stays\n"
+         "within a small factor of the tuned optimum at every size.\n";
+  return 0;
+}

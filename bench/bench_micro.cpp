@@ -1,0 +1,169 @@
+// bench_micro.cpp — google-benchmark micro suite (M0): throughput of the
+// primitives every experiment is built from. Informational — these numbers
+// bound how large the E1..E9 grids can go on a given machine.
+#include <benchmark/benchmark.h>
+
+#include "core/ball_scheme.hpp"
+#include "core/kleinberg_scheme.hpp"
+#include "core/ml_scheme.hpp"
+#include "core/scheme_factory.hpp"
+#include "core/uniform_scheme.hpp"
+#include "decomposition/builders.hpp"
+#include "decomposition/pathshape.hpp"
+#include "decomposition/tree_path_decomposition.hpp"
+#include "graph/bfs.hpp"
+#include "graph/diameter.hpp"
+#include "graph/generators.hpp"
+#include "routing/greedy_router.hpp"
+
+namespace {
+
+using namespace nav;
+
+void BM_GraphBuildPath(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::make_path(n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GraphBuildPath)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GraphBuildGnp(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::make_gnp(n, 8.0 / n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GraphBuildGnp)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_BfsFull(benchmark::State& state) {
+  const auto g = graph::make_grid2d(static_cast<graph::NodeId>(state.range(0)),
+                                    static_cast<graph::NodeId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::bfs_distances(g, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_BfsFull)->Arg(64)->Arg(256);
+
+void BM_BallCollect(benchmark::State& state) {
+  const auto g = graph::make_grid2d(256, 256);
+  const auto radius = static_cast<graph::Dist>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ball(g, 256 * 128 + 128, radius));
+  }
+}
+BENCHMARK(BM_BallCollect)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SampleUniform(benchmark::State& state) {
+  const auto g = graph::make_path(1 << 16);
+  core::UniformScheme scheme(g);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.sample_contact(100, rng));
+  }
+}
+BENCHMARK(BM_SampleUniform);
+
+void BM_SampleBall(benchmark::State& state) {
+  const auto g = graph::make_path(1 << 16);
+  core::BallScheme scheme(g);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.sample_contact(1 << 15, rng));
+  }
+}
+BENCHMARK(BM_SampleBall);
+
+void BM_SampleML(benchmark::State& state) {
+  const auto g = graph::make_path(1 << 16);
+  core::MLScheme scheme(g);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.sample_contact(1 << 15, rng));
+  }
+}
+BENCHMARK(BM_SampleML);
+
+void BM_SampleTorusKleinberg(benchmark::State& state) {
+  core::TorusKleinbergScheme scheme(256, 2.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.sample_contact(1234, rng));
+  }
+}
+BENCHMARK(BM_SampleTorusKleinberg);
+
+void BM_RouteUniformPath(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_path(n);
+  graph::TargetDistanceCache oracle(g, 2);
+  routing::GreedyRouter router(g, oracle);
+  core::UniformScheme scheme(g);
+  Rng rng(6);
+  (void)oracle.distances_to(n - 1);  // pre-warm: measure routing, not BFS
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng trial_rng = rng.child(trial++);
+    benchmark::DoNotOptimize(router.route(0, n - 1, &scheme, trial_rng));
+  }
+}
+BENCHMARK(BM_RouteUniformPath)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RouteBallPath(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_path(n);
+  graph::TargetDistanceCache oracle(g, 2);
+  routing::GreedyRouter router(g, oracle);
+  core::BallScheme scheme(g);
+  Rng rng(7);
+  (void)oracle.distances_to(n - 1);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    Rng trial_rng = rng.child(trial++);
+    benchmark::DoNotOptimize(router.route(0, n - 1, &scheme, trial_rng));
+  }
+}
+BENCHMARK(BM_RouteBallPath)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_TreeDecomposition(benchmark::State& state) {
+  Rng rng(8);
+  const auto g =
+      graph::make_random_tree(static_cast<graph::NodeId>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomp::tree_path_decomposition(g));
+  }
+}
+BENCHMARK(BM_TreeDecomposition)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BfsLayerDecomposition(benchmark::State& state) {
+  const auto side = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_grid2d(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomp::bfs_layer_decomposition(g));
+  }
+}
+BENCHMARK(BM_BfsLayerDecomposition)->Arg(32)->Arg(128);
+
+void BM_PathshapePortfolio(benchmark::State& state) {
+  const auto g =
+      graph::make_path(static_cast<graph::NodeId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decomp::best_path_decomposition(g));
+  }
+}
+BENCHMARK(BM_PathshapePortfolio)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_DiameterDoubleSweep(benchmark::State& state) {
+  const auto side = static_cast<graph::NodeId>(state.range(0));
+  const auto g = graph::make_grid2d(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::double_sweep_lower_bound(g));
+  }
+}
+BENCHMARK(BM_DiameterDoubleSweep)->Arg(64)->Arg(256);
+
+}  // namespace

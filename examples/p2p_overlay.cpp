@@ -1,0 +1,63 @@
+// p2p_overlay.cpp — designing a navigable peer-to-peer overlay.
+//
+// Scenario: a DHT-flavoured overlay where peers sit on a base ring (cycle)
+// with successor links, and each peer maintains exactly ONE extra "finger".
+// Lookups are greedy: forward to the neighbour (ring or finger) closest to
+// the key's owner. The question a systems designer asks: *how should the one
+// finger be chosen?*
+//
+//   * uniform finger       -> Theta(sqrt n) lookups (the sqrt-n barrier);
+//   * Theorem 2 (M,L)      -> polylog lookups (ring has pathshape 1);
+//   * Theorem 4 ball       -> Õ(n^{1/3}) lookups with *zero* metadata beyond
+//                             local ball sampling — and it works on any
+//                             topology, not just rings (universality);
+//   * kleinberg a=1        -> the 1-dimensional harmonic optimum, as the
+//                             tuned-but-dimension-aware baseline.
+//
+// Usage: ./p2p_overlay [n=16384] [lookups=200]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scheme_factory.hpp"
+#include "graph/generators.hpp"
+#include "routing/trial_runner.hpp"
+#include "runtime/table.hpp"
+#include "runtime/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  const graph::NodeId n = argc > 1
+      ? static_cast<graph::NodeId>(std::strtoul(argv[1], nullptr, 10))
+      : 16384;
+  const std::size_t lookups = argc > 2
+      ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
+      : 200;
+
+  const auto ring = graph::make_cycle(n);
+  std::cout << "overlay base ring: " << ring.summary() << "\n\n";
+  graph::TargetDistanceCache oracle(ring, 64);
+
+  routing::TrialConfig trials;
+  trials.num_pairs = std::max<std::size_t>(4, lookups / 16);
+  trials.resamples = 16;
+
+  Rng rng(7001);
+  Table table({"finger policy", "lookup hops (max pair)", "mean hops",
+               "build+run sec"});
+  for (const auto& spec : {"uniform", "ml", "ball", "kleinberg:1.0"}) {
+    Timer timer;
+    auto scheme = core::make_scheme(spec, ring, rng);
+    const auto est = routing::estimate_greedy_diameter(
+        ring, scheme.get(), oracle, trials, rng.child(std::string(spec).size()));
+    table.add_row({spec,
+                   Table::with_ci(est.max_mean_steps, est.max_ci_halfwidth, 1),
+                   Table::num(est.overall_mean_steps, 1),
+                   Table::num(timer.seconds(), 2)});
+  }
+  std::cout << table.to_ascii() << "\n";
+  std::cout << "Reading the table: uniform pays ~sqrt(n) hops; the (M,L) and\n"
+               "harmonic fingers exploit the ring's line structure for polylog\n"
+               "lookups; the ball finger needs no structural knowledge at all\n"
+               "and still beats the sqrt(n) barrier (Theorem 4).\n";
+  return 0;
+}

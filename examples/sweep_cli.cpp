@@ -1,0 +1,100 @@
+// sweep_cli.cpp — run arbitrary experiment grids from the command line.
+//
+// The bench binaries pin the paper's experiment grids; this tool lets a user
+// explore freely:
+//
+//   ./sweep_cli --family path --sizes 1024,4096,16384 \
+//               --schemes uniform,ml,ball --pairs 12 --resamples 16 \
+//               [--seed 7] [--csv out.csv]
+//
+// Prints the sweep table plus per-scheme exponent fits; optionally writes
+// CSV for plotting.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "routing/experiment.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> parts;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --family <name> --sizes n1,n2,.. --schemes s1,s2,..\n"
+         "       [--pairs K] [--resamples R] [--seed S] [--csv PATH]\n\n"
+         "families: ";
+  for (const auto& fam : nav::graph::all_families()) {
+    std::cerr << fam.name << ' ';
+  }
+  std::cerr << "\nschemes: uniform ball ball-fixed:<k> ml ml-labelU "
+               "ml-A-only ml-U-only ml-random-label kleinberg:<a> rank none\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  routing::SweepConfig config;
+  config.trials.num_pairs = 12;
+  config.trials.resamples = 16;
+  std::string csv_path;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--family") {
+      config.family = value;
+    } else if (key == "--sizes") {
+      for (const auto& s : split_csv(value)) {
+        config.sizes.push_back(
+            static_cast<graph::NodeId>(std::strtoul(s.c_str(), nullptr, 10)));
+      }
+    } else if (key == "--schemes") {
+      config.schemes = split_csv(value);
+    } else if (key == "--pairs") {
+      config.trials.num_pairs = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "--resamples") {
+      config.trials.resamples = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (key == "--seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--csv") {
+      csv_path = value;
+    } else {
+      std::cerr << "unknown option: " << key << "\n";
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (config.family.empty() || config.sizes.empty() || config.schemes.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  try {
+    const auto rows = routing::run_sweep(config);
+    std::cout << routing::sweep_table(rows).to_ascii();
+    std::cout << "\nexponent fits (greedy diameter ~ n^slope):\n"
+              << routing::fit_table(routing::fit_exponents(rows)).to_ascii();
+    if (!csv_path.empty()) {
+      routing::sweep_table(rows).save_csv(csv_path);
+      std::cout << "csv written: " << csv_path << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "core/ball_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nav::core {
+
+namespace {
+
+/// Per-thread BFS scratch with epoch-stamped visited marks (no O(n) clearing
+/// between samples). Grows to the largest graph seen on this thread.
+struct BfsScratch {
+  std::vector<std::uint64_t> stamp;
+  std::vector<NodeId> queue;
+  std::uint64_t epoch = 0;
+
+  void prepare(std::size_t n) {
+    if (stamp.size() < n) stamp.assign(n, 0);
+    ++epoch;
+    queue.clear();
+  }
+};
+
+BfsScratch& scratch() {
+  thread_local BfsScratch s;
+  return s;
+}
+
+}  // namespace
+
+BallScheme::BallScheme(const Graph& g, std::uint32_t levels)
+    : graph_(g), levels_(levels), ecc_upper_(g.num_nodes()) {
+  NAV_REQUIRE(g.num_nodes() >= 1, "empty graph");
+  if (levels_ == 0) {
+    levels_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::ceil(std::log2(static_cast<double>(g.num_nodes())))));
+  }
+  NAV_REQUIRE(levels_ <= 31, "too many levels");
+  for (auto& e : ecc_upper_) e.store(0, std::memory_order_relaxed);
+}
+
+NodeId BallScheme::sample_from_ball(NodeId u, graph::Dist radius,
+                                    Rng& rng) const {
+  NAV_ASSERT(u < graph_.num_nodes());
+  const NodeId n = graph_.num_nodes();
+  // Whole-graph shortcuts (distribution-identical, see header).
+  if (radius >= n) return random_index(rng, n);
+  const graph::Dist known = ecc_upper_[u].load(std::memory_order_relaxed);
+  if (known != 0 && radius >= known) return random_index(rng, n);
+
+  auto& s = scratch();
+  s.prepare(n);
+  s.stamp[u] = s.epoch;
+  s.queue.push_back(u);
+  std::size_t head = 0;
+  std::size_t level_end = 1;  // exclusive end of the current BFS level
+  graph::Dist depth = 0;
+  while (head < s.queue.size() && depth < radius) {
+    // Expand one full level.
+    while (head < level_end) {
+      const NodeId x = s.queue[head++];
+      for (const NodeId y : graph_.neighbors(x)) {
+        if (s.stamp[y] != s.epoch) {
+          s.stamp[y] = s.epoch;
+          s.queue.push_back(y);
+        }
+      }
+    }
+    ++depth;
+    level_end = s.queue.size();
+    if (s.queue.size() == n) {
+      // Ball exhausted the graph: remember ecc(u) <= depth for next time,
+      // and sample over node ids directly so the draw is bit-identical to
+      // the cached-shortcut path above (determinism across cache states).
+      ecc_upper_[u].store(depth, std::memory_order_relaxed);
+      return random_index(rng, n);
+    }
+  }
+  return s.queue[random_index(rng, s.queue.size())];
+}
+
+NodeId BallScheme::sample_contact(NodeId u, Rng& rng) const {
+  const auto k = 1 + static_cast<std::uint32_t>(rng.next_below(levels_));
+  return sample_from_ball(u, graph::Dist{1} << k, rng);
+}
+
+std::string BallScheme::name() const { return "ball"; }
+
+std::vector<std::size_t> BallScheme::ball_sizes(NodeId u) const {
+  const auto dist = graph::bfs_distances(graph_, u);
+  std::vector<std::size_t> sizes(levels_ + 1, 0);
+  for (const auto d : dist) {
+    if (d == graph::kInfDist) continue;
+    for (std::uint32_t k = 1; k <= levels_; ++k) {
+      if (d <= (graph::Dist{1} << k)) ++sizes[k];
+    }
+  }
+  return sizes;
+}
+
+double BallScheme::probability(NodeId u, NodeId v) const {
+  NAV_ASSERT(u < graph_.num_nodes() && v < graph_.num_nodes());
+  const auto dist = graph::bfs_distances(graph_, u);
+  if (dist[v] == graph::kInfDist) return 0.0;
+  const auto sizes = ball_sizes(u);
+  double p = 0.0;
+  for (std::uint32_t k = 1; k <= levels_; ++k) {
+    if (dist[v] <= (graph::Dist{1} << k)) {
+      p += 1.0 / static_cast<double>(sizes[k]);
+    }
+  }
+  return p / static_cast<double>(levels_);
+}
+
+std::vector<double> BallScheme::probability_row(NodeId u) const {
+  // One BFS serves the whole row: φ_u(v) = (1/L) Σ_{k >= r(v)} 1/|B_k(u)|,
+  // precomputed as suffix sums over the level index.
+  NAV_ASSERT(u < graph_.num_nodes());
+  const auto dist = graph::bfs_distances(graph_, u);
+  std::vector<std::size_t> sizes(levels_ + 1, 0);
+  for (const auto d : dist) {
+    if (d == graph::kInfDist) continue;
+    for (std::uint32_t k = 1; k <= levels_; ++k) {
+      if (d <= (graph::Dist{1} << k)) ++sizes[k];
+    }
+  }
+  // suffix[k] = Σ_{j=k..L} 1/|B_j(u)|.
+  std::vector<double> suffix(levels_ + 2, 0.0);
+  for (std::uint32_t k = levels_; k >= 1; --k) {
+    suffix[k] = suffix[k + 1] + 1.0 / static_cast<double>(sizes[k]);
+  }
+  std::vector<double> row(graph_.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    if (dist[v] == graph::kInfDist) continue;
+    std::uint32_t r = 1;
+    while (r <= levels_ && dist[v] > (graph::Dist{1} << r)) ++r;
+    if (r <= levels_) row[v] = suffix[r] / static_cast<double>(levels_);
+  }
+  return row;
+}
+
+// ---- fixed-level ablation ---------------------------------------------------
+
+class FixedLevelBallScheme final : public AugmentationScheme {
+ public:
+  FixedLevelBallScheme(const Graph& g, std::uint32_t k)
+      : base_(g, std::max<std::uint32_t>(k, 1)), k_(std::max<std::uint32_t>(k, 1)) {}
+
+  [[nodiscard]] NodeId sample_contact(NodeId u, Rng& rng) const override {
+    return base_.sample_from_ball(u, graph::Dist{1} << k_, rng);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "ball-fixed-k" + std::to_string(k_);
+  }
+  [[nodiscard]] NodeId num_nodes() const override { return base_.num_nodes(); }
+
+ private:
+  BallScheme base_;
+  std::uint32_t k_;
+};
+
+SchemePtr BallScheme::make_fixed_level(const Graph& g, std::uint32_t k) {
+  return std::make_unique<FixedLevelBallScheme>(g, k);
+}
+
+}  // namespace nav::core

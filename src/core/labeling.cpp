@@ -1,0 +1,82 @@
+#include "core/labeling.hpp"
+
+#include <numeric>
+
+#include "core/level_hierarchy.hpp"
+
+namespace nav::core {
+
+Labeling::Labeling(std::vector<std::uint32_t> label_of, std::uint32_t universe)
+    : label_of_(std::move(label_of)), universe_(universe) {
+  NAV_REQUIRE(universe_ >= 1, "label universe must be >= 1");
+  members_.resize(universe_ + 1);
+  for (NodeId u = 0; u < label_of_.size(); ++u) {
+    const auto lbl = label_of_[u];
+    NAV_REQUIRE(lbl >= 1 && lbl <= universe_, "label out of [1, universe]");
+    members_[lbl].push_back(u);
+  }
+  all_distinct_ = true;
+  for (std::uint32_t lbl = 1; lbl <= universe_; ++lbl) {
+    if (members_[lbl].size() > 1) {
+      all_distinct_ = false;
+      break;
+    }
+  }
+}
+
+const std::vector<NodeId>& Labeling::members(std::uint32_t lbl) const {
+  NAV_REQUIRE(lbl >= 1 && lbl <= universe_, "label out of [1, universe]");
+  return members_[lbl];
+}
+
+NodeId Labeling::sample_member(std::uint32_t lbl, Rng& rng) const {
+  const auto& bucket = members(lbl);
+  if (bucket.empty()) return graph::kNoNode;
+  return bucket[random_index(rng, bucket.size())];
+}
+
+Labeling decomposition_labeling(const decomp::PathDecomposition& pd, NodeId n) {
+  NAV_REQUIRE(pd.num_bags() >= 1, "decomposition has no bags");
+  const auto intervals = pd.node_intervals(n);
+  std::vector<std::uint32_t> labels(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    NAV_REQUIRE(!intervals[u].empty(),
+                "node missing from decomposition: " + std::to_string(u));
+    // Bags are 1-indexed in the paper's hierarchy (level() needs x >= 1).
+    const auto lo = static_cast<std::uint64_t>(intervals[u].first) + 1;
+    const auto hi = static_cast<std::uint64_t>(intervals[u].last) + 1;
+    labels[u] = static_cast<std::uint32_t>(max_level_index(lo, hi));
+  }
+  return Labeling(std::move(labels), n);
+}
+
+Labeling identity_labeling(NodeId n) {
+  NAV_REQUIRE(n >= 1, "empty labeling");
+  std::vector<std::uint32_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 1u);
+  return Labeling(std::move(labels), n);
+}
+
+Labeling random_distinct_labeling(NodeId n, Rng& rng) {
+  NAV_REQUIRE(n >= 1, "empty labeling");
+  std::vector<std::uint32_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 1u);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(labels[i - 1], labels[j]);
+  }
+  return Labeling(std::move(labels), n);
+}
+
+Labeling block_labeling(NodeId n, std::uint32_t k) {
+  NAV_REQUIRE(n >= 1, "empty labeling");
+  NAV_REQUIRE(k >= 1 && k <= n, "need 1 <= k <= n");
+  std::vector<std::uint32_t> labels(n);
+  for (NodeId u = 0; u < n; ++u) {
+    labels[u] = 1 + static_cast<std::uint32_t>(
+                        (static_cast<std::uint64_t>(u) * k) / n);
+  }
+  return Labeling(std::move(labels), k);
+}
+
+}  // namespace nav::core

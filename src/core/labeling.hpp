@@ -1,0 +1,74 @@
+// labeling.hpp — node labelings for matrix-based schemes (paper §2).
+//
+// Matrix-based schemes address nodes through labels in {1..universe}; labels
+// need not be distinct (paper §2, remark 1): a row first samples a label j,
+// then a uniform node among the nodes carrying j (failing if none does).
+//
+// The labeling of Theorem 2: given a path decomposition with bags numbered
+// 1..b, node u occupies a contiguous bag interval I_u; L(u) is the unique
+// index of maximum level in I_u.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decomposition/decomposition.hpp"
+#include "graph/graph.hpp"
+#include "runtime/rng.hpp"
+
+namespace nav::core {
+
+using graph::NodeId;
+
+class Labeling {
+ public:
+  /// Empty labeling (no nodes); placeholder for deferred initialisation.
+  Labeling() : universe_(1), members_(2) {}
+
+  /// `label_of[u]` in [1, universe] for every node.
+  Labeling(std::vector<std::uint32_t> label_of, std::uint32_t universe);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(label_of_.size());
+  }
+  [[nodiscard]] std::uint32_t universe() const noexcept { return universe_; }
+  [[nodiscard]] std::uint32_t label(NodeId u) const {
+    NAV_ASSERT(u < label_of_.size());
+    return label_of_[u];
+  }
+
+  /// Nodes carrying `lbl` (empty for unused labels; lbl in [1, universe]).
+  [[nodiscard]] const std::vector<NodeId>& members(std::uint32_t lbl) const;
+
+  /// Uniform node among members(lbl); kNoNode if the class is empty.
+  [[nodiscard]] NodeId sample_member(std::uint32_t lbl, Rng& rng) const;
+
+  [[nodiscard]] bool all_distinct() const noexcept { return all_distinct_; }
+
+ private:
+  std::vector<std::uint32_t> label_of_;
+  std::uint32_t universe_;
+  std::vector<std::vector<NodeId>> members_;  // size universe_+1; [0] unused
+  bool all_distinct_ = false;
+};
+
+/// Theorem 2's labeling: L(u) = max-level bag index of u's interval, 1-based.
+/// Universe = num_nodes (the matrix M is n×n even when only b <= n labels are
+/// used). Requires pd to be valid for a graph with n nodes.
+[[nodiscard]] Labeling decomposition_labeling(
+    const decomp::PathDecomposition& pd, NodeId n);
+
+/// Identity labeling L(u) = u + 1 (distinct labels).
+[[nodiscard]] Labeling identity_labeling(NodeId n);
+
+/// Uniformly random distinct labeling (a random permutation of 1..n).
+/// This is the "name-independent" adversary's input space (Theorem 1 measures
+/// worst case over distinct labelings).
+[[nodiscard]] Labeling random_distinct_labeling(NodeId n, Rng& rng);
+
+/// Theorem 3's restricted alphabet: k contiguous equal-size blocks along node
+/// ids; universe = k. (On the path graph node ids are positions, so blocks
+/// are contiguous segments.)
+[[nodiscard]] Labeling block_labeling(NodeId n, std::uint32_t k);
+
+}  // namespace nav::core

@@ -1,0 +1,50 @@
+#include "core/level_hierarchy.hpp"
+
+#include <bit>
+
+namespace nav::core {
+
+std::uint32_t level(std::uint64_t x) {
+  NAV_REQUIRE(x >= 1, "level(x) requires x >= 1");
+  return static_cast<std::uint32_t>(std::countr_zero(x));
+}
+
+std::uint64_t ancestor(std::uint64_t x, std::uint32_t j) {
+  NAV_REQUIRE(x >= 1, "ancestor(x) requires x >= 1");
+  const std::uint32_t k = level(x);
+  const std::uint32_t bit = k + j;
+  NAV_REQUIRE(bit < 63, "ancestor overflows 64 bits");
+  // Keep bits strictly above `bit`, then set `bit`.
+  const std::uint64_t high = (x >> (bit + 1)) << (bit + 1);
+  return high | (std::uint64_t{1} << bit);
+}
+
+std::vector<std::uint64_t> ancestors_within(std::uint64_t x, std::uint64_t limit) {
+  NAV_REQUIRE(x >= 1, "ancestors_within requires x >= 1");
+  NAV_REQUIRE(limit >= 1, "limit must be >= 1");
+  std::vector<std::uint64_t> out;
+  const std::uint32_t k = level(x);
+  for (std::uint32_t j = 0; k + j < 63; ++j) {
+    // y(j) >= 2^{k+j}; once that power alone exceeds limit, no later ancestor
+    // can fit either.
+    if ((std::uint64_t{1} << (k + j)) > limit) break;
+    const std::uint64_t y = ancestor(x, j);
+    if (y <= limit) out.push_back(y);
+  }
+  return out;
+}
+
+std::uint64_t max_level_index(std::uint64_t lo, std::uint64_t hi) {
+  NAV_REQUIRE(lo >= 1 && lo <= hi, "max_level_index needs 1 <= lo <= hi");
+  // Highest k such that some multiple of 2^k lies in [lo, hi]; the first such
+  // multiple is unique for the maximal k.
+  for (std::uint32_t k = 63; k > 0; --k) {
+    const std::uint64_t step = std::uint64_t{1} << k;
+    const std::uint64_t candidate = ((lo + step - 1) / step) * step;
+    if (candidate >= lo && candidate <= hi && candidate != 0) return candidate;
+  }
+  return lo;  // k = 0: every integer is a multiple of 1; lo works, but the
+              // loop above would have returned any even candidate first.
+}
+
+}  // namespace nav::core

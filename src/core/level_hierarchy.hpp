@@ -1,0 +1,41 @@
+// level_hierarchy.hpp — the binary hierarchy on integers behind Theorem 2.
+//
+// Every integer x >= 1 writes uniquely as x = 2^k + α·2^{k+1}; k = level(x) is
+// the position of the least significant set bit. The j-th ancestor of x keeps
+// the bits above position k+j and sets bit k+j:
+//     y(j) = 2^{k+j} + Σ_{i >= k+j+1} x_i 2^i.
+// A(x) = { y(j) : j >= 0 } (note y(0) = x, so x ∈ A(x)). Applied between
+// consecutive levels the relation forms an infinite binary tree whose level-0
+// leaves are the odd integers.
+//
+// The Theorem 2 matrix A over the label universe {1..n} is
+//     a_{i,j} = 1/(1 + log2 n)  if j ∈ A(i) ∩ [1, n],   else 0.
+// Row sums are <= 1 because an index of level k has at most ν - k ancestors
+// within [1, n] (2^{ν-1} <= n < 2^ν) and ν - k <= 1 + log2 n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/assert.hpp"
+
+namespace nav::core {
+
+/// level(x) = index of the least significant set bit. Requires x >= 1.
+[[nodiscard]] std::uint32_t level(std::uint64_t x);
+
+/// The j-th ancestor y(j) of x (y(0) = x). Requires x >= 1.
+[[nodiscard]] std::uint64_t ancestor(std::uint64_t x, std::uint32_t j);
+
+/// A(x) ∩ [1, limit], in increasing-j order (starting with x itself whenever
+/// x <= limit). At most floor(log2(limit)) + 1 entries.
+[[nodiscard]] std::vector<std::uint64_t> ancestors_within(std::uint64_t x,
+                                                          std::uint64_t limit);
+
+/// The unique index of maximum level inside the non-empty integer interval
+/// [lo, hi] (1 <= lo <= hi). This is Theorem 2's bag-label choice L(u):
+/// uniqueness holds because two distinct multiples of 2^k in the interval
+/// would sandwich a multiple of 2^{k+1}.
+[[nodiscard]] std::uint64_t max_level_index(std::uint64_t lo, std::uint64_t hi);
+
+}  // namespace nav::core

@@ -1,0 +1,67 @@
+#include "core/ml_scheme.hpp"
+
+#include "decomposition/pathshape.hpp"
+
+namespace nav::core {
+
+MLScheme::MLScheme(const Graph& g, const decomp::PathDecomposition& pd,
+                   MLSchemeOptions options)
+    : n_(g.num_nodes()),
+      labeling_(decomposition_labeling(pd, g.num_nodes())),
+      hierarchy_(std::make_shared<HierarchyMatrix>(g.num_nodes())),
+      options_(options) {
+  NAV_REQUIRE(n_ >= 1, "empty graph");
+}
+
+MLScheme::MLScheme(const Graph& g, MLSchemeOptions options)
+    : MLScheme(g, decomp::best_path_decomposition(g).decomposition, options) {}
+
+NodeId MLScheme::sample_contact(NodeId u, Rng& rng) const {
+  NAV_ASSERT(u < n_);
+  using Mode = MLSchemeOptions::Mode;
+  bool use_hierarchy = false;
+  switch (options_.mode) {
+    case Mode::kMix: use_hierarchy = rng.next_bool(0.5); break;
+    case Mode::kHierarchyOnly: use_hierarchy = true; break;
+    case Mode::kUniformOnly: use_hierarchy = false; break;
+  }
+  if (use_hierarchy) {
+    const auto j = hierarchy_->sample_row(labeling_.label(u), rng);
+    if (!j.has_value() || *j > labeling_.universe()) return kNoContact;
+    return labeling_.sample_member(*j, rng);
+  }
+  if (options_.uniform_over_nodes) return random_index(rng, n_);
+  const auto j = static_cast<Label>(1 + random_index(rng, n_));
+  if (j > labeling_.universe()) return kNoContact;
+  return labeling_.sample_member(j, rng);
+}
+
+std::string MLScheme::name() const {
+  using Mode = MLSchemeOptions::Mode;
+  switch (options_.mode) {
+    case Mode::kHierarchyOnly: return "ml-A-only";
+    case Mode::kUniformOnly: return "ml-U-only";
+    case Mode::kMix: break;
+  }
+  return options_.uniform_over_nodes ? "ml" : "ml-labelU";
+}
+
+double MLScheme::probability(NodeId u, NodeId v) const {
+  NAV_ASSERT(u < n_ && v < n_);
+  const auto lv = labeling_.label(v);
+  const auto class_size = static_cast<double>(labeling_.members(lv).size());
+  NAV_ASSERT(class_size >= 1);
+  const double a_part = hierarchy_->entry(labeling_.label(u), lv) / class_size;
+  const double u_part = options_.uniform_over_nodes
+                            ? 1.0 / static_cast<double>(n_)
+                            : (1.0 / static_cast<double>(n_)) / class_size;
+  using Mode = MLSchemeOptions::Mode;
+  switch (options_.mode) {
+    case Mode::kHierarchyOnly: return a_part;
+    case Mode::kUniformOnly: return u_part;
+    case Mode::kMix: break;
+  }
+  return 0.5 * (a_part + u_part);
+}
+
+}  // namespace nav::core

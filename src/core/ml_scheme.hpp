@@ -1,0 +1,61 @@
+// ml_scheme.hpp — the Theorem 2 scheme (M, L):
+//     M = (A + U)/2,   L = max-level bag index of a path decomposition.
+//
+// Greedy routing in (G, (M,L)) takes O(min{ps(G)·log²n, √n}) expected steps:
+// the A half performs the hierarchical bag jumps (landmark argument), the U
+// half preserves the universal O(√n) fallback.
+//
+// One semantic subtlety, surfaced as an option and as ablation E7c:
+// the paper's remark-1 semantics route *every* matrix row through label
+// classes (sample a label, then a uniform node of that class), but the proof
+// of the √n fallback leans on the "name-independent nature of the uniform
+// augmentation", i.e. the U half behaving as a uniform node draw regardless
+// of label multiplicities. With heavily duplicated labels the two differ.
+//   * uniform_over_nodes = true  (default): U half samples a uniform node —
+//     matches the proof's argument and Peleg's bound exactly.
+//   * uniform_over_nodes = false: U half samples a uniform label and then a
+//     class member — the strict Definition-1 reading.
+#pragma once
+
+#include "core/augmentation_matrix.hpp"
+#include "core/scheme.hpp"
+#include "decomposition/decomposition.hpp"
+
+namespace nav::core {
+
+struct MLSchemeOptions {
+  bool uniform_over_nodes = true;
+  /// Disable one half for ablations (E7a): "a" = hierarchy jumps only,
+  /// "u" = uniform only (through the same machinery), "mix" = the real M.
+  enum class Mode { kMix, kHierarchyOnly, kUniformOnly };
+  Mode mode = Mode::kMix;
+};
+
+class MLScheme final : public AugmentationScheme {
+ public:
+  /// Builds (M, L) from a given path decomposition of g (must be valid).
+  MLScheme(const Graph& g, const decomp::PathDecomposition& pd,
+           MLSchemeOptions options = {});
+
+  /// Convenience: runs the decomposition portfolio
+  /// (decomp::best_path_decomposition) and uses the winner.
+  explicit MLScheme(const Graph& g, MLSchemeOptions options = {});
+
+  [[nodiscard]] NodeId sample_contact(NodeId u, Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double probability(NodeId u, NodeId v) const override;
+  [[nodiscard]] NodeId num_nodes() const override { return n_; }
+
+  [[nodiscard]] const Labeling& labeling() const noexcept { return labeling_; }
+  [[nodiscard]] const HierarchyMatrix& hierarchy() const noexcept {
+    return *hierarchy_;
+  }
+
+ private:
+  NodeId n_;
+  Labeling labeling_;
+  std::shared_ptr<const HierarchyMatrix> hierarchy_;
+  MLSchemeOptions options_;
+};
+
+}  // namespace nav::core

@@ -1,0 +1,139 @@
+#include "core/name_independent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nav::core {
+
+double internal_mass(const MatrixView& matrix, const std::vector<Label>& labels) {
+  double mass = 0.0;
+  for (const Label i : labels) {
+    for (const Label j : labels) {
+      if (i != j) mass += matrix.entry(i, j);
+    }
+  }
+  return mass;
+}
+
+namespace {
+
+/// Mass contributed by member `x` (row + column within the set).
+double member_mass(const MatrixView& matrix, const std::vector<Label>& labels,
+                   Label x) {
+  double mass = 0.0;
+  for (const Label j : labels) {
+    if (j != x) mass += matrix.entry(x, j) + matrix.entry(j, x);
+  }
+  return mass;
+}
+
+}  // namespace
+
+AdversarialSet find_sparse_label_set(const MatrixView& matrix,
+                                     std::size_t set_size, Rng& rng,
+                                     int max_restarts) {
+  const Label n = matrix.size();
+  NAV_REQUIRE(set_size >= 2 && set_size <= n, "set size out of range");
+
+  std::vector<Label> universe(n);
+  std::iota(universe.begin(), universe.end(), Label{1});
+
+  for (int restart = 0; restart < max_restarts; ++restart) {
+    // Random subset: partial Fisher-Yates over the universe.
+    for (std::size_t i = 0; i < set_size; ++i) {
+      const std::size_t j = i + rng.next_below(universe.size() - i);
+      std::swap(universe[i], universe[j]);
+    }
+    std::vector<Label> candidate(universe.begin(),
+                                 universe.begin() + static_cast<std::ptrdiff_t>(set_size));
+    double mass = internal_mass(matrix, candidate);
+
+    // Local search: repeatedly swap the heaviest member for a random outsider.
+    for (std::size_t iter = 0; iter < 4 * set_size && mass >= 1.0; ++iter) {
+      std::size_t worst = 0;
+      double worst_mass = -1.0;
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        const double m = member_mass(matrix, candidate, candidate[i]);
+        if (m > worst_mass) {
+          worst_mass = m;
+          worst = i;
+        }
+      }
+      // Random replacement outside the candidate set.
+      Label replacement = 0;
+      for (int tries = 0; tries < 64; ++tries) {
+        const Label r = static_cast<Label>(1 + random_index(rng, n));
+        if (std::find(candidate.begin(), candidate.end(), r) == candidate.end()) {
+          replacement = r;
+          break;
+        }
+      }
+      if (replacement == 0) break;
+      const double gain_out = worst_mass;
+      std::vector<Label> next = candidate;
+      next[worst] = replacement;
+      const double gain_in = member_mass(matrix, next, replacement);
+      if (gain_in < gain_out) {
+        mass += gain_in - gain_out;
+        candidate = std::move(next);
+      }
+    }
+    if (mass < 1.0) return {std::move(candidate), mass};
+  }
+  throw std::runtime_error(
+      "find_sparse_label_set: no sparse set found (set_size too large?)");
+}
+
+AdversarialPathInstance make_adversarial_path(const MatrixView& matrix, Rng& rng) {
+  const Label n = matrix.size();
+  NAV_REQUIRE(n >= 9, "path too short for the Theorem 1 construction");
+  // |I| = floor(sqrt n): then s(s-1) < n, so for the uniform matrix every
+  // s-set already has internal mass < 1 (with ceil(sqrt n) the uniform
+  // matrix can have mass > 1 for *all* sets and the guarantee breaks).
+  const auto s =
+      static_cast<std::size_t>(std::floor(std::sqrt(static_cast<double>(n))));
+  auto sparse = find_sparse_label_set(matrix, s, rng);
+
+  AdversarialPathInstance out;
+  out.path = graph::make_path(n);
+  out.internal_mass = sparse.internal_mass;
+  out.segment_begin = (n - s) / 2;
+  out.segment_end = out.segment_begin + s;
+
+  // Labels: I over the segment (shuffled), the rest shuffled elsewhere.
+  std::vector<std::uint8_t> in_set(n + 1, 0);
+  for (const Label l : sparse.labels) in_set[l] = 1;
+  std::vector<Label> rest;
+  rest.reserve(n - s);
+  for (Label l = 1; l <= n; ++l) {
+    if (!in_set[l]) rest.push_back(l);
+  }
+  auto shuffle = [&rng](std::vector<Label>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = rng.next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  };
+  shuffle(sparse.labels);
+  shuffle(rest);
+
+  std::vector<std::uint32_t> label_of(n, 0);
+  std::size_t seg_it = 0, rest_it = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (u >= out.segment_begin && u < out.segment_end) {
+      label_of[u] = sparse.labels[seg_it++];
+    } else {
+      label_of[u] = rest[rest_it++];
+    }
+  }
+  out.labeling = Labeling(std::move(label_of), n);
+
+  // s and t at |S|/3 from either extremity of the segment (mutual |S|/3).
+  out.source = static_cast<NodeId>(out.segment_begin + s / 3);
+  out.target = static_cast<NodeId>(out.segment_begin + (2 * s) / 3);
+  return out;
+}
+
+}  // namespace nav::core

@@ -1,0 +1,54 @@
+// name_independent.hpp — Theorem 1 machinery: the Ω(√n) adversary.
+//
+// Theorem 1: for ANY augmentation matrix A of size n there is a labeling of
+// the n-node path on which greedy routing needs Ω(√n) expected steps. The
+// proof is an averaging argument: among all √n-subsets I of labels, the
+// average internal probability mass Σ_{i≠j∈I} p_{i,j} is < 1, so some I has
+// mass < 1; placing I's labels on √n consecutive path nodes leaves the
+// segment essentially shortcut-free.
+//
+// This module makes the argument constructive: random subsets already meet
+// the bound in expectation (Markov), and a local-search pass (swap out the
+// heaviest member) certifies mass < 1 quickly. The returned instance is the
+// exact object of the proof: the labeled path plus the s, t endpoints at the
+// |S|/3 positions.
+#pragma once
+
+#include "core/augmentation_matrix.hpp"
+#include "graph/generators.hpp"
+
+namespace nav::core {
+
+struct AdversarialSet {
+  std::vector<Label> labels;  // |I| = size, subset of [1, n]
+  double internal_mass = 0.0; // Σ_{i≠j∈I} p_{i,j}, certified < 1
+};
+
+/// Finds I with |I| = set_size and internal mass < 1. Throws std::runtime_error
+/// if it fails after `max_restarts` random restarts with local search (cannot
+/// happen for valid augmentation matrices unless set_size is super-√n large).
+[[nodiscard]] AdversarialSet find_sparse_label_set(const MatrixView& matrix,
+                                                   std::size_t set_size, Rng& rng,
+                                                   int max_restarts = 64);
+
+struct AdversarialPathInstance {
+  graph::Graph path;
+  Labeling labeling;       // distinct labels 1..n
+  NodeId source = 0;       // at |S|/3 from the segment's left end
+  NodeId target = 0;       // at |S|/3 from the segment's right end
+  std::size_t segment_begin = 0;  // S = positions [segment_begin, segment_end)
+  std::size_t segment_end = 0;
+  double internal_mass = 0.0;
+};
+
+/// Builds the full Theorem 1 instance for `matrix` (size n = path length):
+/// the sparse set I is placed on ⌈√n⌉ consecutive central positions,
+/// remaining labels are shuffled over the rest.
+[[nodiscard]] AdversarialPathInstance make_adversarial_path(
+    const MatrixView& matrix, Rng& rng);
+
+/// Internal probability mass of a label set (exposed for tests).
+[[nodiscard]] double internal_mass(const MatrixView& matrix,
+                                   const std::vector<Label>& labels);
+
+}  // namespace nav::core

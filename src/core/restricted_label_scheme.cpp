@@ -1,0 +1,29 @@
+#include "core/restricted_label_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/augmentation_matrix.hpp"
+
+namespace nav::core {
+
+SchemePtr make_restricted_label_scheme(const Graph& path, std::uint32_t k) {
+  const auto n = path.num_nodes();
+  NAV_REQUIRE(n >= 2, "path too short");
+  k = std::clamp<std::uint32_t>(k, 1, n);
+  auto hierarchy = std::make_shared<HierarchyMatrix>(k);
+  auto uniform = std::make_shared<UniformMatrix>(k);
+  auto mix = std::make_shared<MixMatrix>(std::move(hierarchy), std::move(uniform));
+  return std::make_unique<MatrixScheme>(
+      std::move(mix), block_labeling(n, k),
+      "ml-k" + std::to_string(k));
+}
+
+std::uint32_t label_budget(graph::NodeId n, double epsilon) {
+  NAV_REQUIRE(epsilon >= 0.0 && epsilon <= 1.0, "epsilon in [0,1]");
+  const double k = std::pow(static_cast<double>(n), epsilon);
+  return std::clamp<std::uint32_t>(
+      static_cast<std::uint32_t>(std::lround(k)), 1u, n);
+}
+
+}  // namespace nav::core

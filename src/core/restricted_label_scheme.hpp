@@ -1,0 +1,28 @@
+// restricted_label_scheme.hpp — Theorem 3 instances: matrix schemes over a
+// label alphabet of size k = n^ε on the path.
+//
+// Theorem 3 is a lower bound: ANY augmentation-labeling scheme with labels of
+// ε·log n bits on the n-node path has greedy diameter Ω(n^β) for every
+// β < (1-ε)/3 — popular labels force Θ(n^{1-ε'})-long intervals with no
+// expected internal shortcut. Experiment E4 instantiates the natural
+// best-effort scheme with that budget: the Theorem 2 matrix M = (A+U)/2
+// shrunk to a k×k universe, paired with the contiguous block labeling
+// (each label covers n/k consecutive path nodes — the decomposition labeling
+// degenerates to exactly this on the path when only k labels are available).
+// Measured exponents grow as ε shrinks, matching the bound's direction.
+#pragma once
+
+#include "core/scheme.hpp"
+#include "graph/graph.hpp"
+
+namespace nav::core {
+
+/// ML-style scheme with a k-label budget on `path` (must be the path graph
+/// with node ids in path order). k in [1, n].
+[[nodiscard]] SchemePtr make_restricted_label_scheme(const Graph& path,
+                                                     std::uint32_t k);
+
+/// The label-budget for a given ε: k = max(1, round(n^ε)), clamped to [1, n].
+[[nodiscard]] std::uint32_t label_budget(graph::NodeId n, double epsilon);
+
+}  // namespace nav::core

@@ -1,0 +1,31 @@
+#include "core/scheme.hpp"
+
+#include <stdexcept>
+
+namespace nav::core {
+
+double AugmentationScheme::probability(NodeId, NodeId) const { return -1.0; }
+
+std::vector<double> AugmentationScheme::probability_row(NodeId u) const {
+  std::vector<double> row(num_nodes(), 0.0);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    const double p = probability(u, v);
+    if (p < 0.0) {
+      throw std::logic_error("scheme '" + name() +
+                             "' does not support exact probabilities");
+    }
+    row[v] = p;
+  }
+  return row;
+}
+
+std::vector<NodeId> sample_all_contacts(const AugmentationScheme& scheme,
+                                        Rng& rng) {
+  std::vector<NodeId> contacts(scheme.num_nodes(), kNoContact);
+  for (NodeId u = 0; u < scheme.num_nodes(); ++u) {
+    contacts[u] = scheme.sample_contact(u, rng);
+  }
+  return contacts;
+}
+
+}  // namespace nav::core

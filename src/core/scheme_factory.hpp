@@ -1,0 +1,34 @@
+// scheme_factory.hpp — build schemes by name (benches, examples, CLI).
+//
+// Recognised specs:
+//   "uniform"            φ_unif (Peleg O(√n))
+//   "ball"               Theorem 4 Õ(n^{1/3}) scheme
+//   "ball-fixed:<k>"     ball scheme with one fixed radius 2^k (ablation)
+//   "ml"                 Theorem 2 (M, L), portfolio decomposition
+//   "ml-labelU"          (M, L) with strict label-class uniform half
+//   "ml-A-only"          hierarchy half alone (ablation)
+//   "ml-U-only"          uniform half alone (ablation)
+//   "ml-random-label"    M with a random distinct labeling (ablation E7c)
+//   "kleinberg:<alpha>"  harmonic baseline, e.g. "kleinberg:2.0"
+//   "rank"               rank-based extension
+//   "growth"             ball-harmonic (bounded-growth predecessor [6,21])
+//   "none"               no long-range links (pure BFS baseline)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/scheme.hpp"
+
+namespace nav::core {
+
+/// Builds the scheme for `spec` over graph g. Throws std::invalid_argument on
+/// unknown specs. The returned scheme references g (g must outlive it).
+/// "none" returns nullptr (callers treat a null scheme as "local links only").
+[[nodiscard]] SchemePtr make_scheme(const std::string& spec, const Graph& g,
+                                    Rng& rng);
+
+/// All specs suitable for a cross-scheme comparison table.
+[[nodiscard]] std::vector<std::string> standard_scheme_specs();
+
+}  // namespace nav::core

@@ -1,0 +1,3 @@
+#include "core/uniform_scheme.hpp"
+
+// Header-only implementation; this TU anchors the target.

@@ -1,0 +1,37 @@
+// uniform_scheme.hpp — φ_unif: contact uniform over all nodes (Peleg's O(√n)
+// universal scheme, paper §1).
+//
+// φ_u(v) = 1/n for every v (including v = u — the uniform matrix U has
+// u_{i,j} = 1/n on the diagonal too; a self-contact is a wasted link that
+// greedy routing never follows).
+#pragma once
+
+#include "core/scheme.hpp"
+
+namespace nav::core {
+
+class UniformScheme final : public AugmentationScheme {
+ public:
+  explicit UniformScheme(const Graph& g) : n_(g.num_nodes()) {
+    NAV_REQUIRE(n_ >= 1, "empty graph");
+  }
+
+  [[nodiscard]] NodeId sample_contact(NodeId u, Rng& rng) const override {
+    NAV_ASSERT(u < n_);
+    (void)u;
+    return random_index(rng, n_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+  [[nodiscard]] double probability(NodeId, NodeId) const override {
+    return 1.0 / static_cast<double>(n_);
+  }
+
+  [[nodiscard]] NodeId num_nodes() const override { return n_; }
+
+ private:
+  NodeId n_;
+};
+
+}  // namespace nav::core

@@ -1,0 +1,38 @@
+// builders.hpp — generic path-decomposition constructions.
+//
+// These builders are always *valid*; their measured shape varies by family.
+// Family-specific builders with provable shape bounds live in
+// tree_path_decomposition.hpp (trees, width O(log n)),
+// interval_decomposition.hpp (interval graphs, length <= 1) and
+// permutation_decomposition.hpp (permutation graphs, length <= 2).
+#pragma once
+
+#include "decomposition/decomposition.hpp"
+
+namespace nav::decomp {
+
+/// Single bag containing every vertex. shape = min(n-1, diam(G)).
+[[nodiscard]] PathDecomposition trivial_decomposition(const Graph& g);
+
+/// For a path graph (each node degree <= 2, no cycle): bags {v_i, v_{i+1}}
+/// along the path — width 1, length 1, shape 1 (witnesses ps(path) = 1).
+/// Requires g to be a path graph (else throws std::invalid_argument).
+[[nodiscard]] PathDecomposition path_graph_decomposition(const Graph& g);
+
+/// BFS-layer decomposition: root r, layers L_0.. L_d, bags X_i = L_i ∪ L_{i+1}.
+/// Always valid for connected graphs:
+///   * every edge joins nodes in the same or consecutive layers;
+///   * node in L_i appears exactly in bags i-1, i — contiguous.
+/// Width = 2·(max layer size) - 1; length <= 2·eccentricity... in practice the
+/// measure of interest is the *shape*, evaluated by the caller.
+/// Root defaults to a double-sweep peripheral node (maximises layer count and
+/// hence minimises typical layer sizes).
+[[nodiscard]] PathDecomposition bfs_layer_decomposition(
+    const Graph& g, NodeId root = graph::kNoNode);
+
+/// Caterpillar decomposition: bags {s_i, s_{i+1}} ∪ legs(s_i) along the spine.
+/// Valid for caterpillars (trees whose non-leaf nodes form a path); width =
+/// max legs + 1, length <= 2. Throws if g is not a caterpillar.
+[[nodiscard]] PathDecomposition caterpillar_decomposition(const Graph& g);
+
+}  // namespace nav::decomp

@@ -1,0 +1,234 @@
+#include "decomposition/decomposition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nav::decomp {
+
+Bag make_bag(std::vector<NodeId> vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()), vertices.end());
+  return vertices;
+}
+
+PathDecomposition::PathDecomposition(std::vector<Bag> bags)
+    : bags_(std::move(bags)) {
+  for (auto& b : bags_) b = make_bag(std::move(b));
+}
+
+namespace {
+
+bool bag_contains(const Bag& bag, NodeId v) {
+  return std::binary_search(bag.begin(), bag.end(), v);
+}
+
+bool is_subset(const Bag& inner, const Bag& outer) {
+  return std::includes(outer.begin(), outer.end(), inner.begin(), inner.end());
+}
+
+void set_reason(std::string* why, const std::string& reason) {
+  if (why != nullptr) *why = reason;
+}
+
+}  // namespace
+
+bool PathDecomposition::is_valid(const Graph& g, std::string* why) const {
+  const NodeId n = g.num_nodes();
+  if (bags_.empty()) {
+    if (n == 0) return true;
+    set_reason(why, "no bags but graph has vertices");
+    return false;
+  }
+  for (const auto& bag : bags_) {
+    for (const NodeId v : bag) {
+      if (v >= n) {
+        set_reason(why, "bag contains out-of-range vertex " + std::to_string(v));
+        return false;
+      }
+    }
+  }
+  // Condition 3 first (contiguity), which also yields vertex coverage.
+  const auto intervals = node_intervals(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (intervals[v].empty()) {
+      set_reason(why, "vertex " + std::to_string(v) + " is in no bag");
+      return false;
+    }
+    for (std::size_t i = intervals[v].first; i <= intervals[v].last; ++i) {
+      if (!bag_contains(bags_[i], v)) {
+        std::ostringstream msg;
+        msg << "vertex " << v << " occurrence is not contiguous (missing from bag "
+            << i << ")";
+        set_reason(why, msg.str());
+        return false;
+      }
+    }
+  }
+  // Condition 2: every edge inside some bag. The endpoints' intervals must
+  // intersect, and any shared bag index works (both are contiguous).
+  for (const auto& [u, v] : g.edge_list()) {
+    const auto lo = std::max(intervals[u].first, intervals[v].first);
+    const auto hi = std::min(intervals[u].last, intervals[v].last);
+    if (lo > hi) {
+      std::ostringstream msg;
+      msg << "edge (" << u << "," << v << ") is covered by no bag";
+      set_reason(why, msg.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<PathDecomposition::IndexInterval> PathDecomposition::node_intervals(
+    NodeId n) const {
+  std::vector<IndexInterval> intervals(n);
+  for (std::size_t i = 0; i < bags_.size(); ++i) {
+    for (const NodeId v : bags_[i]) {
+      if (v >= n) continue;
+      if (intervals[v].empty()) {
+        intervals[v].first = i;
+        intervals[v].last = i;
+      } else {
+        intervals[v].last = i;
+      }
+    }
+  }
+  return intervals;
+}
+
+std::size_t PathDecomposition::reduce() {
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed && bags_.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < bags_.size(); ++i) {
+      const bool sub_prev = i > 0 && is_subset(bags_[i], bags_[i - 1]);
+      const bool sub_next =
+          i + 1 < bags_.size() && is_subset(bags_[i], bags_[i + 1]);
+      if (sub_prev || sub_next || bags_[i].empty()) {
+        bags_.erase(bags_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++removed;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+TreeDecomposition::TreeDecomposition(
+    std::vector<Bag> bags,
+    std::vector<std::pair<std::size_t, std::size_t>> tree_edges)
+    : bags_(std::move(bags)), edges_(std::move(tree_edges)) {
+  for (auto& b : bags_) b = make_bag(std::move(b));
+  for (const auto& [a, b] : edges_) {
+    NAV_REQUIRE(a < bags_.size() && b < bags_.size(),
+                "tree edge references missing bag");
+    NAV_REQUIRE(a != b, "tree self loop");
+  }
+}
+
+bool TreeDecomposition::is_valid(const Graph& g, std::string* why) const {
+  const NodeId n = g.num_nodes();
+  if (bags_.empty()) {
+    if (n == 0) return true;
+    set_reason(why, "no bags but graph has vertices");
+    return false;
+  }
+  // The bag connectivity structure must be a tree.
+  if (edges_.size() + 1 != bags_.size()) {
+    set_reason(why, "bag tree is not a tree (edge count)");
+    return false;
+  }
+  std::vector<std::vector<std::size_t>> adj(bags_.size());
+  for (const auto& [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  {
+    std::vector<std::uint8_t> seen(bags_.size(), 0);
+    std::vector<std::size_t> queue{0};
+    seen[0] = 1;
+    std::size_t head = 0, reached = 1;
+    while (head < queue.size()) {
+      const auto i = queue[head++];
+      for (const auto j : adj[i]) {
+        if (!seen[j]) {
+          seen[j] = 1;
+          ++reached;
+          queue.push_back(j);
+        }
+      }
+    }
+    if (reached != bags_.size()) {
+      set_reason(why, "bag tree is disconnected");
+      return false;
+    }
+  }
+  // Vertex coverage + subtree condition: for each vertex, the bags holding it
+  // must form a connected subgraph of the bag tree.
+  std::vector<std::vector<std::size_t>> holding(n);
+  for (std::size_t i = 0; i < bags_.size(); ++i) {
+    for (const NodeId v : bags_[i]) {
+      if (v >= n) {
+        set_reason(why, "bag contains out-of-range vertex " + std::to_string(v));
+        return false;
+      }
+      holding[v].push_back(i);
+    }
+  }
+  std::vector<std::uint8_t> in_set(bags_.size(), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (holding[v].empty()) {
+      set_reason(why, "vertex " + std::to_string(v) + " is in no bag");
+      return false;
+    }
+    for (const auto i : holding[v]) in_set[i] = 1;
+    std::vector<std::size_t> queue{holding[v][0]};
+    std::vector<std::uint8_t> seen(bags_.size(), 0);
+    seen[holding[v][0]] = 1;
+    std::size_t head = 0, reached = 1;
+    while (head < queue.size()) {
+      const auto i = queue[head++];
+      for (const auto j : adj[i]) {
+        if (in_set[j] && !seen[j]) {
+          seen[j] = 1;
+          ++reached;
+          queue.push_back(j);
+        }
+      }
+    }
+    const bool connected = reached == holding[v].size();
+    for (const auto i : holding[v]) in_set[i] = 0;
+    if (!connected) {
+      set_reason(why,
+                 "vertex " + std::to_string(v) + " does not induce a subtree");
+      return false;
+    }
+  }
+  // Edge coverage.
+  for (const auto& [u, v] : g.edge_list()) {
+    bool covered = false;
+    for (const auto i : holding[u]) {
+      if (bag_contains(bags_[i], v)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      std::ostringstream msg;
+      msg << "edge (" << u << "," << v << ") is covered by no bag";
+      set_reason(why, msg.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+TreeDecomposition to_tree_decomposition(const PathDecomposition& pd) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i + 1 < pd.num_bags(); ++i) edges.emplace_back(i, i + 1);
+  return TreeDecomposition(pd.bags(), std::move(edges));
+}
+
+}  // namespace nav::decomp

@@ -1,0 +1,95 @@
+#include "decomposition/exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace nav::decomp {
+
+namespace {
+
+constexpr NodeId kMaxExactNodes = 22;
+
+/// |{u in S : u has a neighbour outside S}| for subset bitmask S.
+std::uint32_t boundary_size(const std::vector<std::uint32_t>& nbr_mask,
+                            std::uint32_t s, NodeId n) {
+  std::uint32_t count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if ((s >> v) & 1u) {
+      if ((nbr_mask[v] & ~s) != 0) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+ExactPathwidthResult exact_pathwidth_witness(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  NAV_REQUIRE(n >= 1, "empty graph");
+  NAV_REQUIRE(n <= kMaxExactNodes, "exact pathwidth limited to n <= 22");
+
+  std::vector<std::uint32_t> nbr_mask(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : g.neighbors(u)) nbr_mask[u] |= (1u << v);
+  }
+
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  // f[S] = min over orderings of S placed first of max prefix boundary.
+  // uint8 suffices (boundary <= 22).
+  std::vector<std::uint8_t> f(static_cast<std::size_t>(full) + 1, 0xff);
+  std::vector<std::uint8_t> pick(static_cast<std::size_t>(full) + 1, 0xff);
+  f[0] = 0;
+  for (std::uint32_t s = 1; s <= full; ++s) {
+    const auto b = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(boundary_size(nbr_mask, s, n), 0xfe));
+    std::uint8_t best = 0xff;
+    std::uint8_t best_v = 0xff;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!((s >> v) & 1u)) continue;
+      const std::uint32_t prev = s & ~(1u << v);
+      const std::uint8_t cand = std::max(f[prev], b);
+      if (cand < best) {
+        best = cand;
+        best_v = static_cast<std::uint8_t>(v);
+      }
+    }
+    f[s] = best;
+    pick[s] = best_v;
+  }
+
+  ExactPathwidthResult result;
+  result.pathwidth = f[full];
+
+  // Reconstruct the ordering back to front.
+  std::vector<NodeId> ordering(n);
+  std::uint32_t s = full;
+  for (NodeId i = n; i > 0; --i) {
+    const NodeId v = pick[s];
+    ordering[i - 1] = v;
+    s &= ~(1u << v);
+  }
+  result.ordering = ordering;
+
+  // Convert layout -> decomposition: bag_i = boundary(P_i) ∪ {v_{i+1}}
+  // (plus bag_0 = {v_1}); standard VSN-to-pathwidth construction.
+  std::vector<Bag> bags;
+  std::uint32_t prefix = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    Bag bag;
+    for (NodeId v = 0; v < n; ++v) {
+      if (((prefix >> v) & 1u) && (nbr_mask[v] & ~prefix)) bag.push_back(v);
+    }
+    bag.push_back(ordering[i]);
+    bags.push_back(std::move(bag));
+    prefix |= (1u << ordering[i]);
+  }
+  result.decomposition = PathDecomposition(std::move(bags));
+  result.decomposition.reduce();
+  return result;
+}
+
+std::size_t exact_pathwidth(const Graph& g) {
+  return exact_pathwidth_witness(g).pathwidth;
+}
+
+}  // namespace nav::decomp

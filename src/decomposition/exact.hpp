@@ -1,0 +1,37 @@
+// exact.hpp — exact pathwidth for small graphs (reference oracle).
+//
+// pathwidth(G) equals the vertex separation number (VSN): the minimum over
+// vertex orderings v_1..v_n of the maximum, over prefixes P_i = {v_1..v_i},
+// of |{u in P_i : u has a neighbour outside P_i}| (Kinnersley 1992).
+//
+// DP over subsets: f(S) = min_{v in S} max(f(S \ {v}), boundary(S)), with
+// f(∅) = 0. O(2^n · n) time, O(2^n) bytes — practical to n ≈ 22.
+//
+// The ordering reconstructed from the DP converts into a path decomposition
+// of width = VSN: bag_i = boundary(P_i) ∪ {v_{i+1}}.
+//
+// Exact *pathshape* has no analogous small-certificate DP (an optimal-shape
+// decomposition may use bags much larger than any separator, trading width
+// for small length — e.g. whole cliques), so the library provides exact
+// pathwidth as the reference upper bound ps(G) <= pw(G) plus per-family
+// provable bounds from the structured builders (DESIGN.md §2.3).
+#pragma once
+
+#include <cstdint>
+
+#include "decomposition/decomposition.hpp"
+
+namespace nav::decomp {
+
+/// Exact pathwidth. Requires n <= 22 (throws otherwise).
+[[nodiscard]] std::size_t exact_pathwidth(const Graph& g);
+
+/// Exact pathwidth plus a witness decomposition achieving it.
+struct ExactPathwidthResult {
+  std::size_t pathwidth = 0;
+  PathDecomposition decomposition;
+  std::vector<NodeId> ordering;  // the optimal vertex layout
+};
+[[nodiscard]] ExactPathwidthResult exact_pathwidth_witness(const Graph& g);
+
+}  // namespace nav::decomp

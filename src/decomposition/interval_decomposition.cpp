@@ -1,0 +1,15 @@
+#include "decomposition/interval_decomposition.hpp"
+
+namespace nav::decomp {
+
+PathDecomposition interval_decomposition(const graph::IntervalModel& model) {
+  std::vector<Bag> bags;
+  for (const auto x : model.event_points()) {
+    bags.push_back(model.stab(x));
+  }
+  PathDecomposition pd(std::move(bags));
+  pd.reduce();
+  return pd;
+}
+
+}  // namespace nav::decomp

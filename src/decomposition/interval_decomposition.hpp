@@ -1,0 +1,22 @@
+// interval_decomposition.hpp — clique-path decomposition of interval graphs.
+//
+// Sweep the interval model's event points left to right; the bag at event x
+// is the set of intervals stabbed by x. Each bag is a clique (all intervals
+// share the point x), so length(X) <= 1 and pathshape(G) <= 1 — the witness
+// behind Corollary 1's O(log² n) bound for interval graphs.
+//
+// Validity: an interval [lo, hi] is stabbed by exactly the event points in
+// [lo, hi] — a contiguous run; two intersecting intervals share the event
+// point max(lo_u, lo_v).
+#pragma once
+
+#include "decomposition/decomposition.hpp"
+#include "graph/interval_model.hpp"
+
+namespace nav::decomp {
+
+/// Bags in sweep order, reduced (no bag subset of a neighbour).
+[[nodiscard]] PathDecomposition interval_decomposition(
+    const graph::IntervalModel& model);
+
+}  // namespace nav::decomp

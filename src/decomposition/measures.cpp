@@ -1,0 +1,162 @@
+#include "decomposition/measures.hpp"
+
+#include <algorithm>
+
+namespace nav::decomp {
+
+std::size_t bag_width(const Bag& bag) {
+  return bag.empty() ? 0 : bag.size() - 1;
+}
+
+namespace {
+
+/// Epoch-stamped BFS scratch: bag_length runs one early-exit BFS per bag
+/// member, and decompositions can have Θ(n) bags, so per-call O(n) clearing
+/// would make measuring a decomposition quadratic.
+struct LengthScratch {
+  std::vector<std::uint64_t> stamp;   // visited marker
+  std::vector<std::uint64_t> member;  // bag-membership marker
+  std::vector<NodeId> queue;
+  std::uint64_t epoch = 0;
+
+  void prepare(std::size_t n) {
+    if (stamp.size() < n) {
+      stamp.assign(n, 0);
+      member.assign(n, 0);
+    }
+    ++epoch;
+    queue.clear();
+  }
+};
+
+LengthScratch& length_scratch() {
+  thread_local LengthScratch s;
+  return s;
+}
+
+/// Max distance from `source` to any bag member: BFS that stops as soon as
+/// every member has been reached, or once the depth exceeds `cap` (then the
+/// true value is > cap and kInfDist is returned as "too far").
+Dist farthest_member(const Graph& g, const Bag& bag, NodeId source,
+                     LengthScratch& s, Dist cap) {
+  std::size_t remaining = bag.size();
+  s.queue.clear();
+  const std::uint64_t visit_mark = s.epoch;
+  s.stamp[source] = visit_mark;
+  s.queue.push_back(source);
+  if (s.member[source] == s.epoch) --remaining;
+  std::size_t head = 0;
+  std::size_t level_end = 1;
+  Dist depth = 0;
+  Dist farthest = 0;
+  while (head < s.queue.size() && remaining > 0 && depth < cap) {
+    while (head < level_end && remaining > 0) {
+      const NodeId u = s.queue[head++];
+      for (const NodeId v : g.neighbors(u)) {
+        if (s.stamp[v] != visit_mark) {
+          s.stamp[v] = visit_mark;
+          s.queue.push_back(v);
+          if (s.member[v] == s.epoch) {
+            --remaining;
+            farthest = depth + 1;
+          }
+        }
+      }
+    }
+    ++depth;
+    level_end = s.queue.size();
+  }
+  return remaining == 0 ? farthest : graph::kInfDist;
+}
+
+Dist length_impl(const Graph& g, const Bag& bag, Dist cap) {
+  auto& s = length_scratch();
+  s.prepare(g.num_nodes());
+  for (const NodeId v : bag) s.member[v] = s.epoch;
+  Dist length = 0;
+  for (const NodeId u : bag) {
+    const Dist d = farthest_member(g, bag, u, s, cap);
+    if (d == graph::kInfDist) return graph::kInfDist;  // unreachable or > cap
+    length = std::max(length, d);
+    // Fresh visit epoch for the next source, re-marking membership.
+    ++s.epoch;
+    for (const NodeId v : bag) s.member[v] = s.epoch;
+  }
+  return length;
+}
+
+/// True if every pair in the (small) bag is adjacent — length 1 shortcut.
+bool is_clique_bag(const Graph& g, const Bag& bag) {
+  if (bag.size() > 64) return false;
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    for (std::size_t j = i + 1; j < bag.size(); ++j) {
+      if (!g.has_edge(bag[i], bag[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Dist bag_length(const Graph& g, const Bag& bag) {
+  if (bag.size() <= 1) return 0;
+  if (is_clique_bag(g, bag)) return 1;  // covers edge bags & clique paths
+  return length_impl(g, bag, graph::kInfDist);
+}
+
+Dist bag_length_capped(const Graph& g, const Bag& bag, Dist cap) {
+  if (bag.size() <= 1) return 0;
+  if (cap == 0) return bag.size() > 1 ? 1 : 0;  // any two nodes differ
+  if (is_clique_bag(g, bag)) return 1;
+  const Dist d = length_impl(g, bag, cap);
+  return d == graph::kInfDist ? cap + 1 : d;
+}
+
+std::size_t bag_shape(const Graph& g, const Bag& bag) {
+  const std::size_t width = bag_width(bag);
+  if (width == 0) return 0;
+  // Short-circuit: length is only needed when it could be smaller than width.
+  const Dist length = bag_length(g, bag);
+  if (length == graph::kInfDist) return width;
+  return std::min<std::size_t>(width, length);
+}
+
+namespace {
+
+template <typename Decomposition>
+DecompositionMeasures measure_impl(const Graph& g, const Decomposition& d) {
+  DecompositionMeasures out;
+  out.num_bags = d.num_bags();
+  for (const auto& bag : d.bags()) {
+    out.width = std::max(out.width, bag_width(bag));
+    out.max_bag_size = std::max(out.max_bag_size, bag.size());
+    const Dist len = bag_length(g, bag);
+    if (len != graph::kInfDist) out.length = std::max(out.length, len);
+    out.shape = std::max(out.shape, bag_shape(g, bag));
+  }
+  return out;
+}
+
+}  // namespace
+
+DecompositionMeasures measure(const Graph& g, const PathDecomposition& pd) {
+  return measure_impl(g, pd);
+}
+
+DecompositionMeasures measure(const Graph& g, const TreeDecomposition& td) {
+  return measure_impl(g, td);
+}
+
+std::size_t width_of(const PathDecomposition& pd) {
+  std::size_t w = 0;
+  for (const auto& bag : pd.bags()) w = std::max(w, bag_width(bag));
+  return w;
+}
+
+std::size_t width_of(const TreeDecomposition& td) {
+  std::size_t w = 0;
+  for (const auto& bag : td.bags()) w = std::max(w, bag_width(bag));
+  return w;
+}
+
+}  // namespace nav::decomp

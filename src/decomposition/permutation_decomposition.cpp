@@ -1,0 +1,35 @@
+#include "decomposition/permutation_decomposition.hpp"
+
+namespace nav::decomp {
+
+PathDecomposition permutation_decomposition(const graph::PermutationModel& model) {
+  const NodeId n = model.num_nodes();
+  if (n == 1) return PathDecomposition(std::vector<Bag>{Bag{0}});
+  std::vector<Bag> bags;
+  bags.reserve(n - 1);
+  // Why this is valid:
+  //  * Vertex u with π(u) != u crosses exactly the cuts in
+  //    (min(u, π(u)), max(u, π(u))] — a contiguous run of bags; a fixed point
+  //    is inserted into the single bag min(u+1, n-1).
+  //  * Edge (u, v) means the segments cross, so their position/value spans
+  //    overlap, and any cut in the overlap contains both.
+  //  * Length <= 2: left-crosser w (w < c <= π(w)) and right-crosser w'
+  //    (π(w') < c <= w') satisfy w < c <= w' and π(w) >= c > π(w'), i.e. an
+  //    inversion — always adjacent. Same-side crossers both neighbour any
+  //    opposite-side crosser; sides are equinumerous (the prefix value
+  //    multiset must rebalance), so a non-trivial bag has both sides.
+  for (NodeId c = 1; c < n; ++c) {
+    bags.push_back(model.cut_set(c));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (model.pi(u) == u) {
+      const NodeId bag_index = std::min<NodeId>(u, n - 2);  // bag c = index+1
+      bags[bag_index].push_back(u);
+    }
+  }
+  PathDecomposition pd(std::move(bags));
+  pd.reduce();
+  return pd;
+}
+
+}  // namespace nav::decomp

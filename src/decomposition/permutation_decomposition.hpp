@@ -1,0 +1,23 @@
+// permutation_decomposition.hpp — cut decomposition of permutation graphs.
+//
+// Bag c (c = 1..n-1) is the set of diagram segments crossing the vertical cut
+// between positions c-1 and c, plus — for coverage — the fixed point u = c-1
+// when π(u) = u. Properties (proved in the .cpp comments, pinned by tests):
+//   * valid path decomposition;
+//   * length <= 2: a left-crosser and a right-crosser of the same cut are
+//     always adjacent, and crossers on the same side share any opposite-side
+//     crosser as a common neighbour (left/right crossers are equinumerous,
+//     so one exists whenever the bag has >= 2 segments).
+// Hence pathshape(permutation graph) <= 2 — the second AT-free exemplar of
+// Corollary 1.
+#pragma once
+
+#include "decomposition/decomposition.hpp"
+#include "graph/permutation_model.hpp"
+
+namespace nav::decomp {
+
+[[nodiscard]] PathDecomposition permutation_decomposition(
+    const graph::PermutationModel& model);
+
+}  // namespace nav::decomp

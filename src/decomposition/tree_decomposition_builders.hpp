@@ -1,0 +1,26 @@
+// tree_decomposition_builders.hpp — tree-decomposition constructions for the
+// *treeshape* side of Definition 2.
+//
+// The paper defines shape for both tree- and path-decompositions (ts(G) and
+// ps(G)) but Theorem 2 uses path decompositions: the level hierarchy of the
+// matrix A addresses bags along a line. The gap matters: a tree T has
+// ts(T) = 1 (the edge-bag decomposition below) while ps(T) can be Θ(log n)
+// (e.g. complete binary trees, whose pathwidth is Θ(log n)). The library
+// exposes both so the E9 bench can report the gap.
+#pragma once
+
+#include "decomposition/decomposition.hpp"
+
+namespace nav::decomp {
+
+/// Edge-bag tree decomposition of a tree: one bag {v, parent(v)} per
+/// non-root node, bag of v linked to the bag of parent(v) (children of the
+/// root are chained through the first such bag). Width 1, length 1 — hence
+/// shape 1, witnessing ts(tree) = 1. Throws if g is not a tree.
+[[nodiscard]] TreeDecomposition tree_edge_decomposition(const Graph& g);
+
+/// Single-bag tree decomposition (any graph) — the trivial upper bound
+/// ts(G) <= min(n-1, diam(G)).
+[[nodiscard]] TreeDecomposition trivial_tree_decomposition(const Graph& g);
+
+}  // namespace nav::decomp

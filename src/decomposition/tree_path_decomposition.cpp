@@ -1,0 +1,125 @@
+#include "decomposition/tree_path_decomposition.hpp"
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+
+namespace nav::decomp {
+
+namespace {
+
+/// Work context shared by the recursion: membership flags double as the
+/// "still in current subproblem" marker, avoiding repeated allocation.
+struct CentroidContext {
+  const Graph& g;
+  std::vector<std::uint8_t> active;        // node -> in current subproblem
+  std::vector<std::uint32_t> subtree_size; // scratch for size computation
+};
+
+/// Computes sizes of the subtree rooted at `root` (within active nodes) and
+/// returns the centroid. Iterative DFS to avoid stack depth issues on paths.
+NodeId centroid_of(CentroidContext& ctx, NodeId root, std::uint32_t total) {
+  // Post-order size computation.
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (node, parent)
+  std::vector<std::pair<NodeId, NodeId>> order;
+  stack.emplace_back(root, graph::kNoNode);
+  while (!stack.empty()) {
+    const auto [u, parent] = stack.back();
+    stack.pop_back();
+    order.emplace_back(u, parent);
+    for (const NodeId v : ctx.g.neighbors(u)) {
+      if (v != parent && ctx.active[v]) stack.emplace_back(v, u);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const auto [u, parent] = *it;
+    ctx.subtree_size[u] = 1;
+    for (const NodeId v : ctx.g.neighbors(u)) {
+      if (v != parent && ctx.active[v]) ctx.subtree_size[u] += ctx.subtree_size[v];
+    }
+  }
+  NAV_ASSERT(ctx.subtree_size[root] == total);
+  // Walk down towards the heavy side until balanced.
+  NodeId u = root;
+  NodeId parent = graph::kNoNode;
+  while (true) {
+    NodeId heavy = graph::kNoNode;
+    std::uint32_t heavy_size = 0;
+    for (const NodeId v : ctx.g.neighbors(u)) {
+      if (v != parent && ctx.active[v] && ctx.subtree_size[v] > heavy_size) {
+        heavy = v;
+        heavy_size = ctx.subtree_size[v];
+      }
+    }
+    const std::uint32_t up_size = total - ctx.subtree_size[u];
+    if (std::max(heavy_size, up_size) <= total / 2) return u;
+    NAV_ASSERT(heavy != graph::kNoNode);
+    parent = u;
+    u = heavy;
+  }
+}
+
+/// Size of the active component containing `start` (trees: DFS with parent).
+std::uint32_t component_size(const CentroidContext& ctx, NodeId start,
+                             NodeId blocked_parent) {
+  std::uint32_t size = 0;
+  std::vector<std::pair<NodeId, NodeId>> walk{{start, blocked_parent}};
+  while (!walk.empty()) {
+    const auto [u, parent] = walk.back();
+    walk.pop_back();
+    ++size;
+    for (const NodeId w : ctx.g.neighbors(u)) {
+      if (w != parent && ctx.active[w]) walk.emplace_back(w, u);
+    }
+  }
+  return size;
+}
+
+/// Appends the decomposition of the active subtree containing `root`
+/// (size `total`) to `bags`. Every bag emitted while a centroid is on the
+/// `spine` contains that centroid, which is what makes the concatenation a
+/// valid path decomposition (see header).
+void decompose(CentroidContext& ctx, NodeId root, std::uint32_t total,
+               std::vector<NodeId>& spine, std::vector<Bag>& bags) {
+  const NodeId c = centroid_of(ctx, root, total);
+  ctx.active[c] = 0;
+  spine.push_back(c);
+  bool any_child = false;
+  for (const NodeId v : ctx.g.neighbors(c)) {
+    if (!ctx.active[v]) continue;
+    any_child = true;
+    decompose(ctx, v, component_size(ctx, v, c), spine, bags);
+  }
+  if (!any_child) {
+    bags.emplace_back(spine);  // recursion leaf: bag = enclosing centroids + c
+  }
+  spine.pop_back();
+}
+
+}  // namespace
+
+NodeId subtree_centroid(const Graph& g, const std::vector<NodeId>& nodes) {
+  NAV_REQUIRE(!nodes.empty(), "empty subtree");
+  CentroidContext ctx{g, std::vector<std::uint8_t>(g.num_nodes(), 0),
+                      std::vector<std::uint32_t>(g.num_nodes(), 0)};
+  for (const NodeId v : nodes) ctx.active[v] = 1;
+  return centroid_of(ctx, nodes[0], static_cast<std::uint32_t>(nodes.size()));
+}
+
+PathDecomposition tree_path_decomposition(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  NAV_REQUIRE(n >= 1, "empty graph");
+  NAV_REQUIRE(g.num_edges() == static_cast<graph::EdgeId>(n) - 1 &&
+                  graph::is_connected(g),
+              "tree_path_decomposition requires a tree");
+  CentroidContext ctx{g, std::vector<std::uint8_t>(g.num_nodes(), 1),
+                      std::vector<std::uint32_t>(g.num_nodes(), 0)};
+  std::vector<NodeId> spine;
+  std::vector<Bag> bags;
+  decompose(ctx, 0, n, spine, bags);
+  PathDecomposition pd(std::move(bags));
+  pd.reduce();
+  return pd;
+}
+
+}  // namespace nav::decomp

@@ -1,0 +1,27 @@
+// tree_path_decomposition.hpp — path decomposition of trees, width O(log n).
+//
+// Corollary 1 needs "trees have pathshape O(log n)". We realise it
+// constructively by centroid recursion:
+//   * pick a centroid c (every component of T - c has <= n/2 nodes);
+//   * recursively decompose each component into a bag sequence;
+//   * concatenate the sequences and add c to every bag.
+// Validity: c is in every bag, so edges (c, ·) and the contiguity of c are
+// automatic; everything else is inherited from the recursion (components are
+// vertex-disjoint, so concatenation keeps occurrences contiguous).
+// Width: W(n) <= W(n/2) + 1 => W(n) <= ceil(log2 n).
+#pragma once
+
+#include "decomposition/decomposition.hpp"
+
+namespace nav::decomp {
+
+/// Requires g to be a tree (connected, m = n-1); throws otherwise.
+/// Guaranteed width <= ceil(log2(n)) (so pathshape(tree) = O(log n)).
+[[nodiscard]] PathDecomposition tree_path_decomposition(const Graph& g);
+
+/// The centroid of the subtree induced by `nodes` (every removal component
+/// has size <= |nodes|/2). Exposed for tests. `nodes` must induce a subtree.
+[[nodiscard]] NodeId subtree_centroid(const Graph& g,
+                                      const std::vector<NodeId>& nodes);
+
+}  // namespace nav::decomp

@@ -1,0 +1,61 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+
+namespace nav::graph {
+
+Components connected_components(const Graph& g) {
+  Components result;
+  result.component_of.assign(g.num_nodes(), kNoNode);
+  std::vector<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (result.component_of[start] != kNoNode) continue;
+    const auto comp = static_cast<NodeId>(result.count++);
+    result.component_of[start] = comp;
+    queue.clear();
+    queue.push_back(start);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
+      for (const NodeId v : g.neighbors(u)) {
+        if (result.component_of[v] == kNoNode) {
+          result.component_of[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return connected_components(g).count == 1;
+}
+
+LargestComponent largest_component(const Graph& g) {
+  const auto comps = connected_components(g);
+  std::vector<std::size_t> size(comps.count, 0);
+  for (const NodeId c : comps.component_of) ++size[c];
+  const auto best = static_cast<NodeId>(std::distance(
+      size.begin(), std::max_element(size.begin(), size.end())));
+
+  LargestComponent out;
+  out.old_to_new.assign(g.num_nodes(), kNoNode);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (comps.component_of[u] == best) {
+      out.old_to_new[u] = static_cast<NodeId>(out.new_to_old.size());
+      out.new_to_old.push_back(u);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& [u, v] : g.edge_list()) {
+    if (out.old_to_new[u] != kNoNode && out.old_to_new[v] != kNoNode) {
+      edges.emplace_back(out.old_to_new[u], out.old_to_new[v]);
+    }
+  }
+  out.graph = Graph(static_cast<NodeId>(out.new_to_old.size()), std::move(edges));
+  return out;
+}
+
+}  // namespace nav::graph

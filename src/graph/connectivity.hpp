@@ -1,0 +1,33 @@
+// connectivity.hpp — connected components and largest-component extraction.
+//
+// The paper's model requires connected graphs; random generators (G(n,p),
+// random interval, pairing-model regular) may produce disconnected samples,
+// which we either retry or reduce to the largest component.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nav::graph {
+
+/// Component id per node (0-based, ordered by smallest contained node id).
+struct Components {
+  std::vector<NodeId> component_of;  // size n
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Induced subgraph on the largest component (ties: smallest component id).
+/// Returns the subgraph plus the mapping old-id -> new-id (kNoNode if dropped).
+struct LargestComponent {
+  Graph graph;
+  std::vector<NodeId> old_to_new;  // size = original n
+  std::vector<NodeId> new_to_old;  // size = new n
+};
+[[nodiscard]] LargestComponent largest_component(const Graph& g);
+
+}  // namespace nav::graph

@@ -1,0 +1,39 @@
+#include "graph/diameter.hpp"
+
+#include <algorithm>
+
+#include "graph/connectivity.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace nav::graph {
+
+std::vector<Dist> eccentricities(const Graph& g) {
+  std::vector<Dist> ecc(g.num_nodes(), 0);
+  nav::parallel_for(0, g.num_nodes(), [&](std::size_t u) {
+    const auto dist = bfs_distances(g, static_cast<NodeId>(u));
+    Dist e = 0;
+    for (const Dist d : dist) {
+      if (d != kInfDist) e = std::max(e, d);  // within-component eccentricity
+    }
+    ecc[u] = e;
+  });
+  return ecc;
+}
+
+Dist exact_diameter(const Graph& g) {
+  if (g.num_nodes() <= 1) return 0;
+  NAV_REQUIRE(is_connected(g), "exact_diameter requires a connected graph");
+  const auto ecc = eccentricities(g);
+  return *std::max_element(ecc.begin(), ecc.end());
+}
+
+Dist double_sweep_lower_bound(const Graph& g) { return peripheral_pair(g).distance; }
+
+NodePair peripheral_pair(const Graph& g) {
+  NAV_REQUIRE(g.num_nodes() >= 1, "peripheral_pair on empty graph");
+  const auto first = farthest_node(g, 0);
+  const auto second = farthest_node(g, first.node);
+  return {first.node, second.node, second.distance};
+}
+
+}  // namespace nav::graph

@@ -1,0 +1,61 @@
+#include "graph/distance_oracle.hpp"
+
+#include "runtime/thread_pool.hpp"
+
+namespace nav::graph {
+
+DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.num_nodes()) {
+  rows_.resize(n_);
+  nav::parallel_for(0, n_, [&](std::size_t t) {
+    rows_[t] = std::make_shared<const std::vector<Dist>>(
+        bfs_distances(g, static_cast<NodeId>(t)));
+  });
+}
+
+Dist DistanceMatrix::distance(NodeId u, NodeId target) const {
+  NAV_ASSERT(u < n_ && target < n_);
+  return (*rows_[target])[u];
+}
+
+DistVecPtr DistanceMatrix::distances_to(NodeId target) const {
+  NAV_ASSERT(target < n_);
+  return rows_[target];
+}
+
+TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity)
+    : graph_(g), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Dist TargetDistanceCache::distance(NodeId u, NodeId target) const {
+  return (*distances_to(target))[u];
+}
+
+DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
+  NAV_ASSERT(target < graph_.num_nodes());
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = cache_.find(target);
+    if (it != cache_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // bump to front
+      return it->second.distances;
+    }
+    ++misses_;
+  }
+  // BFS outside the lock: concurrent misses on the same target may compute it
+  // twice; both results are identical, the second insert wins harmlessly.
+  auto dist = std::make_shared<const std::vector<Dist>>(
+      bfs_distances(graph_, target));
+  std::lock_guard lock(mutex_);
+  const auto it = cache_.find(target);
+  if (it != cache_.end()) return it->second.distances;  // lost the race
+  lru_.push_front(target);
+  cache_.emplace(target, Entry{lru_.begin(), dist});
+  while (cache_.size() > capacity_) {
+    const NodeId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  return dist;
+}
+
+}  // namespace nav::graph

@@ -1,0 +1,82 @@
+// distance_oracle.hpp — distance services for the greedy router.
+//
+// Greedy routing only ever asks "dist_G(x, t)" for the *current target* t.
+// Two strategies, behind one interface:
+//   * DistanceMatrix — all-pairs table (parallel all-source BFS). O(n²) words;
+//     right choice for n up to ~2·10⁴ and for tests needing arbitrary queries.
+//   * TargetDistanceCache — one BFS per distinct target, LRU-capped. Right
+//     choice for big sweeps where each target serves thousands of trials.
+//
+// distances_to() hands out shared ownership so a routing episode can keep the
+// vector alive even if the cache evicts the entry concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace nav::graph {
+
+using DistVecPtr = std::shared_ptr<const std::vector<Dist>>;
+
+/// Abstract distance-to-target service (thread-safe).
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// dist_G(u, target); kInfDist when unreachable.
+  [[nodiscard]] virtual Dist distance(NodeId u, NodeId target) const = 0;
+
+  /// Full distance vector towards `target` (size n), shared ownership.
+  [[nodiscard]] virtual DistVecPtr distances_to(NodeId target) const = 0;
+};
+
+/// Dense all-pairs table. Memory: n² × 4 bytes. Built with a parallel
+/// all-source BFS sweep at construction.
+class DistanceMatrix final : public DistanceOracle {
+ public:
+  explicit DistanceMatrix(const Graph& g);
+
+  [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
+  [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+
+ private:
+  NodeId n_;
+  std::vector<DistVecPtr> rows_;  // rows_[t] maps u -> dist(u, t)
+};
+
+/// Per-target BFS cache with LRU eviction.
+class TargetDistanceCache final : public DistanceOracle {
+ public:
+  /// `capacity` = number of target distance vectors kept alive in the cache.
+  explicit TargetDistanceCache(const Graph& g, std::size_t capacity = 64);
+
+  [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
+  [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    std::list<NodeId>::iterator lru_it;
+    DistVecPtr distances;
+  };
+
+  const Graph& graph_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  mutable std::list<NodeId> lru_;  // front = most recently used
+  mutable std::unordered_map<NodeId, Entry> cache_;
+  mutable std::size_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace nav::graph

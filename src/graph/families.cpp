@@ -1,0 +1,119 @@
+#include "graph/families.hpp"
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/interval_model.hpp"
+#include "graph/permutation_model.hpp"
+
+namespace nav::graph {
+
+namespace {
+
+NodeId iroot(NodeId n) {
+  auto side = static_cast<NodeId>(std::lround(std::sqrt(static_cast<double>(n))));
+  return std::max<NodeId>(side, 2);
+}
+
+std::vector<FamilySpec> build_registry() {
+  std::vector<FamilySpec> fams;
+
+  fams.push_back({"path", false, "path P_n; diameter n-1",
+                  [](NodeId n, Rng&) { return make_path(n); }});
+  fams.push_back({"cycle", false, "cycle C_n; diameter n/2",
+                  [](NodeId n, Rng&) { return make_cycle(std::max<NodeId>(n, 3)); }});
+  fams.push_back({"caterpillar", false,
+                  "spine n/2 with one leg per spine node; diameter ~n/2",
+                  [](NodeId n, Rng&) {
+                    return make_caterpillar(std::max<NodeId>(n / 2, 1), 1);
+                  }});
+  fams.push_back({"comb", false, "spine sqrt(n), teeth sqrt(n)",
+                  [](NodeId n, Rng&) {
+                    const NodeId s = iroot(n);
+                    return make_comb(s, s > 1 ? s - 1 : 1);
+                  }});
+  fams.push_back({"balanced_tree", false, "complete binary tree",
+                  [](NodeId n, Rng&) { return make_balanced_tree(n, 2); }});
+  fams.push_back({"random_tree", true, "uniform labelled tree (Pruefer)",
+                  [](NodeId n, Rng& rng) { return make_random_tree(n, rng); }});
+  fams.push_back({"grid2d", false, "square grid, diameter ~2 sqrt(n)",
+                  [](NodeId n, Rng&) {
+                    const NodeId s = iroot(n);
+                    return make_grid2d(s, s);
+                  }});
+  fams.push_back({"torus2d", false, "square torus (Kleinberg base)",
+                  [](NodeId n, Rng&) {
+                    const NodeId s = std::max<NodeId>(iroot(n), 3);
+                    return make_torus2d(s, s);
+                  }});
+  fams.push_back({"hypercube", false, "hypercube Q_d, n rounded to 2^d",
+                  [](NodeId n, Rng&) {
+                    std::uint32_t d = 1;
+                    while ((NodeId{1} << (d + 1)) <= n && d < 20) ++d;
+                    return make_hypercube(d);
+                  }});
+  fams.push_back({"gnp", true, "connected G(n, p) with p = 3 ln n / n",
+                  [](NodeId n, Rng& rng) {
+                    const double p =
+                        3.0 * std::log(static_cast<double>(std::max<NodeId>(n, 3))) /
+                        static_cast<double>(std::max<NodeId>(n, 3));
+                    return make_connected_gnp(n, std::min(1.0, p), rng);
+                  }});
+  fams.push_back({"random_regular", true, "random 4-regular (pairing model)",
+                  [](NodeId n, Rng& rng) {
+                    return make_random_regular(n + (n % 2), 4, rng);
+                  }});
+  fams.push_back({"interval", true, "random connected interval graph",
+                  [](NodeId n, Rng& rng) {
+                    return connected_random_interval_model(n, rng).to_graph();
+                  }});
+  fams.push_back({"permutation", true,
+                  "banded random permutation graph (window 8)",
+                  [](NodeId n, Rng& rng) {
+                    return banded_permutation_model(n, 8, rng).to_graph();
+                  }});
+  fams.push_back({"ring_of_cliques", false, "sqrt(n) cliques of size sqrt(n)",
+                  [](NodeId n, Rng&) {
+                    const NodeId s = std::max<NodeId>(iroot(n), 3);
+                    return make_ring_of_cliques(s, s);
+                  }});
+  fams.push_back({"lollipop", false, "clique sqrt(n) + tail n - sqrt(n)",
+                  [](NodeId n, Rng&) {
+                    const NodeId c = std::max<NodeId>(iroot(n), 2);
+                    return make_lollipop(c, n > c ? n - c : 1);
+                  }});
+  fams.push_back({"subdivided_clique", false,
+                  "K_q with edges subdivided, q = n^(1/4)",
+                  [](NodeId n, Rng&) {
+                    const auto q = std::max<NodeId>(
+                        3, static_cast<NodeId>(std::lround(
+                               std::pow(static_cast<double>(n), 0.25))));
+                    const NodeId pairs = q * (q - 1) / 2;
+                    const NodeId seg = std::max<NodeId>(1, (n - q) / pairs);
+                    return make_subdivided_complete(q, seg);
+                  }});
+  return fams;
+}
+
+}  // namespace
+
+const std::vector<FamilySpec>& all_families() {
+  static const std::vector<FamilySpec> registry = build_registry();
+  return registry;
+}
+
+const FamilySpec& family(const std::string& name) {
+  for (const auto& fam : all_families()) {
+    if (fam.name == name) return fam;
+  }
+  throw std::invalid_argument("unknown graph family: " + name);
+}
+
+bool has_family(const std::string& name) {
+  for (const auto& fam : all_families()) {
+    if (fam.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace nav::graph

@@ -1,0 +1,37 @@
+// families.hpp — named graph-family registry.
+//
+// Benches and parameterized tests iterate "family × n" grids; this registry
+// maps a family name to a builder that produces a connected instance with
+// approximately the requested node count (exact for most families; grids and
+// cliques round to the nearest feasible shape).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/rng.hpp"
+
+namespace nav::graph {
+
+struct FamilySpec {
+  std::string name;
+  bool randomized = false;  // false: `make` ignores the rng
+  std::string description;
+  std::function<Graph(NodeId n, Rng& rng)> make;
+};
+
+/// All registered families, in stable order:
+/// path, cycle, caterpillar, comb, balanced_tree, random_tree, grid2d,
+/// torus2d, hypercube, gnp, random_regular, interval, permutation,
+/// ring_of_cliques, lollipop, subdivided_clique.
+[[nodiscard]] const std::vector<FamilySpec>& all_families();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] const FamilySpec& family(const std::string& name);
+
+/// True if `name` is registered.
+[[nodiscard]] bool has_family(const std::string& name);
+
+}  // namespace nav::graph

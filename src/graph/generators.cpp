@@ -1,0 +1,387 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+
+namespace nav::graph {
+
+namespace {
+
+using EdgeVec = std::vector<std::pair<NodeId, NodeId>>;
+
+}  // namespace
+
+Graph make_path(NodeId n) {
+  NAV_REQUIRE(n >= 1, "path needs n >= 1");
+  EdgeVec edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (NodeId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_cycle(NodeId n) {
+  NAV_REQUIRE(n >= 3, "cycle needs n >= 3");
+  EdgeVec edges;
+  edges.reserve(n);
+  for (NodeId u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  edges.emplace_back(n - 1, 0);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_complete(NodeId n) {
+  NAV_REQUIRE(n >= 1, "complete graph needs n >= 1");
+  EdgeVec edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_star(NodeId n) {
+  NAV_REQUIRE(n >= 2, "star needs n >= 2");
+  EdgeVec edges;
+  edges.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_balanced_tree(NodeId n, std::uint32_t arity) {
+  NAV_REQUIRE(n >= 1, "tree needs n >= 1");
+  NAV_REQUIRE(arity >= 2, "arity must be >= 2");
+  EdgeVec edges;
+  edges.reserve(n > 0 ? n - 1 : 0);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent = (v - 1) / arity;
+    edges.emplace_back(parent, v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_caterpillar(NodeId spine, NodeId legs) {
+  NAV_REQUIRE(spine >= 1, "caterpillar needs spine >= 1");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(legs));
+  NAV_REQUIRE(total <= kNoNode, "caterpillar too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  for (NodeId s = 0; s + 1 < spine; ++s) edges.emplace_back(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s)
+    for (NodeId l = 0; l < legs; ++l) edges.emplace_back(s, next++);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_comb(NodeId spine, NodeId tooth) {
+  NAV_REQUIRE(spine >= 1, "comb needs spine >= 1");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(spine) * (1 + static_cast<std::uint64_t>(tooth));
+  NAV_REQUIRE(total <= kNoNode, "comb too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  for (NodeId s = 0; s + 1 < spine; ++s) edges.emplace_back(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    NodeId prev = s;
+    for (NodeId t = 0; t < tooth; ++t) {
+      edges.emplace_back(prev, next);
+      prev = next++;
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_spider(NodeId legs, NodeId leg_len) {
+  NAV_REQUIRE(legs >= 1 && leg_len >= 1, "spider needs legs, leg_len >= 1");
+  const std::uint64_t total =
+      1 + static_cast<std::uint64_t>(legs) * static_cast<std::uint64_t>(leg_len);
+  NAV_REQUIRE(total <= kNoNode, "spider too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  NodeId next = 1;
+  for (NodeId l = 0; l < legs; ++l) {
+    NodeId prev = 0;
+    for (NodeId s = 0; s < leg_len; ++s) {
+      edges.emplace_back(prev, next);
+      prev = next++;
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_grid2d(NodeId rows, NodeId cols) {
+  NAV_REQUIRE(rows >= 1 && cols >= 1, "grid needs rows, cols >= 1");
+  const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
+  NAV_REQUIRE(total <= kNoNode, "grid too large");
+  const auto n = static_cast<NodeId>(total);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  EdgeVec edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_torus2d(NodeId rows, NodeId cols) {
+  NAV_REQUIRE(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+  const std::uint64_t total = static_cast<std::uint64_t>(rows) * cols;
+  NAV_REQUIRE(total <= kNoNode, "torus too large");
+  const auto n = static_cast<NodeId>(total);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  EdgeVec edges;
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      edges.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_grid3d(NodeId x, NodeId y, NodeId z) {
+  NAV_REQUIRE(x >= 1 && y >= 1 && z >= 1, "grid3d needs positive dims");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(x) * y * z;
+  NAV_REQUIRE(total <= kNoNode, "grid3d too large");
+  const auto n = static_cast<NodeId>(total);
+  auto id = [y, z](NodeId i, NodeId j, NodeId k) { return (i * y + j) * z + k; };
+  EdgeVec edges;
+  for (NodeId i = 0; i < x; ++i)
+    for (NodeId j = 0; j < y; ++j)
+      for (NodeId k = 0; k < z; ++k) {
+        if (i + 1 < x) edges.emplace_back(id(i, j, k), id(i + 1, j, k));
+        if (j + 1 < y) edges.emplace_back(id(i, j, k), id(i, j + 1, k));
+        if (k + 1 < z) edges.emplace_back(id(i, j, k), id(i, j, k + 1));
+      }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_hypercube(std::uint32_t dim) {
+  NAV_REQUIRE(dim >= 1 && dim <= 20, "hypercube dim in [1, 20]");
+  const NodeId n = NodeId{1} << dim;
+  EdgeVec edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (NodeId u = 0; u < n; ++u)
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) edges.emplace_back(u, v);
+    }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_lollipop(NodeId clique, NodeId tail) {
+  NAV_REQUIRE(clique >= 2, "lollipop clique >= 2");
+  const std::uint64_t total = static_cast<std::uint64_t>(clique) + tail;
+  NAV_REQUIRE(total <= kNoNode, "lollipop too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v) edges.emplace_back(u, v);
+  NodeId prev = clique - 1;
+  for (NodeId t = 0; t < tail; ++t) {
+    edges.emplace_back(prev, clique + t);
+    prev = clique + t;
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_barbell(NodeId clique, NodeId bridge) {
+  NAV_REQUIRE(clique >= 2, "barbell clique >= 2");
+  const std::uint64_t total =
+      2 * static_cast<std::uint64_t>(clique) + bridge;
+  NAV_REQUIRE(total <= kNoNode, "barbell too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v) edges.emplace_back(u, v);
+  const NodeId second = clique + bridge;
+  for (NodeId u = 0; u < clique; ++u)
+    for (NodeId v = u + 1; v < clique; ++v)
+      edges.emplace_back(second + u, second + v);
+  // Bridge path: clique-1 -> bridge nodes -> second clique node 0.
+  NodeId prev = clique - 1;
+  for (NodeId b = 0; b < bridge; ++b) {
+    edges.emplace_back(prev, clique + b);
+    prev = clique + b;
+  }
+  edges.emplace_back(prev, second);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_ring_of_cliques(NodeId count, NodeId clique) {
+  NAV_REQUIRE(count >= 3, "ring needs >= 3 cliques");
+  NAV_REQUIRE(clique >= 2, "cliques need >= 2 nodes");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(count) * clique;
+  NAV_REQUIRE(total <= kNoNode, "ring of cliques too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  for (NodeId c = 0; c < count; ++c) {
+    const NodeId base = c * clique;
+    for (NodeId u = 0; u < clique; ++u)
+      for (NodeId v = u + 1; v < clique; ++v)
+        edges.emplace_back(base + u, base + v);
+    // Bridge: last node of this clique to first node of the next.
+    const NodeId next_base = ((c + 1) % count) * clique;
+    edges.emplace_back(base + clique - 1, next_base);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_subdivided_complete(NodeId q, NodeId seg) {
+  NAV_REQUIRE(q >= 2, "subdivided complete needs q >= 2");
+  const std::uint64_t pairs = static_cast<std::uint64_t>(q) * (q - 1) / 2;
+  const std::uint64_t total = q + pairs * seg;
+  NAV_REQUIRE(total <= kNoNode, "subdivided complete too large");
+  const auto n = static_cast<NodeId>(total);
+  EdgeVec edges;
+  NodeId next = q;
+  for (NodeId u = 0; u < q; ++u) {
+    for (NodeId v = u + 1; v < q; ++v) {
+      if (seg == 0) {
+        edges.emplace_back(u, v);
+        continue;
+      }
+      NodeId prev = u;
+      for (NodeId s = 0; s < seg; ++s) {
+        edges.emplace_back(prev, next);
+        prev = next++;
+      }
+      edges.emplace_back(prev, v);
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_gnp(NodeId n, double p, Rng& rng) {
+  NAV_REQUIRE(n >= 1, "gnp needs n >= 1");
+  NAV_REQUIRE(p >= 0.0 && p <= 1.0, "gnp needs p in [0,1]");
+  EdgeVec edges;
+  if (p <= 0.0) return Graph(n, std::move(edges));
+  if (p >= 1.0) return make_complete(n);
+  // Geometric skipping (Batagelj–Brandes): expected O(n + m) time.
+  const double log1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t w = -1;
+  while (v < static_cast<std::int64_t>(n)) {
+    const double r = rng.next_double();
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < static_cast<std::int64_t>(n)) {
+      w -= v;
+      ++v;
+    }
+    if (v < static_cast<std::int64_t>(n)) {
+      edges.emplace_back(static_cast<NodeId>(w), static_cast<NodeId>(v));
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_connected_gnp(NodeId n, double p, Rng& rng) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    Graph g = make_gnp(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  // Repair: connect components along a random spanning chain.
+  Graph g = make_gnp(n, p, rng);
+  const auto comps = connected_components(g);
+  std::vector<NodeId> representative(comps.count, kNoNode);
+  for (NodeId u = 0; u < n; ++u) {
+    if (representative[comps.component_of[u]] == kNoNode)
+      representative[comps.component_of[u]] = u;
+  }
+  auto edges = g.edge_list();
+  for (std::size_t c = 1; c < comps.count; ++c) {
+    edges.emplace_back(representative[c - 1], representative[c]);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_tree(NodeId n, Rng& rng) {
+  NAV_REQUIRE(n >= 1, "tree needs n >= 1");
+  if (n == 1) return Graph(1, {});
+  if (n == 2) return Graph(2, {{0, 1}});
+  // Prüfer decoding: uniform over the n^(n-2) labelled trees.
+  std::vector<NodeId> prufer(n - 2);
+  for (auto& x : prufer) x = random_index(rng, n);
+  std::vector<std::uint32_t> degree(n, 1);
+  for (const NodeId x : prufer) ++degree[x];
+  EdgeVec edges;
+  edges.reserve(n - 1);
+  // Min-leaf extraction with a pointer scan (O(n log n)-ish via set would be
+  // fine too; this is the classic O(n) two-pointer variant).
+  NodeId ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  NodeId leaf = ptr;
+  for (const NodeId v : prufer) {
+    edges.emplace_back(leaf, v);
+    if (--degree[v] == 1 && v < ptr) {
+      leaf = v;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.emplace_back(leaf, n - 1);
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_caterpillar(NodeId n, Rng& rng) {
+  NAV_REQUIRE(n >= 2, "caterpillar needs n >= 2");
+  const NodeId lo = std::max<NodeId>(1, n / 4);
+  const NodeId hi = std::max<NodeId>(lo + 1, n / 2);
+  const NodeId spine =
+      lo + static_cast<NodeId>(rng.next_below(hi - lo));
+  EdgeVec edges;
+  for (NodeId s = 0; s + 1 < spine; ++s) edges.emplace_back(s, s + 1);
+  for (NodeId v = spine; v < n; ++v) {
+    edges.emplace_back(random_index(rng, spine), v);
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng) {
+  NAV_REQUIRE(d >= 3, "random regular needs d >= 3");
+  NAV_REQUIRE(static_cast<std::uint64_t>(n) * d % 2 == 0, "n*d must be even");
+  NAV_REQUIRE(d < n, "need d < n");
+  // Pairing model: n*d stubs, random perfect matching; drop defects.
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (NodeId u = 0; u < n; ++u)
+    for (std::uint32_t k = 0; k < d; ++k) stubs.push_back(u);
+  // Fisher-Yates shuffle.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  EdgeVec edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) edges.emplace_back(stubs[i], stubs[i + 1]);
+  }
+  Graph g(n, std::move(edges));  // dedups multi-edges
+  if (is_connected(g)) return g;
+  // Repair connectivity (rare for d >= 3): chain component representatives.
+  const auto comps = connected_components(g);
+  std::vector<NodeId> representative(comps.count, kNoNode);
+  for (NodeId u = 0; u < n; ++u) {
+    if (representative[comps.component_of[u]] == kNoNode)
+      representative[comps.component_of[u]] = u;
+  }
+  auto all = g.edge_list();
+  for (std::size_t c = 1; c < comps.count; ++c)
+    all.emplace_back(representative[c - 1], representative[c]);
+  return Graph(n, std::move(all));
+}
+
+Graph make_kleinberg_base(NodeId side) { return make_torus2d(side, side); }
+
+}  // namespace nav::graph

@@ -1,0 +1,105 @@
+// generators.hpp — graph families used as workloads throughout the benches.
+//
+// The paper's claims are universal ("for any n-node graph"), so the benchmark
+// suite exercises families covering the extreme regimes of the analysis:
+//   * diameter Θ(n): path, cycle, caterpillar, comb — where the √n barrier
+//     and the n^{1/3} scheme separate;
+//   * diameter Θ(√n): 2D grid/torus — Kleinberg's classical setting;
+//   * diameter Θ(log n): trees, G(n,p), random regular — where pathshape or
+//     plain BFS already wins;
+//   * pathological structures: lollipop, barbell, ring of cliques, subdivided
+//     clique — stress tests for decomposition heuristics and schemes.
+//
+// All generators return connected simple graphs (random ones retry/repair)
+// and are deterministic given the Rng state.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "runtime/rng.hpp"
+
+namespace nav::graph {
+
+// ---- deterministic families -------------------------------------------------
+
+/// Path 0-1-...-(n-1). n >= 1.
+[[nodiscard]] Graph make_path(NodeId n);
+
+/// Cycle 0-1-...-(n-1)-0. n >= 3.
+[[nodiscard]] Graph make_cycle(NodeId n);
+
+/// Complete graph K_n. n >= 1.
+[[nodiscard]] Graph make_complete(NodeId n);
+
+/// Star: center 0, leaves 1..n-1. n >= 2.
+[[nodiscard]] Graph make_star(NodeId n);
+
+/// Complete `arity`-ary tree with exactly n nodes (BFS order, last level
+/// partial). arity >= 2, n >= 1.
+[[nodiscard]] Graph make_balanced_tree(NodeId n, std::uint32_t arity = 2);
+
+/// Caterpillar: spine path of `spine` nodes, `legs` leaves per spine node.
+[[nodiscard]] Graph make_caterpillar(NodeId spine, NodeId legs);
+
+/// Comb: spine path of `spine` nodes, each with a tooth path of `tooth` nodes.
+/// Total n = spine * (tooth + 1). Diameter Θ(spine + tooth).
+[[nodiscard]] Graph make_comb(NodeId spine, NodeId tooth);
+
+/// Spider: `legs` paths of length `leg_len` glued at a center node.
+[[nodiscard]] Graph make_spider(NodeId legs, NodeId leg_len);
+
+/// 2D grid rows×cols with 4-neighbour connectivity (no wraparound).
+[[nodiscard]] Graph make_grid2d(NodeId rows, NodeId cols);
+
+/// 2D torus rows×cols (wraparound). rows, cols >= 3 to stay simple.
+[[nodiscard]] Graph make_torus2d(NodeId rows, NodeId cols);
+
+/// 3D grid (no wraparound).
+[[nodiscard]] Graph make_grid3d(NodeId x, NodeId y, NodeId z);
+
+/// Hypercube Q_d: n = 2^d nodes. d <= 20.
+[[nodiscard]] Graph make_hypercube(std::uint32_t dim);
+
+/// Lollipop: K_k glued to a path of `tail` extra nodes.
+[[nodiscard]] Graph make_lollipop(NodeId clique, NodeId tail);
+
+/// Barbell: two K_k joined by a path of `bridge` intermediate nodes.
+[[nodiscard]] Graph make_barbell(NodeId clique, NodeId bridge);
+
+/// Ring of `count` cliques of size `clique`, consecutive cliques sharing one
+/// bridge edge. Diameter Θ(count).
+[[nodiscard]] Graph make_ring_of_cliques(NodeId count, NodeId clique);
+
+/// Subdivided complete graph: K_q with every edge replaced by a path with
+/// `seg` internal nodes. n = q + q(q-1)/2 * seg. Treewidth q-1, diameter
+/// Θ(seg) — the "hard instance candidate" family from DESIGN.md.
+[[nodiscard]] Graph make_subdivided_complete(NodeId q, NodeId seg);
+
+// ---- random families --------------------------------------------------------
+
+/// Erdős–Rényi G(n, p).
+[[nodiscard]] Graph make_gnp(NodeId n, double p, Rng& rng);
+
+/// G(n, p) conditioned on connectivity: retries, then reduces to largest
+/// component + chains the leftovers if still unlucky (never fails).
+[[nodiscard]] Graph make_connected_gnp(NodeId n, double p, Rng& rng);
+
+/// Uniformly random labelled tree via a random Prüfer sequence.
+[[nodiscard]] Graph make_random_tree(NodeId n, Rng& rng);
+
+/// Random caterpillar: random spine length in [n/4, n/2], leaves attached to
+/// uniform spine nodes.
+[[nodiscard]] Graph make_random_caterpillar(NodeId n, Rng& rng);
+
+/// Random d-regular-ish graph by the pairing model with defect repair:
+/// self-loops/multi-edges are dropped, then the graph is connected by adding
+/// edges between components (degrees may deviate slightly from d).
+/// Expander-like: diameter O(log n) w.h.p. Requires n*d even, d >= 3.
+[[nodiscard]] Graph make_random_regular(NodeId n, std::uint32_t d, Rng& rng);
+
+/// Kleinberg-style base grid: torus2d(side, side) — convenience wrapper used
+/// by the Kleinberg baseline experiments.
+[[nodiscard]] Graph make_kleinberg_base(NodeId side);
+
+}  // namespace nav::graph

@@ -1,0 +1,70 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nav::graph {
+
+void write_graph(std::ostream& out, const Graph& g) {
+  out << "nav-graph 1\n";
+  out << "n " << g.num_nodes() << "\n";
+  for (const auto& [u, v] : g.edge_list()) out << u << ' ' << v << "\n";
+}
+
+Graph read_graph(std::istream& in) {
+  std::string line;
+  auto next_content_line = [&](std::string& dst) -> bool {
+    while (std::getline(in, dst)) {
+      const auto first = dst.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;   // blank
+      if (dst[first] == '#') continue;            // comment
+      return true;
+    }
+    return false;
+  };
+
+  NAV_REQUIRE(next_content_line(line), "graph stream is empty");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    NAV_REQUIRE(magic == "nav-graph" && version == 1,
+                "bad header, expected 'nav-graph 1'");
+  }
+  NAV_REQUIRE(next_content_line(line), "missing 'n <count>' line");
+  std::uint64_t n = 0;
+  {
+    std::istringstream decl(line);
+    std::string key;
+    decl >> key >> n;
+    NAV_REQUIRE(key == "n" && !decl.fail(), "bad 'n <count>' line");
+    NAV_REQUIRE(n <= kNoNode, "node count too large");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  while (next_content_line(line)) {
+    std::istringstream edge(line);
+    std::uint64_t u = 0, v = 0;
+    edge >> u >> v;
+    NAV_REQUIRE(!edge.fail(), "bad edge line: " + line);
+    NAV_REQUIRE(u < n && v < n, "edge endpoint out of range in: " + line);
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return Graph(static_cast<NodeId>(n), std::move(edges));
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for write: " + path);
+  write_graph(file, g);
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open for read: " + path);
+  return read_graph(file);
+}
+
+}  // namespace nav::graph

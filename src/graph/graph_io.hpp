@@ -1,0 +1,26 @@
+// graph_io.hpp — plain-text edge-list serialisation.
+//
+// Format (line oriented, '#' comments allowed):
+//   nav-graph 1
+//   n <num_nodes>
+//   <u> <v>          one edge per line, 0-based ids
+//
+// Round-trips exactly (the Graph canonicalises edge order on load anyway).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace nav::graph {
+
+void write_graph(std::ostream& out, const Graph& g);
+[[nodiscard]] Graph read_graph(std::istream& in);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure and
+/// std::invalid_argument on malformed content.
+void save_graph(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace nav::graph

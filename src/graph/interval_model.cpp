@@ -1,0 +1,114 @@
+#include "graph/interval_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+
+namespace nav::graph {
+
+IntervalModel::IntervalModel(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  NAV_REQUIRE(!intervals_.empty(), "interval model needs at least one interval");
+  NAV_REQUIRE(intervals_.size() <= kNoNode, "too many intervals");
+  for (const auto& iv : intervals_) {
+    NAV_REQUIRE(iv.lo <= iv.hi, "interval with lo > hi");
+  }
+}
+
+Graph IntervalModel::to_graph() const {
+  // Sweep by start coordinate; keep an "active" set ordered by end coordinate.
+  // Every interval intersects exactly the active intervals whose end >= its
+  // start at insertion time.
+  const NodeId n = num_nodes();
+  std::vector<NodeId> order(n);
+  for (NodeId u = 0; u < n; ++u) order[u] = u;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return intervals_[a].lo < intervals_[b].lo ||
+           (intervals_[a].lo == intervals_[b].lo && a < b);
+  });
+
+  // Active set as a vector sorted by (hi, id); intervals are removed lazily.
+  // Worst case O(n·m) but fine at library scale (m dominates anyway since we
+  // must emit every edge).
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<NodeId> active;
+  for (const NodeId u : order) {
+    const auto lo_u = intervals_[u].lo;
+    // Drop expired intervals, emit edges to the rest.
+    std::vector<NodeId> still_active;
+    still_active.reserve(active.size() + 1);
+    for (const NodeId v : active) {
+      if (intervals_[v].hi >= lo_u) {
+        edges.emplace_back(std::min(u, v), std::max(u, v));
+        still_active.push_back(v);
+      }
+    }
+    still_active.push_back(u);
+    active.swap(still_active);
+  }
+  return Graph(n, std::move(edges));
+}
+
+std::vector<std::int64_t> IntervalModel::event_points() const {
+  std::vector<std::int64_t> points;
+  points.reserve(intervals_.size() * 2);
+  for (const auto& iv : intervals_) {
+    points.push_back(iv.lo);
+    points.push_back(iv.hi);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+std::vector<NodeId> IntervalModel::stab(std::int64_t x) const {
+  std::vector<NodeId> hit;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (intervals_[u].lo <= x && x <= intervals_[u].hi) hit.push_back(u);
+  }
+  return hit;
+}
+
+IntervalModel random_interval_model(NodeId n, Rng& rng, std::int64_t span,
+                                    std::int64_t max_len) {
+  NAV_REQUIRE(n >= 1, "need at least one interval");
+  if (span <= 0) span = static_cast<std::int64_t>(n) * 4;
+  if (max_len <= 0) {
+    // Connectivity needs the union of intervals to cover the span without
+    // gaps; with expected length E the per-point gap probability is
+    // ~exp(-nE/span), so E must scale like (span/n)·log(span) — hence the
+    // log factor (constant expected length disconnects w.h.p. at large n).
+    const double log_n = std::log2(static_cast<double>(n) + 2.0);
+    max_len = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               2.0 * (log_n + 2.0) * static_cast<double>(span) /
+               static_cast<double>(n)));
+  }
+  std::vector<Interval> intervals(n);
+  for (auto& iv : intervals) {
+    iv.lo = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(span)));
+    const auto len =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(max_len)));
+    iv.hi = iv.lo + len;
+  }
+  return IntervalModel(std::move(intervals));
+}
+
+IntervalModel connected_random_interval_model(NodeId n, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto model = random_interval_model(n, rng);
+    if (is_connected(model.to_graph())) return model;
+  }
+  // Fall back: stitch a connected instance by forcing overlaps — a chain of
+  // unit-overlapping intervals plus random ones cannot be disconnected.
+  std::vector<Interval> intervals(n);
+  const std::int64_t span = static_cast<std::int64_t>(n) * 2;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto base = static_cast<std::int64_t>(u) * span / n;
+    intervals[u] = {base, base + span / n + 1};
+  }
+  return IntervalModel(std::move(intervals));
+}
+
+}  // namespace nav::graph

@@ -1,0 +1,65 @@
+// interval_model.hpp — interval graph representations.
+//
+// Interval graphs are the paper's flagship AT-free family (Corollary 1):
+// their clique-path decomposition has length <= 1, hence pathshape <= 1, so
+// the (M,L) scheme routes them in O(log² n) expected steps.
+//
+// An IntervalModel holds one closed interval [lo, hi] per node; nodes are
+// adjacent iff their intervals intersect. The canonical endpoint sweep that
+// builds the graph is also what decomposition/interval_decomposition.cpp uses
+// to emit the clique path, so both views stay consistent by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/rng.hpp"
+
+namespace nav::graph {
+
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;  // inclusive; requires lo <= hi
+};
+
+class IntervalModel {
+ public:
+  explicit IntervalModel(std::vector<Interval> intervals);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(intervals_.size());
+  }
+  [[nodiscard]] const Interval& interval(NodeId u) const {
+    NAV_ASSERT(u < intervals_.size());
+    return intervals_[u];
+  }
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  /// Intersection graph: edge (u,v) iff [lo_u,hi_u] ∩ [lo_v,hi_v] ≠ ∅.
+  /// Sweep-line construction, O(n log n + m).
+  [[nodiscard]] Graph to_graph() const;
+
+  /// Sorted distinct endpoint coordinates (sweep event points).
+  [[nodiscard]] std::vector<std::int64_t> event_points() const;
+
+  /// Nodes whose interval contains coordinate x (a clique of the graph).
+  [[nodiscard]] std::vector<NodeId> stab(std::int64_t x) const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// Random interval model: n intervals with uniform start in [0, span) and
+/// uniform length in [1, max_len]. With the defaults the intersection graph
+/// is connected w.h.p.; `connected_random_interval_model` retries until it is.
+[[nodiscard]] IntervalModel random_interval_model(NodeId n, Rng& rng,
+                                                  std::int64_t span = 0,
+                                                  std::int64_t max_len = 0);
+
+/// Retries random_interval_model until the intersection graph is connected.
+[[nodiscard]] IntervalModel connected_random_interval_model(NodeId n, Rng& rng);
+
+}  // namespace nav::graph

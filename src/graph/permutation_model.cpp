@@ -1,0 +1,85 @@
+#include "graph/permutation_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nav::graph {
+
+PermutationModel::PermutationModel(std::vector<NodeId> perm)
+    : perm_(std::move(perm)) {
+  NAV_REQUIRE(!perm_.empty(), "permutation model needs n >= 1");
+  NAV_REQUIRE(perm_.size() <= kNoNode, "permutation too large");
+  std::vector<std::uint8_t> seen(perm_.size(), 0);
+  for (const NodeId v : perm_) {
+    NAV_REQUIRE(v < perm_.size(), "permutation value out of range");
+    NAV_REQUIRE(!seen[v], "duplicate permutation value");
+    seen[v] = 1;
+  }
+}
+
+Graph PermutationModel::to_graph() const {
+  const NodeId n = num_nodes();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (perm_[u] > perm_[v]) edges.emplace_back(u, v);
+  return Graph(n, std::move(edges));
+}
+
+std::vector<NodeId> PermutationModel::cut_set(NodeId c) const {
+  NAV_REQUIRE(c >= 1 && c < num_nodes(), "cut index in [1, n-1]");
+  std::vector<NodeId> crossing;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    const bool left = u < c;
+    const bool maps_left = perm_[u] < c;
+    if (left != maps_left) crossing.push_back(u);
+  }
+  return crossing;
+}
+
+PermutationModel random_permutation_model(NodeId n, Rng& rng) {
+  NAV_REQUIRE(n >= 1, "need n >= 1");
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return PermutationModel(std::move(perm));
+}
+
+PermutationModel banded_permutation_model(NodeId n, NodeId window, Rng& rng) {
+  NAV_REQUIRE(n >= 2, "need n >= 2");
+  NAV_REQUIRE(window >= 2, "window must be >= 2");
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  // Shuffle within disjoint blocks of size `window`.
+  for (NodeId base = 0; base < n; base += window) {
+    const NodeId hi = std::min<NodeId>(n, base + window);
+    for (NodeId i = hi; i > base + 1; --i) {
+      const NodeId j = base + static_cast<NodeId>(rng.next_below(i - base));
+      std::swap(perm[i - 1], perm[j]);
+    }
+  }
+  // Connectivity repair: ensure every cut c has a crossing segment, i.e. some
+  // position u < c holds a value >= c. If cut c is uncrossed, positions
+  // {0..c-1} hold exactly values {0..c-1}; swapping any left value with any
+  // right value crosses c and can only add crossings at other cuts (the left
+  // prefix value multiset only gains larger values for cuts in between).
+  // A left-to-right pass therefore terminates with a connected model — the
+  // components of a permutation graph are exactly the blocks between
+  // uncrossed balanced cuts.
+  for (NodeId c = 1; c < n; ++c) {
+    bool crossed = false;
+    for (NodeId u = 0; u < c && !crossed; ++u) crossed = perm[u] >= c;
+    if (!crossed) {
+      // Swap value at position c-1 with value at position c: after the swap
+      // position c-1 < c holds perm[c] >= c (uncrossed means prefix holds
+      // {0..c-1}, so perm[c] >= c).
+      std::swap(perm[c - 1], perm[c]);
+    }
+  }
+  return PermutationModel(std::move(perm));
+}
+
+}  // namespace nav::graph

@@ -1,0 +1,60 @@
+// permutation_model.hpp — permutation graph representations.
+//
+// Permutation graphs are the paper's second AT-free exemplar (Corollary 1).
+// Model: a permutation π of {0..n-1}; nodes u, v are adjacent iff the pair is
+// *inverted*: (u < v) XOR (π(u) < π(v)). Equivalently, in the matching diagram
+// (segment from position u on the top line to position π⁻¹? on the bottom)
+// two segments cross iff the nodes are adjacent.
+//
+// The cut structure (segments crossing the vertical line between positions i
+// and i+1) yields a path decomposition whose bags have small length — the
+// decomposition substrate measures it (tests pin it at <= 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/rng.hpp"
+
+namespace nav::graph {
+
+class PermutationModel {
+ public:
+  /// `perm[u]` = π(u); must be a permutation of 0..n-1.
+  explicit PermutationModel(std::vector<NodeId> perm);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(perm_.size());
+  }
+  [[nodiscard]] NodeId pi(NodeId u) const {
+    NAV_ASSERT(u < perm_.size());
+    return perm_[u];
+  }
+  [[nodiscard]] const std::vector<NodeId>& permutation() const noexcept {
+    return perm_;
+  }
+
+  /// Inversion graph: edge (u,v), u<v, iff π(u) > π(v). O(n²) construction
+  /// (the graph itself can have Θ(n²) edges).
+  [[nodiscard]] Graph to_graph() const;
+
+  /// Nodes whose diagram segment crosses the vertical cut between top
+  /// positions c-1 and c (c in 1..n-1): { u : (u < c) XOR (π(u) < c) }.
+  [[nodiscard]] std::vector<NodeId> cut_set(NodeId c) const;
+
+ private:
+  std::vector<NodeId> perm_;
+};
+
+/// Uniformly random permutation model. Note: a uniform permutation graph is
+/// dense (≈ n²/2 inversions) and connected w.h.p.
+[[nodiscard]] PermutationModel random_permutation_model(NodeId n, Rng& rng);
+
+/// A *sparse-ish* connected permutation model: composes the identity with
+/// random adjacent-ish transpositions within a window `w`, giving expected
+/// degree O(w). Used to get larger AT-free instances that are not cliques.
+[[nodiscard]] PermutationModel banded_permutation_model(NodeId n, NodeId window,
+                                                        Rng& rng);
+
+}  // namespace nav::graph

@@ -1,0 +1,97 @@
+#include "routing/experiment.hpp"
+
+#include <map>
+#include <memory>
+
+#include "graph/diameter.hpp"
+#include "runtime/timer.hpp"
+
+namespace nav::routing {
+
+std::vector<SweepRow> run_sweep(const SweepConfig& config) {
+  NAV_REQUIRE(!config.sizes.empty(), "sweep needs sizes");
+  NAV_REQUIRE(!config.schemes.empty(), "sweep needs schemes");
+  const auto& fam = graph::family(config.family);
+
+  std::vector<SweepRow> rows;
+  Rng root(config.seed);
+  for (std::size_t si = 0; si < config.sizes.size(); ++si) {
+    const auto n_req = config.sizes[si];
+    Rng graph_rng = root.child(0x6aaf).child(si);
+    const graph::Graph g = fam.make(n_req, graph_rng);
+    NAV_REQUIRE(g.num_nodes() >= 2, "family produced a trivial graph");
+
+    std::unique_ptr<graph::DistanceOracle> oracle;
+    if (g.num_nodes() <= config.dense_oracle_limit) {
+      oracle = std::make_unique<graph::DistanceMatrix>(g);
+    } else {
+      oracle = std::make_unique<graph::TargetDistanceCache>(
+          g, config.trials.num_pairs + 8);
+    }
+    const auto diameter_lb = graph::double_sweep_lower_bound(g);
+
+    for (std::size_t ki = 0; ki < config.schemes.size(); ++ki) {
+      const auto& spec = config.schemes[ki];
+      nav::Timer timer;
+      Rng scheme_rng = root.child(0x5c4e).child(si).child(ki);
+      const auto scheme = core::make_scheme(spec, g, scheme_rng);
+      const auto estimate = estimate_greedy_diameter(
+          g, scheme.get(), *oracle, config.trials,
+          root.child(0x7a1a).child(si).child(ki));
+
+      SweepRow row;
+      row.family = config.family;
+      row.scheme = spec;
+      row.n_requested = n_req;
+      row.n_actual = g.num_nodes();
+      row.m = g.num_edges();
+      row.diameter_lb = diameter_lb;
+      row.greedy_diameter = estimate.max_mean_steps;
+      row.mean_steps = estimate.overall_mean_steps;
+      row.ci_halfwidth = estimate.max_ci_halfwidth;
+      row.seconds = timer.seconds();
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+nav::Table sweep_table(const std::vector<SweepRow>& rows) {
+  nav::Table table({"family", "scheme", "n", "m", "diam>=", "greedy-diam",
+                    "mean", "ci95", "sec"});
+  for (const auto& r : rows) {
+    table.add_row({r.family, r.scheme, nav::Table::integer(r.n_actual),
+                   nav::Table::integer(r.m), nav::Table::integer(r.diameter_lb),
+                   nav::Table::num(r.greedy_diameter, 1),
+                   nav::Table::num(r.mean_steps, 1),
+                   nav::Table::num(r.ci_halfwidth, 1),
+                   nav::Table::num(r.seconds, 2)});
+  }
+  return table;
+}
+
+std::vector<SchemeFit> fit_exponents(const std::vector<SweepRow>& rows) {
+  std::map<std::string, std::pair<std::vector<double>, std::vector<double>>> by;
+  std::vector<std::string> order;
+  for (const auto& r : rows) {
+    if (by.find(r.scheme) == by.end()) order.push_back(r.scheme);
+    by[r.scheme].first.push_back(static_cast<double>(r.n_actual));
+    by[r.scheme].second.push_back(r.greedy_diameter);
+  }
+  std::vector<SchemeFit> fits;
+  for (const auto& scheme : order) {
+    fits.push_back({scheme, nav::fit_power_law(by[scheme].first, by[scheme].second)});
+  }
+  return fits;
+}
+
+nav::Table fit_table(const std::vector<SchemeFit>& fits) {
+  nav::Table table({"scheme", "exponent", "R^2"});
+  for (const auto& f : fits) {
+    table.add_row({f.scheme, nav::Table::num(f.fit.slope, 3),
+                   nav::Table::num(f.fit.r_squared, 3)});
+  }
+  return table;
+}
+
+}  // namespace nav::routing

@@ -1,0 +1,63 @@
+// experiment.hpp — the sweep driver behind every bench binary.
+//
+// An experiment is a grid: graph family × sizes × schemes. For each cell the
+// driver builds the instance, estimates the greedy diameter, and emits a row.
+// Fitted log-log slopes per scheme turn the rows into the paper's claims
+// ("uniform scales like n^0.5 on the path, ball like n^1/3").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scheme_factory.hpp"
+#include "graph/families.hpp"
+#include "routing/trial_runner.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/table.hpp"
+
+namespace nav::routing {
+
+struct SweepConfig {
+  std::string family;                 // graph::families registry name
+  std::vector<graph::NodeId> sizes;   // requested node counts
+  std::vector<std::string> schemes;   // core::make_scheme specs
+  TrialConfig trials;
+  std::uint64_t seed = 0x5eed;
+  /// Cap on oracle memory: sizes <= this use a full DistanceMatrix, larger
+  /// ones a TargetDistanceCache.
+  graph::NodeId dense_oracle_limit = 4096;
+};
+
+struct SweepRow {
+  std::string family;
+  std::string scheme;
+  graph::NodeId n_requested = 0;
+  graph::NodeId n_actual = 0;
+  graph::EdgeId m = 0;
+  graph::Dist diameter_lb = 0;     // double-sweep lower bound
+  double greedy_diameter = 0.0;    // max over pairs of mean steps
+  double mean_steps = 0.0;         // mean over pairs
+  double ci_halfwidth = 0.0;       // CI at the maximising pair
+  double seconds = 0.0;            // wall time of the cell
+};
+
+/// Runs the grid; rows ordered scheme-major then size.
+[[nodiscard]] std::vector<SweepRow> run_sweep(const SweepConfig& config);
+
+/// Renders rows as a paper-style table:
+/// family | scheme | n | m | diamLB | greedy-diam | mean | ci | time.
+[[nodiscard]] nav::Table sweep_table(const std::vector<SweepRow>& rows);
+
+/// Per-scheme power-law fit of greedy diameter vs n (actual sizes).
+struct SchemeFit {
+  std::string scheme;
+  nav::PowerFit fit;
+};
+[[nodiscard]] std::vector<SchemeFit> fit_exponents(
+    const std::vector<SweepRow>& rows);
+
+/// Renders the fits: scheme | exponent | R².
+[[nodiscard]] nav::Table fit_table(const std::vector<SchemeFit>& fits);
+
+}  // namespace nav::routing

@@ -1,0 +1,74 @@
+#include "routing/greedy_router.hpp"
+
+namespace nav::routing {
+
+template <typename ContactFn>
+RouteResult GreedyRouter::route_impl(NodeId s, NodeId t, ContactFn&& contact_of,
+                                     bool record_trace) const {
+  NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
+              "route endpoint out of range");
+  const auto dist_ptr = oracle_.distances_to(t);
+  const auto& dist = *dist_ptr;
+  NAV_REQUIRE(dist[s] != graph::kInfDist, "target unreachable from source");
+
+  RouteResult result;
+  result.initial_distance = dist[s];
+  NodeId u = s;
+  if (record_trace) result.trace.push_back(u);
+  while (u != t) {
+    // Best local neighbour (smallest distance; ties -> smallest id, which is
+    // the iteration order of the sorted adjacency).
+    NodeId best = graph::kNoNode;
+    Dist best_dist = graph::kInfDist;
+    for (const NodeId v : graph_.neighbors(u)) {
+      if (dist[v] < best_dist) {
+        best_dist = dist[v];
+        best = v;
+      }
+    }
+    bool via_long = false;
+    const NodeId contact = contact_of(u);
+    if (contact != core::kNoContact && contact < graph_.num_nodes() &&
+        dist[contact] < best_dist) {
+      best = contact;
+      best_dist = dist[contact];
+      via_long = true;
+    }
+    // Connectivity gives a local neighbour at dist[u] - 1.
+    NAV_ASSERT(best != graph::kNoNode && best_dist < dist[u]);
+    u = best;
+    ++result.steps;
+    result.long_links_used += via_long ? 1u : 0u;
+    if (record_trace) {
+      result.trace.push_back(u);
+      result.long_flags.push_back(via_long ? 1 : 0);
+    }
+  }
+  result.reached = true;
+  return result;
+}
+
+RouteResult GreedyRouter::route(NodeId s, NodeId t,
+                                const AugmentationScheme* scheme, Rng& rng,
+                                bool record_trace) const {
+  if (scheme == nullptr) {
+    return route_impl(
+        s, t, [](NodeId) { return core::kNoContact; }, record_trace);
+  }
+  NAV_REQUIRE(scheme->num_nodes() == graph_.num_nodes(),
+              "scheme/graph size mismatch");
+  return route_impl(
+      s, t, [&](NodeId u) { return scheme->sample_contact(u, rng); },
+      record_trace);
+}
+
+RouteResult GreedyRouter::route_with_contacts(NodeId s, NodeId t,
+                                              std::span<const NodeId> contacts,
+                                              bool record_trace) const {
+  NAV_REQUIRE(contacts.size() == graph_.num_nodes(),
+              "contact vector size mismatch");
+  return route_impl(
+      s, t, [&](NodeId u) { return contacts[u]; }, record_trace);
+}
+
+}  // namespace nav::routing

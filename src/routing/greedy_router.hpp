@@ -1,0 +1,72 @@
+// greedy_router.hpp — the paper's greedy routing process (§1).
+//
+// At the current node u with destination t, the message is forwarded to the
+// neighbour of u — among u's local neighbours *plus u's own long-range
+// contact* — that is closest to t in the *underlying* graph G. Every node
+// knows the distances of G but only its own long-range link.
+//
+// Termination: u always has a local neighbour on a shortest path to t, at
+// distance dist(u,t) - 1, so the chosen next hop strictly decreases the
+// distance. Hence the route takes at most dist(s,t) <= diam(G) steps, visits
+// no node twice (which also makes lazy contact sampling exact — see
+// core/scheme.hpp), and the router asserts the strict decrease.
+//
+// Tie-breaking: the paper allows any choice; we prefer the local neighbour
+// with the smallest id, and take the long link only when *strictly* better
+// than every local option (deterministic given the contact draw).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "graph/distance_oracle.hpp"
+
+namespace nav::routing {
+
+using core::AugmentationScheme;
+using graph::Dist;
+using graph::Graph;
+using graph::NodeId;
+
+struct RouteResult {
+  std::uint32_t steps = 0;            // hops from s to t
+  std::uint32_t long_links_used = 0;  // how many hops were long-range
+  Dist initial_distance = 0;          // dist(s, t)
+  bool reached = false;               // always true for connected graphs
+  /// Hop trace (s first, t last) — only filled when record_trace is set;
+  /// long_flags[i] marks whether hop i -> i+1 used a long-range link.
+  std::vector<NodeId> trace;
+  std::vector<std::uint8_t> long_flags;
+};
+
+class GreedyRouter {
+ public:
+  /// The oracle provides dist_G(·, t); both must outlive the router.
+  GreedyRouter(const Graph& g, const graph::DistanceOracle& oracle)
+      : graph_(g), oracle_(oracle) {}
+
+  /// Routes s -> t, sampling each visited node's contact lazily from
+  /// `scheme` (nullptr: no long-range links — pure shortest-path walk).
+  [[nodiscard]] RouteResult route(NodeId s, NodeId t,
+                                  const AugmentationScheme* scheme, Rng& rng,
+                                  bool record_trace = false) const;
+
+  /// Routes with a fixed (eagerly sampled) contact vector: contacts[u] is
+  /// u's long-range contact or core::kNoContact.
+  [[nodiscard]] RouteResult route_with_contacts(
+      NodeId s, NodeId t, std::span<const NodeId> contacts,
+      bool record_trace = false) const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  template <typename ContactFn>
+  RouteResult route_impl(NodeId s, NodeId t, ContactFn&& contact_of,
+                         bool record_trace) const;
+
+  const Graph& graph_;
+  const graph::DistanceOracle& oracle_;
+};
+
+}  // namespace nav::routing

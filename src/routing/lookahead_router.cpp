@@ -1,0 +1,82 @@
+#include "routing/lookahead_router.hpp"
+
+namespace nav::routing {
+
+RouteResult LookaheadRouter::route(NodeId s, NodeId t,
+                                   std::span<const NodeId> contacts,
+                                   bool record_trace) const {
+  NAV_REQUIRE(contacts.size() == graph_.num_nodes(),
+              "contact vector size mismatch");
+  return route(
+      s, t, [&contacts](NodeId u) { return contacts[u]; }, record_trace);
+}
+
+RouteResult LookaheadRouter::route(NodeId s, NodeId t, const ContactFn& contacts,
+                                   bool record_trace) const {
+  NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
+              "route endpoint out of range");
+  const auto dist_ptr = oracle_.distances_to(t);
+  const auto& dist = *dist_ptr;
+  NAV_REQUIRE(dist[s] != graph::kInfDist, "target unreachable from source");
+
+  auto contact_distance = [&](NodeId w) -> Dist {
+    const NodeId c = contacts(w);
+    if (c == core::kNoContact || c >= graph_.num_nodes()) return graph::kInfDist;
+    return dist[c];
+  };
+
+  RouteResult result;
+  result.initial_distance = dist[s];
+  NodeId u = s;
+  if (record_trace) result.trace.push_back(u);
+
+  auto hop = [&](NodeId next, bool via_long) {
+    u = next;
+    ++result.steps;
+    result.long_links_used += via_long ? 1u : 0u;
+    if (record_trace) {
+      result.trace.push_back(next);
+      result.long_flags.push_back(via_long ? 1 : 0);
+    }
+  };
+
+  while (u != t) {
+    const Dist du = dist[u];
+    // Candidates: local neighbours and u's own long-range contact.
+    NodeId best = graph::kNoNode;
+    Dist best_score = graph::kInfDist;
+    bool best_via_long = false;
+    auto offer = [&](NodeId w, bool via_long) {
+      const Dist score = std::min(dist[w], contact_distance(w));
+      // Prefer strictly better scores; among ties prefer a node that is
+      // itself closer (avoids taking a 2-step move for nothing).
+      if (score < best_score ||
+          (score == best_score && best != graph::kNoNode &&
+           dist[w] < dist[best])) {
+        best = w;
+        best_score = score;
+        best_via_long = via_long;
+      }
+    };
+    for (const NodeId w : graph_.neighbors(u)) offer(w, false);
+    const NodeId own = contacts(u);
+    if (own != core::kNoContact && own < graph_.num_nodes()) offer(own, true);
+
+    // A local neighbour on a shortest path scores <= du - 1.
+    NAV_ASSERT(best != graph::kNoNode && best_score < du);
+    hop(best, best_via_long);
+    if (u == t) break;
+    if (dist[u] >= du) {
+      // The move was motivated by u's contact: commit to the long link now.
+      const NodeId c = contacts(u);
+      NAV_ASSERT(c != core::kNoContact && c < graph_.num_nodes() &&
+                 dist[c] < du);
+      hop(c, true);
+    }
+  }
+  result.reached = true;
+  NAV_ASSERT(result.steps <= 2u * result.initial_distance);
+  return result;
+}
+
+}  // namespace nav::routing

@@ -1,0 +1,52 @@
+// lookahead_router.hpp — greedy routing with one-hop lookahead (NoN).
+//
+// "Know Thy Neighbor's Neighbor" (Manku, Naor, Wieder — STOC'04, the paper's
+// reference [16]): nodes also know the long-range contacts of their
+// neighbours. The NoN-greedy rule at u with target t:
+//   * score every neighbour w (local + u's own contact) by
+//     min(dist(w,t), dist(contact(w), t));
+//   * move to the best-scoring w; if w itself is not closer than u (it was
+//     chosen for its contact), immediately follow w's long link — a
+//     committed two-step move.
+// Every committed move lowers the distance by >= 1 per <= 2 steps, so the
+// route takes <= 2·dist(s,t) steps (asserted).
+//
+// Lookahead requires *eager* contacts (the neighbour's link must be the same
+// when the message reaches it), so the API takes a contact vector — sample
+// one with core::sample_all_contacts.
+//
+// This is extension experiment E10: how much of the sqrt(n)-barrier can
+// extra *local knowledge* recover, compared to changing the augmentation
+// distribution itself (Theorem 4)?
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "routing/greedy_router.hpp"
+
+namespace nav::routing {
+
+class LookaheadRouter {
+ public:
+  LookaheadRouter(const Graph& g, const graph::DistanceOracle& oracle)
+      : graph_(g), oracle_(oracle) {}
+
+  /// NoN-greedy route with fixed contacts (contacts[u] may be kNoContact).
+  [[nodiscard]] RouteResult route(NodeId s, NodeId t,
+                                  std::span<const NodeId> contacts,
+                                  bool record_trace = false) const;
+
+  /// Same protocol over a contact *function* — typically core::MemoContacts,
+  /// which realises the fixed augmentation lazily (the function must return
+  /// the same value on repeated calls for a node).
+  using ContactFn = std::function<NodeId(NodeId)>;
+  [[nodiscard]] RouteResult route(NodeId s, NodeId t, const ContactFn& contacts,
+                                  bool record_trace = false) const;
+
+ private:
+  const Graph& graph_;
+  const graph::DistanceOracle& oracle_;
+};
+
+}  // namespace nav::routing

@@ -1,0 +1,34 @@
+// assert.hpp — precondition and invariant checking for navscheme.
+//
+// Two macros with distinct contracts:
+//   NAV_REQUIRE(cond, msg)  — public API precondition; throws std::invalid_argument.
+//                             Always active (callers may rely on it).
+//   NAV_ASSERT(cond)        — internal invariant; aborts with a diagnostic.
+//                             Active in all build types: the algorithms here are
+//                             simulation substrates whose correctness is the
+//                             product, and the checks live on cold paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace nav {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "NAV_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace nav
+
+#define NAV_ASSERT(cond)                                  \
+  do {                                                    \
+    if (!(cond)) ::nav::assert_fail(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define NAV_REQUIRE(cond, msg)                            \
+  do {                                                    \
+    if (!(cond)) throw std::invalid_argument(std::string("navscheme: ") + (msg)); \
+  } while (0)

@@ -1,0 +1,55 @@
+#include "runtime/discrete_distribution.hpp"
+
+#include <numeric>
+
+#include "runtime/assert.hpp"
+
+namespace nav {
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  NAV_REQUIRE(!weights.empty(), "empty weight vector");
+  double total = 0.0;
+  for (const double w : weights) {
+    NAV_REQUIRE(w >= 0.0, "negative weight");
+    total += w;
+  }
+  NAV_REQUIRE(total > 0.0, "all weights are zero");
+
+  const std::size_t n = weights.size();
+  prob_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) prob_[i] = weights[i] / total;
+
+  // Vose's stable alias construction.
+  threshold_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = prob_[i] * static_cast<double>(n);
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const auto s = small.back();
+    small.pop_back();
+    const auto l = large.back();
+    large.pop_back();
+    threshold_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const auto i : large) threshold_[i] = 1.0;
+  for (const auto i : small) threshold_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  const std::size_t i = rng.next_below(prob_.size());
+  return rng.next_double() < threshold_[i] ? i : alias_[i];
+}
+
+double DiscreteDistribution::probability(std::size_t i) const {
+  NAV_REQUIRE(i < prob_.size(), "index out of range");
+  return prob_[i];
+}
+
+}  // namespace nav

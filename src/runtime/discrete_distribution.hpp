@@ -1,0 +1,35 @@
+// discrete_distribution.hpp — O(1) sampling from a fixed discrete
+// distribution via Walker's alias method.
+//
+// Used by the torus Kleinberg scheme (one table over grid offsets shared by
+// all nodes) and by the rank scheme's harmonic rank table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/rng.hpp"
+
+namespace nav {
+
+class DiscreteDistribution {
+ public:
+  /// `weights` >= 0, at least one positive. Probabilities are weights
+  /// normalised by their sum.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Index in [0, size()) with probability proportional to its weight.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Exact probability of index i (normalised weight).
+  [[nodiscard]] double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;         // normalised input
+  std::vector<double> threshold_;    // alias acceptance thresholds
+  std::vector<std::uint32_t> alias_; // alias targets
+};
+
+}  // namespace nav

@@ -1,0 +1,123 @@
+// rng.hpp — deterministic, splittable random number generation.
+//
+// The simulation harness runs millions of Monte-Carlo routing trials, possibly
+// in parallel. Reproducibility requirements:
+//   * a single master seed determines every result bit-for-bit;
+//   * results must not depend on thread count or scheduling.
+//
+// Design: Xoshiro256++ as the core engine (fast, 2^256-1 period, passes BigCrush
+// in its family), seeded through SplitMix64 as recommended by the Xoshiro
+// authors. Deterministic parallelism is obtained by *stream splitting*: each
+// logical task derives an independent child stream via `child(i)`, which hashes
+// (state, i) through SplitMix64. Two distinct split paths yield streams that
+// are independent for all practical purposes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "runtime/assert.hpp"
+
+namespace nav {
+
+/// SplitMix64 step: the standard 64-bit finalizer-based PRNG used for seeding.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256++ engine. Satisfies std::uniform_random_bit_generator, so it can
+/// drive <random> distributions, but the library mostly uses the bounded
+/// helpers below (Lemire rejection sampling — unbiased and allocation-free).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xdecafbadULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+    // All-zero state is the one forbidden fixed point; SplitMix64 cannot emit
+    // four zero words in a row from any seed, but keep the guard explicit.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform integer in [0, bound). Requires bound >= 1.
+  /// Lemire's multiply-shift method with rejection: reject the low product
+  /// word when it falls below 2^64 mod bound, which makes every residue class
+  /// equally likely. Expected iterations < 2 for any bound.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    NAV_ASSERT(bound >= 1);
+    __extension__ using u128 = unsigned __int128;
+    const std::uint64_t threshold = (0ULL - bound) % bound;  // 2^64 mod bound
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Derives a deterministic, (practically) independent child stream.
+  /// child(i) != child(j) streams for i != j; splitting is composable:
+  /// root.child(a).child(b) is a stable address in the stream tree.
+  [[nodiscard]] Rng child(std::uint64_t index) const noexcept {
+    // Mix the full current state with the index through SplitMix64 twice.
+    std::uint64_t h = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                      rotl(state_[3], 47);
+    std::uint64_t sm = h ^ (0x9e3779b97f4a7c15ULL + index);
+    const std::uint64_t s1 = splitmix64_next(sm);
+    const std::uint64_t s2 = splitmix64_next(sm);
+    Rng out(0);
+    out.state_ = {s1, s2, splitmix64_next(sm), splitmix64_next(sm)};
+    if ((out.state_[0] | out.state_[1] | out.state_[2] | out.state_[3]) == 0)
+      out.state_[0] = 1;
+    return out;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples an index in [0, n) — the most common operation in the schemes.
+[[nodiscard]] inline std::uint32_t random_index(Rng& rng, std::size_t n) noexcept {
+  NAV_ASSERT(n >= 1);
+  return static_cast<std::uint32_t>(rng.next_below(n));
+}
+
+}  // namespace nav

@@ -1,0 +1,81 @@
+// stats.hpp — streaming statistics, confidence intervals, histograms, and
+// log-log exponent fitting for the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nav {
+
+/// Welford's online mean/variance accumulator. Numerically stable; O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the normal-approximation confidence interval at the given
+  /// level (supported levels: 0.90, 0.95, 0.99; others use 1.96).
+  [[nodiscard]] double ci_halfwidth(double level = 0.95) const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1]. Sorts a copy; intended for end-of-run reporting.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow /
+/// underflow counters. Used for chain-length distributions (Milgram example).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t b) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t b) const;
+  [[nodiscard]] double bin_hi(std::size_t b) const;
+
+  /// Multi-line ASCII rendering (for examples / reports).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// Least-squares fit of log(y) = slope * log(x) + intercept.
+/// Used to estimate the empirical exponent of steps-vs-n curves: the paper's
+/// bounds predict slope ~0.5 (uniform on path), ~1/3 (ball scheme), ~0
+/// (polylog schemes). Points with x <= 0 or y <= 0 are rejected.
+struct PowerFit {
+  double slope = 0.0;
+  double intercept = 0.0;  // log-space intercept
+  double r_squared = 0.0;
+};
+[[nodiscard]] PowerFit fit_power_law(const std::vector<double>& xs,
+                                     const std::vector<double>& ys);
+
+}  // namespace nav

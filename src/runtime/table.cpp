@@ -1,0 +1,126 @@
+#include "runtime/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/assert.hpp"
+
+namespace nav {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NAV_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NAV_REQUIRE(cells.size() == headers_.size(),
+              "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::integer(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::with_ci(double mean, double halfwidth, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << mean << " +- "
+      << halfwidth;
+  return out.str();
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  NAV_REQUIRE(i < rows_.size(), "table row out of range");
+  return rows_[i];
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  return widths;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_ascii() const {
+  const auto widths = column_widths(headers_, rows_);
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (const auto w : widths) rule += w + 2;
+  out << std::string(rule, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  out << '|';
+  for (const auto& h : headers_) out << ' ' << h << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& r : rows_) {
+    out << '|';
+    for (const auto& cell : r) out << ' ' << cell << " |";
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << ',';
+    out << csv_escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(r[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open for write: " + path);
+  file << to_csv();
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace nav

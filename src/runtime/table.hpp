@@ -1,0 +1,53 @@
+// table.hpp — paper-style result tables.
+//
+// Every bench binary reports its experiment as a table: one row per
+// (family, n) or (scheme, parameter) point, columns for means, CIs, fitted
+// exponents. Tables render to aligned ASCII for terminals, to GitHub markdown
+// for EXPERIMENTS.md, and to CSV for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nav {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string integer(std::uint64_t v);
+  /// "12.3 ± 0.4" — mean with CI half-width.
+  [[nodiscard]] static std::string with_ci(double mean, double halfwidth,
+                                           int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Aligned ASCII with a rule under the header.
+  [[nodiscard]] std::string to_ascii() const;
+  /// GitHub-flavoured markdown.
+  [[nodiscard]] std::string to_markdown() const;
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to a file; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nav

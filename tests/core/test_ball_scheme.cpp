@@ -1,0 +1,130 @@
+#include "core/ball_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(BallScheme, LevelsDefaultToCeilLog2) {
+  const auto g = graph::make_path(100);
+  BallScheme scheme(g);
+  EXPECT_EQ(scheme.levels(), 7u);  // ceil(log2 100)
+  const auto g2 = graph::make_path(128);
+  EXPECT_EQ(BallScheme(g2).levels(), 7u);
+  const auto g3 = graph::make_path(129);
+  EXPECT_EQ(BallScheme(g3).levels(), 8u);
+}
+
+TEST(BallScheme, ContactAlwaysInLargestBall) {
+  const auto g = graph::make_path(64);
+  BallScheme scheme(g);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = scheme.sample_contact(10, rng);
+    ASSERT_LT(c, 64u);
+  }
+}
+
+TEST(BallScheme, ProbabilityFormulaMatchesPaper) {
+  // φ_u(v) = (1/L) Σ_{k=r(v)}^{L} 1/|B_k(u)| — check against a hand
+  // computation on the 9-node path, u = 4 (center), L = ceil(log2 9) = 4.
+  const auto g = graph::make_path(9);
+  BallScheme scheme(g);
+  ASSERT_EQ(scheme.levels(), 4u);
+  // Ball sizes from the center: r=2 -> 5, r=4 -> 9, r=8 -> 9, r=16 -> 9.
+  const auto sizes = scheme.ball_sizes(4);
+  EXPECT_EQ(sizes[1], 5u);
+  EXPECT_EQ(sizes[2], 9u);
+  EXPECT_EQ(sizes[3], 9u);
+  EXPECT_EQ(sizes[4], 9u);
+  // v at distance 1 (node 5): r(v) = 1 -> (1/4)(1/5 + 1/9 + 1/9 + 1/9).
+  EXPECT_NEAR(scheme.probability(4, 5), 0.25 * (0.2 + 3.0 / 9.0), 1e-12);
+  // v at distance 3 (node 7): r(v) = 2 -> (1/4)(3/9).
+  EXPECT_NEAR(scheme.probability(4, 7), 0.25 * (3.0 / 9.0), 1e-12);
+  // v = u: in every ball.
+  EXPECT_NEAR(scheme.probability(4, 4), 0.25 * (0.2 + 3.0 / 9.0), 1e-12);
+}
+
+TEST(BallScheme, EmpiricalMatchesExact) {
+  const auto g = graph::make_path(16);
+  BallScheme scheme(g);
+  Rng rng(3);
+  constexpr int kDraws = 300000;
+  std::map<graph::NodeId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[scheme.sample_contact(8, rng)];
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < 16; ++v) {
+    const double exact = scheme.probability(8, v);
+    total += exact;
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws), exact, 0.01)
+        << "contact " << v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);  // the scheme always yields a contact
+}
+
+TEST(BallScheme, NearbyNodesMoreLikely) {
+  const auto g = graph::make_path(256);
+  BallScheme scheme(g);
+  EXPECT_GT(scheme.probability(128, 129), scheme.probability(128, 200));
+}
+
+TEST(BallScheme, SymmetricOnVertexTransitiveGraphs) {
+  const auto g = graph::make_cycle(32);
+  BallScheme scheme(g);
+  EXPECT_NEAR(scheme.probability(0, 5), scheme.probability(7, 12), 1e-12);
+}
+
+TEST(BallScheme, EccCacheDoesNotChangeDistribution) {
+  // Sampling repeatedly (warming the whole-graph shortcut) must keep the
+  // distribution intact: compare counts before/after many draws.
+  const auto g = graph::make_star(20);
+  BallScheme scheme(g);
+  Rng rng(5);
+  constexpr int kDraws = 100000;
+  std::map<graph::NodeId, int> first, second;
+  for (int i = 0; i < kDraws; ++i) ++first[scheme.sample_contact(0, rng)];
+  for (int i = 0; i < kDraws; ++i) ++second[scheme.sample_contact(0, rng)];
+  for (graph::NodeId v = 0; v < 20; ++v) {
+    EXPECT_NEAR(first[v] / static_cast<double>(kDraws),
+                second[v] / static_cast<double>(kDraws), 0.012)
+        << v;
+  }
+}
+
+TEST(BallScheme, GridBallGrowth) {
+  const auto g = graph::make_grid2d(31, 31);
+  BallScheme scheme(g);
+  const graph::NodeId center = 15 * 31 + 15;
+  const auto sizes = scheme.ball_sizes(center);
+  // |B(u, 2^k)| = 2r^2+2r+1 for interior nodes.
+  EXPECT_EQ(sizes[1], 13u);   // r=2
+  EXPECT_EQ(sizes[2], 41u);   // r=4
+  EXPECT_EQ(sizes[3], 145u);  // r=8
+}
+
+TEST(BallScheme, FixedLevelVariantSamplesOneRadius) {
+  const auto g = graph::make_path(64);
+  const auto fixed = BallScheme::make_fixed_level(g, 2);  // radius 4
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto c = fixed->sample_contact(32, rng);
+    ASSERT_LT(c, 64u);
+    EXPECT_LE(c >= 32 ? c - 32 : 32 - c, 4u);
+  }
+  EXPECT_EQ(fixed->name(), "ball-fixed-k2");
+}
+
+TEST(BallScheme, WorksOnSingleNode) {
+  const auto g = graph::Graph(1, {});
+  BallScheme scheme(g);
+  Rng rng(1);
+  EXPECT_EQ(scheme.sample_contact(0, rng), 0u);
+}
+
+}  // namespace
+}  // namespace nav::core

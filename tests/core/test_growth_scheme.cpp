@@ -1,0 +1,80 @@
+#include "core/growth_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(GrowthScheme, NeverSelfContact) {
+  const auto g = graph::make_path(20);
+  GrowthScheme scheme(g);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) EXPECT_NE(scheme.sample_contact(7, rng), 7u);
+}
+
+TEST(GrowthScheme, PathMatchesHarmonic) {
+  // On the path from an interior node, |B(u, r)| = 2r + 1 for small r, so
+  // φ_u(v) ∝ 1/(2·dist+1) — harmonic-like decay per node.
+  const auto g = graph::make_path(101);
+  GrowthScheme scheme(g);
+  const auto row = scheme.probability_row(50);
+  // Ratio between distance-1 and distance-10 contacts: (2·10+1)/(2·1+1) = 7.
+  EXPECT_NEAR(row[51] / row[60], 21.0 / 3.0, 1e-9);
+  EXPECT_NEAR(row[49], row[51], 1e-12);  // symmetry
+}
+
+TEST(GrowthScheme, RowNormalised) {
+  Rng rng(2);
+  const auto g = graph::make_connected_gnp(60, 0.1, rng);
+  GrowthScheme scheme(g);
+  for (graph::NodeId u = 0; u < 60; u += 13) {
+    const auto row = scheme.probability_row(u);
+    double total = 0.0;
+    for (const double p : row) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(row[u], 0.0);
+  }
+}
+
+TEST(GrowthScheme, NormaliserIsLogarithmic) {
+  // Z = Σ_r layer(r)/|B(r)| <= ln n on any graph — the property that makes
+  // one Θ(1/log n) slice land at every distance scale.
+  for (const auto& g : {graph::make_path(512), graph::make_grid2d(23, 23),
+                        graph::make_star(256)}) {
+    GrowthScheme scheme(g);
+    // Reconstruct Z from the exact row of node 0: Z = 1 / max ... instead
+    // check: the probability of the farthest node times |B(max)| <= 1, and
+    // the probability of a nearest neighbour >= 1/(deg · ln n · 2).
+    const auto row = scheme.probability_row(0);
+    const double ln_n = std::log(static_cast<double>(g.num_nodes()));
+    const auto nbrs = g.neighbors(0);
+    ASSERT_FALSE(nbrs.empty());
+    EXPECT_GE(row[nbrs[0]],
+              1.0 / (static_cast<double>(nbrs.size()) * 2.0 * (ln_n + 1.0)));
+  }
+}
+
+TEST(GrowthScheme, EmpiricalMatchesExact) {
+  const auto g = graph::make_cycle(24);
+  GrowthScheme scheme(g);
+  const auto row = scheme.probability_row(3);
+  Rng rng(4);
+  constexpr int kDraws = 100000;
+  std::map<graph::NodeId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[scheme.sample_contact(3, rng)];
+  for (graph::NodeId v = 0; v < 24; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws), row[v], 0.01) << v;
+  }
+}
+
+TEST(GrowthScheme, RequiresTwoNodes) {
+  EXPECT_THROW(GrowthScheme(graph::Graph(1, {})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::core

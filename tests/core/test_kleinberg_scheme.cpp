@@ -1,0 +1,100 @@
+#include "core/kleinberg_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(Kleinberg, NeverSelfContact) {
+  const auto g = graph::make_cycle(12);
+  KleinbergScheme scheme(g, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) EXPECT_NE(scheme.sample_contact(4, rng), 4u);
+}
+
+TEST(Kleinberg, AlphaZeroIsUniformOverOthers) {
+  const auto g = graph::make_path(9);
+  KleinbergScheme scheme(g, 0.0);
+  for (graph::NodeId v = 1; v < 9; ++v) {
+    EXPECT_NEAR(scheme.probability(0, v), 1.0 / 8.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(scheme.probability(0, 0), 0.0);
+}
+
+TEST(Kleinberg, ProbabilitiesDecayWithDistance) {
+  const auto g = graph::make_path(64);
+  KleinbergScheme scheme(g, 1.5);
+  EXPECT_GT(scheme.probability(0, 1), scheme.probability(0, 2));
+  EXPECT_GT(scheme.probability(0, 10), scheme.probability(0, 40));
+}
+
+TEST(Kleinberg, ProbabilitiesNormalised) {
+  const auto g = graph::make_grid2d(5, 5);
+  KleinbergScheme scheme(g, 2.0);
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < 25; ++v) total += scheme.probability(7, v);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Kleinberg, EmpiricalMatchesExact) {
+  const auto g = graph::make_path(10);
+  KleinbergScheme scheme(g, 1.0);
+  Rng rng(5);
+  constexpr int kDraws = 100000;
+  std::map<graph::NodeId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[scheme.sample_contact(3, rng)];
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws),
+                scheme.probability(3, v), 0.01);
+  }
+}
+
+TEST(Kleinberg, NameIncludesAlpha) {
+  const auto g = graph::make_path(4);
+  EXPECT_EQ(KleinbergScheme(g, 2.0).name(), "kleinberg(a=2.00)");
+}
+
+TEST(TorusKleinberg, MatchesGenericOnTorus) {
+  // The O(1) torus specialisation must agree with the BFS-based generic
+  // scheme (torus BFS distance == wrapped Manhattan distance).
+  const graph::NodeId side = 7;
+  const auto g = graph::make_torus2d(side, side);
+  KleinbergScheme generic(g, 2.0);
+  TorusKleinbergScheme fast(side, 2.0);
+  for (const graph::NodeId u : {0u, 10u, 36u}) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(fast.probability(u, v), generic.probability(u, v), 1e-9)
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(TorusKleinberg, SampleDistributionMatchesExact) {
+  TorusKleinbergScheme scheme(5, 2.0);
+  Rng rng(11);
+  constexpr int kDraws = 200000;
+  std::map<graph::NodeId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[scheme.sample_contact(12, rng)];
+  for (graph::NodeId v = 0; v < 25; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws),
+                scheme.probability(12, v), 0.01);
+  }
+}
+
+TEST(TorusKleinberg, TranslationInvariant) {
+  TorusKleinbergScheme scheme(6, 1.0);
+  // P(u -> u + offset) must not depend on u.
+  EXPECT_NEAR(scheme.probability(0, 7), scheme.probability(14, (14 + 7) % 36),
+              1e-12);
+}
+
+TEST(TorusKleinberg, RejectsTinySide) {
+  EXPECT_THROW(TorusKleinbergScheme(2, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::core

@@ -1,0 +1,134 @@
+#include "core/labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/level_hierarchy.hpp"
+#include "decomposition/builders.hpp"
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(Labeling, BasicAccessors) {
+  Labeling l({1, 2, 2, 3}, 4);
+  EXPECT_EQ(l.num_nodes(), 4u);
+  EXPECT_EQ(l.universe(), 4u);
+  EXPECT_EQ(l.label(0), 1u);
+  EXPECT_EQ(l.members(2), (std::vector<graph::NodeId>{1, 2}));
+  EXPECT_TRUE(l.members(4).empty());
+  EXPECT_FALSE(l.all_distinct());
+}
+
+TEST(Labeling, DefaultIsEmpty) {
+  Labeling l;
+  EXPECT_EQ(l.num_nodes(), 0u);
+}
+
+TEST(Labeling, RejectsOutOfRangeLabels) {
+  EXPECT_THROW(Labeling({0}, 3), std::invalid_argument);
+  EXPECT_THROW(Labeling({5}, 3), std::invalid_argument);
+}
+
+TEST(Labeling, SampleMemberUniform) {
+  Labeling l({1, 1, 1, 2}, 2);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[l.sample_member(1, rng)];
+  EXPECT_EQ(counts[3], 0);
+  for (int v = 0; v < 3; ++v) EXPECT_NEAR(counts[v] / 30000.0, 1.0 / 3, 0.02);
+}
+
+TEST(Labeling, SampleEmptyClassGivesNoNode) {
+  Labeling l({1}, 2);
+  Rng rng(1);
+  EXPECT_EQ(l.sample_member(2, rng), graph::kNoNode);
+}
+
+TEST(Labeling, IdentityAndRandomDistinct) {
+  const auto id = identity_labeling(5);
+  EXPECT_TRUE(id.all_distinct());
+  for (graph::NodeId u = 0; u < 5; ++u) EXPECT_EQ(id.label(u), u + 1);
+
+  Rng rng(9);
+  const auto rnd = random_distinct_labeling(64, rng);
+  EXPECT_TRUE(rnd.all_distinct());
+  std::vector<bool> seen(65, false);
+  for (graph::NodeId u = 0; u < 64; ++u) {
+    EXPECT_FALSE(seen[rnd.label(u)]);
+    seen[rnd.label(u)] = true;
+  }
+}
+
+TEST(Labeling, BlockLabelingShape) {
+  const auto l = block_labeling(10, 2);
+  EXPECT_EQ(l.universe(), 2u);
+  for (graph::NodeId u = 0; u < 5; ++u) EXPECT_EQ(l.label(u), 1u);
+  for (graph::NodeId u = 5; u < 10; ++u) EXPECT_EQ(l.label(u), 2u);
+}
+
+TEST(Labeling, BlockLabelingFullBudgetIsDistinct) {
+  EXPECT_TRUE(block_labeling(8, 8).all_distinct());
+}
+
+TEST(Labeling, BlockLabelingBalancedClasses) {
+  const auto l = block_labeling(100, 7);
+  for (std::uint32_t lbl = 1; lbl <= 7; ++lbl) {
+    EXPECT_GE(l.members(lbl).size(), 14u);
+    EXPECT_LE(l.members(lbl).size(), 15u);
+  }
+}
+
+TEST(DecompositionLabeling, PathBagsGiveMaxLevelIndices) {
+  // Path 0-1-2-3, bags {0,1},{1,2},{2,3} = 1-based indices 1..3.
+  // Node 0: interval [1,1] -> 1; node 1: [1,2] -> 2; node 2: [2,3] -> 2;
+  // node 3: [3,3] -> 3.
+  const auto g = graph::make_path(4);
+  const auto pd = decomp::path_graph_decomposition(g);
+  const auto l = decomposition_labeling(pd, 4);
+  EXPECT_EQ(l.label(0), 1u);
+  EXPECT_EQ(l.label(1), 2u);
+  EXPECT_EQ(l.label(2), 2u);
+  EXPECT_EQ(l.label(3), 3u);
+}
+
+TEST(DecompositionLabeling, LabelsAreMaxLevelOfOwnInterval) {
+  const auto g = graph::make_path(33);
+  const auto pd = decomp::path_graph_decomposition(g);
+  const auto l = decomposition_labeling(pd, g.num_nodes());
+  const auto intervals = pd.node_intervals(g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto lo = static_cast<std::uint64_t>(intervals[u].first) + 1;
+    const auto hi = static_cast<std::uint64_t>(intervals[u].last) + 1;
+    EXPECT_EQ(l.label(u), max_level_index(lo, hi));
+  }
+}
+
+TEST(DecompositionLabeling, NodesOfSameLabelShareABag) {
+  // L(u) = i implies u ∈ X_i: the Theorem 2 proof bounds the label-class size
+  // by |X_i| through exactly this containment.
+  const auto g = graph::make_caterpillar(12, 2);
+  const auto pd = decomp::caterpillar_decomposition(g);
+  const auto l = decomposition_labeling(pd, g.num_nodes());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& bag = pd.bag(l.label(u) - 1);
+    EXPECT_TRUE(std::binary_search(bag.begin(), bag.end(), u)) << "node " << u;
+  }
+}
+
+TEST(DecompositionLabeling, TrivialDecompositionAllLabelOne) {
+  const auto g = graph::make_cycle(6);
+  const auto pd = decomp::trivial_decomposition(g);
+  const auto l = decomposition_labeling(pd, 6);
+  for (graph::NodeId u = 0; u < 6; ++u) EXPECT_EQ(l.label(u), 1u);
+}
+
+TEST(DecompositionLabeling, UniverseIsNumNodes) {
+  const auto g = graph::make_path(9);
+  const auto pd = decomp::path_graph_decomposition(g);
+  EXPECT_EQ(decomposition_labeling(pd, 9).universe(), 9u);
+}
+
+}  // namespace
+}  // namespace nav::core

@@ -1,0 +1,123 @@
+#include "core/ml_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "decomposition/builders.hpp"
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(MLScheme, BuildsFromExplicitDecomposition) {
+  const auto g = graph::make_path(16);
+  const auto pd = decomp::path_graph_decomposition(g);
+  MLScheme scheme(g, pd);
+  EXPECT_EQ(scheme.name(), "ml");
+  EXPECT_EQ(scheme.num_nodes(), 16u);
+}
+
+TEST(MLScheme, PortfolioConstructorWorksOnTrees) {
+  const auto g = graph::make_balanced_tree(31, 2);
+  MLScheme scheme(g);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto c = scheme.sample_contact(5, rng);
+    EXPECT_TRUE(c == kNoContact || c < 31u);
+  }
+}
+
+TEST(MLScheme, ProbabilitiesSumToAtMostOne) {
+  const auto g = graph::make_path(12);
+  MLScheme scheme(g, decomp::path_graph_decomposition(g));
+  for (graph::NodeId u = 0; u < 12; ++u) {
+    double total = 0.0;
+    for (graph::NodeId v = 0; v < 12; ++v) total += scheme.probability(u, v);
+    EXPECT_LE(total, 1.0 + 1e-9) << "node " << u;
+    EXPECT_GT(total, 0.4) << "node " << u;  // U half alone contributes 1/2
+  }
+}
+
+TEST(MLScheme, EmpiricalMatchesExactProbability) {
+  const auto g = graph::make_path(8);
+  MLScheme scheme(g, decomp::path_graph_decomposition(g));
+  Rng rng(7);
+  constexpr int kDraws = 200000;
+  std::map<graph::NodeId, int> counts;
+  int none = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto c = scheme.sample_contact(0, rng);
+    if (c == kNoContact) ++none;
+    else ++counts[c];
+  }
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws),
+                scheme.probability(0, v), 0.01)
+        << "contact " << v;
+  }
+}
+
+TEST(MLScheme, UniformHalfReachesEverywhere) {
+  // Even with the hierarchy half missing its targets, every node must be
+  // reachable as a contact through the U half.
+  const auto g = graph::make_caterpillar(8, 1);
+  MLScheme scheme(g);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(scheme.probability(0, v), 0.5 / g.num_nodes() - 1e-12);
+  }
+}
+
+TEST(MLScheme, HierarchyOnlyModeNeverUsesUniform) {
+  const auto g = graph::make_path(8);
+  MLSchemeOptions opt;
+  opt.mode = MLSchemeOptions::Mode::kHierarchyOnly;
+  MLScheme scheme(g, decomp::path_graph_decomposition(g), opt);
+  EXPECT_EQ(scheme.name(), "ml-A-only");
+  // Hierarchy contacts only ever live in ancestor bags of L(u)=1: labels
+  // {1, 2, 4} -> nodes within those bags. Node 6 (labels 6/7) must have
+  // probability 0.
+  EXPECT_DOUBLE_EQ(scheme.probability(0, 6), 0.0);
+}
+
+TEST(MLScheme, UniformOnlyModeIsUniform) {
+  const auto g = graph::make_path(8);
+  MLSchemeOptions opt;
+  opt.mode = MLSchemeOptions::Mode::kUniformOnly;
+  MLScheme scheme(g, decomp::path_graph_decomposition(g), opt);
+  EXPECT_EQ(scheme.name(), "ml-U-only");
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(scheme.probability(3, v), 1.0 / 8.0);
+  }
+}
+
+TEST(MLScheme, LabelClassUniformVariantDiffers) {
+  // With the trivial decomposition every node gets label 1, so the strict
+  // label-class U half picks label uniform in [1..n] and only label 1 has
+  // members: contact probability collapses to 1/n per *label*, i.e. the
+  // row mostly fails. The node-uniform variant keeps 1/(2n) per node.
+  const auto g = graph::make_cycle(8);
+  const auto pd = decomp::trivial_decomposition(g);
+  MLSchemeOptions strict;
+  strict.uniform_over_nodes = false;
+  MLScheme label_class(g, pd, strict);
+  MLScheme node_uniform(g, pd);
+  // Node-uniform: P(contact = v) >= 1/(2n). Label-class: P = (1/n)·(1/n)·...
+  EXPECT_GT(node_uniform.probability(0, 5), label_class.probability(0, 5));
+  EXPECT_EQ(label_class.name(), "ml-labelU");
+}
+
+TEST(MLScheme, ContactsAlwaysValidNodes) {
+  Rng rng(13);
+  const auto g = graph::make_random_tree(64, rng);
+  MLScheme scheme(g);
+  for (graph::NodeId u = 0; u < 64; u += 5) {
+    for (int i = 0; i < 50; ++i) {
+      const auto c = scheme.sample_contact(u, rng);
+      EXPECT_TRUE(c == kNoContact || c < 64u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nav::core

@@ -1,0 +1,61 @@
+#include "core/rank_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(RankScheme, NeverSelfContact) {
+  const auto g = graph::make_path(10);
+  RankScheme scheme(g);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) EXPECT_NE(scheme.sample_contact(5, rng), 5u);
+}
+
+TEST(RankScheme, CloserRanksMoreLikely) {
+  const auto g = graph::make_path(64);
+  RankScheme scheme(g);
+  // Node 1 has rank 1 or 2 from node 0; node 63 has rank 63.
+  EXPECT_GT(scheme.probability(0, 1), scheme.probability(0, 63));
+}
+
+TEST(RankScheme, ProbabilitiesNormalised) {
+  const auto g = graph::make_cycle(12);
+  RankScheme scheme(g);
+  double total = 0.0;
+  for (graph::NodeId v = 0; v < 12; ++v) total += scheme.probability(3, v);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RankScheme, EmpiricalMatchesExact) {
+  const auto g = graph::make_star(8);
+  RankScheme scheme(g);
+  Rng rng(4);
+  constexpr int kDraws = 100000;
+  std::map<graph::NodeId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[scheme.sample_contact(1, rng)];
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    EXPECT_NEAR(counts[v] / static_cast<double>(kDraws),
+                scheme.probability(1, v), 0.01);
+  }
+}
+
+TEST(RankScheme, HarmonicWeightsExactOnKnownOrder) {
+  // From node 0 of a path, BFS order is 0,1,2,...: rank_0(v) = v.
+  const auto g = graph::make_path(5);
+  RankScheme scheme(g);
+  const double h4 = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+  EXPECT_NEAR(scheme.probability(0, 1), 1.0 / h4, 1e-12);
+  EXPECT_NEAR(scheme.probability(0, 4), 0.25 / h4, 1e-12);
+}
+
+TEST(RankScheme, RequiresTwoNodes) {
+  EXPECT_THROW(RankScheme(graph::Graph(1, {})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::core

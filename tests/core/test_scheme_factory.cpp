@@ -1,0 +1,67 @@
+#include "core/scheme_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace nav::core {
+namespace {
+
+TEST(SchemeFactory, NoneIsNull) {
+  const auto g = graph::make_path(8);
+  Rng rng(1);
+  EXPECT_EQ(make_scheme("none", g, rng), nullptr);
+}
+
+TEST(SchemeFactory, BuildsEveryStandardSpec) {
+  const auto g = graph::make_path(32);
+  Rng rng(2);
+  for (const auto& spec :
+       {"uniform", "ball", "ml", "ml-labelU", "ml-A-only", "ml-U-only",
+        "ml-random-label", "rank", "kleinberg:2.0", "ball-fixed:3"}) {
+    const auto scheme = make_scheme(spec, g, rng);
+    ASSERT_NE(scheme, nullptr) << spec;
+    EXPECT_EQ(scheme->num_nodes(), 32u) << spec;
+    Rng sample_rng(3);
+    const auto c = scheme->sample_contact(0, sample_rng);
+    EXPECT_TRUE(c == kNoContact || c < 32u) << spec;
+  }
+}
+
+TEST(SchemeFactory, KleinbergParsesAlpha) {
+  const auto g = graph::make_path(16);
+  Rng rng(4);
+  const auto scheme = make_scheme("kleinberg:1.5", g, rng);
+  EXPECT_NE(scheme->name().find("1.50"), std::string::npos);
+}
+
+TEST(SchemeFactory, UnknownSpecThrows) {
+  const auto g = graph::make_path(8);
+  Rng rng(5);
+  EXPECT_THROW(make_scheme("definitely-not-a-scheme", g, rng),
+               std::invalid_argument);
+}
+
+TEST(SchemeFactory, StandardSpecsNonEmpty) {
+  const auto specs = standard_scheme_specs();
+  EXPECT_GE(specs.size(), 3u);
+  const auto g = graph::make_path(16);
+  Rng rng(6);
+  for (const auto& spec : specs) {
+    EXPECT_NE(make_scheme(spec, g, rng), nullptr) << spec;
+  }
+}
+
+TEST(SchemeFactory, RandomLabelVariantDeterministicGivenRng) {
+  const auto g = graph::make_path(16);
+  Rng a(7), b(7);
+  const auto s1 = make_scheme("ml-random-label", g, a);
+  const auto s2 = make_scheme("ml-random-label", g, b);
+  // Same rng seed -> same random labeling -> identical probabilities.
+  for (graph::NodeId v = 0; v < 16; ++v) {
+    EXPECT_DOUBLE_EQ(s1->probability(3, v), s2->probability(3, v));
+  }
+}
+
+}  // namespace
+}  // namespace nav::core

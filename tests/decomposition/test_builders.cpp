@@ -1,0 +1,116 @@
+#include "decomposition/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomposition/measures.hpp"
+#include "graph/families.hpp"
+#include "graph/generators.hpp"
+
+namespace nav::decomp {
+namespace {
+
+TEST(TrivialDecomposition, ValidOnAnyGraph) {
+  for (const auto& g :
+       {graph::make_cycle(7), graph::make_complete(5), graph::make_grid2d(3, 3)}) {
+    const auto pd = trivial_decomposition(g);
+    EXPECT_EQ(pd.num_bags(), 1u);
+    EXPECT_TRUE(pd.is_valid(g));
+  }
+}
+
+TEST(PathGraphDecomposition, ShapeOneOnPaths) {
+  const auto g = graph::make_path(50);
+  const auto pd = path_graph_decomposition(g);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;
+  const auto m = measure(g, pd);
+  EXPECT_EQ(m.width, 1u);
+  EXPECT_EQ(m.length, 1u);
+  EXPECT_EQ(m.shape, 1u);  // witnesses ps(path) = 1
+}
+
+TEST(PathGraphDecomposition, WorksWhenIdsArePermuted) {
+  // A path graph whose node ids are not in path order.
+  graph::Graph g(5, {{2, 0}, {0, 4}, {4, 1}, {1, 3}});
+  const auto pd = path_graph_decomposition(g);
+  EXPECT_TRUE(pd.is_valid(g));
+  EXPECT_EQ(measure(g, pd).shape, 1u);
+}
+
+TEST(PathGraphDecomposition, RejectsNonPaths) {
+  EXPECT_THROW(path_graph_decomposition(graph::make_cycle(5)),
+               std::invalid_argument);
+  EXPECT_THROW(path_graph_decomposition(graph::make_star(5)),
+               std::invalid_argument);
+}
+
+TEST(PathGraphDecomposition, SingletonOk) {
+  const auto g = graph::make_path(1);
+  EXPECT_TRUE(path_graph_decomposition(g).is_valid(g));
+}
+
+TEST(BfsLayerDecomposition, ValidAcrossFamilies) {
+  Rng rng(2);
+  for (const auto& fam : graph::all_families()) {
+    const auto g = fam.make(96, rng);
+    const auto pd = bfs_layer_decomposition(g);
+    std::string why;
+    EXPECT_TRUE(pd.is_valid(g, &why)) << fam.name << ": " << why;
+  }
+}
+
+TEST(BfsLayerDecomposition, PathGivesWidthOne) {
+  const auto g = graph::make_path(20);
+  const auto pd = bfs_layer_decomposition(g);
+  EXPECT_EQ(width_of(pd), 1u);
+}
+
+TEST(BfsLayerDecomposition, RootChoiceRespected) {
+  const auto g = graph::make_path(10);
+  const auto from_middle = bfs_layer_decomposition(g, 5);
+  // Rooted at the middle, layers pair up: width grows to 3 nodes per bag.
+  EXPECT_TRUE(from_middle.is_valid(g));
+  EXPECT_GE(width_of(from_middle), 2u);
+}
+
+TEST(BfsLayerDecomposition, RejectsDisconnected) {
+  graph::Graph g(3, {{0, 1}});
+  EXPECT_THROW(bfs_layer_decomposition(g), std::invalid_argument);
+}
+
+TEST(CaterpillarDecomposition, ValidWithSmallShape) {
+  const auto g = graph::make_caterpillar(10, 3);
+  const auto pd = caterpillar_decomposition(g);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;
+  const auto m = measure(g, pd);
+  EXPECT_LE(m.length, 2u);
+  EXPECT_LE(m.shape, 2u);  // certifies ps(caterpillar) <= 2
+}
+
+TEST(CaterpillarDecomposition, PurePathIsCaterpillar) {
+  const auto g = graph::make_path(12);
+  const auto pd = caterpillar_decomposition(g);
+  EXPECT_TRUE(pd.is_valid(g));
+  EXPECT_LE(measure(g, pd).shape, 2u);
+}
+
+TEST(CaterpillarDecomposition, StarIsCaterpillar) {
+  const auto g = graph::make_star(9);
+  const auto pd = caterpillar_decomposition(g);
+  EXPECT_TRUE(pd.is_valid(g));
+}
+
+TEST(CaterpillarDecomposition, RejectsNonCaterpillarTrees) {
+  // A spider with 3 legs of length 3 has a branching non-leaf structure.
+  EXPECT_THROW(caterpillar_decomposition(graph::make_spider(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(CaterpillarDecomposition, RejectsNonTrees) {
+  EXPECT_THROW(caterpillar_decomposition(graph::make_cycle(6)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::decomp

@@ -1,0 +1,73 @@
+#include "decomposition/interval_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomposition/measures.hpp"
+#include "graph/interval_model.hpp"
+
+namespace nav::decomp {
+namespace {
+
+TEST(IntervalDecomposition, SimpleChain) {
+  graph::IntervalModel model({{0, 2}, {1, 3}, {2, 4}, {3, 5}});
+  const auto g = model.to_graph();
+  const auto pd = interval_decomposition(model);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;
+  const auto m = measure(g, pd);
+  EXPECT_LE(m.length, 1u);  // bags are cliques
+  EXPECT_LE(m.shape, 1u);   // pathshape(interval graph) <= 1 (Corollary 1)
+}
+
+TEST(IntervalDecomposition, NestedIntervals) {
+  graph::IntervalModel model({{0, 10}, {1, 2}, {3, 4}, {5, 6}, {7, 8}});
+  const auto g = model.to_graph();
+  const auto pd = interval_decomposition(model);
+  EXPECT_TRUE(pd.is_valid(g));
+  EXPECT_LE(measure(g, pd).length, 1u);
+}
+
+TEST(IntervalDecomposition, SingleInterval) {
+  graph::IntervalModel model({{0, 1}});
+  const auto pd = interval_decomposition(model);
+  EXPECT_TRUE(pd.is_valid(model.to_graph()));
+}
+
+TEST(IntervalDecomposition, BagsAreCliques) {
+  Rng rng(3);
+  const auto model = graph::random_interval_model(30, rng);
+  const auto g = model.to_graph();
+  const auto pd = interval_decomposition(model);
+  for (const auto& bag : pd.bags()) {
+    for (std::size_t i = 0; i < bag.size(); ++i) {
+      for (std::size_t j = i + 1; j < bag.size(); ++j) {
+        EXPECT_TRUE(g.has_edge(bag[i], bag[j]))
+            << bag[i] << " " << bag[j] << " share a stab point";
+      }
+    }
+  }
+}
+
+// Property: across random models the decomposition is always a valid clique
+// path, certifying pathshape <= 1.
+class RandomIntervalDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomIntervalDecomposition, ValidCliquePath) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 101);
+  const auto model = graph::connected_random_interval_model(80, rng);
+  const auto g = model.to_graph();
+  const auto pd = interval_decomposition(model);
+  std::string why;
+  ASSERT_TRUE(pd.is_valid(g, &why)) << why;
+  const auto m = measure(g, pd);
+  EXPECT_LE(m.length, 1u);
+  EXPECT_LE(m.shape, 1u);
+  // Reduced: strictly fewer bags than 2n event points.
+  EXPECT_LE(pd.num_bags(), static_cast<std::size_t>(2 * g.num_nodes()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIntervalDecomposition,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace nav::decomp

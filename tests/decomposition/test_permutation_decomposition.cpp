@@ -1,0 +1,77 @@
+#include "decomposition/permutation_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomposition/measures.hpp"
+#include "graph/permutation_model.hpp"
+
+namespace nav::decomp {
+namespace {
+
+TEST(PermutationDecomposition, ReversalClique) {
+  graph::PermutationModel model({4, 3, 2, 1, 0});
+  const auto g = model.to_graph();
+  const auto pd = permutation_decomposition(model);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;
+  EXPECT_LE(measure(g, pd).length, 1u);  // clique: everything adjacent
+}
+
+TEST(PermutationDecomposition, IdentityIsolatedVertices) {
+  graph::PermutationModel model({0, 1, 2, 3});
+  const auto g = model.to_graph();
+  const auto pd = permutation_decomposition(model);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;  // coverage of fixed points
+}
+
+TEST(PermutationDecomposition, SingleNode) {
+  graph::PermutationModel model({0});
+  const auto pd = permutation_decomposition(model);
+  EXPECT_TRUE(pd.is_valid(model.to_graph()));
+}
+
+TEST(PermutationDecomposition, MixedFixedAndMoved) {
+  graph::PermutationModel model({0, 2, 1, 3, 5, 4});
+  const auto g = model.to_graph();
+  const auto pd = permutation_decomposition(model);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;
+}
+
+// The Corollary 1 certificate: pathlength <= 2 for permutation graphs,
+// via the left/right-crosser adjacency argument.
+class RandomPermutationDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPermutationDecomposition, ValidWithLengthAtMostTwo) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const auto model = graph::random_permutation_model(60, rng);
+  const auto g = model.to_graph();
+  const auto pd = permutation_decomposition(model);
+  std::string why;
+  ASSERT_TRUE(pd.is_valid(g, &why)) << why;
+  const auto m = measure(g, pd);
+  EXPECT_LE(m.length, 2u);
+  EXPECT_LE(m.shape, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPermutationDecomposition,
+                         ::testing::Range(0, 8));
+
+class BandedPermutationDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandedPermutationDecomposition, SparseModelsAlsoLengthTwo) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 3);
+  const auto model = graph::banded_permutation_model(120, 6, rng);
+  const auto g = model.to_graph();
+  const auto pd = permutation_decomposition(model);
+  std::string why;
+  ASSERT_TRUE(pd.is_valid(g, &why)) << why;
+  EXPECT_LE(measure(g, pd).length, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandedPermutationDecomposition,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace nav::decomp

@@ -1,0 +1,90 @@
+#include "decomposition/tree_decomposition_builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomposition/measures.hpp"
+#include "decomposition/tree_path_decomposition.hpp"
+#include "graph/generators.hpp"
+
+namespace nav::decomp {
+namespace {
+
+TEST(TreeEdgeDecomposition, PathTree) {
+  const auto g = graph::make_path(10);
+  const auto td = tree_edge_decomposition(g);
+  std::string why;
+  ASSERT_TRUE(td.is_valid(g, &why)) << why;
+  EXPECT_EQ(td.num_bags(), 9u);
+  EXPECT_EQ(width_of(td), 1u);
+}
+
+TEST(TreeEdgeDecomposition, StarTree) {
+  const auto g = graph::make_star(12);
+  const auto td = tree_edge_decomposition(g);
+  std::string why;
+  ASSERT_TRUE(td.is_valid(g, &why)) << why;
+  const auto m = measure(g, td);
+  EXPECT_EQ(m.width, 1u);
+  EXPECT_EQ(m.length, 1u);
+  EXPECT_EQ(m.shape, 1u);
+}
+
+TEST(TreeEdgeDecomposition, BalancedTree) {
+  const auto g = graph::make_balanced_tree(63, 2);
+  const auto td = tree_edge_decomposition(g);
+  std::string why;
+  ASSERT_TRUE(td.is_valid(g, &why)) << why;
+  EXPECT_EQ(measure(g, td).shape, 1u);
+}
+
+TEST(TreeEdgeDecomposition, SingletonTree) {
+  const auto g = graph::make_path(1);
+  const auto td = tree_edge_decomposition(g);
+  EXPECT_TRUE(td.is_valid(g));
+  EXPECT_EQ(td.num_bags(), 1u);
+}
+
+TEST(TreeEdgeDecomposition, RejectsNonTrees) {
+  EXPECT_THROW(tree_edge_decomposition(graph::make_cycle(5)),
+               std::invalid_argument);
+}
+
+// The motivation for pathSHAPE vs treeshape: trees have ts = 1 but their
+// best PATH decompositions can need Θ(log n) — the gap the paper's Theorem 2
+// pays on trees (log³ instead of log²).
+TEST(TreeEdgeDecomposition, TreeshapeOneVsPathshapeLogGap) {
+  const auto g = graph::make_balanced_tree(255, 2);
+  const auto ts_witness = measure(g, tree_edge_decomposition(g)).shape;
+  EXPECT_EQ(ts_witness, 1u);
+  // Pathwidth of the complete binary tree of depth 7 is Θ(depth); our
+  // centroid path decomposition realises width <= ceil(log2 n).
+  const auto pd = tree_path_decomposition(g);
+  EXPECT_GE(width_of(pd), 2u);
+}
+
+// Property sweep: valid + shape 1 across random trees.
+class RandomTreeEdgeDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeEdgeDecomposition, AlwaysShapeOne) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  const auto g = graph::make_random_tree(150, rng);
+  const auto td = tree_edge_decomposition(g);
+  std::string why;
+  ASSERT_TRUE(td.is_valid(g, &why)) << why;
+  EXPECT_EQ(measure(g, td).shape, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeEdgeDecomposition,
+                         ::testing::Range(0, 8));
+
+TEST(TrivialTreeDecomposition, AnyGraph) {
+  const auto g = graph::make_cycle(9);
+  const auto td = trivial_tree_decomposition(g);
+  EXPECT_TRUE(td.is_valid(g));
+  EXPECT_EQ(td.num_bags(), 1u);
+  // shape = min(n-1, diam) = min(8, 4) = 4.
+  EXPECT_EQ(measure(g, td).shape, 4u);
+}
+
+}  // namespace
+}  // namespace nav::decomp

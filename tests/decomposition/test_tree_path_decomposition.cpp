@@ -1,0 +1,107 @@
+#include "decomposition/tree_path_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "decomposition/measures.hpp"
+#include "graph/generators.hpp"
+
+namespace nav::decomp {
+namespace {
+
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t k = 0;
+  while ((std::size_t{1} << k) < n) ++k;
+  return k;
+}
+
+TEST(TreeCentroid, PathCentroidIsMiddle) {
+  const auto g = graph::make_path(9);
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId v = 0; v < 9; ++v) nodes.push_back(v);
+  EXPECT_EQ(subtree_centroid(g, nodes), 4u);
+}
+
+TEST(TreeCentroid, StarCentroidIsCenter) {
+  const auto g = graph::make_star(8);
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId v = 0; v < 8; ++v) nodes.push_back(v);
+  EXPECT_EQ(subtree_centroid(g, nodes), 0u);
+}
+
+TEST(TreeCentroid, SubtreeRestriction) {
+  const auto g = graph::make_path(10);
+  // Subtree = nodes 6..9: centroid should be 7 or 8.
+  const auto c = subtree_centroid(g, {6, 7, 8, 9});
+  EXPECT_TRUE(c == 7 || c == 8);
+}
+
+TEST(TreePathDecomposition, ValidOnPaths) {
+  const auto g = graph::make_path(17);
+  const auto pd = tree_path_decomposition(g);
+  std::string why;
+  EXPECT_TRUE(pd.is_valid(g, &why)) << why;
+  EXPECT_LE(width_of(pd), log2_ceil(17) + 1);
+}
+
+TEST(TreePathDecomposition, ValidOnStars) {
+  const auto g = graph::make_star(33);
+  const auto pd = tree_path_decomposition(g);
+  EXPECT_TRUE(pd.is_valid(g));
+  EXPECT_LE(width_of(pd), 2u);  // center + leaf bags
+}
+
+TEST(TreePathDecomposition, ValidOnBalancedTrees) {
+  for (const graph::NodeId n : {2u, 3u, 15u, 64u, 255u, 1000u}) {
+    const auto g = graph::make_balanced_tree(n, 2);
+    const auto pd = tree_path_decomposition(g);
+    std::string why;
+    ASSERT_TRUE(pd.is_valid(g, &why)) << "n=" << n << ": " << why;
+    EXPECT_LE(width_of(pd), log2_ceil(n) + 1) << "n=" << n;
+  }
+}
+
+TEST(TreePathDecomposition, SingletonTree) {
+  const auto g = graph::make_path(1);
+  const auto pd = tree_path_decomposition(g);
+  EXPECT_TRUE(pd.is_valid(g));
+  EXPECT_EQ(pd.num_bags(), 1u);
+}
+
+TEST(TreePathDecomposition, RejectsNonTrees) {
+  EXPECT_THROW(tree_path_decomposition(graph::make_cycle(5)),
+               std::invalid_argument);
+  graph::Graph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(tree_path_decomposition(disconnected), std::invalid_argument);
+}
+
+// Property test over random trees: valid + logarithmic width, i.e. the
+// pathshape O(log n) guarantee used by Corollary 1.
+class RandomTreeDecomposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeDecomposition, ValidWithLogWidth) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const graph::NodeId n = 200 + static_cast<graph::NodeId>(GetParam()) * 97;
+  const auto g = graph::make_random_tree(n, rng);
+  const auto pd = tree_path_decomposition(g);
+  std::string why;
+  ASSERT_TRUE(pd.is_valid(g, &why)) << why;
+  EXPECT_LE(width_of(pd), log2_ceil(n) + 1);
+  // Shape <= width always; on trees this is the Corollary 1 certificate.
+  const auto m = measure(g, pd);
+  EXPECT_LE(m.shape, log2_ceil(n) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeDecomposition,
+                         ::testing::Range(0, 10));
+
+TEST(TreePathDecomposition, CaterpillarGetsSmallWidthToo) {
+  const auto g = graph::make_caterpillar(32, 2);
+  const auto pd = tree_path_decomposition(g);
+  EXPECT_TRUE(pd.is_valid(g));
+  EXPECT_LE(width_of(pd), log2_ceil(g.num_nodes()) + 1);
+}
+
+}  // namespace
+}  // namespace nav::decomp

@@ -1,0 +1,69 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace nav::graph {
+namespace {
+
+TEST(Connectivity, SingleComponent) {
+  const auto g = make_cycle(6);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Connectivity, TwoComponents) {
+  Graph g(5, {{0, 1}, {2, 3}});
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[2], c.component_of[3]);
+  EXPECT_NE(c.component_of[0], c.component_of[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Connectivity, ComponentIdsOrderedBySmallestNode) {
+  Graph g(4, {{2, 3}});
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.component_of[0], 0u);
+  EXPECT_EQ(c.component_of[1], 1u);
+  EXPECT_EQ(c.component_of[2], 2u);
+  EXPECT_EQ(c.component_of[3], 2u);
+}
+
+TEST(Connectivity, EmptyAndSingletonConnected) {
+  EXPECT_TRUE(is_connected(Graph(1, {})));
+  EXPECT_TRUE(is_connected(Graph(0, {})));
+}
+
+TEST(LargestComponent, ExtractsBiggest) {
+  // Components: {0,1,2} (triangle), {3,4}.
+  Graph g(5, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  const auto lc = largest_component(g);
+  EXPECT_EQ(lc.graph.num_nodes(), 3u);
+  EXPECT_EQ(lc.graph.num_edges(), 3u);
+  EXPECT_EQ(lc.new_to_old.size(), 3u);
+  EXPECT_EQ(lc.old_to_new[3], kNoNode);
+  EXPECT_EQ(lc.old_to_new[0], 0u);
+  EXPECT_TRUE(is_connected(lc.graph));
+}
+
+TEST(LargestComponent, PreservesEdgesUnderRelabeling) {
+  Graph g(6, {{4, 5}, {4, 3}, {5, 3}, {0, 1}});
+  const auto lc = largest_component(g);
+  ASSERT_EQ(lc.graph.num_nodes(), 3u);
+  // The triangle 3-4-5 must map to a triangle.
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(lc.graph.degree(u), 2u);
+}
+
+TEST(LargestComponent, WholeGraphWhenConnected) {
+  const auto g = make_path(7);
+  const auto lc = largest_component(g);
+  EXPECT_EQ(lc.graph.num_nodes(), 7u);
+  EXPECT_EQ(lc.graph.num_edges(), 6u);
+}
+
+}  // namespace
+}  // namespace nav::graph

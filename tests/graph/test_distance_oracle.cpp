@@ -1,0 +1,93 @@
+#include "graph/distance_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/generators.hpp"
+
+namespace nav::graph {
+namespace {
+
+TEST(DistanceMatrix, MatchesBfs) {
+  const auto g = make_grid2d(5, 5);
+  DistanceMatrix dm(g);
+  for (NodeId t = 0; t < g.num_nodes(); t += 7) {
+    const auto d = bfs_distances(g, t);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_EQ(dm.distance(u, t), d[u]);
+    }
+  }
+}
+
+TEST(DistanceMatrix, Symmetric) {
+  const auto g = make_cycle(9);
+  DistanceMatrix dm(g);
+  for (NodeId u = 0; u < 9; ++u)
+    for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(dm.distance(u, v), dm.distance(v, u));
+}
+
+TEST(DistanceMatrix, SharedVectorMatchesScalar) {
+  const auto g = make_path(20);
+  DistanceMatrix dm(g);
+  const auto vec = dm.distances_to(5);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ((*vec)[u], dm.distance(u, 5));
+}
+
+TEST(TargetCache, MatchesBfs) {
+  const auto g = make_grid2d(6, 4);
+  TargetDistanceCache cache(g, 4);
+  const auto d = bfs_distances(g, 13);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(cache.distance(u, 13), d[u]);
+  }
+}
+
+TEST(TargetCache, HitsAndMisses) {
+  const auto g = make_path(30);
+  TargetDistanceCache cache(g, 2);
+  (void)cache.distances_to(0);
+  (void)cache.distances_to(0);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST(TargetCache, EvictsAtCapacityButStaysCorrect) {
+  const auto g = make_path(30);
+  TargetDistanceCache cache(g, 2);
+  const auto a = cache.distances_to(1);
+  (void)cache.distances_to(2);
+  (void)cache.distances_to(3);  // evicts target 1
+  // Held pointer stays valid and correct after eviction.
+  EXPECT_EQ((*a)[10], 9u);
+  // Re-request recomputes.
+  EXPECT_EQ(cache.distance(10, 1), 9u);
+  EXPECT_GE(cache.misses(), 4u);
+}
+
+TEST(TargetCache, ZeroCapacityClampedToOne) {
+  const auto g = make_path(5);
+  TargetDistanceCache cache(g, 0);
+  EXPECT_EQ(cache.distance(0, 4), 4u);
+}
+
+TEST(TargetCache, ConcurrentAccessConsistent) {
+  const auto g = make_grid2d(10, 10);
+  TargetDistanceCache cache(g, 8);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &g, &failures] {
+      for (NodeId target = 0; target < 20; ++target) {
+        const auto vec = cache.distances_to(target);
+        if ((*vec)[target] != 0) failures.fetch_add(1);
+        if (vec->size() != g.num_nodes()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace nav::graph

@@ -1,0 +1,235 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/diameter.hpp"
+
+namespace nav::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const auto g = make_path(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PathSingleton) {
+  const auto g = make_path(1);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, CycleShape) {
+  const auto g = make_cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, CompleteShape) {
+  const auto g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Generators, StarShape) {
+  const auto g = make_star(8);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_EQ(g.degree(0), 7u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Generators, BalancedTreeIsTree) {
+  for (const NodeId n : {1u, 2u, 7u, 10u, 31u, 100u}) {
+    const auto g = make_balanced_tree(n, 2);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n - 1u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, BalancedTreeDepthLogarithmic) {
+  const auto g = make_balanced_tree(127, 2);  // complete depth-6 binary tree
+  EXPECT_EQ(exact_diameter(g), 12u);
+}
+
+TEST(Generators, TernaryTree) {
+  const auto g = make_balanced_tree(13, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CaterpillarShape) {
+  const auto g = make_caterpillar(5, 2);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(2), 4u);  // middle spine: 2 spine + 2 legs
+}
+
+TEST(Generators, CombShape) {
+  const auto g = make_comb(4, 3);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 15u);  // a tree
+  EXPECT_EQ(exact_diameter(g), 3u + 3u + 3u);
+}
+
+TEST(Generators, SpiderShape) {
+  const auto g = make_spider(4, 5);
+  EXPECT_EQ(g.num_nodes(), 21u);
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(exact_diameter(g), 10u);
+}
+
+TEST(Generators, Grid2dShape) {
+  const auto g = make_grid2d(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // 17
+  EXPECT_EQ(exact_diameter(g), 5u);
+}
+
+TEST(Generators, Torus2dIsFourRegular) {
+  const auto g = make_torus2d(4, 5);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW(make_torus2d(2, 5), std::invalid_argument);
+}
+
+TEST(Generators, Grid3dShape) {
+  const auto g = make_grid3d(3, 3, 3);
+  EXPECT_EQ(g.num_nodes(), 27u);
+  EXPECT_EQ(exact_diameter(g), 6u);
+}
+
+TEST(Generators, HypercubeShape) {
+  const auto g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, LollipopShape) {
+  const auto g = make_lollipop(5, 10);
+  EXPECT_EQ(g.num_nodes(), 15u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 11u);
+}
+
+TEST(Generators, BarbellShape) {
+  const auto g = make_barbell(4, 3);
+  EXPECT_EQ(g.num_nodes(), 11u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(exact_diameter(g), 6u);  // clique hop + 4 bridge hops + clique hop
+}
+
+TEST(Generators, RingOfCliquesShape) {
+  const auto g = make_ring_of_cliques(4, 3);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SubdividedCompleteShape) {
+  const auto g = make_subdivided_complete(4, 2);
+  EXPECT_EQ(g.num_nodes(), 4u + 6u * 2u);
+  EXPECT_TRUE(is_connected(g));
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 3u);
+  // Farthest pairs are internal nodes of disjoint subdivided edges:
+  // 1 step to a terminal + (seg+1) across another edge + 1 step inside = 5.
+  EXPECT_EQ(exact_diameter(g), 5u);
+}
+
+TEST(Generators, SubdividedCompleteZeroSegIsComplete) {
+  const auto g = make_subdivided_complete(5, 0);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  Rng rng(1);
+  const auto g = make_gnp(200, 0.1, rng);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.8);
+  EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.2);
+}
+
+TEST(Generators, GnpEdgeCasesPZeroOne) {
+  Rng rng(2);
+  EXPECT_EQ(make_gnp(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(make_gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Generators, ConnectedGnpAlwaysConnected) {
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    // Deliberately sparse: repair path must kick in sometimes.
+    const auto g = make_connected_gnp(64, 0.02, rng);
+    EXPECT_TRUE(is_connected(g)) << "iteration " << i;
+    EXPECT_EQ(g.num_nodes(), 64u);
+  }
+}
+
+TEST(Generators, RandomTreeIsUniformTree) {
+  Rng rng(4);
+  for (const NodeId n : {1u, 2u, 3u, 10u, 100u}) {
+    const auto g = make_random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n > 0 ? n - 1 : 0u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomTreeVariesWithSeed) {
+  Rng a(5), b(6);
+  const auto g1 = make_random_tree(50, a);
+  const auto g2 = make_random_tree(50, b);
+  EXPECT_NE(g1.edge_list(), g2.edge_list());
+}
+
+TEST(Generators, RandomCaterpillarIsTree) {
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    const auto g = make_random_caterpillar(60, rng);
+    EXPECT_EQ(g.num_nodes(), 60u);
+    EXPECT_EQ(g.num_edges(), 59u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomRegularConnectedAndNearRegular) {
+  Rng rng(8);
+  const auto g = make_random_regular(100, 4, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_TRUE(is_connected(g));
+  // Pairing-model repair may drop a few stubs; stay close to 4-regular.
+  std::size_t total_degree = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    total_degree += g.degree(v);
+    EXPECT_LE(g.degree(v), 4u + 2u);
+  }
+  EXPECT_GT(total_degree, 100u * 4u * 9 / 10);
+}
+
+TEST(Generators, RandomRegularSmallDiameter) {
+  Rng rng(9);
+  const auto g = make_random_regular(512, 4, rng);
+  EXPECT_LE(exact_diameter(g), 12u);  // expander-ish: ~log n
+}
+
+TEST(Generators, RandomRegularValidation) {
+  Rng rng(10);
+  EXPECT_THROW(make_random_regular(10, 2, rng), std::invalid_argument);
+  EXPECT_THROW(make_random_regular(9, 3, rng), std::invalid_argument);  // odd n*d
+  EXPECT_THROW(make_random_regular(4, 5, rng), std::invalid_argument);
+}
+
+TEST(Generators, KleinbergBaseIsSquareTorus) {
+  const auto g = make_kleinberg_base(5);
+  EXPECT_EQ(g.num_nodes(), 25u);
+  for (NodeId v = 0; v < 25; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+}  // namespace
+}  // namespace nav::graph

@@ -1,0 +1,93 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nav::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, TriangleBasics) {
+  Graph g(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5, {{0, 4}, {0, 2}, {0, 1}, {0, 3}});
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i], nbrs[i + 1]);
+  }
+}
+
+TEST(Graph, ParallelEdgesDeduplicated) {
+  Graph g(2, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, IsolatedNodesAllowed) {
+  Graph g(4, {{0, 1}});
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(Graph, EdgeListCanonical) {
+  Graph g(4, {{3, 2}, {1, 0}, {2, 0}});
+  const auto edges = g.edge_list();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(edges[1], (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(edges[2], (std::pair<NodeId, NodeId>{2, 3}));
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  Graph g(3, {{0, 1}});
+  EXPECT_EQ(g.summary(), "Graph(n=3, m=1)");
+}
+
+TEST(GraphBuilder, BuildsAndValidates) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_EQ(b.pending_edges(), 2u);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, RejectsEagerly) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 5), std::invalid_argument);
+}
+
+TEST(GraphBuilder, NonConsumingBuild) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+}
+
+}  // namespace
+}  // namespace nav::graph

@@ -1,0 +1,77 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace nav::graph {
+namespace {
+
+TEST(GraphIo, RoundTripStream) {
+  const auto g = make_grid2d(4, 5);
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  const auto back = read_graph(buffer);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, RoundTripFile) {
+  const auto g = make_cycle(12);
+  const std::string path = ::testing::TempDir() + "nav_io_test.graph";
+  save_graph(path, g);
+  const auto back = load_graph(path);
+  EXPECT_EQ(back.edge_list(), g.edge_list());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n\nnav-graph 1\n# another\nn 3\n\n0 1\n# trailing\n1 2\n");
+  const auto g = read_graph(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, IsolatedNodesSurvive) {
+  Graph g(5, {{0, 1}});
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  EXPECT_EQ(read_graph(buffer).num_nodes(), 5u);
+}
+
+TEST(GraphIo, RejectsBadHeader) {
+  std::stringstream in("wrong 1\nn 2\n");
+  EXPECT_THROW(read_graph(in), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsBadVersion) {
+  std::stringstream in("nav-graph 2\nn 2\n");
+  EXPECT_THROW(read_graph(in), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsMissingCount) {
+  std::stringstream in("nav-graph 1\n0 1\n");
+  EXPECT_THROW(read_graph(in), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEdge) {
+  std::stringstream in("nav-graph 1\nn 2\n0 5\n");
+  EXPECT_THROW(read_graph(in), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsEmptyStream) {
+  std::stringstream in("");
+  EXPECT_THROW(read_graph(in), std::invalid_argument);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent_xyz/g.graph"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nav::graph

@@ -1,0 +1,86 @@
+#include "graph/interval_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace nav::graph {
+namespace {
+
+TEST(IntervalModel, AdjacencyIffIntersection) {
+  // [0,2], [1,3], [4,5]: 0-1 intersect, 2 is separate.
+  IntervalModel m({{0, 2}, {1, 3}, {4, 5}});
+  const auto g = m.to_graph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(IntervalModel, TouchingEndpointsAreAdjacent) {
+  IntervalModel m({{0, 2}, {2, 4}});
+  EXPECT_TRUE(m.to_graph().has_edge(0, 1));
+}
+
+TEST(IntervalModel, NestedIntervalsAdjacent) {
+  IntervalModel m({{0, 10}, {3, 4}});
+  EXPECT_TRUE(m.to_graph().has_edge(0, 1));
+}
+
+TEST(IntervalModel, BruteForceAgreement) {
+  Rng rng(5);
+  const auto model = random_interval_model(40, rng);
+  const auto g = model.to_graph();
+  for (NodeId u = 0; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) {
+      const auto& a = model.interval(u);
+      const auto& b = model.interval(v);
+      const bool intersect = a.lo <= b.hi && b.lo <= a.hi;
+      EXPECT_EQ(g.has_edge(u, v), intersect) << u << "," << v;
+    }
+  }
+}
+
+TEST(IntervalModel, StabReturnsContainingIntervals) {
+  IntervalModel m({{0, 5}, {2, 3}, {6, 8}});
+  const auto hit = m.stab(2);
+  ASSERT_EQ(hit.size(), 2u);
+  EXPECT_EQ(hit[0], 0u);
+  EXPECT_EQ(hit[1], 1u);
+}
+
+TEST(IntervalModel, EventPointsSortedUnique) {
+  IntervalModel m({{3, 7}, {3, 5}, {1, 7}});
+  const auto pts = m.event_points();
+  EXPECT_EQ(pts, (std::vector<std::int64_t>{1, 3, 5, 7}));
+}
+
+TEST(IntervalModel, RejectsInvertedInterval) {
+  EXPECT_THROW(IntervalModel({{5, 3}}), std::invalid_argument);
+}
+
+TEST(IntervalModel, RejectsEmpty) {
+  EXPECT_THROW(IntervalModel({}), std::invalid_argument);
+}
+
+TEST(IntervalModel, ConnectedRandomIsConnected) {
+  Rng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    const auto model = connected_random_interval_model(50, rng);
+    EXPECT_TRUE(is_connected(model.to_graph()));
+    EXPECT_EQ(model.num_nodes(), 50u);
+  }
+}
+
+TEST(IntervalModel, RandomModelRespectsSpan) {
+  Rng rng(10);
+  const auto model = random_interval_model(30, rng, 100, 5);
+  for (NodeId u = 0; u < 30; ++u) {
+    EXPECT_GE(model.interval(u).lo, 0);
+    EXPECT_LT(model.interval(u).lo, 100);
+    EXPECT_LE(model.interval(u).hi - model.interval(u).lo, 5);
+  }
+}
+
+}  // namespace
+}  // namespace nav::graph

@@ -1,0 +1,93 @@
+#include "graph/permutation_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace nav::graph {
+namespace {
+
+TEST(PermutationModel, IdentityHasNoEdges) {
+  PermutationModel m({0, 1, 2, 3});
+  EXPECT_EQ(m.to_graph().num_edges(), 0u);
+}
+
+TEST(PermutationModel, ReversalIsComplete) {
+  PermutationModel m({3, 2, 1, 0});
+  EXPECT_EQ(m.to_graph().num_edges(), 6u);
+}
+
+TEST(PermutationModel, EdgesAreExactlyInversions) {
+  PermutationModel m({1, 3, 0, 2});
+  const auto g = m.to_graph();
+  EXPECT_TRUE(g.has_edge(0, 2));   // 1 > 0
+  EXPECT_TRUE(g.has_edge(1, 2));   // 3 > 0
+  EXPECT_TRUE(g.has_edge(1, 3));   // 3 > 2
+  EXPECT_FALSE(g.has_edge(0, 1));  // 1 < 3
+  EXPECT_FALSE(g.has_edge(0, 3));  // 1 < 2
+  EXPECT_FALSE(g.has_edge(2, 3));  // 0 < 2
+}
+
+TEST(PermutationModel, CutSetMatchesDefinition) {
+  PermutationModel m({1, 3, 0, 2});
+  // Cut c=2: u crosses iff (u<2) XOR (pi(u)<2). pi = [1,3,0,2].
+  // u=0: 0<2, 1<2 -> no. u=1: 1<2, 3>=2 -> yes. u=2: 2>=2, 0<2 -> yes.
+  // u=3: both right -> no.
+  const auto cut = m.cut_set(2);
+  EXPECT_EQ(cut, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(PermutationModel, CutSidesEquinumerous) {
+  Rng rng(3);
+  const auto m = random_permutation_model(40, rng);
+  for (NodeId c = 1; c < 40; ++c) {
+    std::size_t left = 0, right = 0;
+    for (const NodeId u : m.cut_set(c)) {
+      (u < c ? left : right) += 1;
+    }
+    EXPECT_EQ(left, right) << "cut " << c;
+  }
+}
+
+TEST(PermutationModel, RejectsNonPermutation) {
+  EXPECT_THROW(PermutationModel({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(PermutationModel({0, 5, 1}), std::invalid_argument);
+  EXPECT_THROW(PermutationModel({}), std::invalid_argument);
+}
+
+TEST(PermutationModel, RandomIsValidPermutation) {
+  Rng rng(4);
+  const auto m = random_permutation_model(100, rng);
+  std::vector<bool> seen(100, false);
+  for (NodeId u = 0; u < 100; ++u) {
+    EXPECT_FALSE(seen[m.pi(u)]);
+    seen[m.pi(u)] = true;
+  }
+}
+
+TEST(PermutationModel, BandedIsConnected) {
+  Rng rng(5);
+  for (const NodeId n : {8u, 33u, 100u, 257u}) {
+    const auto m = banded_permutation_model(n, 8, rng);
+    EXPECT_TRUE(is_connected(m.to_graph())) << "n=" << n;
+  }
+}
+
+TEST(PermutationModel, BandedIsSparseForSmallWindow) {
+  Rng rng(6);
+  const auto m = banded_permutation_model(400, 6, rng);
+  const auto g = m.to_graph();
+  // Window-local shuffles: expected O(n * w) edges, far below n^2/4.
+  EXPECT_LT(g.num_edges(), 400u * 20u);
+}
+
+TEST(PermutationModel, BandedEveryCutCrossed) {
+  Rng rng(7);
+  const auto m = banded_permutation_model(120, 5, rng);
+  for (NodeId c = 1; c < 120; ++c) {
+    EXPECT_FALSE(m.cut_set(c).empty()) << "cut " << c;
+  }
+}
+
+}  // namespace
+}  // namespace nav::graph

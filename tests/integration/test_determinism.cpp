@@ -1,0 +1,70 @@
+// test_determinism.cpp — the reproducibility contract: one master seed
+// determines every number, regardless of thread count or schedule.
+#include <gtest/gtest.h>
+
+#include "core/scheme_factory.hpp"
+#include "graph/families.hpp"
+#include "graph/generators.hpp"
+#include "routing/experiment.hpp"
+#include "routing/trial_runner.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace nav {
+namespace {
+
+TEST(Determinism, SweepIdenticalAcrossRuns) {
+  routing::SweepConfig config;
+  config.family = "cycle";
+  config.sizes = {128, 256};
+  config.schemes = {"uniform", "ball"};
+  config.trials.num_pairs = 4;
+  config.trials.resamples = 4;
+  config.seed = 2024;
+  const auto a = routing::run_sweep(config);
+  const auto b = routing::run_sweep(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].greedy_diameter, b[i].greedy_diameter) << i;
+    EXPECT_DOUBLE_EQ(a[i].mean_steps, b[i].mean_steps) << i;
+  }
+}
+
+TEST(Determinism, PairEstimateIndependentOfParallelism) {
+  const auto g = graph::make_path(512);
+  graph::DistanceMatrix oracle(g);
+  Rng rng(5);
+  const auto scheme = core::make_scheme("ball", g, rng);
+  const auto par =
+      routing::estimate_pair(g, scheme.get(), oracle, 0, 511, 24, Rng(6), true);
+  const auto seq = routing::estimate_pair(g, scheme.get(), oracle, 0, 511, 24,
+                                          Rng(6), false);
+  EXPECT_DOUBLE_EQ(par.mean_steps, seq.mean_steps);
+  EXPECT_DOUBLE_EQ(par.max_steps, seq.max_steps);
+  EXPECT_DOUBLE_EQ(par.mean_long_links, seq.mean_long_links);
+}
+
+TEST(Determinism, RandomFamiliesReproducible) {
+  for (const auto& fam : graph::all_families()) {
+    Rng a(42), b(42);
+    const auto g1 = fam.make(200, a);
+    const auto g2 = fam.make(200, b);
+    EXPECT_EQ(g1.edge_list(), g2.edge_list()) << fam.name;
+  }
+}
+
+TEST(Determinism, SchemeSamplingReproducible) {
+  const auto g = graph::make_grid2d(16, 16);
+  Rng build(9);
+  for (const auto& spec : {"uniform", "ml", "ball", "rank"}) {
+    const auto scheme = core::make_scheme(spec, g, build);
+    Rng r1(77), r2(77);
+    for (int i = 0; i < 64; ++i) {
+      const auto u = static_cast<graph::NodeId>(i % g.num_nodes());
+      EXPECT_EQ(scheme->sample_contact(u, r1), scheme->sample_contact(u, r2))
+          << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nav

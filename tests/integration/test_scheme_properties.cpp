@@ -1,0 +1,89 @@
+// test_scheme_properties.cpp — cross-cutting properties every scheme must
+// satisfy, parameterized over scheme × family (paper §1's model contract).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scheme_factory.hpp"
+#include "graph/diameter.hpp"
+#include "graph/families.hpp"
+#include "routing/greedy_router.hpp"
+#include "routing/trial_runner.hpp"
+
+namespace nav {
+namespace {
+
+using Param = std::tuple<std::string, std::string>;  // (scheme, family)
+
+class SchemeFamilyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchemeFamilyTest, ContactsValidAndRoutingBounded) {
+  const auto& [spec, family_name] = GetParam();
+  Rng rng(0xc0ffee);
+  const auto g = graph::family(family_name).make(256, rng);
+  const auto scheme = core::make_scheme(spec, g, rng);
+  ASSERT_NE(scheme, nullptr);
+  EXPECT_EQ(scheme->num_nodes(), g.num_nodes());
+
+  // 1. Contacts are in range (or absent).
+  Rng sample_rng(1);
+  for (graph::NodeId u = 0; u < g.num_nodes(); u += 17) {
+    for (int i = 0; i < 8; ++i) {
+      const auto c = scheme->sample_contact(u, sample_rng);
+      ASSERT_TRUE(c == core::kNoContact || c < g.num_nodes())
+          << spec << "/" << family_name;
+    }
+  }
+
+  // 2. Greedy routing terminates within dist(s, t) steps — the paper's
+  //    strict-decrease argument, for every scheme and every family.
+  graph::TargetDistanceCache oracle(g, 4);
+  routing::GreedyRouter router(g, oracle);
+  const auto pp = graph::peripheral_pair(g);
+  Rng route_rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto result = router.route(pp.a, pp.b, scheme.get(), route_rng);
+    EXPECT_TRUE(result.reached);
+    EXPECT_LE(result.steps, pp.distance);
+  }
+
+  // 3. Exact probabilities, when implemented, form a sub-distribution.
+  if (scheme->probability(0, 0) >= 0.0) {
+    double total = 0.0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double p = scheme->probability(0, v);
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0 + 1e-9);
+      total += p;
+    }
+    EXPECT_LE(total, 1.0 + 1e-6) << spec << "/" << family_name;
+  }
+}
+
+std::vector<Param> scheme_family_grid() {
+  const std::vector<std::string> schemes = {"uniform", "ml",        "ball",
+                                            "rank",    "ml-labelU", "growth"};
+  const std::vector<std::string> families = {
+      "path", "cycle", "caterpillar", "balanced_tree", "random_tree",
+      "grid2d", "torus2d", "gnp", "random_regular", "interval",
+      "ring_of_cliques"};
+  std::vector<Param> grid;
+  for (const auto& s : schemes)
+    for (const auto& f : families) grid.emplace_back(s, f);
+  return grid;
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name =
+      std::get<0>(info.param) + "_" + std::get<1>(info.param);
+  for (auto& ch : name) {
+    if (ch == '-' || ch == ':' || ch == '.') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SchemeFamilyTest,
+                         ::testing::ValuesIn(scheme_family_grid()), param_name);
+
+}  // namespace
+}  // namespace nav

@@ -1,0 +1,102 @@
+#include "routing/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nav::routing {
+namespace {
+
+SweepConfig small_config() {
+  SweepConfig config;
+  config.family = "path";
+  config.sizes = {64, 128, 256};
+  config.schemes = {"none", "uniform"};
+  config.trials.num_pairs = 3;
+  config.trials.resamples = 4;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Sweep, ProducesRowPerCell) {
+  const auto rows = run_sweep(small_config());
+  EXPECT_EQ(rows.size(), 3u * 2u);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.family, "path");
+    EXPECT_GT(r.n_actual, 0u);
+    EXPECT_GT(r.greedy_diameter, 0.0);
+    EXPECT_GE(r.greedy_diameter, r.mean_steps);
+  }
+}
+
+TEST(Sweep, NoneSchemeTracksDiameter) {
+  const auto rows = run_sweep(small_config());
+  for (const auto& r : rows) {
+    if (r.scheme == "none") {
+      EXPECT_DOUBLE_EQ(r.greedy_diameter, static_cast<double>(r.diameter_lb));
+    }
+  }
+}
+
+TEST(Sweep, DeterministicGivenSeed) {
+  const auto a = run_sweep(small_config());
+  const auto b = run_sweep(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].greedy_diameter, b[i].greedy_diameter);
+  }
+}
+
+TEST(Sweep, TableHasHeaderAndRows) {
+  const auto rows = run_sweep(small_config());
+  const auto table = sweep_table(rows);
+  EXPECT_EQ(table.rows(), rows.size());
+  EXPECT_EQ(table.columns(), 9u);
+  EXPECT_NE(table.to_ascii().find("greedy-diam"), std::string::npos);
+}
+
+TEST(Sweep, FitRecoversLinearForNone) {
+  // Greedy diameter of "none" on paths is exactly n-1: slope ~ 1.
+  auto config = small_config();
+  config.schemes = {"none"};
+  config.sizes = {128, 256, 512, 1024};
+  const auto rows = run_sweep(config);
+  const auto fits = fit_exponents(rows);
+  ASSERT_EQ(fits.size(), 1u);
+  EXPECT_EQ(fits[0].scheme, "none");
+  EXPECT_NEAR(fits[0].fit.slope, 1.0, 0.02);
+  EXPECT_GT(fits[0].fit.r_squared, 0.999);
+}
+
+TEST(Sweep, FitTableRenders) {
+  const auto rows = run_sweep(small_config());
+  const auto table = fit_table(fit_exponents(rows));
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_NE(table.to_ascii().find("exponent"), std::string::npos);
+}
+
+TEST(Sweep, RejectsEmptyGrid) {
+  SweepConfig config;
+  config.family = "path";
+  EXPECT_THROW(run_sweep(config), std::invalid_argument);
+  config.sizes = {16};
+  EXPECT_THROW(run_sweep(config), std::invalid_argument);
+}
+
+TEST(Sweep, UnknownFamilyThrows) {
+  auto config = small_config();
+  config.family = "not-a-family";
+  EXPECT_THROW(run_sweep(config), std::invalid_argument);
+}
+
+TEST(Sweep, LargeSizeUsesCacheOracle) {
+  // Just exercises the TargetDistanceCache path (> dense_oracle_limit).
+  auto config = small_config();
+  config.sizes = {512};
+  config.dense_oracle_limit = 128;
+  config.schemes = {"uniform"};
+  const auto rows = run_sweep(config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_GT(rows[0].greedy_diameter, 0.0);
+}
+
+}  // namespace
+}  // namespace nav::routing

@@ -1,0 +1,161 @@
+#include "routing/lookahead_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ball_scheme.hpp"
+#include "core/uniform_scheme.hpp"
+#include "graph/generators.hpp"
+#include "runtime/stats.hpp"
+
+namespace nav::routing {
+namespace {
+
+TEST(LookaheadRouter, NoContactsEqualsShortestPath) {
+  const auto g = graph::make_path(30);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  const std::vector<graph::NodeId> none(30, core::kNoContact);
+  const auto result = router.route(2, 27, none);
+  EXPECT_TRUE(result.reached);
+  EXPECT_EQ(result.steps, 25u);
+  EXPECT_EQ(result.long_links_used, 0u);
+}
+
+TEST(LookaheadRouter, UsesNeighborsContact) {
+  // Node 1's contact goes straight to the target; starting at 0 the NoN rule
+  // sees it through the lookahead: 0 -> 1 -> 9 in two hops.
+  const auto g = graph::make_path(10);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  std::vector<graph::NodeId> contacts(10, core::kNoContact);
+  contacts[1] = 9;
+  const auto result = router.route(0, 9, contacts, true);
+  EXPECT_EQ(result.steps, 2u);
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[1], 1u);
+  EXPECT_EQ(result.trace[2], 9u);
+  EXPECT_EQ(result.long_links_used, 1u);
+}
+
+TEST(LookaheadRouter, TakesBackwardNeighborForItsContact) {
+  // The node *behind* u has a contact adjacent to the target: NoN walks one
+  // step away from t, then jumps — still a win overall.
+  const auto g = graph::make_path(50);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  std::vector<graph::NodeId> contacts(50, core::kNoContact);
+  contacts[9] = 48;  // behind the source
+  const auto result = router.route(10, 49, contacts, true);
+  // 10 -> 9 (backward), 9 -> 48 (long), 48 -> 49: 3 steps vs 39 plain.
+  EXPECT_EQ(result.steps, 3u);
+  EXPECT_EQ(result.trace[1], 9u);
+  EXPECT_EQ(result.trace[2], 48u);
+}
+
+TEST(LookaheadRouter, StepsAtMostTwiceDistance) {
+  const auto g = graph::make_grid2d(12, 12);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  core::UniformScheme scheme(g);
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto contacts = core::sample_all_contacts(scheme, rng);
+    const auto result = router.route(0, 143, contacts);
+    EXPECT_TRUE(result.reached);
+    EXPECT_LE(result.steps, 2u * result.initial_distance);
+  }
+}
+
+TEST(LookaheadRouter, BeatsPlainGreedyOnAverage) {
+  const auto g = graph::make_path(2048);
+  graph::DistanceMatrix oracle(g);
+  GreedyRouter plain(g, oracle);
+  LookaheadRouter lookahead(g, oracle);
+  core::UniformScheme scheme(g);
+  Rng rng(4);
+  RunningStats plain_steps, non_steps;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto contacts = core::sample_all_contacts(scheme, rng);
+    plain_steps.add(plain.route_with_contacts(0, 2047, contacts).steps);
+    non_steps.add(lookahead.route(0, 2047, contacts).steps);
+  }
+  EXPECT_LT(non_steps.mean(), plain_steps.mean());
+}
+
+TEST(LookaheadRouter, SourceEqualsTarget) {
+  const auto g = graph::make_cycle(8);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  const std::vector<graph::NodeId> none(8, core::kNoContact);
+  EXPECT_EQ(router.route(5, 5, none).steps, 0u);
+}
+
+TEST(LookaheadRouter, TraceConsistent) {
+  const auto g = graph::make_torus2d(8, 8);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  core::BallScheme scheme(g);
+  Rng rng(5);
+  const auto contacts = core::sample_all_contacts(scheme, rng);
+  const auto result = router.route(0, 36, contacts, true);
+  ASSERT_EQ(result.trace.size(), result.steps + 1u);
+  EXPECT_EQ(result.trace.front(), 0u);
+  EXPECT_EQ(result.trace.back(), 36u);
+  for (std::size_t i = 0; i < result.steps; ++i) {
+    if (!result.long_flags[i]) {
+      EXPECT_TRUE(g.has_edge(result.trace[i], result.trace[i + 1]));
+    }
+  }
+}
+
+TEST(MemoContacts, StableAcrossRepeatedAccess) {
+  const auto g = graph::make_path(64);
+  core::UniformScheme scheme(g);
+  core::MemoContacts contacts(scheme, Rng(11));
+  const auto first = contacts(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(contacts(7), first);
+}
+
+TEST(MemoContacts, AccessOrderIndependent) {
+  const auto g = graph::make_path(64);
+  core::UniformScheme scheme(g);
+  core::MemoContacts forward(scheme, Rng(12));
+  core::MemoContacts backward(scheme, Rng(12));
+  std::vector<graph::NodeId> fwd, bwd(64);
+  for (graph::NodeId u = 0; u < 64; ++u) fwd.push_back(forward(u));
+  for (graph::NodeId u = 64; u > 0; --u) bwd[u - 1] = backward(u - 1);
+  for (graph::NodeId u = 0; u < 64; ++u) EXPECT_EQ(fwd[u], bwd[u]);
+}
+
+TEST(MemoContacts, LookaheadRouteMatchesEagerEquivalent) {
+  // Routing through MemoContacts must equal routing through the fully
+  // materialised vector of the same streams.
+  const auto g = graph::make_cycle(128);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  core::UniformScheme scheme(g);
+  core::MemoContacts memo(scheme, Rng(13));
+  std::vector<graph::NodeId> eager(g.num_nodes());
+  {
+    core::MemoContacts fill(scheme, Rng(13));
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) eager[u] = fill(u);
+  }
+  const auto via_memo = router.route(
+      0, 64, [&memo](graph::NodeId u) { return memo(u); });
+  const auto via_eager = router.route(0, 64, eager);
+  EXPECT_EQ(via_memo.steps, via_eager.steps);
+  EXPECT_EQ(via_memo.long_links_used, via_eager.long_links_used);
+}
+
+TEST(LookaheadRouter, RejectsBadInput) {
+  const auto g = graph::make_path(5);
+  graph::DistanceMatrix oracle(g);
+  LookaheadRouter router(g, oracle);
+  const std::vector<graph::NodeId> none(5, core::kNoContact);
+  EXPECT_THROW((void)router.route(0, 9, none), std::invalid_argument);
+  const std::vector<graph::NodeId> short_vec(3, core::kNoContact);
+  EXPECT_THROW((void)router.route(0, 4, short_vec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::routing

@@ -1,0 +1,123 @@
+#include "runtime/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nav {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(2024);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  // Expected 10000 per bucket; 4-sigma band ~ +-380.
+  for (const int c : counts) {
+    EXPECT_GT(c, 9500);
+    EXPECT_LT(c, 10500);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.next_bool(0.25);
+  EXPECT_NEAR(heads / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ChildStreamsAreIndependentish) {
+  Rng root(55);
+  Rng c0 = root.child(0);
+  Rng c1 = root.child(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c0() == c1());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ChildIsDeterministic) {
+  Rng root(55);
+  Rng a = root.child(42);
+  Rng b = root.child(42);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ChildDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.child(3);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, NestedChildrenDistinct) {
+  Rng root(1);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    for (std::uint64_t j = 0; j < 32; ++j) {
+      Rng c = root.child(i).child(j);
+      firsts.insert(c());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 32u * 32u);  // no collisions among 1024 streams
+}
+
+TEST(Rng, RandomIndexCoversRange) {
+  Rng rng(8);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(random_index(rng, 7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(SplitMix, KnownFirstOutputsDiffer) {
+  std::uint64_t s1 = 0, s2 = 1;
+  EXPECT_NE(splitmix64_next(s1), splitmix64_next(s2));
+}
+
+}  // namespace
+}  // namespace nav

@@ -1,0 +1,182 @@
+#include "runtime/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/rng.hpp"
+
+namespace nav {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 1000; ++i) large.add(rng.next_double());
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(RunningStats, CiLevelMonotone) {
+  RunningStats s;
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) s.add(rng.next_double());
+  EXPECT_LT(s.ci_halfwidth(0.90), s.ci_halfwidth(0.95));
+  EXPECT_LT(s.ci_halfwidth(0.95), s.ci_halfwidth(0.99));
+}
+
+TEST(Percentile, KnownQuantiles) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.35), 3.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Histogram, CountsFallInRightBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const auto s = h.render(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  // y = 3 * x^0.5
+  std::vector<double> xs, ys;
+  for (double x = 10; x <= 1e6; x *= 10) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::sqrt(x));
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PowerFit, RecoversCubeRoot) {
+  std::vector<double> xs, ys;
+  for (double x = 2; x <= (1 << 20); x *= 2) {
+    xs.push_back(x);
+    ys.push_back(std::cbrt(x));
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PowerFit, FlatLineHasZeroSlope) {
+  const auto fit = fit_power_law({1, 10, 100, 1000}, {5, 5, 5, 5});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+}
+
+TEST(PowerFit, IgnoresNonPositivePoints) {
+  const auto fit =
+      fit_power_law({-1, 0, 10, 100, 1000}, {1, 1, 10, 100, 1000});
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+}
+
+TEST(PowerFit, TooFewPointsGivesZero) {
+  const auto fit = fit_power_law({10}, {5});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace nav
