@@ -1,25 +1,32 @@
 // bench_common.hpp — shared scaffolding for the experiment binaries.
 //
-// Every bench accepts `--quick` (smaller grids, for smoke runs) and prints
-// self-describing sections so that `for b in build/bench/*; do $b; done`
-// produces a readable experiment log. CSV dumps land next to the binary when
-// `--csv` is passed.
+// Every bench accepts:
+//   --quick   smaller grids, for smoke runs
+//   --csv     write sweep_<family>.csv next to the binary
+//   --jsonl   write sweep_<family>.jsonl (one JSON object per grid cell —
+//             the native trajectory format for downstream tooling)
+// and prints self-describing sections so that `for b in build/bench_*; do
+// $b; done` produces a readable experiment log.
+//
+// Benches compile against the nav/nav.hpp facade only; sweeps are declared
+// with api::Experiment and rendered through run_and_print.
 #pragma once
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "routing/experiment.hpp"
-#include "runtime/table.hpp"
-#include "runtime/timer.hpp"
+#include "nav/nav.hpp"
 
 namespace nav::bench {
 
 struct BenchOptions {
   bool quick = false;
   bool csv = false;
+  bool jsonl = false;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -27,6 +34,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+    if (std::strcmp(argv[i], "--jsonl") == 0) opt.jsonl = true;
   }
   return opt;
 }
@@ -42,22 +50,38 @@ inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "========================================================\n";
 }
 
-/// Runs one family sweep and prints its table and exponent fits.
-inline std::vector<routing::SweepRow> run_and_print(
-    const routing::SweepConfig& config, const BenchOptions& opt) {
+/// Runs one sweep grid and prints its table and exponent fits; optional CSV
+/// and JSON Lines dumps land next to the binary.
+inline api::ExperimentResult run_and_print(api::Experiment experiment,
+                                           const BenchOptions& opt) {
   Timer timer;
-  auto rows = routing::run_sweep(config);
-  std::cout << routing::sweep_table(rows).to_ascii();
+  const std::string stem = "sweep_" + experiment.family();
+  std::ofstream jsonl_stream;
+  std::unique_ptr<api::JsonLinesSink> jsonl;
+  bool jsonl_open = false;
+  if (opt.jsonl) {
+    jsonl_stream.open(stem + ".jsonl");
+    if (jsonl_stream) {
+      jsonl = std::make_unique<api::JsonLinesSink>(jsonl_stream);
+      experiment.stream_to(*jsonl);
+      jsonl_open = true;
+    } else {
+      std::cerr << "warning: cannot open " << stem
+                << ".jsonl — skipping jsonl output\n";
+    }
+  }
+  const auto result = experiment.run();
+  std::cout << result.table().to_ascii();
   std::cout << "exponent fits (greedy diameter ~ n^slope):\n"
-            << routing::fit_table(routing::fit_exponents(rows)).to_ascii();
-  std::cout << "[" << config.family << " sweep took "
+            << result.fit_table().to_ascii();
+  std::cout << "[" << experiment.family() << " sweep took "
             << Table::num(timer.seconds(), 1) << "s]\n";
   if (opt.csv) {
-    const std::string path = "sweep_" + config.family + ".csv";
-    routing::sweep_table(rows).save_csv(path);
-    std::cout << "csv written: " << path << "\n";
+    result.table().save_csv(stem + ".csv");
+    std::cout << "csv written: " << stem << ".csv\n";
   }
-  return rows;
+  if (jsonl_open) std::cout << "jsonl written: " << stem << ".jsonl\n";
+  return result;
 }
 
 /// Geometric size grid 2^lo .. 2^hi.

@@ -23,14 +23,13 @@ int main(int argc, char** argv) {
        {"path", "cycle", "caterpillar", "grid2d", "torus2d", "balanced_tree",
         "gnp"}) {
     bench::section(std::string("E1: uniform on ") + family);
-    routing::SweepConfig config;
-    config.family = family;
-    config.sizes = bench::pow2_sizes(10, hi);
-    config.schemes = {"uniform"};
-    config.trials.num_pairs = 12;
-    config.trials.resamples = 16;
-    config.seed = 0xE1;
-    bench::run_and_print(config, opt);
+    bench::run_and_print(api::Experiment::on(family)
+                             .sizes(bench::pow2_sizes(10, hi))
+                             .schemes({"uniform"})
+                             .pairs(12)
+                             .resamples(16)
+                             .seed(0xE1),
+                         opt);
   }
 
   bench::section("E1 summary");

@@ -14,9 +14,6 @@
 
 #include <cmath>
 
-#include "core/name_independent.hpp"
-#include "routing/trial_runner.hpp"
-
 namespace {
 
 using namespace nav;

@@ -11,14 +11,6 @@
 // than a constant.
 #include "bench_common.hpp"
 
-#include "core/ml_scheme.hpp"
-#include "core/uniform_scheme.hpp"
-#include "decomposition/interval_decomposition.hpp"
-#include "decomposition/pathshape.hpp"
-#include "decomposition/permutation_decomposition.hpp"
-#include "graph/interval_model.hpp"
-#include "graph/permutation_model.hpp"
-
 namespace {
 
 using namespace nav;
@@ -98,14 +90,13 @@ int main(int argc, char** argv) {
   for (const auto& c : cases) {
     bench::section(std::string("E3: ml vs uniform on ") + c.family);
     std::cout << "expectation: " << c.expectation << "\n";
-    routing::SweepConfig config;
-    config.family = c.family;
-    config.sizes = bench::pow2_sizes(9, c.hi_exp);
-    config.schemes = {"uniform", "ml"};
-    config.trials.num_pairs = 10;
-    config.trials.resamples = 12;
-    config.seed = 0xE3;
-    bench::run_and_print(config, opt);
+    bench::run_and_print(api::Experiment::on(c.family)
+                             .sizes(bench::pow2_sizes(9, c.hi_exp))
+                             .schemes({"uniform", "ml"})
+                             .pairs(10)
+                             .resamples(12)
+                             .seed(0xE3),
+                         opt);
   }
 
   // Corollary 1's AT-free exemplars with certified decompositions.

@@ -15,10 +15,6 @@
 
 #include <cmath>
 
-#include "core/restricted_label_scheme.hpp"
-#include "graph/generators.hpp"
-#include "routing/trial_runner.hpp"
-
 int main(int argc, char** argv) {
   using namespace nav;
   const auto opt = bench::parse_options(argc, argv);

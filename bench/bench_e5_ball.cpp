@@ -26,20 +26,19 @@ int main(int argc, char** argv) {
   // Part 1: the barrier families, where the separation is visible.
   for (const auto* family : {"path", "cycle", "caterpillar"}) {
     bench::section(std::string("E5: uniform vs ml vs ball on ") + family);
-    routing::SweepConfig config;
-    config.family = family;
-    config.sizes = bench::pow2_sizes(10, hi);
-    config.schemes = {"uniform", "ml", "ball"};
-    config.trials.num_pairs = 8;
-    config.trials.resamples = 12;
-    config.seed = 0xE5;
-    const auto rows = bench::run_and_print(config, opt);
+    const auto result = bench::run_and_print(api::Experiment::on(family)
+                                                 .sizes(bench::pow2_sizes(10, hi))
+                                                 .schemes({"uniform", "ml", "ball"})
+                                                 .pairs(8)
+                                                 .resamples(12)
+                                                 .seed(0xE5),
+                                             opt);
 
     // Crossover report: the first size where ball strictly beats uniform.
     graph::NodeId crossover = 0;
-    for (const auto& ball_row : rows) {
+    for (const auto& ball_row : result.cells) {
       if (ball_row.scheme != "ball") continue;
-      for (const auto& uniform_row : rows) {
+      for (const auto& uniform_row : result.cells) {
         if (uniform_row.scheme == "uniform" &&
             uniform_row.n_actual == ball_row.n_actual &&
             ball_row.greedy_diameter < uniform_row.greedy_diameter &&
@@ -59,15 +58,15 @@ int main(int argc, char** argv) {
   for (const auto* family : {"torus2d", "random_regular", "comb",
                              "ring_of_cliques", "lollipop"}) {
     bench::section(std::string("E5u: ball universality on ") + family);
-    routing::SweepConfig config;
-    config.family = family;
-    config.sizes = bench::pow2_sizes(10, opt.quick ? 12 : 15);
-    config.schemes = {"uniform", "ball"};
-    config.trials.num_pairs = 8;
-    config.trials.resamples = 10;
-    config.seed = 0xE5u;
-    const auto rows = bench::run_and_print(config, opt);
-    for (const auto& r : rows) {
+    const auto result = bench::run_and_print(api::Experiment::on(family)
+                                                 .sizes(bench::pow2_sizes(
+                                                     10, opt.quick ? 12 : 15))
+                                                 .schemes({"uniform", "ball"})
+                                                 .pairs(8)
+                                                 .resamples(10)
+                                                 .seed(0xE5u),
+                                             opt);
+    for (const auto& r : result.cells) {
       if (r.scheme != "ball") continue;
       const double n = static_cast<double>(r.n_actual);
       const double budget = 4.0 * std::cbrt(n) * std::log2(n);

@@ -15,11 +15,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/ball_scheme.hpp"
-#include "graph/diameter.hpp"
-#include "routing/greedy_router.hpp"
-#include "runtime/stats.hpp"
-
 namespace {
 
 using namespace nav;

@@ -26,15 +26,14 @@ int main(int argc, char** argv) {
   // (a) ML halves and labelings on the path (ps = 1: hierarchy shines).
   bench::section("E7a: ML ingredients on path");
   {
-    routing::SweepConfig config;
-    config.family = "path";
-    config.sizes = bench::pow2_sizes(9, hi);
-    config.schemes = {"ml", "ml-A-only", "ml-U-only", "ml-labelU",
-                      "ml-random-label"};
-    config.trials.num_pairs = 8;
-    config.trials.resamples = 10;
-    config.seed = 0xE7A;
-    bench::run_and_print(config, opt);
+    bench::run_and_print(api::Experiment::on("path")
+                             .sizes(bench::pow2_sizes(9, hi))
+                             .schemes({"ml", "ml-A-only", "ml-U-only",
+                                       "ml-labelU", "ml-random-label"})
+                             .pairs(8)
+                             .resamples(10)
+                             .seed(0xE7A),
+                         opt);
     std::cout
         << "expectation: ml-A-only matches ml on the path (the hierarchy\n"
            "does the work when ps=1); ml-U-only ~ uniform (~n^0.5);\n"
@@ -45,14 +44,13 @@ int main(int argc, char** argv) {
   // (a') same on a tree to show A-only remains fine with proper L.
   bench::section("E7a': ML ingredients on random trees");
   {
-    routing::SweepConfig config;
-    config.family = "random_tree";
-    config.sizes = bench::pow2_sizes(9, hi);
-    config.schemes = {"ml", "ml-A-only", "ml-U-only"};
-    config.trials.num_pairs = 8;
-    config.trials.resamples = 10;
-    config.seed = 0xE7B;
-    bench::run_and_print(config, opt);
+    bench::run_and_print(api::Experiment::on("random_tree")
+                             .sizes(bench::pow2_sizes(9, hi))
+                             .schemes({"ml", "ml-A-only", "ml-U-only"})
+                             .pairs(8)
+                             .resamples(10)
+                             .seed(0xE7B),
+                         opt);
   }
 
   // (b) ball mixture vs fixed radii on the path.
@@ -61,18 +59,17 @@ int main(int argc, char** argv) {
     const unsigned e = opt.quick ? 12 : 15;
     const graph::NodeId n = graph::NodeId{1} << e;
     const auto log_n = e;
-    routing::SweepConfig config;
-    config.family = "path";
-    config.sizes = {n};
-    config.schemes = {"ball",
-                      "ball-fixed:" + std::to_string(log_n / 3),
+    bench::run_and_print(
+        api::Experiment::on("path")
+            .sizes({n})
+            .schemes({"ball", "ball-fixed:" + std::to_string(log_n / 3),
                       "ball-fixed:" + std::to_string(log_n / 2),
                       "ball-fixed:" + std::to_string(2 * log_n / 3),
-                      "ball-fixed:" + std::to_string(log_n)};
-    config.trials.num_pairs = 8;
-    config.trials.resamples = 10;
-    config.seed = 0xE7C;
-    bench::run_and_print(config, opt);
+                      "ball-fixed:" + std::to_string(log_n)})
+            .pairs(8)
+            .resamples(10)
+            .seed(0xE7C),
+        opt);
     std::cout
         << "expectation: small fixed k ~ slow long-range progress; k = log n\n"
            "~ uniform (~sqrt n); the mixture is competitive with the best\n"
@@ -82,14 +79,14 @@ int main(int argc, char** argv) {
   // (c) literature comparators on the path (moderate n: BFS sampling).
   bench::section("E7c: distance/density-adaptive comparators");
   {
-    routing::SweepConfig config;
-    config.family = "path";
-    config.sizes = bench::pow2_sizes(9, opt.quick ? 11 : 12);
-    config.schemes = {"ball", "rank", "kleinberg:1.0", "growth"};
-    config.trials.num_pairs = 6;
-    config.trials.resamples = 8;
-    config.seed = 0xE7D;
-    bench::run_and_print(config, opt);
+    bench::run_and_print(api::Experiment::on("path")
+                             .sizes(bench::pow2_sizes(9, opt.quick ? 11 : 12))
+                             .schemes({"ball", "rank", "kleinberg:1.0",
+                                       "growth"})
+                             .pairs(6)
+                             .resamples(8)
+                             .seed(0xE7D),
+                         opt);
     std::cout
         << "expectation: on the 1-D path, rank, harmonic alpha=1, and the\n"
            "ball-harmonic 'growth' scheme ([6,21]'s bounded-growth recipe)\n"

@@ -10,12 +10,6 @@
 
 #include <cmath>
 
-#include "core/ball_scheme.hpp"
-#include "graph/generators.hpp"
-#include "core/kleinberg_scheme.hpp"
-#include "core/uniform_scheme.hpp"
-#include "routing/trial_runner.hpp"
-
 int main(int argc, char** argv) {
   using namespace nav;
   const auto opt = bench::parse_options(argc, argv);
@@ -31,17 +25,18 @@ int main(int argc, char** argv) {
   for (const auto side : sides) {
     bench::section("E8: torus side " + Table::integer(side) + " (n = " +
                    Table::integer(static_cast<std::uint64_t>(side) * side) + ")");
-    const auto g = graph::make_torus2d(side, side);
-    graph::TargetDistanceCache oracle(g, 16);
+    api::EngineOptions options;
+    options.cache_capacity = 16;
+    api::NavigationEngine engine(graph::make_torus2d(side, side), options);
     routing::TrialConfig trials;
     trials.num_pairs = 10;
     trials.resamples = 12;
 
     Table table({"scheme", "greedy diam (est)", "ci95", "mean"});
-    auto run = [&](const core::AugmentationScheme& scheme) {
-      const auto est = routing::estimate_greedy_diameter(
-          g, &scheme, oracle, trials, Rng(0xE8 ^ side));
-      table.add_row({scheme.name(),
+    auto run = [&](core::SchemePtr scheme) {
+      engine.use_scheme(std::move(scheme));
+      const auto est = engine.estimate_diameter(trials, Rng(0xE8 ^ side));
+      table.add_row({engine.scheme_spec(),
                      Table::num(est.max_mean_steps, 1),
                      Table::num(est.max_ci_halfwidth, 1),
                      Table::num(est.overall_mean_steps, 1)});
@@ -50,17 +45,15 @@ int main(int argc, char** argv) {
 
     double best_alpha = -1.0, best_steps = 1e18;
     for (const double alpha : alphas) {
-      core::TorusKleinbergScheme scheme(side, alpha);
-      const double steps = run(scheme);
+      const double steps =
+          run(std::make_unique<core::TorusKleinbergScheme>(side, alpha));
       if (steps < best_steps) {
         best_steps = steps;
         best_alpha = alpha;
       }
     }
-    core::UniformScheme uniform(g);
-    run(uniform);
-    core::BallScheme ball(g);
-    run(ball);
+    run(std::make_unique<core::UniformScheme>(engine.graph()));
+    run(std::make_unique<core::BallScheme>(engine.graph()));
     std::cout << table.to_ascii();
     std::cout << "best alpha at this size: " << Table::num(best_alpha, 1)
               << "\n";

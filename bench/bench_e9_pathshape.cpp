@@ -11,14 +11,6 @@
 
 #include <cmath>
 
-#include "decomposition/exact.hpp"
-#include "graph/generators.hpp"
-#include "decomposition/interval_decomposition.hpp"
-#include "decomposition/pathshape.hpp"
-#include "decomposition/permutation_decomposition.hpp"
-#include "graph/interval_model.hpp"
-#include "graph/permutation_model.hpp"
-
 int main(int argc, char** argv) {
   using namespace nav;
   const auto opt = bench::parse_options(argc, argv);

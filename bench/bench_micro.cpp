@@ -3,18 +3,7 @@
 // bound how large the E1..E9 grids can go on a given machine.
 #include <benchmark/benchmark.h>
 
-#include "core/ball_scheme.hpp"
-#include "core/kleinberg_scheme.hpp"
-#include "core/ml_scheme.hpp"
-#include "core/scheme_factory.hpp"
-#include "core/uniform_scheme.hpp"
-#include "decomposition/builders.hpp"
-#include "decomposition/pathshape.hpp"
-#include "decomposition/tree_path_decomposition.hpp"
-#include "graph/bfs.hpp"
-#include "graph/diameter.hpp"
-#include "graph/generators.hpp"
-#include "routing/greedy_router.hpp"
+#include "nav/nav.hpp"
 
 namespace {
 
@@ -128,6 +117,29 @@ void BM_RouteBallPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RouteBallPath)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_RouteManyBatch(benchmark::State& state) {
+  // Facade batch throughput: route a block of pairs through the engine's
+  // thread pool (the api entry point big sweeps are built on).
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  auto engine = api::NavigationEngine::from_family("torus2d", 1 << 14);
+  engine.use_scheme("uniform");
+  const auto n = engine.graph().num_nodes();
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  Rng pair_rng(9);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto s = static_cast<graph::NodeId>(random_index(pair_rng, n));
+    auto t = static_cast<graph::NodeId>(random_index(pair_rng, n));
+    if (t == s) t = (t + 1) % n;
+    pairs.emplace_back(s, t);
+  }
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.route_many(pairs, Rng(round++)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_RouteManyBatch)->Arg(64)->Arg(512);
 
 void BM_TreeDecomposition(benchmark::State& state) {
   Rng rng(8);

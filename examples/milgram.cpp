@@ -11,18 +11,14 @@
 //   * uniform       — distance-blind random acquaintance (Peleg O(sqrt n));
 //   * kleinberg a=2 — the classical navigable exponent (O(log^2 n));
 //   * ball          — this paper's universal Õ(n^{1/3}) scheme.
+// All chains for one model are dispatched as a single engine.route_many
+// batch over the thread pool.
 //
 // Usage: ./milgram [side=64] [chains=400]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/ball_scheme.hpp"
-#include "core/kleinberg_scheme.hpp"
-#include "core/uniform_scheme.hpp"
-#include "graph/generators.hpp"
-#include "routing/greedy_router.hpp"
-#include "runtime/stats.hpp"
-#include "runtime/table.hpp"
+#include "nav/nav.hpp"
 
 int main(int argc, char** argv) {
   using namespace nav;
@@ -31,53 +27,56 @@ int main(int argc, char** argv) {
       : 64;
   const int chains = argc > 2 ? std::atoi(argv[2]) : 400;
 
-  const auto world = graph::make_torus2d(side, side);
-  const graph::NodeId n = world.num_nodes();
-  std::cout << "acquaintance torus: " << world.summary() << " (side " << side
-            << ")\n\n";
-
-  graph::TargetDistanceCache oracle(world, 16);
-  routing::GreedyRouter router(world, oracle);
-
-  core::UniformScheme uniform(world);
-  core::TorusKleinbergScheme kleinberg(side, 2.0);
-  core::BallScheme ball(world);
-  const core::AugmentationScheme* schemes[] = {&uniform, &kleinberg, &ball};
+  api::EngineOptions options;
+  options.cache_capacity = 16;
+  api::NavigationEngine engine(graph::make_torus2d(side, side), options);
+  const graph::NodeId n = engine.graph().num_nodes();
+  std::cout << "acquaintance torus: " << engine.graph().summary() << " (side "
+            << side << ")\n\n";
 
   Rng rng(1967);  // the year of the Milgram paper
+  auto draw_pairs = [&](Rng pair_rng) {
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+    for (int c = 0; c < chains; ++c) {
+      const auto s = random_index(pair_rng, n);
+      auto t = random_index(pair_rng, n);
+      if (t == s) t = (t + 1) % n;
+      pairs.emplace_back(s, t);
+    }
+    return pairs;
+  };
+
   Table table({"acquaintance model", "median chain", "mean chain", "p95",
                "longest"});
-  for (const auto* scheme : schemes) {
+  auto run_model = [&](core::SchemePtr scheme) {
+    engine.use_scheme(std::move(scheme));
+    const auto pairs = draw_pairs(rng.child(engine.scheme_spec().size()));
+    const auto results = engine.route_many(
+        pairs, rng.child(engine.scheme_spec().size()).child(0xba7c4));
     RunningStats stats;
     std::vector<double> lengths;
-    Rng chain_rng = rng.child(scheme->name().size());
-    for (int c = 0; c < chains; ++c) {
-      const auto s = random_index(chain_rng, n);
-      auto t = random_index(chain_rng, n);
-      if (t == s) t = (t + 1) % n;
-      Rng trial = chain_rng.child(static_cast<std::uint64_t>(c));
-      const auto result = router.route(s, t, scheme, trial);
+    for (const auto& result : results) {
       stats.add(result.steps);
       lengths.push_back(result.steps);
     }
-    table.add_row({scheme->name(), Table::num(percentile(lengths, 0.5), 1),
+    table.add_row({engine.scheme_spec(),
+                   Table::num(percentile(lengths, 0.5), 1),
                    Table::num(stats.mean(), 1),
                    Table::num(percentile(lengths, 0.95), 1),
                    Table::num(stats.max(), 0)});
-  }
+    return results;
+  };
+
+  run_model(std::make_unique<core::UniformScheme>(engine.graph()));
+  const auto kleinberg_results =
+      run_model(std::make_unique<core::TorusKleinbergScheme>(side, 2.0));
+  run_model(std::make_unique<core::BallScheme>(engine.graph()));
   std::cout << table.to_ascii() << "\n";
 
   // The famous histogram, for the navigable (Kleinberg) world.
   std::cout << "chain-length histogram, kleinberg a=2 world:\n";
   Histogram hist(0.0, 40.0, 10);
-  Rng hist_rng = rng.child(0x415);
-  for (int c = 0; c < chains; ++c) {
-    const auto s = random_index(hist_rng, n);
-    auto t = random_index(hist_rng, n);
-    if (t == s) t = (t + 1) % n;
-    Rng trial = hist_rng.child(static_cast<std::uint64_t>(c));
-    hist.add(router.route(s, t, &kleinberg, trial).steps);
-  }
+  for (const auto& result : kleinberg_results) hist.add(result.steps);
   std::cout << hist.render(46);
   std::cout << "\n(reference: Milgram's completed chains averaged ~6 hops at "
                "US population scale)\n";

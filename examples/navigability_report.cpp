@@ -14,15 +14,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
-#include "core/scheme_factory.hpp"
-#include "decomposition/pathshape.hpp"
-#include "graph/diameter.hpp"
-#include "graph/families.hpp"
-#include "graph/graph_io.hpp"
-#include "routing/trial_runner.hpp"
-#include "runtime/table.hpp"
+#include "nav/nav.hpp"
 
 namespace {
 
@@ -54,22 +49,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Rng rng(2007);  // SPAA 2007
-  graph::Graph g;
+  const std::uint64_t seed = 2007;  // SPAA 2007
+  api::EngineOptions options;
+  options.cache_capacity = 32;
   std::string source;
+  std::optional<api::NavigationEngine> engine;
   if (std::string(argv[1]) == "family") {
     const graph::NodeId n = argc > 3
         ? static_cast<graph::NodeId>(std::strtoul(argv[3], nullptr, 10))
         : 4096;
-    g = graph::family(argv[2]).make(n, rng);
+    engine.emplace(
+        api::NavigationEngine::from_family(argv[2], n, seed, options));
     source = std::string(argv[2]);
   } else if (std::string(argv[1]) == "file") {
-    g = graph::load_graph(argv[2]);
+    engine.emplace(api::NavigationEngine::from_file(argv[2], options));
     source = argv[2];
   } else {
     std::cerr << "unknown mode: " << argv[1] << "\n";
     return 1;
   }
+  const auto& g = engine->graph();
 
   std::cout << "== navigability report: " << source << " ==\n";
   std::cout << g.summary() << ", max degree " << g.max_degree()
@@ -82,7 +81,6 @@ int main(int argc, char** argv) {
             << " bags, width " << shaped.measures.width << ", length "
             << shaped.measures.length << ")\n\n";
 
-  graph::TargetDistanceCache oracle(g, 32);
   routing::TrialConfig trials;
   trials.num_pairs = 8;
   trials.resamples = 8;
@@ -90,9 +88,9 @@ int main(int argc, char** argv) {
   Table table({"scheme", "measured greedy diameter", "paper bound (approx)"});
   const double n = static_cast<double>(g.num_nodes());
   for (const auto& spec : core::standard_scheme_specs()) {
-    auto scheme = core::make_scheme(spec, g, rng);
-    const auto est = routing::estimate_greedy_diameter(
-        g, scheme.get(), oracle, trials, rng.child(std::string(spec).size()));
+    engine->use_scheme(spec, seed);
+    const auto est =
+        engine->estimate_diameter(trials, Rng(std::string(spec).size()));
     table.add_row({spec,
                    Table::with_ci(est.max_mean_steps, est.max_ci_halfwidth, 1),
                    predicted_bound(

@@ -18,11 +18,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/scheme_factory.hpp"
-#include "graph/generators.hpp"
-#include "routing/trial_runner.hpp"
-#include "runtime/table.hpp"
-#include "runtime/timer.hpp"
+#include "nav/nav.hpp"
 
 int main(int argc, char** argv) {
   using namespace nav;
@@ -33,22 +29,22 @@ int main(int argc, char** argv) {
       ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
       : 200;
 
-  const auto ring = graph::make_cycle(n);
-  std::cout << "overlay base ring: " << ring.summary() << "\n\n";
-  graph::TargetDistanceCache oracle(ring, 64);
+  api::EngineOptions options;
+  options.cache_capacity = 64;
+  auto engine = api::NavigationEngine::from_family("cycle", n, 7001, options);
+  std::cout << "overlay base ring: " << engine.graph().summary() << "\n\n";
 
   routing::TrialConfig trials;
   trials.num_pairs = std::max<std::size_t>(4, lookups / 16);
   trials.resamples = 16;
 
-  Rng rng(7001);
   Table table({"finger policy", "lookup hops (max pair)", "mean hops",
                "build+run sec"});
   for (const auto& spec : {"uniform", "ml", "ball", "kleinberg:1.0"}) {
     Timer timer;
-    auto scheme = core::make_scheme(spec, ring, rng);
-    const auto est = routing::estimate_greedy_diameter(
-        ring, scheme.get(), oracle, trials, rng.child(std::string(spec).size()));
+    engine.use_scheme(spec, /*scheme_seed=*/7001);
+    const auto est =
+        engine.estimate_diameter(trials, Rng(std::string(spec).size()));
     table.add_row({spec,
                    Table::with_ci(est.max_mean_steps, est.max_ci_halfwidth, 1),
                    Table::num(est.overall_mean_steps, 1),

@@ -1,15 +1,11 @@
-// quickstart.cpp — the 60-second tour of navscheme.
+// quickstart.cpp — the 60-second tour of navscheme, via the nav::api facade.
 //
 // Builds a graph, augments it with the paper's schemes, routes greedily, and
 // prints how many steps each scheme needs. Run it:  ./quickstart [n]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/scheme_factory.hpp"
-#include "graph/diameter.hpp"
-#include "graph/generators.hpp"
-#include "routing/trial_runner.hpp"
-#include "runtime/table.hpp"
+#include "nav/nav.hpp"
 
 int main(int argc, char** argv) {
   using namespace nav;
@@ -17,30 +13,38 @@ int main(int argc, char** argv) {
       ? static_cast<graph::NodeId>(std::strtoul(argv[1], nullptr, 10))
       : 4096;
 
-  // 1. A graph where the sqrt(n) barrier actually bites: the path.
-  const graph::Graph g = graph::make_path(n);
-  std::cout << "graph: " << g.summary()
-            << ", diameter = " << graph::double_sweep_lower_bound(g) << "\n\n";
+  // 1. An engine on a graph where the sqrt(n) barrier actually bites: the
+  //    path. The engine owns the distance oracle (auto-selected by size).
+  auto engine = api::NavigationEngine::from_family("path", n);
+  std::cout << "graph: " << engine.graph().summary() << ", diameter = "
+            << graph::double_sweep_lower_bound(engine.graph()) << "\n\n";
 
-  // 2. A distance oracle (greedy routing compares distances in G).
-  graph::TargetDistanceCache oracle(g);
-
-  // 3. Augment + route with each scheme; estimate the greedy diameter.
-  Rng rng(42);
+  // 2. Augment + route with each scheme; estimate the greedy diameter.
   routing::TrialConfig trials;
   trials.num_pairs = 8;
   trials.resamples = 12;
 
   Table table({"scheme", "greedy diameter (est)", "vs diameter"});
   for (const auto& spec : {"none", "uniform", "ml", "ball"}) {
-    auto scheme = core::make_scheme(spec, g, rng);
-    const auto est = routing::estimate_greedy_diameter(
-        g, scheme.get(), oracle, trials, rng.child(std::string(spec).size()));
-    table.add_row({spec, Table::with_ci(est.max_mean_steps, est.max_ci_halfwidth, 1),
+    engine.use_scheme(spec);
+    const auto est = engine.estimate_diameter(trials, Rng(42));
+    table.add_row({spec,
+                   Table::with_ci(est.max_mean_steps, est.max_ci_halfwidth, 1),
                    Table::num(est.max_mean_steps / static_cast<double>(n - 1), 3)});
   }
   std::cout << table.to_ascii() << "\n";
   std::cout << "Expected shape: none ~ n, uniform ~ sqrt(n), ml ~ polylog(n), "
                "ball ~ n^(1/3) polylog(n).\n";
+
+  // 3. One-liner single route under the best scheme, with a router swap:
+  //    the same engine can route NoN-style (lookahead:1) for comparison.
+  engine.use_scheme("ball");
+  const auto plain = engine.route(0, n - 1, Rng(7));
+  engine.use_router("lookahead:1");
+  const auto non = engine.route(0, n - 1, Rng(7));
+  std::cout << "\nball scheme, one route 0 -> " << n - 1 << ": greedy "
+            << plain.steps << " hops (" << plain.long_links_used
+            << " long), lookahead:1 " << non.steps << " hops ("
+            << non.long_links_used << " long)\n";
   return 0;
 }

@@ -1,22 +1,24 @@
 // sweep_cli.cpp — run arbitrary experiment grids from the command line.
 //
 // The bench binaries pin the paper's experiment grids; this tool lets a user
-// explore freely:
+// explore scheme × router grids freely:
 //
-//   ./sweep_cli --family path --sizes 1024,4096,16384 \
-//               --schemes uniform,ml,ball --pairs 12 --resamples 16 \
-//               [--seed 7] [--csv out.csv]
+//   ./sweep_cli --family path --sizes 1024,4096,16384
+//               --schemes uniform,ml,ball --routers greedy,lookahead:1
+//               --pairs 12 --resamples 16 [--seed 7]
+//               [--csv out.csv] [--jsonl out.jsonl]
 //
-// Prints the sweep table plus per-scheme exponent fits; optionally writes
-// CSV for plotting.
+// Prints the sweep table plus per-(scheme, router) exponent fits; optionally
+// writes CSV and/or JSON Lines for plotting and trajectory tooling. JSON
+// Lines stream as cells finish, so long sweeps can be tailed.
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "routing/experiment.hpp"
+#include "nav/nav.hpp"
 
 namespace {
 
@@ -34,63 +36,94 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " --family <name> --sizes n1,n2,.. --schemes s1,s2,..\n"
-         "       [--pairs K] [--resamples R] [--seed S] [--csv PATH]\n\n"
+         "       [--routers r1,r2,..] [--pairs K] [--resamples R] [--seed S]\n"
+         "       [--csv PATH] [--jsonl PATH]\n\n"
          "families: ";
   for (const auto& fam : nav::graph::all_families()) {
     std::cerr << fam.name << ' ';
   }
   std::cerr << "\nschemes: uniform ball ball-fixed:<k> ml ml-labelU "
-               "ml-A-only ml-U-only ml-random-label kleinberg:<a> rank none\n";
+               "ml-A-only ml-U-only ml-random-label kleinberg:<a> rank "
+               "growth none\n"
+               "routers: greedy lookahead:<depth>\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nav;
-  routing::SweepConfig config;
-  config.trials.num_pairs = 12;
-  config.trials.resamples = 16;
-  std::string csv_path;
+  std::string family;
+  std::vector<graph::NodeId> sizes;
+  std::vector<std::string> schemes;
+  std::vector<std::string> routers = {"greedy"};
+  std::size_t pairs = 12, resamples = 16;
+  std::uint64_t seed = 0x5eed;
+  std::string csv_path, jsonl_path;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
     const std::string value = argv[i + 1];
     if (key == "--family") {
-      config.family = value;
+      family = value;
     } else if (key == "--sizes") {
       for (const auto& s : split_csv(value)) {
-        config.sizes.push_back(
+        sizes.push_back(
             static_cast<graph::NodeId>(std::strtoul(s.c_str(), nullptr, 10)));
       }
     } else if (key == "--schemes") {
-      config.schemes = split_csv(value);
+      schemes = split_csv(value);
+    } else if (key == "--routers") {
+      routers = split_csv(value);
     } else if (key == "--pairs") {
-      config.trials.num_pairs = std::strtoul(value.c_str(), nullptr, 10);
+      pairs = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "--resamples") {
-      config.trials.resamples = std::strtoul(value.c_str(), nullptr, 10);
+      resamples = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "--seed") {
-      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+      seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--csv") {
       csv_path = value;
+    } else if (key == "--jsonl") {
+      jsonl_path = value;
     } else {
       std::cerr << "unknown option: " << key << "\n";
       usage(argv[0]);
       return 1;
     }
   }
-  if (config.family.empty() || config.sizes.empty() || config.schemes.empty()) {
+  if (family.empty() || sizes.empty() || schemes.empty()) {
     usage(argv[0]);
     return 1;
   }
 
   try {
-    const auto rows = routing::run_sweep(config);
-    std::cout << routing::sweep_table(rows).to_ascii();
+    auto experiment = api::Experiment::on(family)
+                          .sizes(sizes)
+                          .schemes(schemes)
+                          .routers(routers)
+                          .pairs(pairs)
+                          .resamples(resamples)
+                          .seed(seed);
+    std::ofstream jsonl_stream;
+    std::unique_ptr<api::JsonLinesSink> jsonl;
+    if (!jsonl_path.empty()) {
+      jsonl_stream.open(jsonl_path);
+      if (!jsonl_stream) {
+        std::cerr << "error: cannot open " << jsonl_path << "\n";
+        return 1;
+      }
+      jsonl = std::make_unique<api::JsonLinesSink>(jsonl_stream);
+      experiment.stream_to(*jsonl);
+    }
+    const auto result = experiment.run();
+    std::cout << result.table().to_ascii();
     std::cout << "\nexponent fits (greedy diameter ~ n^slope):\n"
-              << routing::fit_table(routing::fit_exponents(rows)).to_ascii();
+              << result.fit_table().to_ascii();
     if (!csv_path.empty()) {
-      routing::sweep_table(rows).save_csv(csv_path);
+      result.table().save_csv(csv_path);
       std::cout << "csv written: " << csv_path << "\n";
+    }
+    if (!jsonl_path.empty()) {
+      std::cout << "jsonl written: " << jsonl_path << "\n";
     }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

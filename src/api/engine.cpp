@@ -1,0 +1,92 @@
+#include "api/engine.hpp"
+
+#include "graph/families.hpp"
+#include "graph/graph_io.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace nav::api {
+
+std::unique_ptr<graph::DistanceOracle> make_distance_oracle(
+    const graph::Graph& g, graph::NodeId dense_limit,
+    std::size_t cache_capacity) {
+  if (g.num_nodes() <= dense_limit) {
+    return std::make_unique<graph::DistanceMatrix>(g);
+  }
+  return std::make_unique<graph::TargetDistanceCache>(g, cache_capacity);
+}
+
+NavigationEngine::NavigationEngine(graph::Graph g, EngineOptions options)
+    : graph_(std::make_unique<graph::Graph>(std::move(g))) {
+  NAV_REQUIRE(graph_->num_nodes() >= 2, "engine needs a routable graph");
+  oracle_ = make_distance_oracle(*graph_, options.dense_oracle_limit,
+                                 options.cache_capacity);
+  router_ = routing::make_router(router_spec_, *graph_, *oracle_);
+}
+
+NavigationEngine NavigationEngine::from_family(const std::string& family,
+                                               graph::NodeId n,
+                                               std::uint64_t graph_seed,
+                                               EngineOptions options) {
+  Rng rng(graph_seed);
+  return NavigationEngine(graph::family(family).make(n, rng), options);
+}
+
+NavigationEngine NavigationEngine::from_file(const std::string& path,
+                                             EngineOptions options) {
+  return NavigationEngine(graph::load_graph(path), options);
+}
+
+NavigationEngine& NavigationEngine::use_scheme(const std::string& spec,
+                                               std::uint64_t scheme_seed) {
+  Rng rng(scheme_seed);
+  scheme_ = core::make_scheme(spec, *graph_, rng);
+  scheme_spec_ = spec;
+  return *this;
+}
+
+NavigationEngine& NavigationEngine::use_scheme(core::SchemePtr scheme) {
+  if (scheme != nullptr) {
+    NAV_REQUIRE(scheme->num_nodes() == graph_->num_nodes(),
+                "scheme/graph size mismatch");
+  }
+  scheme_ = std::move(scheme);
+  scheme_spec_ = scheme_ ? scheme_->name() : "none";
+  return *this;
+}
+
+NavigationEngine& NavigationEngine::use_router(const std::string& spec) {
+  router_ = routing::make_router(spec, *graph_, *oracle_);
+  router_spec_ = spec;
+  return *this;
+}
+
+routing::RouteResult NavigationEngine::route(graph::NodeId s, graph::NodeId t,
+                                             Rng rng,
+                                             bool record_trace) const {
+  return router_->route(s, t, scheme_.get(), rng, record_trace);
+}
+
+std::vector<routing::RouteResult> NavigationEngine::route_many(
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng,
+    bool parallel) const {
+  std::vector<routing::RouteResult> results(pairs.size());
+  auto body = [&](std::size_t i) {
+    results[i] =
+        router_->route(pairs[i].first, pairs[i].second, scheme_.get(),
+                       rng.child(i));
+  };
+  if (parallel) {
+    nav::parallel_for(0, pairs.size(), body);
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) body(i);
+  }
+  return results;
+}
+
+routing::GreedyDiameterEstimate NavigationEngine::estimate_diameter(
+    const routing::TrialConfig& config, Rng rng) const {
+  return routing::estimate_routed_diameter(*router_, scheme_.get(), *oracle_,
+                                           config, rng);
+}
+
+}  // namespace nav::api

@@ -1,0 +1,116 @@
+// engine.hpp — NavigationEngine: one object owning the pieces every driver
+// used to wire by hand.
+//
+// Before the facade each bench and example separately built a graph, picked
+// a distance-oracle strategy (dense matrix vs. target cache, hard-coded per
+// call site), constructed schemes and routers, and threaded Rngs through
+// every call. NavigationEngine bundles:
+//   * the graph (owned),
+//   * a distance oracle, auto-selected by size: n <= dense_oracle_limit gets
+//     a precomputed DistanceMatrix, larger graphs an LRU TargetDistanceCache,
+//   * one augmentation scheme (registry spec or a custom SchemePtr),
+//   * one router (registry spec; "greedy" by default),
+// and exposes single routes, batch routing over the global thread pool
+// (route_many), and greedy-diameter estimation — all deterministic given the
+// caller-supplied Rng.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scheme_factory.hpp"
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "routing/router_factory.hpp"
+#include "routing/trial_runner.hpp"
+
+namespace nav::api {
+
+struct EngineOptions {
+  /// Sizes up to this use a dense all-pairs DistanceMatrix (O(n²) words);
+  /// larger graphs use a per-target BFS cache of `cache_capacity` vectors.
+  graph::NodeId dense_oracle_limit = 4096;
+  std::size_t cache_capacity = 64;
+};
+
+/// The facade's one oracle-selection policy: dense matrix up to
+/// `dense_limit` nodes, LRU target cache of `cache_capacity` above (shared
+/// by NavigationEngine and Experiment).
+[[nodiscard]] std::unique_ptr<graph::DistanceOracle> make_distance_oracle(
+    const graph::Graph& g, graph::NodeId dense_limit,
+    std::size_t cache_capacity);
+
+class NavigationEngine {
+ public:
+  /// Takes ownership of `g` and builds the size-appropriate oracle.
+  explicit NavigationEngine(graph::Graph g, EngineOptions options = {});
+
+  /// Builds the named graph::families instance of ~n nodes.
+  [[nodiscard]] static NavigationEngine from_family(const std::string& family,
+                                                    graph::NodeId n,
+                                                    std::uint64_t graph_seed = 0x5eed,
+                                                    EngineOptions options = {});
+
+  /// Loads a graph in the nav-graph text format (graph/graph_io.hpp).
+  [[nodiscard]] static NavigationEngine from_file(const std::string& path,
+                                                  EngineOptions options = {});
+
+  /// Selects the augmentation by registry spec (core::make_scheme; "none"
+  /// clears it). Scheme construction randomness derives from `scheme_seed`.
+  NavigationEngine& use_scheme(const std::string& spec,
+                               std::uint64_t scheme_seed = 0x5eed);
+
+  /// Installs a custom scheme (may be null = no long-range links).
+  NavigationEngine& use_scheme(core::SchemePtr scheme);
+
+  /// Selects the routing process by registry spec (routing::make_router).
+  NavigationEngine& use_router(const std::string& spec);
+
+  [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept {
+    return *oracle_;
+  }
+  [[nodiscard]] const core::AugmentationScheme* scheme() const noexcept {
+    return scheme_.get();
+  }
+  [[nodiscard]] const routing::Router& router() const noexcept {
+    return *router_;
+  }
+  /// The registry specs currently in force ("none"/"greedy" defaults; the
+  /// scheme's own name when installed via SchemePtr).
+  [[nodiscard]] const std::string& scheme_spec() const noexcept {
+    return scheme_spec_;
+  }
+  [[nodiscard]] const std::string& router_spec() const noexcept {
+    return router_spec_;
+  }
+
+  /// Routes one message under the current scheme + router.
+  [[nodiscard]] routing::RouteResult route(graph::NodeId s, graph::NodeId t,
+                                           Rng rng,
+                                           bool record_trace = false) const;
+
+  /// Batch routing over the global thread pool: pair i uses rng.child(i), so
+  /// the result is independent of thread count and schedule.
+  [[nodiscard]] std::vector<routing::RouteResult> route_many(
+      std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng,
+      bool parallel = true) const;
+
+  /// Greedy-diameter estimation under the current scheme + router.
+  [[nodiscard]] routing::GreedyDiameterEstimate estimate_diameter(
+      const routing::TrialConfig& config, Rng rng) const;
+
+ private:
+  // unique_ptrs keep graph/oracle addresses stable, so the router's internal
+  // references survive moves of the engine itself.
+  std::unique_ptr<graph::Graph> graph_;
+  std::unique_ptr<graph::DistanceOracle> oracle_;
+  core::SchemePtr scheme_;
+  std::string scheme_spec_ = "none";
+  routing::RouterPtr router_;
+  std::string router_spec_ = "greedy";
+};
+
+}  // namespace nav::api

@@ -1,0 +1,116 @@
+// experiment.hpp — fluent sweep grids: family × sizes × schemes × routers.
+//
+// Replaces the SweepConfig plumbing every bench binary used to re-wire by
+// hand. A sweep is declared in one expression and returns structured rows:
+//
+//   auto result = api::Experiment::on("cycle")
+//                     .sizes({1024, 4096})
+//                     .schemes({"ball", "ml"})
+//                     .routers({"greedy", "lookahead:1"})
+//                     .run();
+//   std::cout << result.table().to_ascii();
+//
+// Routers are a sweep axis like schemes ("Navigability is a Robust Property"
+// -style grids need both), and results stream to any attached ResultSink
+// (table / CSV / JSON Lines) as cells finish, so long sweeps emit
+// trajectories natively.
+//
+// Determinism: one seed fixes the whole grid. Cell (size si, scheme ki,
+// router ri) derives graph, scheme, and trial randomness from disjoint child
+// streams of the root, so adding a router to the sweep does not perturb the
+// other columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/result_sink.hpp"
+#include "graph/graph.hpp"
+#include "routing/trial_runner.hpp"
+#include "runtime/stats.hpp"
+
+namespace nav::api {
+
+/// One grid cell: (family, n) × scheme × router.
+struct CellResult {
+  std::string family;
+  std::string scheme;
+  std::string router;
+  graph::NodeId n_requested = 0;
+  graph::NodeId n_actual = 0;
+  graph::EdgeId m = 0;
+  graph::Dist diameter_lb = 0;     // double-sweep lower bound
+  double greedy_diameter = 0.0;    // max over pairs of mean steps
+  double mean_steps = 0.0;         // mean over pairs
+  double ci_halfwidth = 0.0;       // CI at the maximising pair
+  double seconds = 0.0;            // wall time of the cell
+
+  /// Flat record for ResultSink streaming.
+  [[nodiscard]] Record record() const;
+};
+
+/// Per-(scheme, router) power-law fit of greedy diameter vs n.
+struct AxisFit {
+  std::string scheme;
+  std::string router;
+  nav::PowerFit fit;
+};
+
+struct ExperimentResult {
+  std::vector<CellResult> cells;
+
+  /// Paper-style table:
+  /// family | scheme | router | n | m | diam>= | greedy-diam | mean | ci | sec.
+  [[nodiscard]] Table table() const;
+
+  /// Exponent fits, grid order (scheme-major, then router).
+  [[nodiscard]] std::vector<AxisFit> fits() const;
+
+  /// Renders the fits: scheme | router | exponent | R².
+  [[nodiscard]] Table fit_table() const;
+
+  /// Replays every cell into a sink (for post-hoc export).
+  void write(ResultSink& sink) const;
+};
+
+class Experiment {
+ public:
+  /// Starts a sweep over the named graph::families entry.
+  [[nodiscard]] static Experiment on(std::string family);
+
+  Experiment& sizes(std::vector<graph::NodeId> sizes);
+  Experiment& schemes(std::vector<std::string> scheme_specs);
+  Experiment& routers(std::vector<std::string> router_specs);
+  Experiment& pairs(std::size_t num_pairs);
+  Experiment& resamples(std::size_t resamples);
+  Experiment& pair_policy(routing::TrialConfig::PairPolicy policy);
+  Experiment& trials(const routing::TrialConfig& config);
+  Experiment& seed(std::uint64_t seed);
+  /// Cap on oracle memory: sizes <= this use a full DistanceMatrix, larger
+  /// ones a TargetDistanceCache.
+  Experiment& dense_oracle_limit(graph::NodeId limit);
+  /// Streams each finished cell to `sink` (call repeatedly to stack sinks;
+  /// the sink must outlive run()).
+  Experiment& stream_to(ResultSink& sink);
+
+  [[nodiscard]] const std::string& family() const noexcept { return family_; }
+
+  /// Runs the grid; cells ordered size-major, then scheme, then router.
+  /// Throws std::invalid_argument on an empty grid or unknown specs.
+  [[nodiscard]] ExperimentResult run() const;
+
+ private:
+  explicit Experiment(std::string family) : family_(std::move(family)) {}
+
+  std::string family_;
+  std::vector<graph::NodeId> sizes_;
+  std::vector<std::string> schemes_ = {"uniform"};
+  std::vector<std::string> routers_ = {"greedy"};
+  routing::TrialConfig trials_;
+  std::uint64_t seed_ = 0x5eed;
+  graph::NodeId dense_oracle_limit_ = 4096;
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace nav::api

@@ -1,0 +1,307 @@
+#include "api/result_sink.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "runtime/assert.hpp"
+
+namespace nav::api {
+
+namespace {
+
+/// Shortest string that parses back to exactly the same double; guaranteed
+/// to contain a '.', 'e', or sign so it re-parses as a double, not an int.
+/// JSON has no NaN/Infinity literal, so non-finite values become null (the
+/// parser maps null back to a quiet NaN).
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), v);
+  NAV_ASSERT(ec == std::errc());
+  std::string out(buffer, end);
+  if (out.find_first_of(".e-") == std::string::npos) out += ".0";
+  return out;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Minimal parser for the flat objects to_json_line emits.
+class JsonLineParser {
+ public:
+  explicit JsonLineParser(const std::string& text) : text_(text) {}
+
+  Record parse() {
+    Record record;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return record;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      record.push_back({std::move(key), parse_value()});
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    finish();
+    return record;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("bad JSON line at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char want) {
+    if (next() != want) fail(std::string("expected '") + want + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after object");
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u00xx control escapes; decode the
+          // Latin-1 range and refuse the rest rather than mis-decode.
+          if (code > 0xFF) fail("\\u escape outside the emitted range");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  FieldValue parse_value() {
+    const char c = peek();
+    if (c == '"') return parse_string();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;  // the writer's encoding of a non-finite double
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    fail("expected a string, number, or null value");
+  }
+
+  FieldValue parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (peek() == '-') {
+      integral = false;  // Field integers are unsigned; negatives -> double.
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty()) fail("empty number");
+    if (integral) {
+      std::uint64_t value = 0;
+      const auto [end, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && end == token.data() + token.size()) {
+        return value;
+      }
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size()) {
+      fail("bad number: " + token);
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string format_field_value(const FieldValue& value, int double_precision) {
+  if (const auto* s = std::get_if<std::string>(&value)) return *s;
+  if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    return Table::integer(*u);
+  }
+  return Table::num(std::get<double>(value), double_precision);
+}
+
+std::string to_json_line(const Record& record) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& field : record) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, field.key);
+    out += ": ";
+    if (const auto* s = std::get_if<std::string>(&field.value)) {
+      append_json_string(out, *s);
+    } else if (const auto* u = std::get_if<std::uint64_t>(&field.value)) {
+      out += std::to_string(*u);
+    } else {
+      out += json_double(std::get<double>(field.value));
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Record parse_json_line(const std::string& line) {
+  return JsonLineParser(line).parse();
+}
+
+void TableSink::write(const Record& record) {
+  if (!table_) {
+    std::vector<std::string> headers;
+    headers.reserve(record.size());
+    for (const auto& field : record) headers.push_back(field.key);
+    table_.emplace(std::move(headers));
+  }
+  std::vector<std::string> cells;
+  for (const auto& header : table_->header()) {
+    std::string cell;
+    for (const auto& field : record) {
+      if (field.key == header) {
+        cell = format_field_value(field.value, double_precision_);
+        break;
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+  table_->add_row(std::move(cells));
+}
+
+const Table& TableSink::table() const {
+  NAV_REQUIRE(table_.has_value(), "TableSink has received no records");
+  return *table_;
+}
+
+void CsvSink::write(const Record& record) {
+  auto csv_cell = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  if (columns_.empty()) {
+    for (const auto& field : record) columns_.push_back(field.key);
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << csv_cell(columns_[i]);
+    }
+    out_ << '\n';
+  }
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out_ << ',';
+    for (const auto& field : record) {
+      if (field.key == columns_[i]) {
+        out_ << csv_cell(format_field_value(field.value, double_precision_));
+        break;
+      }
+    }
+  }
+  out_ << '\n';
+}
+
+void CsvSink::flush() { out_.flush(); }
+
+void JsonLinesSink::write(const Record& record) {
+  out_ << to_json_line(record) << '\n';
+}
+
+void JsonLinesSink::flush() { out_.flush(); }
+
+}  // namespace nav::api

@@ -1,0 +1,109 @@
+// result_sink.hpp — structured result output for experiment drivers.
+//
+// The seed printed one ASCII table per sweep and optionally a CSV file —
+// fine for a terminal, opaque to tooling that wants BENCH_*.json style
+// trajectories. ResultSink decouples result *production* (api::Experiment,
+// NavigationEngine drivers) from *rendering*: a producer emits one flat
+// Record per result row; sinks render the stream as an ASCII table, CSV, or
+// JSON Lines. Sinks are cheap to stack — an experiment can stream to a
+// table for the terminal and a .jsonl file for the plotting pipeline in the
+// same run.
+//
+// JSON Lines round-trips: to_json_line / parse_json_line preserve field
+// order, values, and types (string vs double vs unsigned integer), which the
+// test suite checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "runtime/table.hpp"
+
+namespace nav::api {
+
+using FieldValue = std::variant<std::string, double, std::uint64_t>;
+
+struct Field {
+  std::string key;
+  FieldValue value;
+};
+
+/// One result row: ordered key/value pairs (the order defines columns).
+using Record = std::vector<Field>;
+
+/// Renders a value for human-facing sinks (table, CSV). Doubles use a fixed
+/// precision; JSON uses exact shortest-round-trip formatting instead.
+[[nodiscard]] std::string format_field_value(const FieldValue& value,
+                                             int double_precision = 3);
+
+/// One line of JSON: {"key": value, ...} with exact double round-tripping.
+/// Non-finite doubles (JSON has no NaN/Infinity) are written as null;
+/// parse_json_line maps null back to a quiet NaN.
+[[nodiscard]] std::string to_json_line(const Record& record);
+
+/// Parses a line produced by to_json_line (a flat JSON object of strings and
+/// numbers). Numbers with a '.', exponent, or sign parse as double, plain
+/// digit runs as std::uint64_t. Throws std::invalid_argument on malformed
+/// input or non-flat documents.
+[[nodiscard]] Record parse_json_line(const std::string& line);
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Consumes one result row. Records in one stream should share keys, but
+  /// sinks tolerate missing fields (rendered empty) for ragged producers.
+  virtual void write(const Record& record) = 0;
+
+  virtual void flush() {}
+};
+
+/// Accumulates records into a nav::Table; columns come from the first
+/// record's keys.
+class TableSink final : public ResultSink {
+ public:
+  explicit TableSink(int double_precision = 3)
+      : double_precision_(double_precision) {}
+
+  void write(const Record& record) override;
+
+  /// The accumulated table. Requires at least one record.
+  [[nodiscard]] const Table& table() const;
+
+ private:
+  int double_precision_;
+  std::optional<Table> table_;
+};
+
+/// Streams RFC-4180-ish CSV; the header row comes from the first record.
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out, int double_precision = 6)
+      : out_(out), double_precision_(double_precision) {}
+
+  void write(const Record& record) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+  int double_precision_;
+  std::vector<std::string> columns_;
+};
+
+/// Streams one JSON object per line (JSON Lines / ndjson).
+class JsonLinesSink final : public ResultSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out) : out_(out) {}
+
+  void write(const Record& record) override;
+  void flush() override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace nav::api

@@ -65,8 +65,19 @@ class AugmentationScheme {
 /// n - O(route length) contacts a route never looks at. Needed by consumers
 /// that must see a *consistent* link for a node across multiple accesses
 /// (e.g. NoN lookahead reads a contact first as a neighbour's link, later as
-/// the current node's own link). Per-node child streams make the result
-/// independent of access order.
+/// the current node's own link).
+///
+/// Child-stream contract: the constructor takes `rng` BY VALUE, and that is
+/// intentional, not an accidental copy. The memo snapshots the stream state
+/// at construction and derives node u's draw from the child stream
+/// snapshot.child(u), never from the parent's ongoing sequence. Hence
+///   * the realised augmentation is a pure function of (scheme, snapshot) —
+///     independent of the order in which routes touch nodes, and of whatever
+///     the caller does with its own rng afterwards;
+///   * two MemoContacts built from the same snapshot realise the SAME
+///     augmented graph (lookahead tests rely on this);
+///   * the caller's stream is never advanced — hand each memo a dedicated
+///     child (e.g. rng.child(trial)) to vary the augmentation per trial.
 class MemoContacts {
  public:
   MemoContacts(const AugmentationScheme& scheme, Rng rng)

@@ -1,0 +1,86 @@
+// nav/nav.hpp — the navscheme umbrella header: the whole public surface in
+// one include.
+//
+// Bench binaries, examples, and downstream users include ONLY this header.
+// The layering underneath (graph -> core -> routing -> api) remains the
+// internal structure; this facade re-exports it so call sites don't wire
+// subsystem headers by hand.
+//
+// The 60-second tour:
+//
+//   #include "nav/nav.hpp"
+//   using namespace nav;
+//
+//   // One object owning graph + distance oracle + scheme + router:
+//   auto engine = api::NavigationEngine::from_family("path", 4096);
+//   engine.use_scheme("ball").use_router("lookahead:1");
+//   auto hop_count = engine.route(0, 4095, Rng(7)).steps;
+//
+//   // Declarative sweep grids with structured output:
+//   auto result = api::Experiment::on("cycle")
+//                     .sizes({1024, 4096})
+//                     .schemes({"uniform", "ball", "ml"})
+//                     .routers({"greedy", "lookahead:1"})
+//                     .run();
+//   std::cout << result.table().to_ascii();
+#pragma once
+
+// runtime — deterministic RNG, stats, tables, timing, the thread pool.
+#include "runtime/assert.hpp"
+#include "runtime/discrete_distribution.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/table.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+// graph — CSR graphs, generators, the family registry, distances.
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/diameter.hpp"
+#include "graph/distance_oracle.hpp"
+#include "graph/families.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/interval_model.hpp"
+#include "graph/permutation_model.hpp"
+
+// core — augmentation schemes and the scheme registry.
+#include "core/augmentation_matrix.hpp"
+#include "core/ball_scheme.hpp"
+#include "core/growth_scheme.hpp"
+#include "core/kleinberg_scheme.hpp"
+#include "core/labeling.hpp"
+#include "core/level_hierarchy.hpp"
+#include "core/ml_scheme.hpp"
+#include "core/name_independent.hpp"
+#include "core/rank_scheme.hpp"
+#include "core/restricted_label_scheme.hpp"
+#include "core/scheme.hpp"
+#include "core/scheme_factory.hpp"
+#include "core/uniform_scheme.hpp"
+
+// decomposition — pathshape machinery behind Theorem 2.
+#include "decomposition/builders.hpp"
+#include "decomposition/decomposition.hpp"
+#include "decomposition/exact.hpp"
+#include "decomposition/interval_decomposition.hpp"
+#include "decomposition/measures.hpp"
+#include "decomposition/pathshape.hpp"
+#include "decomposition/permutation_decomposition.hpp"
+#include "decomposition/tree_path_decomposition.hpp"
+
+// routing — routers, the router registry, Monte-Carlo estimation.
+#include "routing/exact_analysis.hpp"
+#include "routing/experiment.hpp"
+#include "routing/greedy_router.hpp"
+#include "routing/lookahead_router.hpp"
+#include "routing/router.hpp"
+#include "routing/router_factory.hpp"
+#include "routing/trial_runner.hpp"
+
+// api — the facade: engine, experiment builder, result sinks.
+#include "api/engine.hpp"
+#include "api/experiment.hpp"
+#include "api/result_sink.hpp"

@@ -1,57 +1,35 @@
 #include "routing/experiment.hpp"
 
 #include <map>
-#include <memory>
 
-#include "graph/diameter.hpp"
-#include "runtime/timer.hpp"
+#include "api/experiment.hpp"
 
 namespace nav::routing {
 
 std::vector<SweepRow> run_sweep(const SweepConfig& config) {
-  NAV_REQUIRE(!config.sizes.empty(), "sweep needs sizes");
-  NAV_REQUIRE(!config.schemes.empty(), "sweep needs schemes");
-  const auto& fam = graph::family(config.family);
-
+  const auto result = api::Experiment::on(config.family)
+                          .sizes(config.sizes)
+                          .schemes(config.schemes)
+                          .routers({"greedy"})
+                          .trials(config.trials)
+                          .seed(config.seed)
+                          .dense_oracle_limit(config.dense_oracle_limit)
+                          .run();
   std::vector<SweepRow> rows;
-  Rng root(config.seed);
-  for (std::size_t si = 0; si < config.sizes.size(); ++si) {
-    const auto n_req = config.sizes[si];
-    Rng graph_rng = root.child(0x6aaf).child(si);
-    const graph::Graph g = fam.make(n_req, graph_rng);
-    NAV_REQUIRE(g.num_nodes() >= 2, "family produced a trivial graph");
-
-    std::unique_ptr<graph::DistanceOracle> oracle;
-    if (g.num_nodes() <= config.dense_oracle_limit) {
-      oracle = std::make_unique<graph::DistanceMatrix>(g);
-    } else {
-      oracle = std::make_unique<graph::TargetDistanceCache>(
-          g, config.trials.num_pairs + 8);
-    }
-    const auto diameter_lb = graph::double_sweep_lower_bound(g);
-
-    for (std::size_t ki = 0; ki < config.schemes.size(); ++ki) {
-      const auto& spec = config.schemes[ki];
-      nav::Timer timer;
-      Rng scheme_rng = root.child(0x5c4e).child(si).child(ki);
-      const auto scheme = core::make_scheme(spec, g, scheme_rng);
-      const auto estimate = estimate_greedy_diameter(
-          g, scheme.get(), *oracle, config.trials,
-          root.child(0x7a1a).child(si).child(ki));
-
-      SweepRow row;
-      row.family = config.family;
-      row.scheme = spec;
-      row.n_requested = n_req;
-      row.n_actual = g.num_nodes();
-      row.m = g.num_edges();
-      row.diameter_lb = diameter_lb;
-      row.greedy_diameter = estimate.max_mean_steps;
-      row.mean_steps = estimate.overall_mean_steps;
-      row.ci_halfwidth = estimate.max_ci_halfwidth;
-      row.seconds = timer.seconds();
-      rows.push_back(std::move(row));
-    }
+  rows.reserve(result.cells.size());
+  for (const auto& cell : result.cells) {
+    SweepRow row;
+    row.family = cell.family;
+    row.scheme = cell.scheme;
+    row.n_requested = cell.n_requested;
+    row.n_actual = cell.n_actual;
+    row.m = cell.m;
+    row.diameter_lb = cell.diameter_lb;
+    row.greedy_diameter = cell.greedy_diameter;
+    row.mean_steps = cell.mean_steps;
+    row.ci_halfwidth = cell.ci_halfwidth;
+    row.seconds = cell.seconds;
+    rows.push_back(std::move(row));
   }
   return rows;
 }

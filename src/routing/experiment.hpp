@@ -1,9 +1,14 @@
-// experiment.hpp — the sweep driver behind every bench binary.
+// experiment.hpp — LEGACY sweep driver, now a thin shim over api::Experiment.
 //
 // An experiment is a grid: graph family × sizes × schemes. For each cell the
 // driver builds the instance, estimates the greedy diameter, and emits a row.
-// Fitted log-log slopes per scheme turn the rows into the paper's claims
-// ("uniform scales like n^0.5 on the path, ball like n^1/3").
+// New code should use the nav::api facade (nav/nav.hpp): api::Experiment adds
+// a router axis and ResultSink streaming on top of this grid; run_sweep
+// forwards to it with the classic greedy router and flattens the cells back
+// into SweepRows. The types below are kept so existing callers and tests
+// keep compiling. Note: the facade derives per-cell trial randomness from an
+// extra router-index child stream, so a given seed produces different (still
+// deterministic) Monte-Carlo draws than the pre-facade driver did.
 #pragma once
 
 #include <functional>
@@ -42,7 +47,7 @@ struct SweepRow {
   double seconds = 0.0;            // wall time of the cell
 };
 
-/// Runs the grid; rows ordered scheme-major then size.
+/// Runs the grid with the greedy router; rows ordered size-major then scheme.
 [[nodiscard]] std::vector<SweepRow> run_sweep(const SweepConfig& config);
 
 /// Renders rows as a paper-style table:

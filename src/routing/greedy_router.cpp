@@ -49,7 +49,7 @@ RouteResult GreedyRouter::route_impl(NodeId s, NodeId t, ContactFn&& contact_of,
 }
 
 RouteResult GreedyRouter::route(NodeId s, NodeId t,
-                                const AugmentationScheme* scheme, Rng& rng,
+                                const AugmentationScheme* scheme, Rng rng,
                                 bool record_trace) const {
   if (scheme == nullptr) {
     return route_impl(

@@ -17,30 +17,12 @@
 #pragma once
 
 #include <span>
-#include <vector>
 
-#include "core/scheme.hpp"
-#include "graph/distance_oracle.hpp"
+#include "routing/router.hpp"
 
 namespace nav::routing {
 
-using core::AugmentationScheme;
-using graph::Dist;
-using graph::Graph;
-using graph::NodeId;
-
-struct RouteResult {
-  std::uint32_t steps = 0;            // hops from s to t
-  std::uint32_t long_links_used = 0;  // how many hops were long-range
-  Dist initial_distance = 0;          // dist(s, t)
-  bool reached = false;               // always true for connected graphs
-  /// Hop trace (s first, t last) — only filled when record_trace is set;
-  /// long_flags[i] marks whether hop i -> i+1 used a long-range link.
-  std::vector<NodeId> trace;
-  std::vector<std::uint8_t> long_flags;
-};
-
-class GreedyRouter {
+class GreedyRouter final : public Router {
  public:
   /// The oracle provides dist_G(·, t); both must outlive the router.
   GreedyRouter(const Graph& g, const graph::DistanceOracle& oracle)
@@ -48,9 +30,11 @@ class GreedyRouter {
 
   /// Routes s -> t, sampling each visited node's contact lazily from
   /// `scheme` (nullptr: no long-range links — pure shortest-path walk).
+  /// `rng` is by value per the Router contract: the route consumes a
+  /// private stream.
   [[nodiscard]] RouteResult route(NodeId s, NodeId t,
-                                  const AugmentationScheme* scheme, Rng& rng,
-                                  bool record_trace = false) const;
+                                  const AugmentationScheme* scheme, Rng rng,
+                                  bool record_trace = false) const override;
 
   /// Routes with a fixed (eagerly sampled) contact vector: contacts[u] is
   /// u's long-range contact or core::kNoContact.
@@ -58,7 +42,8 @@ class GreedyRouter {
       NodeId s, NodeId t, std::span<const NodeId> contacts,
       bool record_trace = false) const;
 
-  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] const Graph& graph() const noexcept override { return graph_; }
 
  private:
   template <typename ContactFn>

@@ -1,6 +1,22 @@
 #include "routing/lookahead_router.hpp"
 
+#include <algorithm>
+
 namespace nav::routing {
+
+RouteResult LookaheadRouter::route(NodeId s, NodeId t,
+                                   const AugmentationScheme* scheme, Rng rng,
+                                   bool record_trace) const {
+  if (scheme == nullptr) {
+    return route(
+        s, t, [](NodeId) { return core::kNoContact; }, record_trace);
+  }
+  NAV_REQUIRE(scheme->num_nodes() == graph_.num_nodes(),
+              "scheme/graph size mismatch");
+  core::MemoContacts contacts(*scheme, rng);
+  return route(
+      s, t, [&contacts](NodeId u) { return contacts(u); }, record_trace);
+}
 
 RouteResult LookaheadRouter::route(NodeId s, NodeId t,
                                    std::span<const NodeId> contacts,
@@ -19,10 +35,17 @@ RouteResult LookaheadRouter::route(NodeId s, NodeId t, const ContactFn& contacts
   const auto& dist = *dist_ptr;
   NAV_REQUIRE(dist[s] != graph::kInfDist, "target unreachable from source");
 
-  auto contact_distance = [&](NodeId w) -> Dist {
-    const NodeId c = contacts(w);
-    if (c == core::kNoContact || c >= graph_.num_nodes()) return graph::kInfDist;
-    return dist[c];
+  const NodeId n = graph_.num_nodes();
+  // Best distance reachable from w along its chain of <= depth long links.
+  auto chain_score = [&](NodeId w) -> Dist {
+    Dist best = dist[w];
+    NodeId x = w;
+    for (unsigned k = 0; k < depth_; ++k) {
+      x = contacts(x);
+      if (x == core::kNoContact || x >= n) break;
+      best = std::min(best, dist[x]);
+    }
+    return best;
   };
 
   RouteResult result;
@@ -47,9 +70,9 @@ RouteResult LookaheadRouter::route(NodeId s, NodeId t, const ContactFn& contacts
     Dist best_score = graph::kInfDist;
     bool best_via_long = false;
     auto offer = [&](NodeId w, bool via_long) {
-      const Dist score = std::min(dist[w], contact_distance(w));
+      const Dist score = chain_score(w);
       // Prefer strictly better scores; among ties prefer a node that is
-      // itself closer (avoids taking a 2-step move for nothing).
+      // itself closer (avoids taking a multi-step move for nothing).
       if (score < best_score ||
           (score == best_score && best != graph::kNoNode &&
            dist[w] < dist[best])) {
@@ -60,22 +83,27 @@ RouteResult LookaheadRouter::route(NodeId s, NodeId t, const ContactFn& contacts
     };
     for (const NodeId w : graph_.neighbors(u)) offer(w, false);
     const NodeId own = contacts(u);
-    if (own != core::kNoContact && own < graph_.num_nodes()) offer(own, true);
+    if (own != core::kNoContact && own < n) offer(own, true);
 
     // A local neighbour on a shortest path scores <= du - 1.
     NAV_ASSERT(best != graph::kNoNode && best_score < du);
     hop(best, best_via_long);
-    if (u == t) break;
-    if (dist[u] >= du) {
-      // The move was motivated by u's contact: commit to the long link now.
+    // If the move was motivated by the candidate's chain, commit: follow the
+    // long links until the promised distance drop materialises. The scorer
+    // saw the same (consistent) contacts, so the drop arrives within depth_
+    // links.
+    unsigned followed = 0;
+    while (u != t && dist[u] >= du) {
+      NAV_ASSERT(followed < depth_);
       const NodeId c = contacts(u);
-      NAV_ASSERT(c != core::kNoContact && c < graph_.num_nodes() &&
-                 dist[c] < du);
+      NAV_ASSERT(c != core::kNoContact && c < n);
       hop(c, true);
+      ++followed;
     }
   }
   result.reached = true;
-  NAV_ASSERT(result.steps <= 2u * result.initial_distance);
+  NAV_ASSERT(result.steps <=
+             (1u + depth_) * static_cast<std::uint32_t>(result.initial_distance));
   return result;
 }
 

@@ -1,19 +1,27 @@
-// lookahead_router.hpp — greedy routing with one-hop lookahead (NoN).
+// lookahead_router.hpp — greedy routing with depth-d lookahead (NoN).
 //
 // "Know Thy Neighbor's Neighbor" (Manku, Naor, Wieder — STOC'04, the paper's
 // reference [16]): nodes also know the long-range contacts of their
-// neighbours. The NoN-greedy rule at u with target t:
-//   * score every neighbour w (local + u's own contact) by
-//     min(dist(w,t), dist(contact(w), t));
+// neighbours. Zeng–Hsu–Hu ("Near Optimal Routing for Small-World Networks
+// with Augmented Local Awareness") generalise to deeper awareness, which is
+// why depth is a first-class parameter here instead of a separate code path.
+// The depth-d NoN-greedy rule at u with target t:
+//   * score every neighbour w (local + u's own contact) by the best distance
+//     reachable along the chain w, contact(w), contact(contact(w)), ... of
+//     up to d long links: min over the chain prefix of dist(·, t);
 //   * move to the best-scoring w; if w itself is not closer than u (it was
-//     chosen for its contact), immediately follow w's long link — a
-//     committed two-step move.
-// Every committed move lowers the distance by >= 1 per <= 2 steps, so the
-// route takes <= 2·dist(s,t) steps (asserted).
+//     chosen for its chain), keep following the committed chain of long
+//     links until the distance has dropped — at most d extra steps.
+// Every committed move lowers the distance by >= 1 per <= 1 + d steps, so
+// the route takes <= (1 + d) · dist(s,t) steps (asserted). d = 1 is exactly
+// the STOC'04 protocol; the registry (make_router) maps "lookahead:0" to the
+// plain greedy router.
 //
-// Lookahead requires *eager* contacts (the neighbour's link must be the same
-// when the message reaches it), so the API takes a contact vector — sample
-// one with core::sample_all_contacts.
+// Lookahead requires *consistent* contacts (the neighbour's link must be the
+// same when the message reaches it), so the API takes a contact vector —
+// sample one with core::sample_all_contacts — or a memoised contact function
+// (core::MemoContacts). The Router-interface route(scheme, rng) overload
+// builds a MemoContacts internally from its private rng stream.
 //
 // This is extension experiment E10: how much of the sqrt(n)-barrier can
 // extra *local knowledge* recover, compared to changing the augmentation
@@ -23,14 +31,25 @@
 #include <functional>
 #include <span>
 
-#include "routing/greedy_router.hpp"
+#include "routing/router.hpp"
 
 namespace nav::routing {
 
-class LookaheadRouter {
+class LookaheadRouter final : public Router {
  public:
-  LookaheadRouter(const Graph& g, const graph::DistanceOracle& oracle)
-      : graph_(g), oracle_(oracle) {}
+  /// `depth` >= 1 long links of awareness per candidate (1 = classic NoN).
+  LookaheadRouter(const Graph& g, const graph::DistanceOracle& oracle,
+                  unsigned depth = 1)
+      : graph_(g), oracle_(oracle), depth_(depth) {
+    NAV_REQUIRE(depth_ >= 1, "lookahead depth must be >= 1 (0 is greedy)");
+  }
+
+  /// Router interface: realises a fixed augmentation lazily via
+  /// core::MemoContacts seeded from `rng` (so repeated reads of a node's
+  /// link are consistent), then routes with depth-d lookahead.
+  [[nodiscard]] RouteResult route(NodeId s, NodeId t,
+                                  const AugmentationScheme* scheme, Rng rng,
+                                  bool record_trace = false) const override;
 
   /// NoN-greedy route with fixed contacts (contacts[u] may be kNoContact).
   [[nodiscard]] RouteResult route(NodeId s, NodeId t,
@@ -44,9 +63,16 @@ class LookaheadRouter {
   [[nodiscard]] RouteResult route(NodeId s, NodeId t, const ContactFn& contacts,
                                   bool record_trace = false) const;
 
+  [[nodiscard]] std::string name() const override {
+    return "lookahead:" + std::to_string(depth_);
+  }
+  [[nodiscard]] const Graph& graph() const noexcept override { return graph_; }
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+
  private:
   const Graph& graph_;
   const graph::DistanceOracle& oracle_;
+  unsigned depth_;
 };
 
 }  // namespace nav::routing

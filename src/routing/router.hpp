@@ -1,0 +1,70 @@
+// router.hpp — the routing-policy interface behind the router registry.
+//
+// The paper fixes ONE routing process (greedy, §1) and varies the
+// augmentation distribution. Follow-up work varies the *process* instead:
+// "Know Thy Neighbor's Neighbor" (Manku–Naor–Wieder, STOC'04 — the paper's
+// reference [16]) and "Near Optimal Routing for Small-World Networks with
+// Augmented Local Awareness" (Zeng–Hsu–Hu) give nodes lookahead over their
+// neighbours' long-range links. Router abstracts over that choice so that
+// schemes × routers form a sweep grid (api::Experiment, make_router) instead
+// of one hand-rolled bench binary per process.
+//
+// Contract:
+//   * route(s, t, scheme, rng) draws every contact it needs from `rng`,
+//     which is taken BY VALUE: a route consumes a private stream, never the
+//     caller's. (s, t, scheme, rng state) -> result is a pure function, so
+//     batch drivers stay deterministic under any parallel schedule by
+//     handing trial i the child stream rng.child(i).
+//   * `scheme` may be nullptr: the node has local links only.
+//   * scheme->num_nodes() must match the router's graph (checked, throws).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "graph/distance_oracle.hpp"
+
+namespace nav::routing {
+
+using core::AugmentationScheme;
+using graph::Dist;
+using graph::Graph;
+using graph::NodeId;
+
+struct RouteResult {
+  std::uint32_t steps = 0;            // hops from s to t
+  std::uint32_t long_links_used = 0;  // how many hops were long-range
+  Dist initial_distance = 0;          // dist(s, t)
+  bool reached = false;               // always true for connected graphs
+  /// Hop trace (s first, t last) — only filled when record_trace is set;
+  /// long_flags[i] marks whether hop i -> i+1 used a long-range link.
+  std::vector<NodeId> trace;
+  std::vector<std::uint8_t> long_flags;
+};
+
+/// A routing process over one fixed graph + distance oracle. Implementations
+/// are immutable after construction and safe for concurrent route() calls.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Process identifier for tables, e.g. "greedy", "lookahead:1".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The underlying graph this router forwards on.
+  [[nodiscard]] virtual const Graph& graph() const noexcept = 0;
+
+  /// Routes s -> t under `scheme` (nullptr: local links only), drawing all
+  /// contact randomness from the private stream `rng`.
+  [[nodiscard]] virtual RouteResult route(NodeId s, NodeId t,
+                                          const AugmentationScheme* scheme,
+                                          Rng rng,
+                                          bool record_trace = false) const = 0;
+};
+
+using RouterPtr = std::unique_ptr<Router>;
+
+}  // namespace nav::routing

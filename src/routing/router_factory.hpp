@@ -1,0 +1,25 @@
+// router_factory.hpp — build routers by name (mirrors core/scheme_factory).
+//
+// Recognised specs:
+//   "greedy"          the paper's greedy process (§1)
+//   "lookahead:<d>"   depth-d neighbour-of-neighbour lookahead (STOC'04 NoN
+//                     at d = 1); "lookahead:0" is exactly "greedy", so the
+//                     depth axis sweeps cleanly from no awareness upward
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/router.hpp"
+
+namespace nav::routing {
+
+/// Builds the router for `spec` over graph g + oracle (both must outlive the
+/// returned router). Throws std::invalid_argument on unknown specs.
+[[nodiscard]] RouterPtr make_router(const std::string& spec, const Graph& g,
+                                    const graph::DistanceOracle& oracle);
+
+/// All specs suitable for a cross-router comparison sweep.
+[[nodiscard]] std::vector<std::string> standard_router_specs();
+
+}  // namespace nav::routing

@@ -45,21 +45,20 @@ std::vector<std::pair<NodeId, NodeId>> select_pairs(const Graph& g,
 
 }  // namespace
 
-PairEstimate estimate_pair(const Graph& g,
-                           const core::AugmentationScheme* scheme,
-                           const graph::DistanceOracle& oracle, NodeId s,
-                           NodeId t, std::size_t resamples, Rng rng,
-                           bool parallel) {
+PairEstimate estimate_routed_pair(const Router& router,
+                                  const graph::DistanceOracle& oracle,
+                                  NodeId s, NodeId t,
+                                  const core::AugmentationScheme* scheme,
+                                  std::size_t resamples, Rng rng,
+                                  bool parallel) {
   NAV_REQUIRE(resamples >= 1, "need at least one resample");
-  GreedyRouter router(g, oracle);
   // Warm the oracle for t once so parallel replicates share the BFS.
   (void)oracle.distances_to(t);
 
   std::vector<double> steps(resamples, 0.0);
   std::vector<double> longs(resamples, 0.0);
   auto body = [&](std::size_t r) {
-    Rng trial_rng = rng.child(r);
-    const auto result = router.route(s, t, scheme, trial_rng);
+    const auto result = router.route(s, t, scheme, rng.child(r));
     steps[r] = static_cast<double>(result.steps);
     longs[r] = static_cast<double>(result.long_links_used);
   };
@@ -85,9 +84,10 @@ PairEstimate estimate_pair(const Graph& g,
   return est;
 }
 
-GreedyDiameterEstimate estimate_greedy_diameter(
-    const Graph& g, const core::AugmentationScheme* scheme,
+GreedyDiameterEstimate estimate_routed_diameter(
+    const Router& router, const core::AugmentationScheme* scheme,
     const graph::DistanceOracle& oracle, const TrialConfig& config, Rng rng) {
+  const Graph& g = router.graph();
   NAV_REQUIRE(g.num_nodes() >= 2, "graph too small to route");
   Rng pair_rng = rng.child(0xA11);
   const auto pairs = select_pairs(g, config, pair_rng);
@@ -95,12 +95,13 @@ GreedyDiameterEstimate estimate_greedy_diameter(
 
   GreedyDiameterEstimate out;
   out.pairs.resize(pairs.size());
-  // Parallelism lives inside estimate_pair (over resamples); pairs run
-  // sequentially so each target's BFS is computed once and reused.
+  // Parallelism lives inside estimate_routed_pair (over resamples); pairs
+  // run sequentially so each target's BFS is computed once and reused.
   for (std::size_t p = 0; p < pairs.size(); ++p) {
-    out.pairs[p] = estimate_pair(g, scheme, oracle, pairs[p].first,
-                                 pairs[p].second, config.resamples,
-                                 rng.child(p + 1), config.parallel);
+    out.pairs[p] = estimate_routed_pair(router, oracle, pairs[p].first,
+                                        pairs[p].second, scheme,
+                                        config.resamples, rng.child(p + 1),
+                                        config.parallel);
   }
   nav::RunningStats all;
   for (const auto& pe : out.pairs) {
@@ -113,6 +114,23 @@ GreedyDiameterEstimate estimate_greedy_diameter(
   out.overall_mean_steps = all.mean();
   out.trials = pairs.size() * config.resamples;
   return out;
+}
+
+PairEstimate estimate_pair(const Graph& g,
+                           const core::AugmentationScheme* scheme,
+                           const graph::DistanceOracle& oracle, NodeId s,
+                           NodeId t, std::size_t resamples, Rng rng,
+                           bool parallel) {
+  GreedyRouter router(g, oracle);
+  return estimate_routed_pair(router, oracle, s, t, scheme, resamples, rng,
+                              parallel);
+}
+
+GreedyDiameterEstimate estimate_greedy_diameter(
+    const Graph& g, const core::AugmentationScheme* scheme,
+    const graph::DistanceOracle& oracle, const TrialConfig& config, Rng rng) {
+  GreedyRouter router(g, oracle);
+  return estimate_routed_diameter(router, scheme, oracle, config, rng);
 }
 
 }  // namespace nav::routing

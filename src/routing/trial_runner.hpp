@@ -10,6 +10,11 @@
 //   * kRandom: only random pairs;
 //   * kAllPairs: every ordered pair with s != t (small n / tests).
 //
+// The estimators are parameterized over the routing process (Router): the
+// `estimate_routed_*` entry points accept any registry router, while the
+// classic `estimate_greedy_diameter` / `estimate_pair` names remain as
+// greedy-router conveniences.
+//
 // Determinism: trial (pair p, replicate r) uses rng.child(p).child(r); the
 // result is independent of thread count and schedule.
 #pragma once
@@ -48,12 +53,26 @@ struct GreedyDiameterEstimate {
   std::size_t trials = 0;
 };
 
-/// Runs the estimation. `scheme` may be nullptr (no long links).
+/// Runs the estimation under an arbitrary routing process. `scheme` may be
+/// nullptr (no long links). The graph is the router's own (router.graph()),
+/// so a graph/router mismatch is unrepresentable; the router must be built
+/// over `oracle`.
+[[nodiscard]] GreedyDiameterEstimate estimate_routed_diameter(
+    const Router& router, const core::AugmentationScheme* scheme,
+    const graph::DistanceOracle& oracle, const TrialConfig& config, Rng rng);
+
+/// Single-pair estimate under an arbitrary routing process.
+[[nodiscard]] PairEstimate estimate_routed_pair(
+    const Router& router, const graph::DistanceOracle& oracle, NodeId s,
+    NodeId t, const core::AugmentationScheme* scheme, std::size_t resamples,
+    Rng rng, bool parallel = true);
+
+/// Greedy-router convenience (the paper's process).
 [[nodiscard]] GreedyDiameterEstimate estimate_greedy_diameter(
     const Graph& g, const core::AugmentationScheme* scheme,
     const graph::DistanceOracle& oracle, const TrialConfig& config, Rng rng);
 
-/// Single-pair estimate (used by tests and the phase analysis bench).
+/// Single-pair greedy estimate (used by tests and the phase analysis bench).
 [[nodiscard]] PairEstimate estimate_pair(const Graph& g,
                                          const core::AugmentationScheme* scheme,
                                          const graph::DistanceOracle& oracle,

@@ -1,0 +1,122 @@
+#include "api/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nav::api {
+namespace {
+
+Experiment small_grid() {
+  return Experiment::on("path")
+      .sizes({64, 128})
+      .schemes({"none", "uniform"})
+      .routers({"greedy", "lookahead:1"})
+      .pairs(2)
+      .resamples(3)
+      .seed(0xAB);
+}
+
+TEST(ExperimentApi, ProducesOneCellPerGridPoint) {
+  const auto result = small_grid().run();
+  EXPECT_EQ(result.cells.size(), 2u * 2u * 2u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.family, "path");
+    EXPECT_GT(cell.n_actual, 0u);
+    EXPECT_GT(cell.greedy_diameter, 0.0);
+    EXPECT_GE(cell.greedy_diameter, cell.mean_steps);
+    EXPECT_TRUE(cell.router == "greedy" || cell.router == "lookahead:1");
+  }
+}
+
+TEST(ExperimentApi, DeterministicGivenSeed) {
+  const auto a = small_grid().run();
+  const auto b = small_grid().run();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].scheme, b.cells[i].scheme);
+    EXPECT_EQ(a.cells[i].router, b.cells[i].router);
+    EXPECT_DOUBLE_EQ(a.cells[i].greedy_diameter, b.cells[i].greedy_diameter);
+  }
+}
+
+TEST(ExperimentApi, RoutersAreARealAxis) {
+  // The "none" scheme leaves nothing to look ahead over: both routers must
+  // walk exactly the shortest path, while with "uniform" lookahead may only
+  // help. This pins the router column to observable behaviour.
+  const auto result = small_grid().run();
+  for (const auto& cell : result.cells) {
+    if (cell.scheme == "none") {
+      EXPECT_DOUBLE_EQ(cell.greedy_diameter,
+                       static_cast<double>(cell.diameter_lb))
+          << cell.router;
+    }
+  }
+}
+
+TEST(ExperimentApi, FitsCoverSchemeTimesRouter) {
+  const auto result = small_grid().run();
+  const auto fits = result.fits();
+  ASSERT_EQ(fits.size(), 4u);
+  const auto table = result.fit_table();
+  EXPECT_EQ(table.rows(), 4u);
+  EXPECT_EQ(table.columns(), 4u);
+}
+
+TEST(ExperimentApi, TableHasRouterColumn) {
+  const auto table = small_grid().run().table();
+  EXPECT_EQ(table.columns(), 10u);
+  EXPECT_NE(table.to_ascii().find("router"), std::string::npos);
+  EXPECT_NE(table.to_ascii().find("lookahead:1"), std::string::npos);
+}
+
+TEST(ExperimentApi, StreamsCellsToSinksAsJsonLines) {
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  const auto result = small_grid().stream_to(sink).run();
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const auto record = parse_json_line(line);
+    ASSERT_EQ(record[0].key, "family");
+    EXPECT_EQ(std::get<std::string>(record[0].value), "path");
+    ++count;
+  }
+  EXPECT_EQ(count, result.cells.size());
+}
+
+TEST(ExperimentApi, WriteReplaysAllCells) {
+  const auto result = small_grid().run();
+  TableSink sink;
+  result.write(sink);
+  EXPECT_EQ(sink.table().rows(), result.cells.size());
+}
+
+TEST(ExperimentApi, RejectsEmptyAndUnknownGrids) {
+  EXPECT_THROW((void)Experiment::on("path").run(), std::invalid_argument);
+  EXPECT_THROW((void)Experiment::on("path").sizes({16}).schemes({}).run(),
+               std::invalid_argument);
+  EXPECT_THROW((void)Experiment::on("path").sizes({16}).routers({}).run(),
+               std::invalid_argument);
+  EXPECT_THROW((void)Experiment::on("not-a-family").sizes({16}).run(),
+               std::invalid_argument);
+  EXPECT_THROW((void)Experiment::on("path").sizes({16}).routers(
+                   {"warp-drive"}).run(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentApi, LargeSizeUsesCacheOracle) {
+  const auto result = Experiment::on("path")
+                          .sizes({512})
+                          .schemes({"uniform"})
+                          .pairs(2)
+                          .resamples(2)
+                          .dense_oracle_limit(128)
+                          .run();
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_GT(result.cells[0].greedy_diameter, 0.0);
+}
+
+}  // namespace
+}  // namespace nav::api

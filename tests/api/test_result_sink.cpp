@@ -1,0 +1,164 @@
+#include "api/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace nav::api {
+namespace {
+
+Record sample_record() {
+  return {
+      {"family", std::string("path")},
+      {"scheme", std::string("ball")},
+      {"router", std::string("lookahead:1")},
+      {"n", std::uint64_t{4096}},
+      {"greedy_diameter", 42.25},
+      {"seconds", 0.125},
+  };
+}
+
+TEST(JsonLines, RoundTripPreservesOrderTypesAndValues) {
+  const auto record = sample_record();
+  const auto parsed = parse_json_line(to_json_line(record));
+  ASSERT_EQ(parsed.size(), record.size());
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    EXPECT_EQ(parsed[i].key, record[i].key);
+    EXPECT_EQ(parsed[i].value, record[i].value) << record[i].key;
+  }
+}
+
+TEST(JsonLines, DoubleRoundTripIsExact) {
+  // Shortest-round-trip formatting: awkward doubles survive bit for bit, and
+  // integral-valued doubles stay doubles (never collapse to the int type).
+  const Record record = {
+      {"tenth", 0.1},
+      {"third", 1.0 / 3.0},
+      {"tiny", 5e-324},
+      {"huge", 1.7976931348623157e308},
+      {"negative", -2.5},
+      {"integral", 3.0},
+      {"neg_integral", -3.0},
+      {"zero", 0.0},
+  };
+  const auto parsed = parse_json_line(to_json_line(record));
+  ASSERT_EQ(parsed.size(), record.size());
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    ASSERT_TRUE(std::holds_alternative<double>(parsed[i].value))
+        << record[i].key;
+    EXPECT_EQ(std::get<double>(parsed[i].value),
+              std::get<double>(record[i].value))
+        << record[i].key;
+  }
+}
+
+TEST(JsonLines, NonFiniteDoublesBecomeNullAndParseAsNaN) {
+  const Record record = {
+      {"nan", std::numeric_limits<double>::quiet_NaN()},
+      {"inf", std::numeric_limits<double>::infinity()},
+      {"ninf", -std::numeric_limits<double>::infinity()},
+  };
+  const auto line = to_json_line(record);
+  EXPECT_EQ(line,
+            "{\"nan\": null, \"inf\": null, \"ninf\": null}");
+  const auto parsed = parse_json_line(line);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (const auto& field : parsed) {
+    ASSERT_TRUE(std::holds_alternative<double>(field.value)) << field.key;
+    EXPECT_TRUE(std::isnan(std::get<double>(field.value))) << field.key;
+  }
+}
+
+TEST(JsonLines, IntegerRoundTripAtTheExtremes) {
+  const Record record = {
+      {"zero", std::uint64_t{0}},
+      {"max", std::uint64_t{18446744073709551615ULL}},
+  };
+  const auto parsed = parse_json_line(to_json_line(record));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].value, record[0].value);
+  EXPECT_EQ(parsed[1].value, record[1].value);
+}
+
+TEST(JsonLines, StringEscapesRoundTrip) {
+  const Record record = {
+      {"quote", std::string("he said \"hi\"")},
+      {"backslash", std::string("a\\b")},
+      {"newline", std::string("line1\nline2\ttabbed")},
+      {"control", std::string("bell\x07!")},
+      {"utf8", std::string("café")},  // multi-byte passthrough
+  };
+  const auto line = to_json_line(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto parsed = parse_json_line(line);
+  ASSERT_EQ(parsed.size(), record.size());
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    EXPECT_EQ(parsed[i].value, record[i].value) << record[i].key;
+  }
+}
+
+TEST(JsonLines, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_json_line(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_json_line("{"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json_line("[1, 2]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json_line("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json_line("{\"a\": 1} trailing"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_json_line("{\"a\": {\"nested\": 1}}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_json_line("{\"a\": 1,}"), std::invalid_argument);
+}
+
+TEST(JsonLinesSink, OneObjectPerLine) {
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  sink.write(sample_record());
+  sink.write(sample_record());
+  sink.flush();
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    const auto parsed = parse_json_line(line);
+    EXPECT_EQ(parsed.size(), sample_record().size());
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TableSink, ColumnsComeFromFirstRecord) {
+  TableSink sink;
+  sink.write(sample_record());
+  sink.write(sample_record());
+  const auto& table = sink.table();
+  EXPECT_EQ(table.columns(), 6u);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.header().front(), "family");
+  EXPECT_EQ(table.row(0)[3], "4096");
+}
+
+TEST(TableSink, EmptySinkThrowsOnAccess) {
+  TableSink sink;
+  EXPECT_THROW((void)sink.table(), std::invalid_argument);
+}
+
+TEST(CsvSink, HeaderThenRowsWithQuoting) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  Record record = sample_record();
+  record.push_back({"note", std::string("a,b and \"q\"")});
+  sink.write(record);
+  sink.flush();
+  std::istringstream lines(out.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(header,
+            "family,scheme,router,n,greedy_diameter,seconds,note");
+  EXPECT_NE(row.find("\"a,b and \"\"q\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nav::api

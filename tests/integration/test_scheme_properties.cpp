@@ -42,7 +42,9 @@ TEST_P(SchemeFamilyTest, ContactsValidAndRoutingBounded) {
   const auto pp = graph::peripheral_pair(g);
   Rng route_rng(2);
   for (int trial = 0; trial < 5; ++trial) {
-    const auto result = router.route(pp.a, pp.b, scheme.get(), route_rng);
+    // route() consumes a private stream; vary trials via child streams.
+    const auto result =
+        router.route(pp.a, pp.b, scheme.get(), route_rng.child(trial));
     EXPECT_TRUE(result.reached);
     EXPECT_LE(result.steps, pp.distance);
   }

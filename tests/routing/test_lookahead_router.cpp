@@ -5,6 +5,7 @@
 #include "core/ball_scheme.hpp"
 #include "core/uniform_scheme.hpp"
 #include "graph/generators.hpp"
+#include "routing/greedy_router.hpp"
 #include "runtime/stats.hpp"
 
 namespace nav::routing {
