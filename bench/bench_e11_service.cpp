@@ -1,0 +1,131 @@
+// bench_e11_service.cpp — E11: batched target-sharded routing vs per-pair
+// route_many at cache-oracle sizes.
+//
+// Claim under test: when the distance oracle is a TargetDistanceCache (n
+// above the dense-matrix limit), routing a mixed batch pair-by-pair thrashes
+// the LRU — nearly every pair whose target was evicted pays a fresh BFS —
+// while RouteService's target shards pay exactly one BFS per distinct
+// target. Same results bit for bit (asserted), very different wall-clock.
+//
+// The workload interleaves targets (pair i gets target i mod T), the
+// adversarial order for an LRU and the natural order for a service fed by
+// independent clients.
+#include "bench_common.hpp"
+
+namespace {
+
+using nav::Rng;
+using nav::graph::NodeId;
+using Pair = std::pair<NodeId, NodeId>;
+
+std::vector<Pair> interleaved_pairs(NodeId n, std::size_t count,
+                                    std::size_t distinct_targets,
+                                    std::uint64_t seed) {
+  std::vector<Pair> pairs;
+  pairs.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto t = static_cast<NodeId>(i % distinct_targets);
+    auto s = static_cast<NodeId>(nav::random_index(rng, n));
+    if (s == t) s = (s + 1) % n;
+    pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+struct ModeResult {
+  double seconds = 0.0;
+  std::size_t misses = 0;
+  std::vector<nav::routing::RouteResult> results;
+};
+
+ModeResult run_mode(const nav::graph::Graph& g,
+                    const nav::core::AugmentationScheme* scheme,
+                    const std::vector<Pair>& pairs, std::size_t cache_capacity,
+                    bool shard_by_target) {
+  // A fresh cache per mode: both start cold, neither inherits warm vectors.
+  nav::graph::TargetDistanceCache cache(g, cache_capacity);
+  const auto router = nav::routing::make_router("greedy", g, cache);
+  nav::api::RouteServiceOptions options;
+  options.shard_by_target = shard_by_target;
+  const nav::api::RouteService service(g, cache, scheme, *router, options);
+  nav::Timer timer;
+  ModeResult mode;
+  mode.results = service.route_batch(pairs, Rng(0xE11));
+  mode.seconds = timer.seconds();
+  mode.misses = cache.misses();
+  return mode;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::banner("E11 — batch routing service: target-sharded oracle prefetch",
+                "sharding a batch by target cuts BFS churn from ~#pairs to "
+                "#targets at cache-oracle sizes, at identical results");
+
+  const graph::NodeId n = opt.quick ? 4096 : 16384;
+  const std::size_t num_pairs = opt.quick ? 1024 : 4096;
+  const std::size_t distinct_targets = opt.quick ? 128 : 256;
+  const std::size_t cache_capacity = 64;  // EngineOptions default
+
+  Rng graph_rng(0x5eed);
+  const auto g = graph::family("grid2d").make(n, graph_rng);
+  Rng scheme_rng(0x5eed);
+  const auto scheme = core::make_scheme("uniform", g, scheme_rng);
+  const auto pairs =
+      interleaved_pairs(g.num_nodes(), num_pairs, distinct_targets, 17);
+
+  bench::section("per-pair (legacy route_many order) vs target-sharded");
+  std::cout << "n=" << g.num_nodes() << "  pairs=" << num_pairs
+            << "  distinct targets=" << distinct_targets
+            << "  cache capacity=" << cache_capacity << "\n";
+
+  const auto per_pair =
+      run_mode(g, scheme.get(), pairs, cache_capacity, false);
+  const auto sharded = run_mode(g, scheme.get(), pairs, cache_capacity, true);
+
+  // The whole point: execution schedule must not change a single hop count.
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    NAV_REQUIRE(per_pair.results[i].steps == sharded.results[i].steps,
+                "sharded results diverged from per-pair results");
+  }
+
+  Table table({"mode", "pairs", "bfs (oracle misses)", "sec", "pairs/sec"});
+  const auto add = [&](const std::string& mode, const ModeResult& r) {
+    table.add_row({mode, Table::integer(pairs.size()),
+                   Table::integer(r.misses), Table::num(r.seconds, 3),
+                   Table::num(static_cast<double>(pairs.size()) / r.seconds,
+                              0)});
+  };
+  add("per-pair", per_pair);
+  add("target-sharded", sharded);
+  std::cout << table.to_ascii();
+  const double speedup = per_pair.seconds / sharded.seconds;
+  std::cout << "speedup (wall-clock): " << Table::num(speedup, 2) << "x   "
+            << "BFS churn cut: " << per_pair.misses << " -> "
+            << sharded.misses << "\n";
+
+  if (opt.jsonl) {
+    std::ofstream out("bench_e11_service.jsonl");
+    api::JsonLinesSink sink(out);
+    const auto record = [&](const std::string& mode, const ModeResult& r) {
+      sink.write({{"experiment", std::string("e11_service")},
+                  {"mode", mode},
+                  {"n", static_cast<std::uint64_t>(g.num_nodes())},
+                  {"pairs", static_cast<std::uint64_t>(pairs.size())},
+                  {"targets", static_cast<std::uint64_t>(distinct_targets)},
+                  {"cache_capacity",
+                   static_cast<std::uint64_t>(cache_capacity)},
+                  {"bfs", static_cast<std::uint64_t>(r.misses)},
+                  {"seconds", r.seconds}});
+    };
+    record("per-pair", per_pair);
+    record("target-sharded", sharded);
+    sink.flush();
+    std::cout << "jsonl written: bench_e11_service.jsonl\n";
+  }
+  return 0;
+}

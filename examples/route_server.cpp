@@ -1,0 +1,84 @@
+// route_server.cpp — the always-on batch routing engine, demonstrated.
+//
+// Models a routing service under sustained load: clients submit mixed-size
+// batches of (source, target) queries against one augmented graph, the
+// RouteService queues them on its service thread, shards each batch by
+// target, and fans the shards across the thread pool. The driver keeps
+// submitting while earlier batches execute — the "always-on" mode that
+// Engine::route_many's one-shot API cannot express.
+//
+//   ./route_server [n] [batches]      (defaults: n=8192, batches=12)
+//
+// Output: one line per batch (size, distinct targets, hops served, latency)
+// plus the cumulative service telemetry.
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "nav/nav.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nav;
+  const auto n = static_cast<graph::NodeId>(
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8192);
+  const std::size_t num_batches =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+
+  // Cache-oracle regime on purpose: n above the dense limit is where target
+  // sharding earns its keep.
+  auto engine = api::NavigationEngine::from_family("torus2d", n);
+  engine.use_scheme("ball");
+  api::RouteService service(engine);
+
+  std::cout << "route_server: torus2d n=" << engine.graph().num_nodes()
+            << ", scheme=ball, router=greedy, "
+            << nav::global_pool().thread_count() << " pool threads\n\n";
+
+  // Submit every batch up front; the service thread drains them FIFO while
+  // we are still enqueueing — nothing here blocks until the .get() below.
+  Rng workload(2026);
+  std::vector<std::future<std::vector<routing::RouteResult>>> futures;
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t batch_size = 64 << (b % 4);      // mixed sizes 64..512
+    const std::size_t targets = 4 + 4 * (b % 5);       // mixed shard counts
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      const auto t = static_cast<graph::NodeId>(
+          random_index(workload, targets) * (engine.graph().num_nodes() /
+                                             targets));
+      auto s = static_cast<graph::NodeId>(
+          random_index(workload, engine.graph().num_nodes()));
+      if (s == t) s = (s + 1) % engine.graph().num_nodes();
+      pairs.emplace_back(s, t);
+    }
+    futures.push_back(service.submit(std::move(pairs), Rng(b)));
+  }
+
+  Table table({"batch", "pairs", "targets", "mean hops", "max hops"});
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const auto results = futures[b].get();
+    std::uint64_t total_steps = 0, max_steps = 0;
+    for (const auto& r : results) {
+      total_steps += r.steps;
+      max_steps = std::max<std::uint64_t>(max_steps, r.steps);
+    }
+    table.add_row({Table::integer(b), Table::integer(results.size()),
+                   Table::integer(4 + 4 * (b % 5)),
+                   Table::num(static_cast<double>(total_steps) /
+                                  static_cast<double>(results.size()),
+                              2),
+                   Table::integer(max_steps)});
+  }
+  std::cout << table.to_ascii();
+
+  const auto totals = service.totals();
+  std::cout << "\nservice totals: " << totals.batches << " batches, "
+            << totals.pairs << " routes, "
+            << Table::num(totals.seconds, 2) << "s batch execution, "
+            << Table::num(static_cast<double>(totals.pairs) /
+                              std::max(totals.seconds, 1e-9),
+                          0)
+            << " routes/sec\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compile-check the C++ snippets embedded in the markdown docs.
+
+Every fenced ```cpp block in README.md and docs/*.md must be a complete
+translation unit: it is extracted verbatim and fed to
+`$CXX -std=c++20 -fsyntax-only -I src`, so documented examples break the
+build when the API they show drifts. Fragments that should not be compiled
+use a plain ``` fence or another language tag.
+
+Usage: scripts/check_doc_snippets.py [repo_root]
+Exit code: 0 when every snippet compiles, 1 otherwise.
+"""
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+FENCE = re.compile(r"^```cpp\s*$")
+CLOSE = re.compile(r"^```\s*$")
+
+
+def extract_snippets(path: pathlib.Path):
+    """Yields (first_line_number, snippet_text) for each ```cpp block."""
+    snippet, start = None, 0
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if snippet is None:
+            if FENCE.match(line):
+                snippet, start = [], number + 1
+        elif CLOSE.match(line):
+            yield start, "\n".join(snippet) + "\n"
+            snippet = None
+        else:
+            snippet.append(line)
+    if snippet is not None:
+        raise SystemExit(f"{path}: unterminated ```cpp fence at line {start}")
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    cxx = os.environ.get("CXX", "g++")
+    sources = sorted([root / "README.md", *(root / "docs").glob("*.md")])
+
+    checked = failures = 0
+    for doc in sources:
+        if not doc.exists():
+            continue
+        for line_number, snippet in extract_snippets(doc):
+            checked += 1
+            with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False
+            ) as handle:
+                handle.write(snippet)
+                tmp = handle.name
+            try:
+                result = subprocess.run(
+                    [cxx, "-std=c++20", "-fsyntax-only",
+                     "-I", str(root / "src"), tmp],
+                    capture_output=True,
+                    text=True,
+                )
+            finally:
+                os.unlink(tmp)
+            where = f"{doc.relative_to(root)}:{line_number}"
+            if result.returncode != 0:
+                failures += 1
+                print(f"FAIL {where}\n{result.stderr}", file=sys.stderr)
+            else:
+                print(f"ok   {where}")
+    print(f"{checked} snippet(s) checked, {failures} failure(s)")
+    if checked == 0:
+        print("error: no ```cpp snippets found — wrong repo root?",
+              file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "api/engine.hpp"
 
+#include "api/route_service.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
 #include "runtime/thread_pool.hpp"
@@ -69,24 +70,14 @@ routing::RouteResult NavigationEngine::route(graph::NodeId s, graph::NodeId t,
 std::vector<routing::RouteResult> NavigationEngine::route_many(
     std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng,
     bool parallel) const {
-  std::vector<routing::RouteResult> results(pairs.size());
-  auto body = [&](std::size_t i) {
-    results[i] =
-        router_->route(pairs[i].first, pairs[i].second, scheme_.get(),
-                       rng.child(i));
-  };
-  if (parallel) {
-    nav::parallel_for(0, pairs.size(), body);
-  } else {
-    for (std::size_t i = 0; i < pairs.size(); ++i) body(i);
-  }
-  return results;
+  RouteServiceOptions options;
+  options.parallel = parallel;
+  return RouteService(*this, options).route_batch(pairs, rng);
 }
 
 routing::GreedyDiameterEstimate NavigationEngine::estimate_diameter(
     const routing::TrialConfig& config, Rng rng) const {
-  return routing::estimate_routed_diameter(*router_, scheme_.get(), *oracle_,
-                                           config, rng);
+  return RouteService(*this).estimate_diameter(config, rng);
 }
 
 }  // namespace nav::api

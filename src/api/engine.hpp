@@ -15,6 +15,10 @@
 // caller-supplied Rng.
 #pragma once
 
+/// \file
+/// \brief NavigationEngine: one owned graph + distance oracle + scheme +
+/// router behind a fluent API.
+
 #include <span>
 #include <string>
 #include <utility>
@@ -28,10 +32,12 @@
 
 namespace nav::api {
 
+/// Construction knobs for NavigationEngine.
 struct EngineOptions {
   /// Sizes up to this use a dense all-pairs DistanceMatrix (O(n²) words);
   /// larger graphs use a per-target BFS cache of `cache_capacity` vectors.
   graph::NodeId dense_oracle_limit = 4096;
+  /// Number of target distance vectors the BFS cache keeps resident.
   std::size_t cache_capacity = 64;
 };
 
@@ -42,6 +48,9 @@ struct EngineOptions {
     const graph::Graph& g, graph::NodeId dense_limit,
     std::size_t cache_capacity);
 
+/// One object owning graph + distance oracle + augmentation scheme + router:
+/// the facade's single-instance entry point. Fluent to configure
+/// (use_scheme/use_router), deterministic given the caller-supplied Rng.
 class NavigationEngine {
  public:
   /// Takes ownership of `g` and builds the size-appropriate oracle.
@@ -68,21 +77,26 @@ class NavigationEngine {
   /// Selects the routing process by registry spec (routing::make_router).
   NavigationEngine& use_router(const std::string& spec);
 
+  /// The owned graph.
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
+  /// The size-selected distance oracle (dense matrix or target cache).
   [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept {
     return *oracle_;
   }
+  /// The current augmentation scheme; nullptr means local links only.
   [[nodiscard]] const core::AugmentationScheme* scheme() const noexcept {
     return scheme_.get();
   }
+  /// The current routing process.
   [[nodiscard]] const routing::Router& router() const noexcept {
     return *router_;
   }
-  /// The registry specs currently in force ("none"/"greedy" defaults; the
+  /// The scheme registry spec currently in force ("none" default; the
   /// scheme's own name when installed via SchemePtr).
   [[nodiscard]] const std::string& scheme_spec() const noexcept {
     return scheme_spec_;
   }
+  /// The router registry spec currently in force ("greedy" default).
   [[nodiscard]] const std::string& router_spec() const noexcept {
     return router_spec_;
   }
@@ -92,8 +106,10 @@ class NavigationEngine {
                                            Rng rng,
                                            bool record_trace = false) const;
 
-  /// Batch routing over the global thread pool: pair i uses rng.child(i), so
-  /// the result is independent of thread count and schedule.
+  /// Batch routing, executed through a target-sharded RouteService: pairs
+  /// sharing a target share one BFS, shards fan across the global thread
+  /// pool. Pair i uses rng.child(i), so the results are bit-identical to
+  /// sequential routing whatever the shard layout or thread count.
   [[nodiscard]] std::vector<routing::RouteResult> route_many(
       std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng,
       bool parallel = true) const;

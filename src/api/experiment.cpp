@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "api/engine.hpp"
+#include "api/route_service.hpp"
 #include "core/scheme_factory.hpp"
 #include "graph/diameter.hpp"
 #include "graph/families.hpp"
@@ -156,9 +157,15 @@ ExperimentResult Experiment::run() const {
         const auto& router_spec = routers_[ri];
         nav::Timer timer;
         const auto router = routing::make_router(router_spec, g, *oracle);
-        const auto estimate = routing::estimate_routed_diameter(
-            *router, scheme.get(), *oracle, trials_,
-            root.child(0x7a1a).child(si).child(ki).child(ri));
+        // The cell's whole pair × replicate grid routes as one
+        // target-sharded batch; numbers are bit-identical to the
+        // sequential estimator (see RouteService::estimate_diameter).
+        RouteServiceOptions service_options;
+        service_options.parallel = trials_.parallel;
+        const RouteService service(g, *oracle, scheme.get(), *router,
+                                   service_options);
+        const auto estimate = service.estimate_diameter(
+            trials_, root.child(0x7a1a).child(si).child(ki).child(ri));
 
         CellResult cell;
         cell.family = family_;

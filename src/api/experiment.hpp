@@ -21,6 +21,10 @@
 // other columns.
 #pragma once
 
+/// \file
+/// \brief Experiment: fluent sweep grids (family × sizes × schemes ×
+/// routers) with streamed results.
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -34,17 +38,17 @@ namespace nav::api {
 
 /// One grid cell: (family, n) × scheme × router.
 struct CellResult {
-  std::string family;
-  std::string scheme;
-  std::string router;
-  graph::NodeId n_requested = 0;
-  graph::NodeId n_actual = 0;
-  graph::EdgeId m = 0;
-  graph::Dist diameter_lb = 0;     // double-sweep lower bound
-  double greedy_diameter = 0.0;    // max over pairs of mean steps
-  double mean_steps = 0.0;         // mean over pairs
-  double ci_halfwidth = 0.0;       // CI at the maximising pair
-  double seconds = 0.0;            // wall time of the cell
+  std::string family;              ///< graph::families registry name
+  std::string scheme;              ///< core::make_scheme spec
+  std::string router;              ///< routing::make_router spec
+  graph::NodeId n_requested = 0;   ///< size asked of the family
+  graph::NodeId n_actual = 0;      ///< size the family produced
+  graph::EdgeId m = 0;             ///< edge count
+  graph::Dist diameter_lb = 0;     ///< double-sweep lower bound
+  double greedy_diameter = 0.0;    ///< max over pairs of mean steps
+  double mean_steps = 0.0;         ///< mean over pairs
+  double ci_halfwidth = 0.0;       ///< CI at the maximising pair
+  double seconds = 0.0;            ///< wall time of the cell
 
   /// Flat record for ResultSink streaming.
   [[nodiscard]] Record record() const;
@@ -52,12 +56,14 @@ struct CellResult {
 
 /// Per-(scheme, router) power-law fit of greedy diameter vs n.
 struct AxisFit {
-  std::string scheme;
-  std::string router;
-  nav::PowerFit fit;
+  std::string scheme;  ///< scheme spec of this fit's cells
+  std::string router;  ///< router spec of this fit's cells
+  nav::PowerFit fit;   ///< log-log slope (the exponent) and R²
 };
 
+/// The finished grid: every cell plus table/fit renderings.
 struct ExperimentResult {
+  /// Cells ordered size-major, then scheme, then router.
   std::vector<CellResult> cells;
 
   /// Paper-style table:
@@ -74,18 +80,27 @@ struct ExperimentResult {
   void write(ResultSink& sink) const;
 };
 
+/// Fluent sweep-grid builder: family × sizes × schemes × routers.
 class Experiment {
  public:
   /// Starts a sweep over the named graph::families entry.
   [[nodiscard]] static Experiment on(std::string family);
 
+  /// Node counts to sweep (requested; families may round).
   Experiment& sizes(std::vector<graph::NodeId> sizes);
+  /// Scheme axis: core::make_scheme specs (default {"uniform"}).
   Experiment& schemes(std::vector<std::string> scheme_specs);
+  /// Router axis: routing::make_router specs (default {"greedy"}).
   Experiment& routers(std::vector<std::string> router_specs);
+  /// Random (s, t) pairs per cell (routing::TrialConfig::num_pairs).
   Experiment& pairs(std::size_t num_pairs);
+  /// Augmentation redraws per pair (routing::TrialConfig::resamples).
   Experiment& resamples(std::size_t resamples);
+  /// How cells pick their (s, t) pairs.
   Experiment& pair_policy(routing::TrialConfig::PairPolicy policy);
+  /// Full trial configuration in one call (overrides pairs/resamples).
   Experiment& trials(const routing::TrialConfig& config);
+  /// Master seed: one value pins every graph, scheme, and trial draw.
   Experiment& seed(std::uint64_t seed);
   /// Cap on oracle memory: sizes <= this use a full DistanceMatrix, larger
   /// ones a TargetDistanceCache.
@@ -94,6 +109,7 @@ class Experiment {
   /// the sink must outlive run()).
   Experiment& stream_to(ResultSink& sink);
 
+  /// The family this sweep runs on.
   [[nodiscard]] const std::string& family() const noexcept { return family_; }
 
   /// Runs the grid; cells ordered size-major, then scheme, then router.

@@ -14,6 +14,10 @@
 // test suite checks.
 #pragma once
 
+/// \file
+/// \brief ResultSink: structured result streaming (ASCII table, CSV, JSON
+/// Lines) with exact round-tripping.
+
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -25,11 +29,14 @@
 
 namespace nav::api {
 
+/// One cell value: string, double, or unsigned integer (the distinction is
+/// preserved through JSON round-trips).
 using FieldValue = std::variant<std::string, double, std::uint64_t>;
 
+/// One key/value cell of a result row.
 struct Field {
-  std::string key;
-  FieldValue value;
+  std::string key;   ///< column name
+  FieldValue value;  ///< cell value
 };
 
 /// One result row: ordered key/value pairs (the order defines columns).
@@ -51,14 +58,16 @@ using Record = std::vector<Field>;
 /// input or non-flat documents.
 [[nodiscard]] Record parse_json_line(const std::string& line);
 
+/// Abstract consumer of a result-record stream (table / CSV / JSON Lines).
 class ResultSink {
  public:
-  virtual ~ResultSink() = default;
+  virtual ~ResultSink() = default;  ///< Sinks are deleted through the base.
 
   /// Consumes one result row. Records in one stream should share keys, but
   /// sinks tolerate missing fields (rendered empty) for ragged producers.
   virtual void write(const Record& record) = 0;
 
+  /// Flushes any buffered output (no-op by default).
   virtual void flush() {}
 };
 
@@ -66,6 +75,7 @@ class ResultSink {
 /// record's keys.
 class TableSink final : public ResultSink {
  public:
+  /// `double_precision` = digits after the decimal point in rendered cells.
   explicit TableSink(int double_precision = 3)
       : double_precision_(double_precision) {}
 
@@ -82,6 +92,8 @@ class TableSink final : public ResultSink {
 /// Streams RFC-4180-ish CSV; the header row comes from the first record.
 class CsvSink final : public ResultSink {
  public:
+  /// Streams to `out` (must outlive the sink) with the given double
+  /// precision.
   explicit CsvSink(std::ostream& out, int double_precision = 6)
       : out_(out), double_precision_(double_precision) {}
 
@@ -97,6 +109,7 @@ class CsvSink final : public ResultSink {
 /// Streams one JSON object per line (JSON Lines / ndjson).
 class JsonLinesSink final : public ResultSink {
  public:
+  /// Streams to `out` (must outlive the sink).
   explicit JsonLinesSink(std::ostream& out) : out_(out) {}
 
   void write(const Record& record) override;

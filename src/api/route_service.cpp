@@ -1,0 +1,280 @@
+#include "api/route_service.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+namespace nav::api {
+
+RouteService::RouteService(const graph::Graph& g,
+                           const graph::DistanceOracle& oracle,
+                           const core::AugmentationScheme* scheme,
+                           const routing::Router& router,
+                           RouteServiceOptions options)
+    : graph_(g),
+      oracle_(oracle),
+      scheme_(scheme),
+      router_(router),
+      options_(options) {
+  if (scheme_ != nullptr) {
+    NAV_REQUIRE(scheme_->num_nodes() == graph_.num_nodes(),
+                "scheme/graph size mismatch");
+  }
+}
+
+RouteService::RouteService(const NavigationEngine& engine,
+                           RouteServiceOptions options)
+    : RouteService(engine.graph(), engine.oracle(), engine.scheme(),
+                   engine.router(), options) {}
+
+RouteService::~RouteService() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (service_thread_.joinable()) service_thread_.join();
+}
+
+std::vector<routing::RouteResult> RouteService::route_batch(
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs,
+    Rng rng) const {
+  std::vector<RouteJob> jobs;
+  jobs.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    jobs.push_back({pairs[i].first, pairs[i].second, rng.child(i)});
+  }
+  return route_jobs(std::move(jobs));
+}
+
+std::vector<routing::RouteResult> RouteService::route_jobs(
+    std::vector<RouteJob> jobs) const {
+  return execute_jobs(jobs, options_.parallel);
+}
+
+std::vector<routing::RouteResult> RouteService::execute_jobs(
+    const std::vector<RouteJob>& jobs, bool parallel) const {
+  nav::Timer timer;
+  // Validate before building shards: endpoints reach BFS (prefetch) before
+  // they reach the router's own precondition checks.
+  for (const auto& job : jobs) {
+    NAV_REQUIRE(
+        job.source < graph_.num_nodes() && job.target < graph_.num_nodes(),
+        "route endpoint out of range");
+  }
+  std::vector<routing::RouteResult> results(jobs.size());
+  std::size_t distinct_targets = 0;
+  std::size_t shards = 0;
+
+  if (!options_.shard_by_target) {
+    // Legacy schedule: one job per loop index, request order, no grouping.
+    // Pool tasks are noexcept-by-policy (see thread_pool.hpp): a throwing
+    // route terminates the process, exactly as the pre-service route_many
+    // did — this mode exists as the bench baseline, not for serving.
+    std::unordered_set<graph::NodeId> targets;
+    for (const auto& job : jobs) targets.insert(job.target);
+    distinct_targets = targets.size();
+    shards = jobs.size();
+    auto body = [&](std::size_t i) {
+      results[i] = router_.route(jobs[i].source, jobs[i].target, scheme_,
+                                 jobs[i].rng);
+    };
+    if (parallel) {
+      nav::parallel_for(0, jobs.size(), body);
+    } else {
+      for (std::size_t i = 0; i < jobs.size(); ++i) body(i);
+    }
+  } else {
+    // Shard index: shard k holds the job indices of the k-th distinct
+    // target, in order of first appearance — a deterministic function of
+    // the batch.
+    std::unordered_map<graph::NodeId, std::size_t> shard_of;
+    shard_of.reserve(jobs.size());
+    std::vector<graph::NodeId> shard_target;
+    std::vector<std::vector<std::size_t>> shard_jobs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto [it, inserted] =
+          shard_of.try_emplace(jobs[i].target, shard_target.size());
+      if (inserted) {
+        shard_target.push_back(jobs[i].target);
+        shard_jobs.emplace_back();
+      }
+      shard_jobs[it->second].push_back(i);
+    }
+    distinct_targets = shard_target.size();
+    shards = shard_jobs.size();
+
+    // Wave by wave: prefetch the wave's distance vectors in one batch (one
+    // parallel BFS sweep over the misses, pinned past any eviction), then
+    // route every shard through its pinned vector via route_resolved —
+    // shards never touch the oracle, so exactly one BFS per distinct
+    // target regardless of cache capacity, concurrency, or batch order.
+    const std::size_t wave =
+        std::max<std::size_t>(1, options_.max_pinned_targets);
+    for (std::size_t lo = 0; lo < shard_jobs.size(); lo += wave) {
+      const std::size_t hi = std::min(shard_jobs.size(), lo + wave);
+      // Sequential mode must stay pool-free end to end (callers may rely on
+      // it from inside a pool task), so the batched prefetch — which fans
+      // its BFS sweep across the pool — is parallel-only; inline
+      // distances_to computes the identical vectors one by one.
+      std::vector<graph::DistVecPtr> pinned;
+      if (parallel) {
+        pinned = oracle_.prefetch(
+            std::span<const graph::NodeId>(shard_target).subspan(lo, hi - lo));
+      } else {
+        pinned.reserve(hi - lo);
+        for (std::size_t k = lo; k < hi; ++k) {
+          pinned.push_back(oracle_.distances_to(shard_target[k]));
+        }
+      }
+      // Reachability check BEFORE the fan-out: pool tasks are noexcept by
+      // policy, so every route precondition must be established on this
+      // thread, where a throw reaches the caller (or a submit() future).
+      for (std::size_t k = lo; k < hi; ++k) {
+        const auto& dist = *pinned[k - lo];
+        for (const std::size_t i : shard_jobs[k]) {
+          NAV_REQUIRE(dist[jobs[i].source] != graph::kInfDist,
+                      "target unreachable from source");
+        }
+      }
+      auto shard_body = [&](std::size_t k) {
+        const std::vector<graph::Dist>& dist = *pinned[k - lo];
+        for (const std::size_t i : shard_jobs[k]) {
+          results[i] = router_.route_resolved(jobs[i].source, jobs[i].target,
+                                              dist, scheme_, jobs[i].rng);
+        }
+      };
+      if (parallel) {
+        // Dynamic scheduling: shard sizes are as skewed as the workload.
+        nav::parallel_for_dynamic(lo, hi, shard_body);
+      } else {
+        for (std::size_t k = lo; k < hi; ++k) shard_body(k);
+      }
+    }
+  }
+
+  const double seconds = timer.seconds();
+  {
+    std::lock_guard lock(report_mutex_);
+    last_report_.pairs = jobs.size();
+    last_report_.distinct_targets = distinct_targets;
+    last_report_.shards = shards;
+    last_report_.seconds = seconds;
+    ++totals_.batches;
+    totals_.pairs += jobs.size();
+    totals_.seconds += seconds;
+  }
+  return results;
+}
+
+std::future<std::vector<routing::RouteResult>> RouteService::submit(
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng) {
+  PendingBatch batch;
+  batch.pairs = std::move(pairs);
+  batch.rng = rng;
+  auto future = batch.promise.get_future();
+  {
+    std::lock_guard lock(queue_mutex_);
+    NAV_REQUIRE(!stopping_, "submit on a stopping RouteService");
+    if (!service_thread_.joinable()) {
+      service_thread_ = std::thread([this] { service_loop(); });
+    }
+    queue_.push_back(std::move(batch));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void RouteService::service_loop() {
+  while (true) {
+    PendingBatch batch;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      batch.promise.set_value(route_batch(batch.pairs, batch.rng));
+    } catch (...) {
+      // A bad batch (e.g. an out-of-range endpoint) fails its own future;
+      // the service thread lives on to serve the rest of the queue.
+      batch.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+routing::GreedyDiameterEstimate RouteService::estimate_diameter(
+    const routing::TrialConfig& config, Rng rng) const {
+  NAV_REQUIRE(graph_.num_nodes() >= 2, "graph too small to route");
+  NAV_REQUIRE(config.resamples >= 1, "need at least one resample");
+  Rng pair_rng = rng.child(0xA11);
+  const auto pairs = routing::select_trial_pairs(graph_, config, pair_rng);
+  NAV_REQUIRE(!pairs.empty(), "no source/target pairs selected");
+
+  // The full pair × replicate grid as one batch. Job (p, r) keeps the
+  // trial_runner stream address rng.child(p + 1).child(r), so the Monte
+  // Carlo draws — and hence every statistic below — match the sequential
+  // estimator bit for bit.
+  const std::size_t resamples = config.resamples;
+  std::vector<RouteJob> jobs;
+  jobs.reserve(pairs.size() * resamples);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const Rng pair_stream = rng.child(p + 1);
+    for (std::size_t r = 0; r < resamples; ++r) {
+      jobs.push_back({pairs[p].first, pairs[p].second, pair_stream.child(r)});
+    }
+  }
+  const auto results =
+      execute_jobs(jobs, options_.parallel && config.parallel);
+
+  // Accumulation mirrors estimate_routed_pair / estimate_routed_diameter:
+  // replicates in index order per pair, then pair means in pair order.
+  routing::GreedyDiameterEstimate out;
+  out.pairs.resize(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    nav::RunningStats step_stats, long_stats;
+    for (std::size_t r = 0; r < resamples; ++r) {
+      const auto& result = results[p * resamples + r];
+      step_stats.add(static_cast<double>(result.steps));
+      long_stats.add(static_cast<double>(result.long_links_used));
+    }
+    auto& est = out.pairs[p];
+    est.s = pairs[p].first;
+    est.t = pairs[p].second;
+    // Every route already resolved dist(s, t); re-querying the oracle here
+    // could re-BFS targets the LRU has since evicted.
+    est.distance = results[p * resamples].initial_distance;
+    est.mean_steps = step_stats.mean();
+    est.ci_halfwidth = step_stats.ci_halfwidth();
+    est.max_steps = step_stats.max();
+    est.mean_long_links = long_stats.mean();
+  }
+  nav::RunningStats all;
+  for (const auto& pe : out.pairs) {
+    all.add(pe.mean_steps);
+    if (pe.mean_steps > out.max_mean_steps) {
+      out.max_mean_steps = pe.mean_steps;
+      out.max_ci_halfwidth = pe.ci_halfwidth;
+    }
+  }
+  out.overall_mean_steps = all.mean();
+  out.trials = pairs.size() * resamples;
+  return out;
+}
+
+BatchReport RouteService::last_report() const {
+  std::lock_guard lock(report_mutex_);
+  return last_report_;
+}
+
+ServiceTotals RouteService::totals() const {
+  std::lock_guard lock(report_mutex_);
+  return totals_;
+}
+
+}  // namespace nav::api

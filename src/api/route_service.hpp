@@ -1,0 +1,194 @@
+// route_service.hpp — always-on batch routing with target-sharded oracle
+// prefetch.
+//
+// Engine::route_many used to hand every (source, target) pair its own child
+// stream and fire them at the thread pool in request order. Correct, but at
+// cache-oracle sizes (n above EngineOptions::dense_oracle_limit) a mixed
+// batch thrashes the TargetDistanceCache: each pair whose target has been
+// evicted pays a fresh BFS, so a batch with T distinct targets can cost far
+// more than T BFS runs. RouteService closes that gap:
+//
+//   1. shard the batch by target (order of first appearance),
+//   2. prefetch shard targets in waves through the oracle's batch interface
+//      (one parallel BFS sweep over the misses; the returned vectors stay
+//      pinned for the wave, immune to LRU eviction),
+//   3. execute the wave's shards across the thread pool with dynamic
+//      scheduling (parallel_for_dynamic — shards are uneven), each shard
+//      routing through its pinned vector (Router::route_resolved), so the
+//      oracle is never queried from inside a pool task,
+//   4. inside a shard, route pairs in request order.
+//
+// Net effect: exactly one BFS per distinct target per batch, whatever the
+// cache capacity, concurrency, or request order. Like parallel_for, batch
+// execution waits on pool idleness — do not call route_batch/route_jobs/
+// estimate_diameter from inside a pool task (submit() is fine: its batches
+// run on the service's own thread).
+//
+// Determinism is unchanged from route_many: pair i of a batch draws from
+// rng.child(i) whatever shard it lands in, and routes are pure functions of
+// (s, t, scheme, rng state), so the results are bit-identical to sequential
+// routing — the test suite asserts this across shard and batch splits.
+//
+// "Always-on": submit() enqueues a batch on an internal service thread and
+// returns a std::future, so a driver can keep feeding mixed-size batches
+// while earlier ones execute (examples/route_server.cpp). The service thread
+// is started lazily on first submit and drained on destruction.
+#pragma once
+
+/// \file
+/// \brief RouteService: always-on batch routing with target-sharded oracle
+/// prefetch.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "routing/router.hpp"
+#include "routing/trial_runner.hpp"
+
+namespace nav::api {
+
+/// One routing job: a (source, target) pair plus the private rng stream the
+/// route consumes. Batch drivers that need a custom stream layout (e.g. the
+/// trial estimator's pair×replicate grid) build jobs directly; plain batches
+/// go through route_batch, which derives job i's stream as rng.child(i).
+struct RouteJob {
+  /// Start node of the route.
+  graph::NodeId source = 0;
+  /// Destination node; jobs sharing a target share one BFS.
+  graph::NodeId target = 0;
+  /// Private randomness for this route's lazy contact draws.
+  Rng rng;
+};
+
+/// Execution knobs for RouteService.
+struct RouteServiceOptions {
+  /// Execute shards across the global thread pool; false routes everything
+  /// on the calling thread (still sharded, still the same results).
+  bool parallel = true;
+  /// Group jobs by target before executing. Disabling this reproduces the
+  /// legacy per-pair route_many schedule — kept as the bench baseline
+  /// (bench_e11_service) and for A/B-ing the prefetch win.
+  bool shard_by_target = true;
+  /// Shards execute in waves of at most this many targets; each wave's
+  /// distance vectors are prefetched in one batch and pinned for the wave's
+  /// duration, bounding peak pinned memory at
+  /// max_pinned_targets × n × sizeof(Dist) bytes per batch.
+  std::size_t max_pinned_targets = 512;
+};
+
+/// Telemetry for the most recent batch (route_batch / route_jobs / submit).
+struct BatchReport {
+  /// Jobs in the batch.
+  std::size_t pairs = 0;
+  /// Distinct route targets in the batch.
+  std::size_t distinct_targets = 0;
+  /// Execution units handed to the pool (== distinct targets when sharding,
+  /// == pairs when not).
+  std::size_t shards = 0;
+  /// Wall-clock seconds spent executing the batch.
+  double seconds = 0.0;
+};
+
+/// Cumulative telemetry across the service's lifetime.
+struct ServiceTotals {
+  /// Batches executed so far.
+  std::size_t batches = 0;
+  /// Jobs routed so far.
+  std::size_t pairs = 0;
+  /// Wall-clock seconds spent executing batches.
+  double seconds = 0.0;
+};
+
+/// Batch routing engine over one graph + oracle + scheme + router. All
+/// referenced components must outlive the service; the service itself is
+/// immutable apart from telemetry and safe for concurrent route_batch calls.
+class RouteService {
+ public:
+  /// Wraps explicit components (the Experiment per-cell path). `scheme` may
+  /// be null: local links only.
+  RouteService(const graph::Graph& g, const graph::DistanceOracle& oracle,
+               const core::AugmentationScheme* scheme,
+               const routing::Router& router, RouteServiceOptions options = {});
+
+  /// Wraps a NavigationEngine's current components. The engine must outlive
+  /// the service and keep its scheme/router selection unchanged meanwhile.
+  explicit RouteService(const NavigationEngine& engine,
+                        RouteServiceOptions options = {});
+
+  /// Drains the submit() queue (every returned future completes), then
+  /// stops the service thread.
+  ~RouteService();
+
+  /// Non-copyable: the service owns a queue and (lazily) a thread.
+  RouteService(const RouteService&) = delete;
+  /// Non-copyable: the service owns a queue and (lazily) a thread.
+  RouteService& operator=(const RouteService&) = delete;
+
+  /// Routes a batch; result i corresponds to pairs[i] and draws from
+  /// rng.child(i) — bit-identical to routing the pairs one by one.
+  [[nodiscard]] std::vector<routing::RouteResult> route_batch(
+      std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs,
+      Rng rng) const;
+
+  /// Core primitive: executes pre-built jobs (result i = jobs[i]), sharded
+  /// by target per the options. Used by route_batch and the estimator.
+  [[nodiscard]] std::vector<routing::RouteResult> route_jobs(
+      std::vector<RouteJob> jobs) const;
+
+  /// Enqueues a batch on the service thread and returns its future. Batches
+  /// execute FIFO; each still fans its shards across the thread pool.
+  [[nodiscard]] std::future<std::vector<routing::RouteResult>> submit(
+      std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng);
+
+  /// Greedy-diameter estimation routed through the batch path: the whole
+  /// pair × replicate grid becomes one target-sharded batch. Numbers are
+  /// bit-identical to routing::estimate_routed_diameter with the same
+  /// arguments (same pair selection, same child streams, same accumulation
+  /// order); only the execution schedule differs.
+  [[nodiscard]] routing::GreedyDiameterEstimate estimate_diameter(
+      const routing::TrialConfig& config, Rng rng) const;
+
+  /// Telemetry for the most recently executed batch.
+  [[nodiscard]] BatchReport last_report() const;
+
+  /// Cumulative telemetry since construction.
+  [[nodiscard]] ServiceTotals totals() const;
+
+ private:
+  [[nodiscard]] std::vector<routing::RouteResult> execute_jobs(
+      const std::vector<RouteJob>& jobs, bool parallel) const;
+
+  struct PendingBatch {
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+    Rng rng;
+    std::promise<std::vector<routing::RouteResult>> promise;
+  };
+
+  void service_loop();
+
+  const graph::Graph& graph_;
+  const graph::DistanceOracle& oracle_;
+  const core::AugmentationScheme* scheme_;  // may be null
+  const routing::Router& router_;
+  RouteServiceOptions options_;
+
+  mutable std::mutex report_mutex_;
+  mutable BatchReport last_report_;
+  mutable ServiceTotals totals_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingBatch> queue_;
+  bool stopping_ = false;
+  std::thread service_thread_;  // started lazily by submit()
+};
+
+}  // namespace nav::api

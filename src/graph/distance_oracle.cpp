@@ -1,8 +1,18 @@
 #include "graph/distance_oracle.hpp"
 
+#include <algorithm>
+
 #include "runtime/thread_pool.hpp"
 
 namespace nav::graph {
+
+std::vector<DistVecPtr> DistanceOracle::prefetch(
+    std::span<const NodeId> targets) const {
+  std::vector<DistVecPtr> pinned;
+  pinned.reserve(targets.size());
+  for (const NodeId t : targets) pinned.push_back(distances_to(t));
+  return pinned;
+}
 
 DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.num_nodes()) {
   rows_.resize(n_);
@@ -24,6 +34,16 @@ DistVecPtr DistanceMatrix::distances_to(NodeId target) const {
 
 TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity)
     : graph_(g), capacity_(capacity == 0 ? 1 : capacity) {}
+
+TargetDistanceCache::TargetDistanceCache(const Graph& g, MemoryBudget budget)
+    : TargetDistanceCache(g, capacity_for_budget(budget, g.num_nodes())) {}
+
+std::size_t TargetDistanceCache::capacity_for_budget(MemoryBudget budget,
+                                                     NodeId n) noexcept {
+  const std::size_t vector_bytes =
+      std::max<std::size_t>(1, static_cast<std::size_t>(n) * sizeof(Dist));
+  return std::max<std::size_t>(1, budget.bytes / vector_bytes);
+}
 
 Dist TargetDistanceCache::distance(NodeId u, NodeId target) const {
   return (*distances_to(target))[u];
@@ -56,6 +76,65 @@ DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
     cache_.erase(victim);
   }
   return dist;
+}
+
+std::vector<DistVecPtr> TargetDistanceCache::prefetch(
+    std::span<const NodeId> targets) const {
+  // Pass 1 (under the lock): serve residents and dedicate the misses.
+  std::unordered_map<NodeId, DistVecPtr> by_target;
+  by_target.reserve(targets.size());
+  std::vector<NodeId> missing;
+  {
+    std::lock_guard lock(mutex_);
+    for (const NodeId t : targets) {
+      NAV_ASSERT(t < graph_.num_nodes());
+      if (by_target.count(t) != 0) {  // duplicate: served by this batch's BFS
+        ++hits_;
+        continue;
+      }
+      const auto it = cache_.find(t);
+      if (it != cache_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        by_target.emplace(t, it->second.distances);
+      } else {
+        ++misses_;
+        missing.push_back(t);
+        by_target.emplace(t, nullptr);  // reserve the slot
+      }
+    }
+  }
+  // Pass 2 (no lock): one parallel BFS sweep over the distinct misses —
+  // this is the batched-prefetch win over miss-by-miss distances_to.
+  std::vector<DistVecPtr> fresh(missing.size());
+  nav::parallel_for(0, missing.size(), [&](std::size_t i) {
+    fresh[i] = std::make_shared<const std::vector<Dist>>(
+        bfs_distances(graph_, missing[i]));
+  });
+  // Pass 3 (under the lock): install the new vectors, newest-first LRU.
+  if (!missing.empty()) {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      const NodeId t = missing[i];
+      const auto it = cache_.find(t);
+      if (it != cache_.end()) {  // a concurrent caller raced us: keep theirs
+        by_target[t] = it->second.distances;
+        continue;
+      }
+      lru_.push_front(t);
+      cache_.emplace(t, Entry{lru_.begin(), fresh[i]});
+      by_target[t] = fresh[i];
+    }
+    while (cache_.size() > capacity_) {
+      const NodeId victim = lru_.back();
+      lru_.pop_back();
+      cache_.erase(victim);
+    }
+  }
+  std::vector<DistVecPtr> pinned;
+  pinned.reserve(targets.size());
+  for (const NodeId t : targets) pinned.push_back(by_target.at(t));
+  return pinned;
 }
 
 }  // namespace nav::graph

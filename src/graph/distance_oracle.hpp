@@ -15,6 +15,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,8 @@
 
 namespace nav::graph {
 
+/// Shared-ownership handle to one target's distance vector. Holding it pins
+/// the vector even if a caching oracle evicts the entry concurrently.
 using DistVecPtr = std::shared_ptr<const std::vector<Dist>>;
 
 /// Abstract distance-to-target service (thread-safe).
@@ -34,7 +37,18 @@ class DistanceOracle {
   [[nodiscard]] virtual Dist distance(NodeId u, NodeId target) const = 0;
 
   /// Full distance vector towards `target` (size n), shared ownership.
+  /// The graphs here are undirected, so this is also the distance vector
+  /// *from* `target`; one BFS serves every query sharing the target.
   [[nodiscard]] virtual DistVecPtr distances_to(NodeId target) const = 0;
+
+  /// Batch interface: materialises (or fetches) the vectors for `targets`
+  /// and returns them pinned, in input order. result[i] stays valid for as
+  /// long as the caller holds it, independent of any cache eviction — the
+  /// contract RouteService target shards rely on. Duplicate targets are
+  /// allowed and share one vector. The base implementation loops
+  /// distances_to; caching oracles override it to batch the misses.
+  [[nodiscard]] virtual std::vector<DistVecPtr> prefetch(
+      std::span<const NodeId> targets) const;
 };
 
 /// Dense all-pairs table. Memory: n² × 4 bytes. Built with a parallel
@@ -53,16 +67,43 @@ class DistanceMatrix final : public DistanceOracle {
   std::vector<DistVecPtr> rows_;  // rows_[t] maps u -> dist(u, t)
 };
 
+/// Cache sizing by bytes instead of entry count: the number of resident
+/// target vectors becomes budget / (n × sizeof(Dist)), clamped to >= 1.
+struct MemoryBudget {
+  /// Total bytes the cache may spend on distance vectors.
+  std::size_t bytes = 64u << 20;
+};
+
 /// Per-target BFS cache with LRU eviction.
 class TargetDistanceCache final : public DistanceOracle {
  public:
   /// `capacity` = number of target distance vectors kept alive in the cache.
   explicit TargetDistanceCache(const Graph& g, std::size_t capacity = 64);
 
+  /// Sizes the LRU from a byte budget via capacity_for_budget.
+  TargetDistanceCache(const Graph& g, MemoryBudget budget);
+
+  /// Entry count affordable under `budget` for n-node vectors (>= 1: the
+  /// cache always keeps at least the vector it just computed).
+  [[nodiscard]] static std::size_t capacity_for_budget(MemoryBudget budget,
+                                                       NodeId n) noexcept;
+
   [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
   [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
 
+  /// Batched miss handling: missing targets are BFS'd in one parallel sweep
+  /// over the global thread pool (callers must therefore not invoke this
+  /// from inside a pool task), then inserted; resident ones are bumped.
+  /// Returned pins outlive eviction, so a batch larger than the capacity is
+  /// still served correctly — the LRU just ends at its capacity.
+  [[nodiscard]] std::vector<DistVecPtr> prefetch(
+      std::span<const NodeId> targets) const override;
+
+  /// Number of resident vectors the LRU may hold.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Queries served from a resident vector.
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  /// Queries that had to run a BFS.
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
 
  private:

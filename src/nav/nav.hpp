@@ -23,7 +23,24 @@
 //                     .routers({"greedy", "lookahead:1"})
 //                     .run();
 //   std::cout << result.table().to_ascii();
+//
+//   // Batch routing service: target-sharded oracle reuse, deterministic,
+//   // always-on via submit() (see docs/ARCHITECTURE.md and docs/API.md):
+//   api::RouteService service(engine);
+//   auto batch = service.route_batch(pairs, Rng(9));
 #pragma once
+
+/// \file
+/// \brief Umbrella header: the whole navscheme public surface in one
+/// include.
+
+/// \namespace nav
+/// \brief Root namespace — runtime, graph, core, decomposition, routing,
+/// api layers.
+
+/// \namespace nav::api
+/// \brief The facade: NavigationEngine, Experiment, RouteService,
+/// ResultSink.
 
 // runtime — deterministic RNG, stats, tables, timing, the thread pool.
 #include "runtime/assert.hpp"
@@ -73,14 +90,14 @@
 
 // routing — routers, the router registry, Monte-Carlo estimation.
 #include "routing/exact_analysis.hpp"
-#include "routing/experiment.hpp"
 #include "routing/greedy_router.hpp"
 #include "routing/lookahead_router.hpp"
 #include "routing/router.hpp"
 #include "routing/router_factory.hpp"
 #include "routing/trial_runner.hpp"
 
-// api — the facade: engine, experiment builder, result sinks.
+// api — the facade: engine, experiment builder, batch service, result sinks.
 #include "api/engine.hpp"
 #include "api/experiment.hpp"
 #include "api/result_sink.hpp"
+#include "api/route_service.hpp"

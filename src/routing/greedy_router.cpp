@@ -3,12 +3,14 @@
 namespace nav::routing {
 
 template <typename ContactFn>
-RouteResult GreedyRouter::route_impl(NodeId s, NodeId t, ContactFn&& contact_of,
+RouteResult GreedyRouter::route_impl(NodeId s, NodeId t,
+                                     std::span<const Dist> dist,
+                                     ContactFn&& contact_of,
                                      bool record_trace) const {
   NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
               "route endpoint out of range");
-  const auto dist_ptr = oracle_.distances_to(t);
-  const auto& dist = *dist_ptr;
+  NAV_REQUIRE(dist.size() == graph_.num_nodes(),
+              "target distance vector size mismatch");
   NAV_REQUIRE(dist[s] != graph::kInfDist, "target unreachable from source");
 
   RouteResult result;
@@ -51,15 +53,28 @@ RouteResult GreedyRouter::route_impl(NodeId s, NodeId t, ContactFn&& contact_of,
 RouteResult GreedyRouter::route(NodeId s, NodeId t,
                                 const AugmentationScheme* scheme, Rng rng,
                                 bool record_trace) const {
+  // One copy of the scheme dispatch: resolve the distance vector, then take
+  // the batch entry point (the temporary DistVecPtr outlives the call).
+  NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
+              "route endpoint out of range");
+  return route_resolved(s, t, *oracle_.distances_to(t), scheme, rng,
+                        record_trace);
+}
+
+RouteResult GreedyRouter::route_resolved(NodeId s, NodeId t,
+                                         std::span<const Dist> target_dist,
+                                         const AugmentationScheme* scheme,
+                                         Rng rng, bool record_trace) const {
   if (scheme == nullptr) {
     return route_impl(
-        s, t, [](NodeId) { return core::kNoContact; }, record_trace);
+        s, t, target_dist, [](NodeId) { return core::kNoContact; },
+        record_trace);
   }
   NAV_REQUIRE(scheme->num_nodes() == graph_.num_nodes(),
               "scheme/graph size mismatch");
   return route_impl(
-      s, t, [&](NodeId u) { return scheme->sample_contact(u, rng); },
-      record_trace);
+      s, t, target_dist,
+      [&](NodeId u) { return scheme->sample_contact(u, rng); }, record_trace);
 }
 
 RouteResult GreedyRouter::route_with_contacts(NodeId s, NodeId t,
@@ -67,8 +82,11 @@ RouteResult GreedyRouter::route_with_contacts(NodeId s, NodeId t,
                                               bool record_trace) const {
   NAV_REQUIRE(contacts.size() == graph_.num_nodes(),
               "contact vector size mismatch");
+  NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
+              "route endpoint out of range");
   return route_impl(
-      s, t, [&](NodeId u) { return contacts[u]; }, record_trace);
+      s, t, *oracle_.distances_to(t), [&](NodeId u) { return contacts[u]; },
+      record_trace);
 }
 
 }  // namespace nav::routing

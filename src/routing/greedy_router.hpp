@@ -36,6 +36,13 @@ class GreedyRouter final : public Router {
                                   const AugmentationScheme* scheme, Rng rng,
                                   bool record_trace = false) const override;
 
+  /// Batch entry point: same process, but dist(·, t) comes from the
+  /// caller-resolved `target_dist` instead of an oracle query.
+  [[nodiscard]] RouteResult route_resolved(
+      NodeId s, NodeId t, std::span<const Dist> target_dist,
+      const AugmentationScheme* scheme, Rng rng,
+      bool record_trace = false) const override;
+
   /// Routes with a fixed (eagerly sampled) contact vector: contacts[u] is
   /// u's long-range contact or core::kNoContact.
   [[nodiscard]] RouteResult route_with_contacts(
@@ -47,8 +54,8 @@ class GreedyRouter final : public Router {
 
  private:
   template <typename ContactFn>
-  RouteResult route_impl(NodeId s, NodeId t, ContactFn&& contact_of,
-                         bool record_trace) const;
+  RouteResult route_impl(NodeId s, NodeId t, std::span<const Dist> dist,
+                         ContactFn&& contact_of, bool record_trace) const;
 
   const Graph& graph_;
   const graph::DistanceOracle& oracle_;

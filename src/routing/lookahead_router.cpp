@@ -7,15 +7,29 @@ namespace nav::routing {
 RouteResult LookaheadRouter::route(NodeId s, NodeId t,
                                    const AugmentationScheme* scheme, Rng rng,
                                    bool record_trace) const {
+  // One copy of the scheme dispatch: resolve the distance vector, then take
+  // the batch entry point (the temporary DistVecPtr outlives the call).
+  NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
+              "route endpoint out of range");
+  return route_resolved(s, t, *oracle_.distances_to(t), scheme, rng,
+                        record_trace);
+}
+
+RouteResult LookaheadRouter::route_resolved(NodeId s, NodeId t,
+                                            std::span<const Dist> target_dist,
+                                            const AugmentationScheme* scheme,
+                                            Rng rng, bool record_trace) const {
   if (scheme == nullptr) {
-    return route(
-        s, t, [](NodeId) { return core::kNoContact; }, record_trace);
+    return route_impl(
+        s, t, target_dist, [](NodeId) { return core::kNoContact; },
+        record_trace);
   }
   NAV_REQUIRE(scheme->num_nodes() == graph_.num_nodes(),
               "scheme/graph size mismatch");
   core::MemoContacts contacts(*scheme, rng);
-  return route(
-      s, t, [&contacts](NodeId u) { return contacts(u); }, record_trace);
+  return route_impl(
+      s, t, target_dist, [&contacts](NodeId u) { return contacts(u); },
+      record_trace);
 }
 
 RouteResult LookaheadRouter::route(NodeId s, NodeId t,
@@ -29,10 +43,19 @@ RouteResult LookaheadRouter::route(NodeId s, NodeId t,
 
 RouteResult LookaheadRouter::route(NodeId s, NodeId t, const ContactFn& contacts,
                                    bool record_trace) const {
+  NAV_REQUIRE(t < graph_.num_nodes(), "route endpoint out of range");
+  const auto dist_ptr = oracle_.distances_to(t);
+  return route_impl(s, t, *dist_ptr, contacts, record_trace);
+}
+
+RouteResult LookaheadRouter::route_impl(NodeId s, NodeId t,
+                                        std::span<const Dist> dist,
+                                        const ContactFn& contacts,
+                                        bool record_trace) const {
   NAV_REQUIRE(s < graph_.num_nodes() && t < graph_.num_nodes(),
               "route endpoint out of range");
-  const auto dist_ptr = oracle_.distances_to(t);
-  const auto& dist = *dist_ptr;
+  NAV_REQUIRE(dist.size() == graph_.num_nodes(),
+              "target distance vector size mismatch");
   NAV_REQUIRE(dist[s] != graph::kInfDist, "target unreachable from source");
 
   const NodeId n = graph_.num_nodes();

@@ -51,6 +51,13 @@ class LookaheadRouter final : public Router {
                                   const AugmentationScheme* scheme, Rng rng,
                                   bool record_trace = false) const override;
 
+  /// Batch entry point: same process, but dist(·, t) comes from the
+  /// caller-resolved `target_dist` instead of an oracle query.
+  [[nodiscard]] RouteResult route_resolved(
+      NodeId s, NodeId t, std::span<const Dist> target_dist,
+      const AugmentationScheme* scheme, Rng rng,
+      bool record_trace = false) const override;
+
   /// NoN-greedy route with fixed contacts (contacts[u] may be kNoContact).
   [[nodiscard]] RouteResult route(NodeId s, NodeId t,
                                   std::span<const NodeId> contacts,
@@ -70,6 +77,9 @@ class LookaheadRouter final : public Router {
   [[nodiscard]] unsigned depth() const noexcept { return depth_; }
 
  private:
+  RouteResult route_impl(NodeId s, NodeId t, std::span<const Dist> dist,
+                         const ContactFn& contacts, bool record_trace) const;
+
   const Graph& graph_;
   const graph::DistanceOracle& oracle_;
   unsigned depth_;

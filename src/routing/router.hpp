@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,21 @@ class Router {
                                           const AugmentationScheme* scheme,
                                           Rng rng,
                                           bool record_trace = false) const = 0;
+
+  /// Routes with the target's distance vector already resolved
+  /// (`target_dist` must equal *oracle.distances_to(t), size n). Batch
+  /// drivers (api::RouteService) resolve once per target shard and route
+  /// every pair of the shard through the same vector, bypassing the oracle
+  /// entirely — results are identical to route() by construction. The base
+  /// implementation ignores the hint and forwards to route(), so custom
+  /// routers stay correct without overriding.
+  [[nodiscard]] virtual RouteResult route_resolved(
+      NodeId s, NodeId t, std::span<const Dist> target_dist,
+      const AugmentationScheme* scheme, Rng rng,
+      bool record_trace = false) const {
+    (void)target_dist;
+    return route(s, t, scheme, rng, record_trace);
+  }
 };
 
 using RouterPtr = std::unique_ptr<Router>;

@@ -7,11 +7,8 @@
 
 namespace nav::routing {
 
-namespace {
-
-std::vector<std::pair<NodeId, NodeId>> select_pairs(const Graph& g,
-                                                    const TrialConfig& config,
-                                                    Rng& rng) {
+std::vector<std::pair<NodeId, NodeId>> select_trial_pairs(
+    const Graph& g, const TrialConfig& config, Rng& rng) {
   const NodeId n = g.num_nodes();
   std::vector<std::pair<NodeId, NodeId>> pairs;
   switch (config.policy) {
@@ -42,8 +39,6 @@ std::vector<std::pair<NodeId, NodeId>> select_pairs(const Graph& g,
   }
   return pairs;
 }
-
-}  // namespace
 
 PairEstimate estimate_routed_pair(const Router& router,
                                   const graph::DistanceOracle& oracle,
@@ -90,7 +85,7 @@ GreedyDiameterEstimate estimate_routed_diameter(
   const Graph& g = router.graph();
   NAV_REQUIRE(g.num_nodes() >= 2, "graph too small to route");
   Rng pair_rng = rng.child(0xA11);
-  const auto pairs = select_pairs(g, config, pair_rng);
+  const auto pairs = select_trial_pairs(g, config, pair_rng);
   NAV_REQUIRE(!pairs.empty(), "no source/target pairs selected");
 
   GreedyDiameterEstimate out;

@@ -53,6 +53,12 @@ struct GreedyDiameterEstimate {
   std::size_t trials = 0;
 };
 
+/// The estimator's pair selection, exposed so batch drivers
+/// (api::RouteService) can reproduce the exact trial grid: peripheral pair
+/// first (policy-dependent), then random distinct pairs drawn from `rng`.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> select_trial_pairs(
+    const Graph& g, const TrialConfig& config, Rng& rng);
+
 /// Runs the estimation under an arbitrary routing process. `scheme` may be
 /// nullptr (no long links). The graph is the router's own (router.graph()),
 /// so a graph/router mismatch is unrepresentable; the router must be built

@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "runtime/assert.hpp"
 
@@ -96,6 +98,35 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
     });
   }
   pool.wait_idle();
+}
+
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t workers = std::max<std::size_t>(1, pool.thread_count());
+  if (workers == 1 || total == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // Shared claim counter: tasks race to fetch the next index, so a long
+  // iteration occupies one worker while the rest drain the remainder.
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t tasks = std::min(total, workers);
+  for (std::size_t w = 0; w < tasks; ++w) {
+    pool.submit([next, end, &body] {
+      for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+           i < end; i = next->fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body) {
+  parallel_for_dynamic(global_pool(), begin, end, body);
 }
 
 ThreadPool& global_pool() {

@@ -66,6 +66,22 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+/// Like parallel_for, but with dynamic (work-stealing-style) scheduling: one
+/// worker task per pool thread, each claiming the next unclaimed index from a
+/// shared atomic counter. Use when iteration costs are very uneven — e.g.
+/// RouteService target shards, where one shard may hold most of a batch's
+/// pairs — and static chunking would leave workers idle. Blocks until
+/// complete; the determinism contract of parallel_for applies unchanged
+/// (body(i) must derive randomness from i alone). Must not be called from
+/// inside a pool task: like parallel_for it waits on pool idleness, which a
+/// task can never observe for its own pool.
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body);
+
+/// parallel_for_dynamic over the process-wide pool.
+void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body);
+
 /// Access to the process-wide pool (created on first use).
 ThreadPool& global_pool();
 

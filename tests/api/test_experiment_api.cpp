@@ -54,6 +54,23 @@ TEST(ExperimentApi, RoutersAreARealAxis) {
   }
 }
 
+TEST(ExperimentApi, FitRecoversLinearForNone) {
+  // Greedy diameter of "none" on paths is exactly n-1: slope ~ 1. (Migrated
+  // from the retired routing/experiment.hpp shim's test suite.)
+  const auto result = Experiment::on("path")
+                          .sizes({128, 256, 512, 1024})
+                          .schemes({"none"})
+                          .pairs(3)
+                          .resamples(4)
+                          .seed(99)
+                          .run();
+  const auto fits = result.fits();
+  ASSERT_EQ(fits.size(), 1u);
+  EXPECT_EQ(fits[0].scheme, "none");
+  EXPECT_NEAR(fits[0].fit.slope, 1.0, 0.02);
+  EXPECT_GT(fits[0].fit.r_squared, 0.999);
+}
+
 TEST(ExperimentApi, FitsCoverSchemeTimesRouter) {
   const auto result = small_grid().run();
   const auto fits = result.fits();

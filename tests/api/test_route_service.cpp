@@ -1,0 +1,256 @@
+// test_route_service.cpp — the batch engine's contract: target sharding and
+// batch splitting are pure execution concerns; every result bit matches
+// sequential per-pair routing for the same seed.
+#include "api/route_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/engine.hpp"
+#include "graph/families.hpp"
+#include "routing/trial_runner.hpp"
+
+namespace nav::api {
+namespace {
+
+using Pair = std::pair<graph::NodeId, graph::NodeId>;
+
+std::vector<Pair> mixed_target_pairs(graph::NodeId n, std::size_t count,
+                                     std::size_t distinct_targets,
+                                     std::uint64_t seed) {
+  // Interleaved targets: the worst case for an LRU target cache, the best
+  // case for target sharding.
+  std::vector<Pair> pairs;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto t = static_cast<graph::NodeId>(i % distinct_targets);
+    auto s = static_cast<graph::NodeId>(random_index(rng, n));
+    if (s == t) s = (s + 1) % n;
+    pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+void expect_same_results(const std::vector<routing::RouteResult>& a,
+                         const std::vector<routing::RouteResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].steps, b[i].steps) << i;
+    EXPECT_EQ(a[i].long_links_used, b[i].long_links_used) << i;
+    EXPECT_EQ(a[i].initial_distance, b[i].initial_distance) << i;
+    EXPECT_TRUE(a[i].reached) << i;
+  }
+}
+
+TEST(RouteService, ShardedBatchBitIdenticalToSequentialRouting) {
+  auto engine = NavigationEngine::from_family("grid2d", 400);
+  engine.use_scheme("uniform");
+  const auto pairs = mixed_target_pairs(engine.graph().num_nodes(), 64, 12, 1);
+  const Rng rng(42);
+
+  // Ground truth: one route per pair, request order, no service at all.
+  std::vector<routing::RouteResult> expected;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    expected.push_back(engine.route(pairs[i].first, pairs[i].second,
+                                    rng.child(i)));
+  }
+
+  for (const bool parallel : {false, true}) {
+    for (const bool shard : {false, true}) {
+      RouteServiceOptions options;
+      options.parallel = parallel;
+      options.shard_by_target = shard;
+      const RouteService service(engine, options);
+      expect_same_results(service.route_batch(pairs, rng), expected);
+    }
+  }
+}
+
+TEST(RouteService, BatchSplitDoesNotChangeResults) {
+  // Splitting one batch into arbitrary sub-batches must not move any pair to
+  // a different rng stream: route_jobs with explicit child indices glues the
+  // halves back together bit for bit.
+  auto engine = NavigationEngine::from_family("cycle", 512);
+  engine.use_scheme("ball");
+  const auto pairs = mixed_target_pairs(engine.graph().num_nodes(), 48, 7, 2);
+  const Rng rng(7);
+  const RouteService service(engine);
+  const auto whole = service.route_batch(pairs, rng);
+
+  for (const std::size_t split : {1u, 13u, 24u, 47u}) {
+    std::vector<RouteJob> head, tail;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      auto& side = (i < split) ? head : tail;
+      side.push_back({pairs[i].first, pairs[i].second, rng.child(i)});
+    }
+    auto glued = service.route_jobs(std::move(head));
+    const auto rest = service.route_jobs(std::move(tail));
+    glued.insert(glued.end(), rest.begin(), rest.end());
+    expect_same_results(glued, whole);
+  }
+}
+
+TEST(RouteService, ShardingCutsBfsChurnAtCacheOracleSizes) {
+  // A small LRU + interleaved targets: per-pair order thrashes (most pairs
+  // miss), target shards pay exactly one BFS per distinct target — even in
+  // parallel and even across multiple prefetch waves, because shards route
+  // through wave-pinned vectors instead of re-querying the oracle.
+  Rng graph_rng(3);
+  const auto g = graph::family("grid2d").make(400, graph_rng);
+  const std::size_t distinct = 16;
+  const auto pairs = mixed_target_pairs(g.num_nodes(), 128, distinct, 4);
+
+  const auto run = [&](bool shard, bool parallel, std::size_t wave) {
+    graph::TargetDistanceCache cache(g, 4);  // capacity << distinct targets
+    const auto router = routing::make_router("greedy", g, cache);
+    RouteServiceOptions options;
+    options.parallel = parallel;
+    options.shard_by_target = shard;
+    options.max_pinned_targets = wave;
+    const RouteService service(g, cache, nullptr, *router, options);
+    (void)service.route_batch(pairs, Rng(5));
+    return cache.misses();
+  };
+
+  const auto thrashing_misses = run(false, false, 512);
+  EXPECT_GT(thrashing_misses, 4 * distinct);
+  for (const bool parallel : {false, true}) {
+    for (const std::size_t wave : {static_cast<std::size_t>(3),
+                                   static_cast<std::size_t>(512)}) {
+      EXPECT_EQ(run(true, parallel, wave), distinct)
+          << "parallel=" << parallel << " wave=" << wave;
+    }
+  }
+}
+
+TEST(RouteService, WaveSplitDoesNotChangeResults) {
+  // Forcing many small prefetch waves is another execution-schedule change
+  // that must not move a single bit.
+  auto engine = NavigationEngine::from_family("grid2d", 400);
+  engine.use_scheme("uniform");
+  const auto pairs = mixed_target_pairs(engine.graph().num_nodes(), 60, 11, 6);
+  const auto whole = RouteService(engine).route_batch(pairs, Rng(3));
+  RouteServiceOptions tiny_waves;
+  tiny_waves.max_pinned_targets = 2;
+  expect_same_results(
+      RouteService(engine, tiny_waves).route_batch(pairs, Rng(3)), whole);
+}
+
+TEST(RouteService, UnreachablePairThrowsOnTheCallingThread) {
+  // Two components: reachability is checked after the wave prefetch, before
+  // the fan-out, so the throw reaches the caller (pool tasks are noexcept
+  // by policy) — and a submit() future carries it instead of terminating.
+  graph::Graph g(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  graph::DistanceMatrix oracle(g);
+  const auto router = routing::make_router("greedy", g, oracle);
+  RouteService service(g, oracle, nullptr, *router);
+  const std::vector<Pair> cross = {{0, 2}, {0, 5}};
+  EXPECT_THROW((void)service.route_batch(cross, Rng(1)),
+               std::invalid_argument);
+  auto future = service.submit(cross, Rng(1));
+  EXPECT_THROW((void)future.get(), std::invalid_argument);
+  // Same-component routing still works afterwards.
+  EXPECT_EQ(service.route_batch(std::vector<Pair>{{3, 5}}, Rng(2))
+                .at(0)
+                .steps,
+            2u);
+}
+
+TEST(RouteService, SubmitDeliversFailuresThroughTheFuture) {
+  // A bad batch must fail its own future, not kill the service thread; the
+  // queue keeps draining afterwards.
+  auto engine = NavigationEngine::from_family("path", 64);
+  RouteService service(engine);
+  auto bad = service.submit({{0, 9999}}, Rng(1));  // target out of range
+  auto good = service.submit({{0, 63}}, Rng(2));
+  EXPECT_THROW((void)bad.get(), std::invalid_argument);
+  EXPECT_EQ(good.get().at(0).steps, 63u);
+}
+
+TEST(RouteService, EstimateDiameterMatchesTrialRunnerBitForBit) {
+  // The Experiment rewiring contract: the batched estimator must reproduce
+  // routing::estimate_routed_diameter exactly — same pair selection, same
+  // child streams, same accumulation order.
+  auto engine = NavigationEngine::from_family("grid2d", 256);
+  engine.use_scheme("ml");
+  routing::TrialConfig config;
+  config.num_pairs = 6;
+  config.resamples = 5;
+  const Rng rng(0xbeef);
+
+  const auto reference = routing::estimate_routed_diameter(
+      engine.router(), engine.scheme(), engine.oracle(), config, rng);
+  const auto batched = RouteService(engine).estimate_diameter(config, rng);
+
+  EXPECT_DOUBLE_EQ(batched.max_mean_steps, reference.max_mean_steps);
+  EXPECT_DOUBLE_EQ(batched.overall_mean_steps, reference.overall_mean_steps);
+  EXPECT_DOUBLE_EQ(batched.max_ci_halfwidth, reference.max_ci_halfwidth);
+  EXPECT_EQ(batched.trials, reference.trials);
+  ASSERT_EQ(batched.pairs.size(), reference.pairs.size());
+  for (std::size_t p = 0; p < reference.pairs.size(); ++p) {
+    EXPECT_EQ(batched.pairs[p].s, reference.pairs[p].s);
+    EXPECT_EQ(batched.pairs[p].t, reference.pairs[p].t);
+    EXPECT_EQ(batched.pairs[p].distance, reference.pairs[p].distance);
+    EXPECT_DOUBLE_EQ(batched.pairs[p].mean_steps,
+                     reference.pairs[p].mean_steps);
+    EXPECT_DOUBLE_EQ(batched.pairs[p].ci_halfwidth,
+                     reference.pairs[p].ci_halfwidth);
+    EXPECT_DOUBLE_EQ(batched.pairs[p].max_steps, reference.pairs[p].max_steps);
+    EXPECT_DOUBLE_EQ(batched.pairs[p].mean_long_links,
+                     reference.pairs[p].mean_long_links);
+  }
+}
+
+TEST(RouteService, SubmitServesQueuedBatches) {
+  auto engine = NavigationEngine::from_family("torus2d", 256);
+  engine.use_scheme("uniform").use_router("lookahead:1");
+  RouteService service(engine);
+
+  std::vector<std::vector<Pair>> batches;
+  std::vector<std::future<std::vector<routing::RouteResult>>> futures;
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    batches.push_back(
+        mixed_target_pairs(engine.graph().num_nodes(), 8 + 8 * b, 3 + b, b));
+    futures.push_back(service.submit(batches.back(), Rng(b)));
+  }
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const auto async_results = futures[b].get();
+    expect_same_results(async_results,
+                        service.route_batch(batches[b], Rng(b)));
+  }
+  EXPECT_GE(service.totals().batches, 10u);
+  EXPECT_GT(service.totals().pairs, 0u);
+}
+
+TEST(RouteService, ReportsShardTelemetry) {
+  auto engine = NavigationEngine::from_family("path", 128);
+  const RouteService service(engine);
+  const auto pairs = mixed_target_pairs(128, 30, 5, 9);
+  (void)service.route_batch(pairs, Rng(1));
+  const auto report = service.last_report();
+  EXPECT_EQ(report.pairs, 30u);
+  EXPECT_EQ(report.distinct_targets, 5u);
+  EXPECT_EQ(report.shards, 5u);
+  EXPECT_GE(report.seconds, 0.0);
+}
+
+TEST(RouteService, EmptyBatch) {
+  auto engine = NavigationEngine::from_family("path", 16);
+  const RouteService service(engine);
+  EXPECT_TRUE(service.route_batch(std::vector<Pair>{}, Rng(1)).empty());
+  EXPECT_EQ(service.last_report().shards, 0u);
+}
+
+TEST(RouteService, SchemeSizeMismatchRejected) {
+  Rng graph_rng(1);
+  const auto g = graph::family("path").make(32, graph_rng);
+  const auto other = graph::family("path").make(33, graph_rng);
+  graph::DistanceMatrix oracle(g);
+  const auto router = routing::make_router("greedy", g, oracle);
+  Rng rng(2);
+  const auto scheme = core::make_scheme("uniform", other, rng);
+  EXPECT_THROW(RouteService(g, oracle, scheme.get(), *router),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::api

@@ -71,6 +71,52 @@ TEST(TargetCache, ZeroCapacityClampedToOne) {
   EXPECT_EQ(cache.distance(0, 4), 4u);
 }
 
+TEST(TargetCache, PrefetchPinsBatchAndMatchesBfs) {
+  const auto g = make_grid2d(8, 8);
+  TargetDistanceCache cache(g, 2);  // capacity below the batch size
+  const std::vector<NodeId> targets = {3, 17, 3, 40, 63};  // with a duplicate
+  const auto pinned = cache.prefetch(targets);
+  ASSERT_EQ(pinned.size(), targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto expect = bfs_distances(g, targets[i]);
+    ASSERT_NE(pinned[i], nullptr);
+    EXPECT_EQ(*pinned[i], expect) << "target " << targets[i];
+  }
+  // Duplicate targets share one vector; one BFS each for the 4 distinct.
+  EXPECT_EQ(pinned[0], pinned[2]);
+  EXPECT_EQ(cache.misses(), 4u);
+  // A second prefetch of a resident target is a hit, not a BFS.
+  const auto before = cache.misses();
+  (void)cache.prefetch(std::vector<NodeId>{63});
+  EXPECT_EQ(cache.misses(), before);
+  EXPECT_GE(cache.hits(), 2u);  // the duplicate + the re-prefetch
+}
+
+TEST(TargetCache, PrefetchDefaultImplOnDenseMatrix) {
+  const auto g = make_cycle(12);
+  DistanceMatrix dm(g);
+  const std::vector<NodeId> targets = {0, 5, 11};
+  const auto pinned = dm.prefetch(targets);
+  ASSERT_EQ(pinned.size(), 3u);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(pinned[i], dm.distances_to(targets[i]));
+  }
+}
+
+TEST(TargetCache, MemoryBudgetSizesCapacity) {
+  const auto g = make_path(100);  // one vector = 100 * sizeof(Dist) = 400 B
+  EXPECT_EQ(TargetDistanceCache::capacity_for_budget({4000}, 100), 10u);
+  EXPECT_EQ(TargetDistanceCache::capacity_for_budget({399}, 100), 1u);  // >= 1
+  TargetDistanceCache cache(g, MemoryBudget{1200});
+  EXPECT_EQ(cache.capacity(), 3u);
+  (void)cache.distances_to(0);
+  (void)cache.distances_to(1);
+  (void)cache.distances_to(2);
+  (void)cache.distances_to(0);  // still resident under a 3-vector budget
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
 TEST(TargetCache, ConcurrentAccessConsistent) {
   const auto g = make_grid2d(10, 10);
   TargetDistanceCache cache(g, 8);

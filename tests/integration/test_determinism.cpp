@@ -2,10 +2,10 @@
 // determines every number, regardless of thread count or schedule.
 #include <gtest/gtest.h>
 
+#include "api/experiment.hpp"
 #include "core/scheme_factory.hpp"
 #include "graph/families.hpp"
 #include "graph/generators.hpp"
-#include "routing/experiment.hpp"
 #include "routing/trial_runner.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -13,19 +13,22 @@ namespace nav {
 namespace {
 
 TEST(Determinism, SweepIdenticalAcrossRuns) {
-  routing::SweepConfig config;
-  config.family = "cycle";
-  config.sizes = {128, 256};
-  config.schemes = {"uniform", "ball"};
-  config.trials.num_pairs = 4;
-  config.trials.resamples = 4;
-  config.seed = 2024;
-  const auto a = routing::run_sweep(config);
-  const auto b = routing::run_sweep(config);
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].greedy_diameter, b[i].greedy_diameter) << i;
-    EXPECT_DOUBLE_EQ(a[i].mean_steps, b[i].mean_steps) << i;
+  const auto sweep = [] {
+    return api::Experiment::on("cycle")
+        .sizes({128, 256})
+        .schemes({"uniform", "ball"})
+        .pairs(4)
+        .resamples(4)
+        .seed(2024)
+        .run();
+  };
+  const auto a = sweep();
+  const auto b = sweep();
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].greedy_diameter, b.cells[i].greedy_diameter)
+        << i;
+    EXPECT_DOUBLE_EQ(a.cells[i].mean_steps, b.cells[i].mean_steps) << i;
   }
 }
 
