@@ -1,79 +1,119 @@
-// route_server.cpp — the always-on batch routing engine, demonstrated.
+// route_server.cpp — the always-on batch routing engine under a workload.
 //
-// Models a routing service under sustained load: clients submit mixed-size
-// batches of (source, target) queries against one augmented graph, the
-// RouteService queues them on its service thread, shards each batch by
-// target, and fans the shards across the thread pool. The driver keeps
-// submitting while earlier batches execute — the "always-on" mode that
-// Engine::route_many's one-shot API cannot express.
+// Models a routing service under sustained, possibly skewed load: a
+// workload::TrafficDriver generates (source, target) demand from a named
+// demand model, submits it to an api::RouteService as an open-loop burst
+// process, and the service queues batches on its service thread under a
+// configurable admission policy — Unbounded FIFO, Bounded backpressure, or
+// deadline Shedding.
 //
-//   ./route_server [n] [batches]      (defaults: n=8192, batches=12)
+//   ./route_server [n] [batches] [workload] [admission]
 //
-// Output: one line per batch (size, distinct targets, hops served, latency)
-// plus the cumulative service telemetry.
-#include <cstdlib>
+//   n          graph size (torus2d), default 8192
+//   batches    batches to submit, default 12 (x 256 pairs each)
+//   workload   any workload::make_workload spec, default "zipf:1.1"
+//              (uniform | zipf:<s> | local:<r> | adversarial |
+//               hotset:<k>:<p> | trace:<path>)
+//   admission  unbounded | bounded:<max_queued_pairs> | shed:<seconds>
+//
+// Output: one line per batch (queue depth at submit, sojourn, status) plus
+// hop/latency percentiles and the admission counters.
 #include <iostream>
-#include <numeric>
-#include <vector>
+#include <string>
 
 #include "nav/nav.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+// Strict parsing throughout: "bounded:abc" must be an error rather than
+// bounded(0), and "16k" must not silently run as n=16.
+nav::api::AdmissionPolicy parse_admission(const std::string& spec) {
+  using nav::api::AdmissionPolicy;
+  const auto tokens = nav::split_spec(spec);
+  if (tokens.front() == "unbounded" && tokens.size() == 1) {
+    return AdmissionPolicy::unbounded();
+  }
+  if (tokens.front() == "bounded" && tokens.size() == 2) {
+    return AdmissionPolicy::bounded(
+        nav::parse_spec_number<std::size_t>(tokens[1], spec));
+  }
+  if (tokens.front() == "shed" && tokens.size() == 2) {
+    return AdmissionPolicy::shed(
+        nav::parse_spec_number<double>(tokens[1], spec));
+  }
+  throw std::invalid_argument("admission must be unbounded | bounded:<pairs> "
+                              "| shed:<seconds>, got: " +
+                              spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
   using namespace nav;
-  const auto n = static_cast<graph::NodeId>(
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8192);
+  const auto n =
+      argc > 1 ? parse_spec_number<graph::NodeId>(argv[1], argv[1])
+               : graph::NodeId{8192};
   const std::size_t num_batches =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+      argc > 2 ? parse_spec_number<std::size_t>(argv[2], argv[2]) : 12;
+  const std::string workload_spec = argc > 3 ? argv[3] : "zipf:1.1";
+  const std::string admission_spec = argc > 4 ? argv[4] : "unbounded";
 
   // Cache-oracle regime on purpose: n above the dense limit is where target
-  // sharding earns its keep.
+  // sharding earns its keep — and skewed demand (the zipf default) is where
+  // one BFS serves the most pairs.
   auto engine = api::NavigationEngine::from_family("torus2d", n);
   engine.use_scheme("ball");
-  api::RouteService service(engine);
+  api::RouteServiceOptions options;
+  options.admission = parse_admission(admission_spec);
+  api::RouteService service(engine, options);
+
+  const auto demand = engine.make_workload(workload_spec, 2026);
+  workload::TrafficOptions traffic;
+  traffic.schedule = "burst:4:0.0";  // four simultaneous batches per wave
+  traffic.batches = num_batches;
+  traffic.batch_size = 256;
+  traffic.keep_results = true;  // feeds the hop histogram below
+  workload::TrafficDriver driver(service, *demand, traffic);
 
   std::cout << "route_server: torus2d n=" << engine.graph().num_nodes()
-            << ", scheme=ball, router=greedy, "
+            << ", scheme=ball, router=greedy, workload=" << demand->name()
+            << ", admission=" << admission_spec << ", "
             << nav::global_pool().thread_count() << " pool threads\n\n";
 
-  // Submit every batch up front; the service thread drains them FIFO while
-  // we are still enqueueing — nothing here blocks until the .get() below.
-  Rng workload(2026);
-  std::vector<std::future<std::vector<routing::RouteResult>>> futures;
-  for (std::size_t b = 0; b < num_batches; ++b) {
-    const std::size_t batch_size = 64 << (b % 4);      // mixed sizes 64..512
-    const std::size_t targets = 4 + 4 * (b % 5);       // mixed shard counts
-    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
-    for (std::size_t i = 0; i < batch_size; ++i) {
-      const auto t = static_cast<graph::NodeId>(
-          random_index(workload, targets) * (engine.graph().num_nodes() /
-                                             targets));
-      auto s = static_cast<graph::NodeId>(
-          random_index(workload, engine.graph().num_nodes()));
-      if (s == t) s = (s + 1) % engine.graph().num_nodes();
-      pairs.emplace_back(s, t);
+  const auto report = driver.run(Rng(2026));
+  std::cout << report.table().to_ascii();
+
+  // Binned view of the hop distribution: the streaming-friendly variant of
+  // the report's exact quantiles (Histogram::percentile interpolates inside
+  // the crossing bin, so binned p95 tracks report.hops.p95).
+  if (report.hops.count > 0) {
+    Histogram hop_histogram(0.0, report.hops.max + 1.0,
+                            std::min<std::size_t>(
+                                12, static_cast<std::size_t>(
+                                        report.hops.max) + 1));
+    for (const auto& batch : report.results) {
+      for (const auto& route : batch) {
+        hop_histogram.add(static_cast<double>(route.steps));
+      }
     }
-    futures.push_back(service.submit(std::move(pairs), Rng(b)));
+    std::cout << "\nhop distribution (binned p95 ~ "
+              << Table::num(hop_histogram.percentile(0.95), 1) << "):\n"
+              << hop_histogram.render(40);
   }
 
-  Table table({"batch", "pairs", "targets", "mean hops", "max hops"});
-  for (std::size_t b = 0; b < num_batches; ++b) {
-    const auto results = futures[b].get();
-    std::uint64_t total_steps = 0, max_steps = 0;
-    for (const auto& r : results) {
-      total_steps += r.steps;
-      max_steps = std::max<std::uint64_t>(max_steps, r.steps);
-    }
-    table.add_row({Table::integer(b), Table::integer(results.size()),
-                   Table::integer(4 + 4 * (b % 5)),
-                   Table::num(static_cast<double>(total_steps) /
-                                  static_cast<double>(results.size()),
-                              2),
-                   Table::integer(max_steps)});
-  }
-  std::cout << table.to_ascii();
-
+  std::cout << "\nhops: p50=" << Table::num(report.hops.p50, 1)
+            << "  p95=" << Table::num(report.hops.p95, 1)
+            << "  p99=" << Table::num(report.hops.p99, 1)
+            << "  max=" << Table::num(report.hops.max, 0)
+            << "\nsojourn ms: p50=" << Table::num(report.sojourn_ms.p50, 2)
+            << "  p95=" << Table::num(report.sojourn_ms.p95, 2)
+            << "  p99=" << Table::num(report.sojourn_ms.p99, 2) << "\n";
+  std::cout << "admission: " << report.pairs_admitted << " admitted, "
+            << report.pairs_shed << " shed, "
+            << report.queue.blocked_submits << " blocked submits, peak queue "
+            << report.queue.peak_queued_pairs << " pairs\n";
   const auto totals = service.totals();
-  std::cout << "\nservice totals: " << totals.batches << " batches, "
+  std::cout << "service totals: " << totals.batches << " batches, "
             << totals.pairs << " routes, "
             << Table::num(totals.seconds, 2) << "s batch execution, "
             << Table::num(static_cast<double>(totals.pairs) /
@@ -81,4 +121,9 @@ int main(int argc, char** argv) {
                           0)
             << " routes/sec\n";
   return 0;
+} catch (const std::exception& error) {
+  // Bad CLI arguments (unknown workload/admission spec, unreadable trace)
+  // surface as a one-line error, matching sweep_cli.
+  std::cerr << "error: " << error.what() << "\n";
+  return 1;
 }

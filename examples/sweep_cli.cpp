@@ -1,14 +1,15 @@
 // sweep_cli.cpp — run arbitrary experiment grids from the command line.
 //
 // The bench binaries pin the paper's experiment grids; this tool lets a user
-// explore scheme × router grids freely:
+// explore workload × scheme × router grids freely:
 //
 //   ./sweep_cli --family path --sizes 1024,4096,16384
 //               --schemes uniform,ml,ball --routers greedy,lookahead:1
+//               [--workloads uniform,zipf:1.1,adversarial]
 //               --pairs 12 --resamples 16 [--seed 7]
 //               [--csv out.csv] [--jsonl out.jsonl]
 //
-// Prints the sweep table plus per-(scheme, router) exponent fits; optionally
+// Prints the sweep table plus per-axis exponent fits; optionally
 // writes CSV and/or JSON Lines for plotting and trajectory tooling. JSON
 // Lines stream as cells finish, so long sweeps can be tailed.
 #include <cstdlib>
@@ -36,8 +37,8 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " --family <name> --sizes n1,n2,.. --schemes s1,s2,..\n"
-         "       [--routers r1,r2,..] [--pairs K] [--resamples R] [--seed S]\n"
-         "       [--csv PATH] [--jsonl PATH]\n\n"
+         "       [--routers r1,r2,..] [--workloads w1,w2,..] [--pairs K]\n"
+         "       [--resamples R] [--seed S] [--csv PATH] [--jsonl PATH]\n\n"
          "families: ";
   for (const auto& fam : nav::graph::all_families()) {
     std::cerr << fam.name << ' ';
@@ -45,7 +46,11 @@ void usage(const char* argv0) {
   std::cerr << "\nschemes: uniform ball ball-fixed:<k> ml ml-labelU "
                "ml-A-only ml-U-only ml-random-label kleinberg:<a> rank "
                "growth none\n"
-               "routers: greedy lookahead:<depth>\n";
+               "routers: greedy lookahead:<depth>\nworkloads: ";
+  for (const auto& info : nav::workload::workload_catalog()) {
+    std::cerr << info.spec << ' ';
+  }
+  std::cerr << "(\"uniform\" = the classic trial-pair selection)\n";
 }
 
 }  // namespace
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   std::vector<graph::NodeId> sizes;
   std::vector<std::string> schemes;
   std::vector<std::string> routers = {"greedy"};
+  std::vector<std::string> workloads = {"uniform"};
   std::size_t pairs = 12, resamples = 16;
   std::uint64_t seed = 0x5eed;
   std::string csv_path, jsonl_path;
@@ -74,6 +80,8 @@ int main(int argc, char** argv) {
       schemes = split_csv(value);
     } else if (key == "--routers") {
       routers = split_csv(value);
+    } else if (key == "--workloads") {
+      workloads = split_csv(value);
     } else if (key == "--pairs") {
       pairs = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "--resamples") {
@@ -98,6 +106,7 @@ int main(int argc, char** argv) {
   try {
     auto experiment = api::Experiment::on(family)
                           .sizes(sizes)
+                          .workloads(workloads)
                           .schemes(schemes)
                           .routers(routers)
                           .pairs(pairs)

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Render BENCH_*.json consolidated trajectories as charts.
+
+Consumes the `nav-bench-trajectory-v1` documents the bench binaries write
+next to themselves (currently bench_e12_workload's BENCH_workload.json):
+
+    {
+      "schema": "nav-bench-trajectory-v1",
+      "bench": "...", "family": "...", "n": ..., "quick": ...,
+      "group_by": ["scheme", "workload"],
+      "metrics": ["hops_p50", ...],
+      "cells": [ {flat jsonl row}, ... ]
+    }
+
+For every metric the script prints one ASCII bar chart per value of the
+first group_by field, with one bar per value of the second. With --png and
+matplotlib installed it also writes <bench>_<metric>.png; without
+matplotlib the flag degrades to a warning (no hard dependency).
+
+Usage: scripts/plot_bench.py [BENCH_workload.json ...] [--metric M] [--png]
+Exit code: 0 on success, 1 when no input document can be read.
+"""
+
+import argparse
+import glob
+import json
+import pathlib
+import sys
+
+BAR_WIDTH = 46
+
+
+def load_documents(paths):
+    documents = []
+    for path in paths:
+        try:
+            doc = json.loads(pathlib.Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping {path}: {error}", file=sys.stderr)
+            continue
+        if doc.get("schema") != "nav-bench-trajectory-v1":
+            print(f"warning: {path} is not a nav-bench-trajectory-v1 "
+                  "document", file=sys.stderr)
+            continue
+        documents.append((path, doc))
+    return documents
+
+
+def ascii_chart(title, rows):
+    """Prints `rows` of (label, value) as a horizontal bar chart."""
+    print(f"\n{title}")
+    if not rows:
+        print("  (no cells)")
+        return
+    label_width = max(len(label) for label, _ in rows)
+    peak = max((value for _, value in rows), default=0.0)
+    for label, value in rows:
+        bar = "#" * (round(value / peak * BAR_WIDTH) if peak > 0 else 0)
+        print(f"  {label:<{label_width}}  {value:>12.3f}  {bar}")
+
+
+def plot_document(path, doc, only_metric, png):
+    group_by = doc.get("group_by", [])
+    metrics = doc.get("metrics", [])
+    cells = doc.get("cells", [])
+    outer_key = group_by[0] if group_by else None
+    inner_key = group_by[1] if len(group_by) > 1 else None
+    print(f"== {path}: bench={doc.get('bench')} family={doc.get('family')} "
+          f"n={doc.get('n')} quick={doc.get('quick')} "
+          f"({len(cells)} cells) ==")
+
+    for metric in metrics:
+        if only_metric and metric != only_metric:
+            continue
+        outer_values = []
+        for cell in cells:
+            value = cell.get(outer_key, "") if outer_key else ""
+            if value not in outer_values:
+                outer_values.append(value)
+        for outer in outer_values:
+            rows = [
+                (str(cell.get(inner_key, f"cell{i}")), float(cell[metric]))
+                for i, cell in enumerate(cells)
+                if metric in cell
+                and (not outer_key or cell.get(outer_key) == outer)
+            ]
+            suffix = f" [{outer_key}={outer}]" if outer_key else ""
+            ascii_chart(f"{metric}{suffix}", rows)
+        if png:
+            save_png(doc, cells, metric, outer_key, inner_key)
+    print()
+
+
+def save_png(doc, cells, metric, outer_key, inner_key):
+    try:
+        import matplotlib  # noqa: F401  (optional dependency)
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("warning: matplotlib not available, skipping --png",
+              file=sys.stderr)
+        return
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    outers = []
+    for cell in cells:
+        value = cell.get(outer_key, "")
+        if value not in outers:
+            outers.append(value)
+    for outer in outers:
+        xs, ys = [], []
+        for cell in cells:
+            if metric in cell and cell.get(outer_key, "") == outer:
+                xs.append(str(cell.get(inner_key, "")))
+                ys.append(float(cell[metric]))
+        ax.plot(xs, ys, marker="o", label=str(outer))
+    ax.set_title(f"{doc.get('bench')} n={doc.get('n')}: {metric}")
+    ax.set_ylabel(metric)
+    ax.tick_params(axis="x", rotation=30)
+    if outers:
+        ax.legend(title=outer_key)
+    out = f"{doc.get('bench')}_{metric}.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    print(f"png written: {out}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="trajectory documents (default: BENCH_*.json)")
+    parser.add_argument("--metric", help="plot only this metric")
+    parser.add_argument("--png", action="store_true",
+                        help="also write PNGs (needs matplotlib)")
+    args = parser.parse_args()
+
+    paths = args.files or sorted(glob.glob("BENCH_*.json"))
+    documents = load_documents(paths)
+    if not documents:
+        print("error: no readable nav-bench-trajectory-v1 documents "
+              f"(looked at: {paths or 'BENCH_*.json'})", file=sys.stderr)
+        return 1
+    for path, doc in documents:
+        plot_document(path, doc, args.metric, args.png)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,4 +80,9 @@ routing::GreedyDiameterEstimate NavigationEngine::estimate_diameter(
   return RouteService(*this).estimate_diameter(config, rng);
 }
 
+workload::WorkloadPtr NavigationEngine::make_workload(
+    const std::string& spec, std::uint64_t seed) const {
+  return workload::make_workload(spec, *graph_, Rng(seed));
+}
+
 }  // namespace nav::api

@@ -29,6 +29,7 @@
 #include "graph/graph.hpp"
 #include "routing/router_factory.hpp"
 #include "routing/trial_runner.hpp"
+#include "workload/workload.hpp"
 
 namespace nav::api {
 
@@ -117,6 +118,13 @@ class NavigationEngine {
   /// Greedy-diameter estimation under the current scheme + router.
   [[nodiscard]] routing::GreedyDiameterEstimate estimate_diameter(
       const routing::TrialConfig& config, Rng rng) const;
+
+  /// Builds a demand model over the engine's graph
+  /// (workload::make_workload registry); `seed` pins construction-time
+  /// randomness (hot sets, popularity permutations). The engine must
+  /// outlive the returned workload.
+  [[nodiscard]] workload::WorkloadPtr make_workload(
+      const std::string& spec, std::uint64_t seed = 0x5eed) const;
 
  private:
   // unique_ptrs keep graph/oracle addresses stable, so the router's internal

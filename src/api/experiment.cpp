@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 
 #include "api/engine.hpp"
 #include "api/route_service.hpp"
@@ -10,12 +11,14 @@
 #include "graph/families.hpp"
 #include "routing/router_factory.hpp"
 #include "runtime/timer.hpp"
+#include "workload/workload.hpp"
 
 namespace nav::api {
 
 Record CellResult::record() const {
   return {
       {"family", family},
+      {"workload", workload},
       {"scheme", scheme},
       {"router", router},
       {"n_requested", static_cast<std::uint64_t>(n_requested)},
@@ -30,11 +33,12 @@ Record CellResult::record() const {
 }
 
 Table ExperimentResult::table() const {
-  Table out({"family", "scheme", "router", "n", "m", "diam>=", "greedy-diam",
-             "mean", "ci95", "sec"});
+  Table out({"family", "workload", "scheme", "router", "n", "m", "diam>=",
+             "greedy-diam", "mean", "ci95", "sec"});
   for (const auto& c : cells) {
-    out.add_row({c.family, c.scheme, c.router, Table::integer(c.n_actual),
-                 Table::integer(c.m), Table::integer(c.diameter_lb),
+    out.add_row({c.family, c.workload, c.scheme, c.router,
+                 Table::integer(c.n_actual), Table::integer(c.m),
+                 Table::integer(c.diameter_lb),
                  Table::num(c.greedy_diameter, 1), Table::num(c.mean_steps, 1),
                  Table::num(c.ci_halfwidth, 1), Table::num(c.seconds, 2)});
   }
@@ -42,11 +46,11 @@ Table ExperimentResult::table() const {
 }
 
 std::vector<AxisFit> ExperimentResult::fits() const {
-  using Key = std::pair<std::string, std::string>;
+  using Key = std::tuple<std::string, std::string, std::string>;
   std::map<Key, std::pair<std::vector<double>, std::vector<double>>> by;
   std::vector<Key> order;
   for (const auto& c : cells) {
-    const Key key{c.scheme, c.router};
+    const Key key{c.workload, c.scheme, c.router};
     if (by.find(key) == by.end()) order.push_back(key);
     by[key].first.push_back(static_cast<double>(c.n_actual));
     by[key].second.push_back(c.greedy_diameter);
@@ -54,16 +58,16 @@ std::vector<AxisFit> ExperimentResult::fits() const {
   std::vector<AxisFit> fits;
   fits.reserve(order.size());
   for (const auto& key : order) {
-    fits.push_back({key.first, key.second,
+    fits.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
                     nav::fit_power_law(by[key].first, by[key].second)});
   }
   return fits;
 }
 
 Table ExperimentResult::fit_table() const {
-  Table out({"scheme", "router", "exponent", "R^2"});
+  Table out({"workload", "scheme", "router", "exponent", "R^2"});
   for (const auto& f : fits()) {
-    out.add_row({f.scheme, f.router, Table::num(f.fit.slope, 3),
+    out.add_row({f.workload, f.scheme, f.router, Table::num(f.fit.slope, 3),
                  Table::num(f.fit.r_squared, 3)});
   }
   return out;
@@ -80,6 +84,11 @@ Experiment Experiment::on(std::string family) {
 
 Experiment& Experiment::sizes(std::vector<graph::NodeId> sizes) {
   sizes_ = std::move(sizes);
+  return *this;
+}
+
+Experiment& Experiment::workloads(std::vector<std::string> workload_specs) {
+  workloads_ = std::move(workload_specs);
   return *this;
 }
 
@@ -130,6 +139,7 @@ Experiment& Experiment::stream_to(ResultSink& sink) {
 
 ExperimentResult Experiment::run() const {
   NAV_REQUIRE(!sizes_.empty(), "sweep needs sizes");
+  NAV_REQUIRE(!workloads_.empty(), "sweep needs workloads");
   NAV_REQUIRE(!schemes_.empty(), "sweep needs schemes");
   NAV_REQUIRE(!routers_.empty(), "sweep needs routers");
   const auto& fam = graph::family(family_);
@@ -146,44 +156,91 @@ ExperimentResult Experiment::run() const {
         make_distance_oracle(g, dense_oracle_limit_, trials_.num_pairs + 8);
     const auto diameter_lb = graph::double_sweep_lower_bound(g);
 
+    // Schemes depend only on (size, scheme index) — their streams carry no
+    // workload term — so build each once per size and share it across the
+    // workload axis instead of rebuilding identical schemes per workload.
+    std::vector<core::SchemePtr> schemes_built(schemes_.size());
+    std::vector<double> scheme_build_seconds(schemes_.size(), 0.0);
     for (std::size_t ki = 0; ki < schemes_.size(); ++ki) {
-      const auto& scheme_spec = schemes_[ki];
       nav::Timer scheme_timer;
       Rng scheme_rng = root.child(0x5c4e).child(si).child(ki);
-      const auto scheme = core::make_scheme(scheme_spec, g, scheme_rng);
-      const double scheme_seconds = scheme_timer.seconds();
+      schemes_built[ki] = core::make_scheme(schemes_[ki], g, scheme_rng);
+      scheme_build_seconds[ki] = scheme_timer.seconds();
+    }
 
-      for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
-        const auto& router_spec = routers_[ri];
-        nav::Timer timer;
-        const auto router = routing::make_router(router_spec, g, *oracle);
-        // The cell's whole pair × replicate grid routes as one
-        // target-sharded batch; numbers are bit-identical to the
-        // sequential estimator (see RouteService::estimate_diameter).
-        RouteServiceOptions service_options;
-        service_options.parallel = trials_.parallel;
-        const RouteService service(g, *oracle, scheme.get(), *router,
-                                   service_options);
-        const auto estimate = service.estimate_diameter(
-            trials_, root.child(0x7a1a).child(si).child(ki).child(ri));
+    for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
+      const auto& workload_spec = workloads_[wi];
+      // "uniform" keeps the legacy path: TrialConfig pair selection AND the
+      // pre-workload-axis stream addresses, so existing grids (and their
+      // golden files) are bit-identical. Any other spec swaps pair selection
+      // for the demand model, with streams salted by the workload index.
+      // Built once per (size, workload) — the construction stream depends on
+      // nothing else, so every cell of the workload shares one hot set /
+      // popularity permutation; reset() before each cell rewinds stateful
+      // generators (trace replay), so adding a scheme or router never
+      // perturbs the demand.
+      const bool legacy_uniform = workload_spec == "uniform";
+      workload::WorkloadPtr demand;
+      if (!legacy_uniform) {
+        demand = workload::make_workload(
+            workload_spec, g, root.child(0x301d).child(si).child(wi));
+      }
 
-        CellResult cell;
-        cell.family = family_;
-        cell.scheme = scheme_spec;
-        cell.router = router_spec;
-        cell.n_requested = n_req;
-        cell.n_actual = g.num_nodes();
-        cell.m = g.num_edges();
-        cell.diameter_lb = diameter_lb;
-        cell.greedy_diameter = estimate.max_mean_steps;
-        cell.mean_steps = estimate.overall_mean_steps;
-        cell.ci_halfwidth = estimate.max_ci_halfwidth;
-        // Scheme construction is shared across routers; bill it to the first
-        // router's cell (reproducing the legacy per-cell accounting for
-        // single-router grids).
-        cell.seconds = timer.seconds() + (ri == 0 ? scheme_seconds : 0.0);
-        for (auto* sink : sinks_) sink->write(cell.record());
-        result.cells.push_back(std::move(cell));
+      for (std::size_t ki = 0; ki < schemes_.size(); ++ki) {
+        const auto& scheme_spec = schemes_[ki];
+        const auto& scheme = schemes_built[ki];
+        // Construction cost is billed once, to the first cell that uses the
+        // scheme (wi == 0, ri == 0) — the legacy per-cell accounting for
+        // single-workload single-router grids.
+        const double scheme_seconds =
+            wi == 0 ? scheme_build_seconds[ki] : 0.0;
+
+        for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
+          const auto& router_spec = routers_[ri];
+          nav::Timer timer;
+          const auto router = routing::make_router(router_spec, g, *oracle);
+          // The cell's whole pair × replicate grid routes as one
+          // target-sharded batch; numbers are bit-identical to the
+          // sequential estimator (see RouteService::estimate_diameter).
+          RouteServiceOptions service_options;
+          service_options.parallel = trials_.parallel;
+          const RouteService service(g, *oracle, scheme.get(), *router,
+                                     service_options);
+          routing::GreedyDiameterEstimate estimate;
+          if (legacy_uniform) {
+            estimate = service.estimate_diameter(
+                trials_, root.child(0x7a1a).child(si).child(ki).child(ri));
+          } else {
+            demand->reset();
+            const Rng cell_rng =
+                root.child(0x77a1).child(wi).child(si).child(ki).child(ri);
+            // Pair generation sits at the same child address (0xA11) the
+            // selecting overload uses for select_trial_pairs.
+            Rng demand_rng = cell_rng.child(0xA11);
+            estimate = service.estimate_diameter(
+                trials_, cell_rng,
+                demand->batch(trials_.num_pairs, demand_rng));
+          }
+
+          CellResult cell;
+          cell.family = family_;
+          cell.workload = workload_spec;
+          cell.scheme = scheme_spec;
+          cell.router = router_spec;
+          cell.n_requested = n_req;
+          cell.n_actual = g.num_nodes();
+          cell.m = g.num_edges();
+          cell.diameter_lb = diameter_lb;
+          cell.greedy_diameter = estimate.max_mean_steps;
+          cell.mean_steps = estimate.overall_mean_steps;
+          cell.ci_halfwidth = estimate.max_ci_halfwidth;
+          // Scheme construction is shared across routers; bill it to the
+          // first router's cell (reproducing the legacy per-cell accounting
+          // for single-router grids).
+          cell.seconds = timer.seconds() + (ri == 0 ? scheme_seconds : 0.0);
+          for (auto* sink : sinks_) sink->write(cell.record());
+          result.cells.push_back(std::move(cell));
+        }
       }
     }
   }

@@ -1,29 +1,39 @@
-// experiment.hpp — fluent sweep grids: family × sizes × schemes × routers.
+// experiment.hpp — fluent sweep grids: family × sizes × workloads × schemes
+// × routers.
 //
 // Replaces the SweepConfig plumbing every bench binary used to re-wire by
 // hand. A sweep is declared in one expression and returns structured rows:
 //
 //   auto result = api::Experiment::on("cycle")
 //                     .sizes({1024, 4096})
+//                     .workloads({"uniform", "zipf:1.1"})
 //                     .schemes({"ball", "ml"})
 //                     .routers({"greedy", "lookahead:1"})
 //                     .run();
 //   std::cout << result.table().to_ascii();
 //
 // Routers are a sweep axis like schemes ("Navigability is a Robust Property"
-// -style grids need both), and results stream to any attached ResultSink
-// (table / CSV / JSON Lines) as cells finish, so long sweeps emit
-// trajectories natively.
+// -style grids need both), workloads are a fourth axis (navigability under
+// non-uniform demand — the same robustness question from the demand side),
+// and results stream to any attached ResultSink (table / CSV / JSON Lines)
+// as cells finish, so long sweeps emit trajectories natively.
 //
-// Determinism: one seed fixes the whole grid. Cell (size si, scheme ki,
-// router ri) derives graph, scheme, and trial randomness from disjoint child
-// streams of the root, so adding a router to the sweep does not perturb the
-// other columns.
+// The workload axis value "uniform" (the default) denotes the classic trial
+// pair selection — TrialConfig::policy via select_trial_pairs, bit-identical
+// to pre-workload grids. Any other value replaces pair selection with
+// workload::make_workload(spec) draws: num_pairs pairs from the demand
+// model, the policy field ignored.
+//
+// Determinism: one seed fixes the whole grid. Cell (size si, workload wi,
+// scheme ki, router ri) derives graph, workload, scheme, and trial
+// randomness from disjoint child streams of the root, so adding an axis
+// value does not perturb the other columns; "uniform" cells keep their
+// legacy stream addresses exactly.
 #pragma once
 
 /// \file
-/// \brief Experiment: fluent sweep grids (family × sizes × schemes ×
-/// routers) with streamed results.
+/// \brief Experiment: fluent sweep grids (family × sizes × workloads ×
+/// schemes × routers) with streamed results.
 
 #include <cstdint>
 #include <string>
@@ -36,9 +46,10 @@
 
 namespace nav::api {
 
-/// One grid cell: (family, n) × scheme × router.
+/// One grid cell: (family, n) × workload × scheme × router.
 struct CellResult {
   std::string family;              ///< graph::families registry name
+  std::string workload;            ///< workload spec ("uniform" = legacy)
   std::string scheme;              ///< core::make_scheme spec
   std::string router;              ///< routing::make_router spec
   graph::NodeId n_requested = 0;   ///< size asked of the family
@@ -54,26 +65,27 @@ struct CellResult {
   [[nodiscard]] Record record() const;
 };
 
-/// Per-(scheme, router) power-law fit of greedy diameter vs n.
+/// Per-(workload, scheme, router) power-law fit of greedy diameter vs n.
 struct AxisFit {
-  std::string scheme;  ///< scheme spec of this fit's cells
-  std::string router;  ///< router spec of this fit's cells
-  nav::PowerFit fit;   ///< log-log slope (the exponent) and R²
+  std::string workload;  ///< workload spec of this fit's cells
+  std::string scheme;    ///< scheme spec of this fit's cells
+  std::string router;    ///< router spec of this fit's cells
+  nav::PowerFit fit;     ///< log-log slope (the exponent) and R²
 };
 
 /// The finished grid: every cell plus table/fit renderings.
 struct ExperimentResult {
-  /// Cells ordered size-major, then scheme, then router.
+  /// Cells ordered size-major, then workload, then scheme, then router.
   std::vector<CellResult> cells;
 
-  /// Paper-style table:
-  /// family | scheme | router | n | m | diam>= | greedy-diam | mean | ci | sec.
+  /// Paper-style table: family | workload | scheme | router | n | m |
+  /// diam>= | greedy-diam | mean | ci | sec.
   [[nodiscard]] Table table() const;
 
-  /// Exponent fits, grid order (scheme-major, then router).
+  /// Exponent fits, grid order (workload-major, then scheme, then router).
   [[nodiscard]] std::vector<AxisFit> fits() const;
 
-  /// Renders the fits: scheme | router | exponent | R².
+  /// Renders the fits: workload | scheme | router | exponent | R².
   [[nodiscard]] Table fit_table() const;
 
   /// Replays every cell into a sink (for post-hoc export).
@@ -88,6 +100,9 @@ class Experiment {
 
   /// Node counts to sweep (requested; families may round).
   Experiment& sizes(std::vector<graph::NodeId> sizes);
+  /// Workload axis: workload::make_workload specs (default {"uniform"},
+  /// which keeps the legacy TrialConfig pair selection bit for bit).
+  Experiment& workloads(std::vector<std::string> workload_specs);
   /// Scheme axis: core::make_scheme specs (default {"uniform"}).
   Experiment& schemes(std::vector<std::string> scheme_specs);
   /// Router axis: routing::make_router specs (default {"greedy"}).
@@ -112,8 +127,9 @@ class Experiment {
   /// The family this sweep runs on.
   [[nodiscard]] const std::string& family() const noexcept { return family_; }
 
-  /// Runs the grid; cells ordered size-major, then scheme, then router.
-  /// Throws std::invalid_argument on an empty grid or unknown specs.
+  /// Runs the grid; cells ordered size-major, then workload, then scheme,
+  /// then router. Throws std::invalid_argument on an empty grid or unknown
+  /// specs.
   [[nodiscard]] ExperimentResult run() const;
 
  private:
@@ -121,6 +137,7 @@ class Experiment {
 
   std::string family_;
   std::vector<graph::NodeId> sizes_;
+  std::vector<std::string> workloads_ = {"uniform"};
   std::vector<std::string> schemes_ = {"uniform"};
   std::vector<std::string> routers_ = {"greedy"};
   routing::TrialConfig trials_;

@@ -35,7 +35,10 @@ RouteService::~RouteService() {
     std::lock_guard lock(queue_mutex_);
     stopping_ = true;
   }
+  // Wake the service thread (stopping_ overrides pause) and any producers
+  // blocked on a full Bounded queue — those throw from submit().
   queue_cv_.notify_all();
+  queue_space_cv_.notify_all();
   if (service_thread_.joinable()) service_thread_.join();
 }
 
@@ -176,16 +179,62 @@ std::future<std::vector<routing::RouteResult>> RouteService::submit(
   batch.pairs = std::move(pairs);
   batch.rng = rng;
   auto future = batch.promise.get_future();
+  const std::size_t incoming = batch.pairs.size();
   {
-    std::lock_guard lock(queue_mutex_);
+    std::unique_lock lock(queue_mutex_);
     NAV_REQUIRE(!stopping_, "submit on a stopping RouteService");
     if (!service_thread_.joinable()) {
       service_thread_ = std::thread([this] { service_loop(); });
     }
+    if (options_.admission.kind == AdmissionPolicy::Kind::kBounded) {
+      // Backpressure: wait for room. An oversized batch is admitted once the
+      // queue is empty (the bound throttles the producer; it must not make a
+      // batch unserviceable).
+      const auto has_room = [&] {
+        return stopping_ || queue_stats_.queued_pairs == 0 ||
+               queue_stats_.queued_pairs + incoming <=
+                   options_.admission.max_queued_pairs;
+      };
+      bool waited = false;
+      while (!has_room()) {
+        waited = true;
+        queue_space_cv_.wait(lock);
+      }
+      NAV_REQUIRE(!stopping_, "submit on a stopping RouteService");
+      if (waited) ++queue_stats_.blocked_submits;
+    }
+    batch.enqueued_at = std::chrono::steady_clock::now();
     queue_.push_back(std::move(batch));
+    ++queue_stats_.submitted_batches;
+    queue_stats_.submitted_pairs += incoming;
+    ++queue_stats_.queued_batches;
+    queue_stats_.queued_pairs += incoming;
+    queue_stats_.peak_queued_pairs =
+        std::max(queue_stats_.peak_queued_pairs, queue_stats_.queued_pairs);
   }
   queue_cv_.notify_one();
   return future;
+}
+
+void RouteService::pause() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    paused_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void RouteService::resume() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+QueueStats RouteService::queue_stats() const {
+  std::lock_guard lock(queue_mutex_);
+  return queue_stats_;
 }
 
 void RouteService::service_loop() {
@@ -193,13 +242,43 @@ void RouteService::service_loop() {
     PendingBatch batch;
     {
       std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // stopping_ overrides pause: destruction always drains the queue.
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
       if (queue_.empty()) return;  // stopping and drained
       batch = std::move(queue_.front());
       queue_.pop_front();
+      --queue_stats_.queued_batches;
+      queue_stats_.queued_pairs -= batch.pairs.size();
+      if (options_.admission.kind == AdmissionPolicy::Kind::kShed) {
+        const double waited =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          batch.enqueued_at)
+                .count();
+        if (waited > options_.admission.deadline_seconds) {
+          ++queue_stats_.shed_batches;
+          queue_stats_.shed_pairs += batch.pairs.size();
+          lock.unlock();
+          queue_space_cv_.notify_all();
+          batch.promise.set_exception(std::make_exception_ptr(ShedError(
+              "batch of " + std::to_string(batch.pairs.size()) +
+              " pairs shed after " + std::to_string(waited) + "s in queue")));
+          continue;
+        }
+      }
     }
+    queue_space_cv_.notify_all();
     try {
-      batch.promise.set_value(route_batch(batch.pairs, batch.rng));
+      auto results = route_batch(batch.pairs, batch.rng);
+      {
+        // Counted only on success — "executed" keeps meaning "dequeued AND
+        // routed" when a bad batch fails its future below — and before the
+        // future resolves, so a caller returning from get() observes it.
+        std::lock_guard lock(queue_mutex_);
+        ++queue_stats_.executed_batches;
+      }
+      batch.promise.set_value(std::move(results));
     } catch (...) {
       // A bad batch (e.g. an out-of-range endpoint) fails its own future;
       // the service thread lives on to serve the rest of the queue.
@@ -210,10 +289,16 @@ void RouteService::service_loop() {
 
 routing::GreedyDiameterEstimate RouteService::estimate_diameter(
     const routing::TrialConfig& config, Rng rng) const {
+  Rng pair_rng = rng.child(0xA11);
+  return estimate_diameter(
+      config, rng, routing::select_trial_pairs(graph_, config, pair_rng));
+}
+
+routing::GreedyDiameterEstimate RouteService::estimate_diameter(
+    const routing::TrialConfig& config, Rng rng,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs) const {
   NAV_REQUIRE(graph_.num_nodes() >= 2, "graph too small to route");
   NAV_REQUIRE(config.resamples >= 1, "need at least one resample");
-  Rng pair_rng = rng.child(0xA11);
-  const auto pairs = routing::select_trial_pairs(graph_, config, pair_rng);
   NAV_REQUIRE(!pairs.empty(), "no source/target pairs selected");
 
   // The full pair × replicate grid as one batch. Job (p, r) keeps the

@@ -33,18 +33,33 @@
 // returns a std::future, so a driver can keep feeding mixed-size batches
 // while earlier ones execute (examples/route_server.cpp). The service thread
 // is started lazily on first submit and drained on destruction.
+//
+// Admission (RouteServiceOptions::admission) bounds the submit() queue for
+// open-loop drivers (workload::TrafficDriver):
+//   * Unbounded — the original FIFO: every batch is queued, no backpressure;
+//   * Bounded{max_queued_pairs} — submit() blocks the producer until the
+//     queue has room (an oversized batch is still admitted when the queue is
+//     empty, so a single batch can never deadlock);
+//   * Shed{deadline_seconds} — batches that waited in the queue longer than
+//     the deadline are dropped at dequeue: their future fails with ShedError
+//     and the service moves on.
+// queue_stats() exposes the live depth and the admission counters;
+// pause()/resume() freeze dequeueing so tests and drain-style drivers can
+// fill the queue deterministically.
 #pragma once
 
 /// \file
 /// \brief RouteService: always-on batch routing with target-sharded oracle
 /// prefetch.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -52,6 +67,7 @@
 #include "api/engine.hpp"
 #include "routing/router.hpp"
 #include "routing/trial_runner.hpp"
+#include "runtime/assert.hpp"
 
 namespace nav::api {
 
@@ -68,6 +84,68 @@ struct RouteJob {
   Rng rng;
 };
 
+/// Thrown through a submit() future when Shed admission drops the batch
+/// (it waited in the queue longer than the policy's deadline).
+class ShedError : public std::runtime_error {
+ public:
+  /// `what` describes the shed batch (size, measured wait).
+  explicit ShedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Admission policy for the submit() queue (route_batch/route_jobs run on
+/// the caller's thread and are never queued, so admission does not apply).
+struct AdmissionPolicy {
+  /// How submit() reacts when demand outruns the service.
+  enum class Kind : std::uint8_t {
+    kUnbounded,  ///< queue every batch (the original FIFO)
+    kBounded,    ///< block the producer until the queue has room
+    kShed        ///< drop batches that queued longer than the deadline
+  };
+  /// Selected behaviour; the other fields apply per kind.
+  Kind kind = Kind::kUnbounded;
+  /// kBounded: max pairs waiting in the queue. A batch larger than the bound
+  /// is admitted when the queue is empty (no single-batch deadlock).
+  std::size_t max_queued_pairs = 0;
+  /// kShed: a batch that waited longer than this many wall-clock seconds is
+  /// shed at dequeue (its future fails with ShedError).
+  double deadline_seconds = 0.0;
+
+  /// The original unbounded FIFO (default).
+  [[nodiscard]] static AdmissionPolicy unbounded() { return {}; }
+  /// Backpressure: block submit() while `max_queued_pairs` pairs wait.
+  /// bounded(0) is the degenerate-but-valid full serialization: every batch
+  /// waits for an empty queue.
+  [[nodiscard]] static AdmissionPolicy bounded(std::size_t max_queued_pairs) {
+    AdmissionPolicy policy;
+    policy.kind = Kind::kBounded;
+    policy.max_queued_pairs = max_queued_pairs;
+    return policy;
+  }
+  /// Load shedding: drop batches older than `deadline_seconds` at dequeue.
+  /// Throws std::invalid_argument on a negative deadline (which would shed
+  /// every batch — say shed(0.0) if that is really what you mean).
+  [[nodiscard]] static AdmissionPolicy shed(double deadline_seconds) {
+    NAV_REQUIRE(deadline_seconds >= 0.0, "shed deadline must be >= 0");
+    AdmissionPolicy policy;
+    policy.kind = Kind::kShed;
+    policy.deadline_seconds = deadline_seconds;
+    return policy;
+  }
+};
+
+/// Live queue depth plus cumulative admission counters (queue_stats()).
+struct QueueStats {
+  std::size_t queued_batches = 0;     ///< batches waiting right now
+  std::size_t queued_pairs = 0;       ///< pairs waiting right now
+  std::size_t peak_queued_pairs = 0;  ///< high-water mark of queued_pairs
+  std::size_t submitted_batches = 0;  ///< batches ever accepted by submit()
+  std::size_t submitted_pairs = 0;    ///< pairs ever accepted by submit()
+  std::size_t executed_batches = 0;   ///< batches dequeued and routed
+  std::size_t shed_batches = 0;       ///< batches dropped by Shed admission
+  std::size_t shed_pairs = 0;         ///< pairs dropped by Shed admission
+  std::size_t blocked_submits = 0;    ///< submits that had to wait (Bounded)
+};
+
 /// Execution knobs for RouteService.
 struct RouteServiceOptions {
   /// Execute shards across the global thread pool; false routes everything
@@ -82,6 +160,8 @@ struct RouteServiceOptions {
   /// duration, bounding peak pinned memory at
   /// max_pinned_targets × n × sizeof(Dist) bytes per batch.
   std::size_t max_pinned_targets = 512;
+  /// How submit() admits batches when demand outruns the service.
+  AdmissionPolicy admission;
 };
 
 /// Telemetry for the most recent batch (route_batch / route_jobs / submit).
@@ -145,8 +225,24 @@ class RouteService {
 
   /// Enqueues a batch on the service thread and returns its future. Batches
   /// execute FIFO; each still fans its shards across the thread pool.
+  /// Admission applies here (see RouteServiceOptions::admission): Bounded
+  /// may block the caller until the queue has room; Shed may later fail the
+  /// returned future with ShedError. Throws std::invalid_argument when the
+  /// service is stopping (including producers woken from a Bounded wait by
+  /// destruction).
   [[nodiscard]] std::future<std::vector<routing::RouteResult>> submit(
       std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng);
+
+  /// Freezes dequeueing: submitted batches accumulate (and age, under Shed)
+  /// until resume(). Lets tests and drain-style drivers build a queue of
+  /// known depth deterministically. Destruction drains even while paused.
+  void pause();
+
+  /// Resumes dequeueing after pause().
+  void resume();
+
+  /// Live queue depth and cumulative admission counters.
+  [[nodiscard]] QueueStats queue_stats() const;
 
   /// Greedy-diameter estimation routed through the batch path: the whole
   /// pair × replicate grid becomes one target-sharded batch. Numbers are
@@ -155,6 +251,16 @@ class RouteService {
   /// order); only the execution schedule differs.
   [[nodiscard]] routing::GreedyDiameterEstimate estimate_diameter(
       const routing::TrialConfig& config, Rng rng) const;
+
+  /// Estimation over caller-selected pairs (the Experiment workload axis:
+  /// pairs come from a workload::Workload instead of select_trial_pairs).
+  /// Streams and accumulation order match the selecting overload exactly —
+  /// pair p, replicate r still draws from rng.child(p + 1).child(r) — so
+  /// passing the select_trial_pairs output reproduces it bit for bit.
+  [[nodiscard]] routing::GreedyDiameterEstimate estimate_diameter(
+      const routing::TrialConfig& config, Rng rng,
+      const std::vector<std::pair<graph::NodeId, graph::NodeId>>& pairs)
+      const;
 
   /// Telemetry for the most recently executed batch.
   [[nodiscard]] BatchReport last_report() const;
@@ -170,6 +276,8 @@ class RouteService {
     std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
     Rng rng;
     std::promise<std::vector<routing::RouteResult>> promise;
+    /// When the batch entered the queue (Shed measures its wait from here).
+    std::chrono::steady_clock::time_point enqueued_at;
   };
 
   void service_loop();
@@ -184,10 +292,13 @@ class RouteService {
   mutable BatchReport last_report_;
   mutable ServiceTotals totals_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;        // work available / stopping
+  std::condition_variable queue_space_cv_;  // room freed (Bounded waiters)
   std::deque<PendingBatch> queue_;
+  QueueStats queue_stats_;
   bool stopping_ = false;
+  bool paused_ = false;
   std::thread service_thread_;  // started lazily by submit()
 };
 

@@ -28,6 +28,11 @@
 //   // always-on via submit() (see docs/ARCHITECTURE.md and docs/API.md):
 //   api::RouteService service(engine);
 //   auto batch = service.route_batch(pairs, Rng(9));
+//
+//   // Demand models + admission-controlled load driving:
+//   auto zipf = workload::make_workload("zipf:1.1", engine.graph(), Rng(3));
+//   workload::TrafficDriver driver(service, *zipf);
+//   std::cout << driver.run(Rng(4)).table().to_ascii();
 #pragma once
 
 /// \file
@@ -42,9 +47,14 @@
 /// \brief The facade: NavigationEngine, Experiment, RouteService,
 /// ResultSink.
 
+/// \namespace nav::workload
+/// \brief Demand models (make_workload) and open-loop load driving
+/// (TrafficDriver) for RouteService.
+
 // runtime — deterministic RNG, stats, tables, timing, the thread pool.
 #include "runtime/assert.hpp"
 #include "runtime/discrete_distribution.hpp"
+#include "runtime/parse.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/table.hpp"
@@ -101,3 +111,7 @@
 #include "api/experiment.hpp"
 #include "api/result_sink.hpp"
 #include "api/route_service.hpp"
+
+// workload — demand models and admission-controlled load driving.
+#include "workload/traffic_driver.hpp"
+#include "workload/workload.hpp"

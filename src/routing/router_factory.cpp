@@ -1,38 +1,18 @@
 #include "routing/router_factory.hpp"
 
-#include <charconv>
 #include <stdexcept>
 
 #include "routing/greedy_router.hpp"
 #include "routing/lookahead_router.hpp"
+#include "runtime/parse.hpp"
 
 namespace nav::routing {
-
-namespace {
-
-unsigned parse_depth(const std::string& spec, std::size_t prefix_len) {
-  const std::string digits = spec.substr(prefix_len);
-  if (digits.empty()) {
-    throw std::invalid_argument("router spec missing depth: " + spec);
-  }
-  // from_chars into unsigned rejects signs, non-digits, and overflow; the
-  // end-of-token check catches trailing garbage.
-  unsigned depth = 0;
-  const auto [end, ec] =
-      std::from_chars(digits.data(), digits.data() + digits.size(), depth);
-  if (ec != std::errc() || end != digits.data() + digits.size()) {
-    throw std::invalid_argument("bad lookahead depth in router spec: " + spec);
-  }
-  return depth;
-}
-
-}  // namespace
 
 RouterPtr make_router(const std::string& spec, const Graph& g,
                       const graph::DistanceOracle& oracle) {
   if (spec == "greedy") return std::make_unique<GreedyRouter>(g, oracle);
   if (spec.rfind("lookahead:", 0) == 0) {
-    const unsigned depth = parse_depth(spec, 10);
+    const unsigned depth = parse_spec_number<unsigned>(spec.substr(10), spec);
     // Depth 0 means "no awareness beyond your own link" — plain greedy.
     if (depth == 0) return std::make_unique<GreedyRouter>(g, oracle);
     return std::make_unique<LookaheadRouter>(g, oracle, depth);

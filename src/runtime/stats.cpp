@@ -54,16 +54,43 @@ double RunningStats::ci_halfwidth(double level) const noexcept {
   return z * stderr_mean();
 }
 
-double percentile(std::vector<double> samples, double q) {
+namespace {
+
+/// percentile() on an already-sorted sample (shared with summarize, which
+/// sorts once for all of its quantiles).
+double percentile_sorted(const std::vector<double>& samples, double q) {
   NAV_REQUIRE(!samples.empty(), "percentile of empty sample");
   NAV_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
-  std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples[0];
   const double pos = q * static_cast<double>(samples.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, samples.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, q);
+}
+
+QuantileSummary summarize(std::vector<double> samples) {
+  QuantileSummary out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  out.mean = sum / static_cast<double>(samples.size());
+  out.min = samples.front();
+  out.max = samples.back();
+  out.p50 = percentile_sorted(samples, 0.50);
+  out.p90 = percentile_sorted(samples, 0.90);
+  out.p95 = percentile_sorted(samples, 0.95);
+  out.p99 = percentile_sorted(samples, 0.99);
+  return out;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -92,6 +119,23 @@ void Histogram::add(double x) noexcept {
 std::size_t Histogram::bin_count(std::size_t b) const {
   NAV_REQUIRE(b < counts_.size(), "histogram bin out of range");
   return counts_[b];
+}
+
+double Histogram::percentile(double q) const {
+  NAV_REQUIRE(total_ > 0, "percentile of empty histogram");
+  NAV_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto count = static_cast<double>(counts_[b]);
+    if (count > 0.0 && target <= cumulative + count) {
+      const double frac = (target - cumulative) / count;
+      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+    }
+    cumulative += count;
+  }
+  return hi_;  // target lands in the overflow mass
 }
 
 double Histogram::bin_lo(std::size_t b) const {

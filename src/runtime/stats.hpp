@@ -42,6 +42,23 @@ class RunningStats {
 /// `q` in [0, 1]. Sorts a copy; intended for end-of-run reporting.
 [[nodiscard]] double percentile(std::vector<double> samples, double q);
 
+/// Order-statistics summary of one sample: the latency-style report
+/// (p50/p90/p95/p99) the workload layer attaches to every run. Percentiles
+/// use the same interpolation as percentile(); one sort serves all of them.
+struct QuantileSummary {
+  std::size_t count = 0;  ///< sample size (all other fields 0 when empty)
+  double mean = 0.0;      ///< arithmetic mean
+  double min = 0.0;       ///< smallest sample
+  double max = 0.0;       ///< largest sample
+  double p50 = 0.0;       ///< median
+  double p90 = 0.0;       ///< 90th percentile
+  double p95 = 0.0;       ///< 95th percentile
+  double p99 = 0.0;       ///< 99th percentile
+};
+
+/// Summarises a sample in one pass (empty input yields a zero summary).
+[[nodiscard]] QuantileSummary summarize(std::vector<double> samples);
+
 /// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow /
 /// underflow counters. Used for chain-length distributions (Milgram example).
 class Histogram {
@@ -50,6 +67,12 @@ class Histogram {
 
   void add(double x) noexcept;
   [[nodiscard]] std::size_t bin_count(std::size_t b) const;
+
+  /// Percentile estimate from the binned counts (`q` in [0, 1]): walks the
+  /// cumulative counts and interpolates linearly inside the crossing bin.
+  /// Underflow resolves to `lo`, overflow to `hi`. Unlike percentile() this
+  /// needs no retained samples — the streaming-friendly variant.
+  [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }

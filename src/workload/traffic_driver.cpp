@@ -1,0 +1,198 @@
+#include "workload/traffic_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/parse.hpp"
+#include "runtime/timer.hpp"
+
+namespace nav::workload {
+
+ArrivalSchedule ArrivalSchedule::parse(const std::string& spec) {
+  ArrivalSchedule schedule;
+  schedule.spec = spec;
+  const auto tokens = split_spec(spec);
+  if (tokens.front() == "poisson" && tokens.size() == 2) {
+    schedule.kind = Kind::kPoisson;
+    schedule.rate = parse_spec_number<double>(tokens[1], spec);
+    NAV_REQUIRE(schedule.rate > 0.0, "poisson rate must be > 0: " + spec);
+    return schedule;
+  }
+  if (tokens.front() == "burst" && tokens.size() == 3) {
+    schedule.kind = Kind::kBurst;
+    schedule.burst_size = parse_spec_number<std::size_t>(tokens[1], spec);
+    schedule.gap_seconds = parse_spec_number<double>(tokens[2], spec);
+    NAV_REQUIRE(schedule.burst_size >= 1, "burst size must be >= 1: " + spec);
+    NAV_REQUIRE(schedule.gap_seconds >= 0.0,
+                "burst gap must be >= 0: " + spec);
+    return schedule;
+  }
+  throw std::invalid_argument(
+      "schedule spec must be poisson:<rate> or burst:<size>:<gap>: " + spec);
+}
+
+std::vector<double> ArrivalSchedule::arrival_times(std::size_t count,
+                                                   Rng rng) const {
+  std::vector<double> times;
+  times.reserve(count);
+  if (kind == Kind::kPoisson) {
+    double t = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      // Exponential gap by inversion; next_double() < 1 keeps the log finite.
+      t += -std::log(1.0 - rng.next_double()) / rate;
+      times.push_back(t);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      times.push_back(gap_seconds * static_cast<double>(i / burst_size));
+    }
+  }
+  return times;
+}
+
+TrafficDriver::TrafficDriver(api::RouteService& service, Workload& workload,
+                             TrafficOptions options)
+    : service_(service),
+      workload_(workload),
+      options_(std::move(options)),
+      schedule_(ArrivalSchedule::parse(options_.schedule)) {
+  NAV_REQUIRE(options_.batches >= 1, "traffic needs at least one batch");
+  NAV_REQUIRE(options_.batch_size >= 1, "traffic needs non-empty batches");
+}
+
+WorkloadReport TrafficDriver::run(Rng rng) {
+  WorkloadReport report;
+  report.workload = workload_.name();
+  report.schedule = schedule_.spec;
+  // Snapshot so the report attributes only THIS run's admissions to itself
+  // even when the service is shared across driver runs (bench_e12 reuses
+  // one service per scheme).
+  const api::QueueStats before = service_.queue_stats();
+  const auto arrivals =
+      schedule_.arrival_times(options_.batches, rng.child(0xA881));
+  Rng gen_rng = rng.child(0x6e4);
+
+  // Submission phase: generate and submit in arrival order, never waiting on
+  // completions (open loop). Bounded admission may still block inside
+  // submit() — that is the backpressure under test, not a closed loop.
+  std::vector<std::future<std::vector<routing::RouteResult>>> futures;
+  std::vector<double> submitted_at(options_.batches, 0.0);
+  futures.reserve(options_.batches);
+  report.batches.reserve(options_.batches);
+  Timer wall;
+  for (std::size_t b = 0; b < options_.batches; ++b) {
+    auto pairs = workload_.batch(options_.batch_size, gen_rng);
+    if (options_.pace) {
+      while (wall.seconds() < arrivals[b]) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::min(arrivals[b] - wall.seconds(), 0.01)));
+      }
+    }
+    BatchTrace trace;
+    trace.index = b;
+    trace.arrival_vtime = arrivals[b];
+    trace.pairs = pairs.size();
+    trace.queued_pairs_at_submit = service_.queue_stats().queued_pairs;
+    report.pairs_submitted += pairs.size();
+    submitted_at[b] = wall.seconds();
+    // Routing streams live in their own subtree (0xB47) so no batch index
+    // can collide with the generation (0x6e4) or arrival (0xA881) streams.
+    futures.push_back(
+        service_.submit(std::move(pairs), rng.child(0xB47).child(b)));
+    report.batches.push_back(trace);
+  }
+
+  // Collection phase: batches complete FIFO, so waiting in submission order
+  // observes each completion promptly.
+  std::vector<double> hops, stretch, sojourn_ms;
+  if (options_.keep_results) report.results.resize(options_.batches);
+  for (std::size_t b = 0; b < options_.batches; ++b) {
+    try {
+      auto results = futures[b].get();
+      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
+      sojourn_ms.push_back(report.batches[b].sojourn_seconds * 1e3);
+      report.pairs_admitted += results.size();
+      for (const auto& result : results) {
+        hops.push_back(static_cast<double>(result.steps));
+        if (result.initial_distance >= 1) {
+          stretch.push_back(static_cast<double>(result.steps) /
+                            static_cast<double>(result.initial_distance));
+        }
+      }
+      if (options_.keep_results) report.results[b] = std::move(results);
+    } catch (const api::ShedError&) {
+      report.batches[b].shed = true;
+      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
+      report.pairs_shed += report.batches[b].pairs;
+    } catch (const std::exception&) {
+      // A batch that failed routing (e.g. an out-of-range endpoint from a
+      // custom Workload) must not abandon the rest of the run: the report
+      // keeps every other batch and accounts this one as failed.
+      report.batches[b].failed = true;
+      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
+      report.pairs_failed += report.batches[b].pairs;
+    }
+  }
+  report.seconds = wall.seconds();
+  report.hops = summarize(std::move(hops));
+  report.stretch = summarize(std::move(stretch));
+  report.sojourn_ms = summarize(std::move(sojourn_ms));
+  report.queue = service_.queue_stats();
+  // Cumulative counters become this-run deltas; the live gauges
+  // (queued_*) and peak_queued_pairs stay as the service reports them —
+  // the peak is a service-lifetime high-water mark by definition.
+  report.queue.submitted_batches -= before.submitted_batches;
+  report.queue.submitted_pairs -= before.submitted_pairs;
+  report.queue.executed_batches -= before.executed_batches;
+  report.queue.shed_batches -= before.shed_batches;
+  report.queue.shed_pairs -= before.shed_pairs;
+  report.queue.blocked_submits -= before.blocked_submits;
+  return report;
+}
+
+Table WorkloadReport::table() const {
+  Table out({"batch", "vtime", "pairs", "depth@submit", "sojourn ms",
+             "status"});
+  for (const auto& b : batches) {
+    out.add_row({Table::integer(b.index), Table::num(b.arrival_vtime, 3),
+                 Table::integer(b.pairs),
+                 Table::integer(b.queued_pairs_at_submit),
+                 Table::num(b.sojourn_seconds * 1e3, 2),
+                 b.shed ? "shed" : (b.failed ? "failed" : "ok")});
+  }
+  return out;
+}
+
+api::Record WorkloadReport::record() const {
+  const double routes_per_sec =
+      static_cast<double>(pairs_admitted) / std::max(seconds, 1e-9);
+  return {
+      {"workload", workload},
+      {"schedule", schedule},
+      {"batches", static_cast<std::uint64_t>(batches.size())},
+      {"pairs_submitted", static_cast<std::uint64_t>(pairs_submitted)},
+      {"pairs_admitted", static_cast<std::uint64_t>(pairs_admitted)},
+      {"pairs_shed", static_cast<std::uint64_t>(pairs_shed)},
+      {"pairs_failed", static_cast<std::uint64_t>(pairs_failed)},
+      {"hops_mean", hops.mean},
+      {"hops_p50", hops.p50},
+      {"hops_p95", hops.p95},
+      {"hops_p99", hops.p99},
+      {"hops_max", hops.max},
+      {"stretch_p50", stretch.p50},
+      {"stretch_p95", stretch.p95},
+      {"stretch_p99", stretch.p99},
+      {"sojourn_ms_p50", sojourn_ms.p50},
+      {"sojourn_ms_p95", sojourn_ms.p95},
+      {"sojourn_ms_p99", sojourn_ms.p99},
+      {"peak_queued_pairs", static_cast<std::uint64_t>(queue.peak_queued_pairs)},
+      {"blocked_submits", static_cast<std::uint64_t>(queue.blocked_submits)},
+      {"seconds", seconds},
+      {"routes_per_sec", routes_per_sec},
+  };
+}
+
+}  // namespace nav::workload

@@ -77,14 +77,59 @@ TEST(ExperimentApi, FitsCoverSchemeTimesRouter) {
   ASSERT_EQ(fits.size(), 4u);
   const auto table = result.fit_table();
   EXPECT_EQ(table.rows(), 4u);
-  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_EQ(table.columns(), 5u);
 }
 
 TEST(ExperimentApi, TableHasRouterColumn) {
   const auto table = small_grid().run().table();
-  EXPECT_EQ(table.columns(), 10u);
+  EXPECT_EQ(table.columns(), 11u);
   EXPECT_NE(table.to_ascii().find("router"), std::string::npos);
   EXPECT_NE(table.to_ascii().find("lookahead:1"), std::string::npos);
+}
+
+TEST(ExperimentApi, WorkloadAxisMultipliesTheGrid) {
+  const auto base = small_grid().run();
+  const auto with_axis =
+      small_grid().workloads({"uniform", "adversarial"}).run();
+  ASSERT_EQ(with_axis.cells.size(), 2u * base.cells.size());
+  // Cells are workload-major inside each size: the "uniform" half must be
+  // bit-identical to the axis-free grid (the legacy-stream guarantee), the
+  // "adversarial" half is a genuinely different demand.
+  std::size_t base_index = 0;
+  for (const auto& cell : with_axis.cells) {
+    if (cell.workload == "uniform") {
+      ASSERT_LT(base_index, base.cells.size());
+      EXPECT_EQ(cell.scheme, base.cells[base_index].scheme);
+      EXPECT_EQ(cell.router, base.cells[base_index].router);
+      EXPECT_DOUBLE_EQ(cell.greedy_diameter,
+                       base.cells[base_index].greedy_diameter);
+      EXPECT_DOUBLE_EQ(cell.mean_steps, base.cells[base_index].mean_steps);
+      ++base_index;
+    } else {
+      EXPECT_EQ(cell.workload, "adversarial");
+      EXPECT_GT(cell.greedy_diameter, 0.0);
+    }
+  }
+  EXPECT_EQ(base_index, base.cells.size());
+  // One fit per (workload, scheme, router) combination.
+  EXPECT_EQ(with_axis.fits().size(), 2u * base.fits().size());
+}
+
+TEST(ExperimentApi, AdversarialWorkloadForcesFarPairsOnThePath) {
+  // On a path with no long links greedy walks the exact distance, so the
+  // mean over adversarial far pairs (>= half the diameter) must exceed the
+  // uniform-demand mean (expected distance ~ n/3).
+  const auto result = Experiment::on("path")
+                          .sizes({256})
+                          .workloads({"uniform", "adversarial"})
+                          .schemes({"none"})
+                          .pairs(12)
+                          .resamples(1)
+                          .seed(3)
+                          .run();
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_GT(result.cells[1].mean_steps, result.cells[0].mean_steps);
+  EXPECT_GE(result.cells[1].mean_steps, 128.0);
 }
 
 TEST(ExperimentApi, StreamsCellsToSinksAsJsonLines) {

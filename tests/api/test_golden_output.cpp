@@ -44,29 +44,38 @@ std::vector<Record> masked_records() {
   return records;
 }
 
+// The workload column ("uniform" = the legacy trial-pair selection) was
+// inserted by the workload-axis PR; every other byte is unchanged from the
+// pre-axis goldens, pinning that default grids stayed bit-identical.
 constexpr const char* kGoldenCsv =
-    "family,scheme,router,n_requested,n,m,diameter_lb,greedy_diameter,"
-    "mean_steps,ci95,seconds\n"
-    "path,none,greedy,48,48,47,47,47.000000,32.750000,0.000000,0.000000\n"
-    "path,none,lookahead:1,48,48,47,47,47.000000,27.250000,0.000000,0.000000\n"
-    "path,uniform,greedy,48,48,47,47,10.333333,6.583333,7.702686,0.000000\n"
-    "path,uniform,lookahead:1,48,48,47,47,6.666667,5.000000,1.728558,"
+    "family,workload,scheme,router,n_requested,n,m,diameter_lb,"
+    "greedy_diameter,mean_steps,ci95,seconds\n"
+    "path,uniform,none,greedy,48,48,47,47,47.000000,32.750000,0.000000,"
     "0.000000\n"
-    "path,none,greedy,96,96,95,95,95.000000,62.500000,0.000000,0.000000\n"
-    "path,none,lookahead:1,96,96,95,95,95.000000,66.250000,0.000000,0.000000\n"
-    "path,uniform,greedy,96,96,95,95,12.000000,9.916667,2.993949,0.000000\n"
-    "path,uniform,lookahead:1,96,96,95,95,10.000000,8.750000,2.993949,"
-    "0.000000\n";
+    "path,uniform,none,lookahead:1,48,48,47,47,47.000000,27.250000,0.000000,"
+    "0.000000\n"
+    "path,uniform,uniform,greedy,48,48,47,47,10.333333,6.583333,7.702686,"
+    "0.000000\n"
+    "path,uniform,uniform,lookahead:1,48,48,47,47,6.666667,5.000000,1.728558,"
+    "0.000000\n"
+    "path,uniform,none,greedy,96,96,95,95,95.000000,62.500000,0.000000,"
+    "0.000000\n"
+    "path,uniform,none,lookahead:1,96,96,95,95,95.000000,66.250000,0.000000,"
+    "0.000000\n"
+    "path,uniform,uniform,greedy,96,96,95,95,12.000000,9.916667,2.993949,"
+    "0.000000\n"
+    "path,uniform,uniform,lookahead:1,96,96,95,95,10.000000,8.750000,"
+    "2.993949,0.000000\n";
 
 const char* const kGoldenJsonLines[] = {
-    R"({"family": "path", "scheme": "none", "router": "greedy", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 47.0, "mean_steps": 32.75, "ci95": 0.0, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "none", "router": "lookahead:1", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 47.0, "mean_steps": 27.25, "ci95": 0.0, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "uniform", "router": "greedy", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 10.333333333333334, "mean_steps": 6.583333333333333, "ci95": 7.702686400067043, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "uniform", "router": "lookahead:1", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 6.666666666666667, "mean_steps": 5.0, "ci95": 1.728557523228866, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "none", "router": "greedy", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 95.0, "mean_steps": 62.5, "ci95": 0.0, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "none", "router": "lookahead:1", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 95.0, "mean_steps": 66.25, "ci95": 0.0, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "uniform", "router": "greedy", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 12.0, "mean_steps": 9.916666666666668, "ci95": 2.9939494540378155, "seconds": 0.0})",
-    R"({"family": "path", "scheme": "uniform", "router": "lookahead:1", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 10.0, "mean_steps": 8.75, "ci95": 2.9939494540378155, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "none", "router": "greedy", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 47.0, "mean_steps": 32.75, "ci95": 0.0, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "none", "router": "lookahead:1", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 47.0, "mean_steps": 27.25, "ci95": 0.0, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "uniform", "router": "greedy", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 10.333333333333334, "mean_steps": 6.583333333333333, "ci95": 7.702686400067043, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "uniform", "router": "lookahead:1", "n_requested": 48, "n": 48, "m": 47, "diameter_lb": 47, "greedy_diameter": 6.666666666666667, "mean_steps": 5.0, "ci95": 1.728557523228866, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "none", "router": "greedy", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 95.0, "mean_steps": 62.5, "ci95": 0.0, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "none", "router": "lookahead:1", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 95.0, "mean_steps": 66.25, "ci95": 0.0, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "uniform", "router": "greedy", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 12.0, "mean_steps": 9.916666666666668, "ci95": 2.9939494540378155, "seconds": 0.0})",
+    R"({"family": "path", "workload": "uniform", "scheme": "uniform", "router": "lookahead:1", "n_requested": 96, "n": 96, "m": 95, "diameter_lb": 95, "greedy_diameter": 10.0, "mean_steps": 8.75, "ci95": 2.9939494540378155, "seconds": 0.0})",
 };
 
 TEST(GoldenOutput, CsvMatchesGolden) {

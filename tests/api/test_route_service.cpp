@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "api/engine.hpp"
 #include "graph/families.hpp"
 #include "routing/trial_runner.hpp"
@@ -164,6 +167,9 @@ TEST(RouteService, SubmitDeliversFailuresThroughTheFuture) {
   auto good = service.submit({{0, 63}}, Rng(2));
   EXPECT_THROW((void)bad.get(), std::invalid_argument);
   EXPECT_EQ(good.get().at(0).steps, 63u);
+  // "executed" means dequeued AND routed: the failed batch doesn't count.
+  EXPECT_EQ(service.queue_stats().executed_batches, 1u);
+  EXPECT_EQ(service.queue_stats().submitted_batches, 2u);
 }
 
 TEST(RouteService, EstimateDiameterMatchesTrialRunnerBitForBit) {
@@ -238,6 +244,131 @@ TEST(RouteService, EmptyBatch) {
   const RouteService service(engine);
   EXPECT_TRUE(service.route_batch(std::vector<Pair>{}, Rng(1)).empty());
   EXPECT_EQ(service.last_report().shards, 0u);
+}
+
+TEST(RouteService, ExplicitPairsEstimateMatchesSelectingOverload) {
+  // The workload-axis entry point: handing estimate_diameter the exact
+  // select_trial_pairs output must reproduce the selecting overload bit for
+  // bit (same per-pair child streams, same accumulation).
+  auto engine = NavigationEngine::from_family("grid2d", 196);
+  engine.use_scheme("ball");
+  routing::TrialConfig config;
+  config.num_pairs = 5;
+  config.resamples = 4;
+  const Rng rng(0xF00D);
+  const RouteService service(engine);
+
+  Rng pair_rng = rng.child(0xA11);
+  const auto pairs =
+      routing::select_trial_pairs(engine.graph(), config, pair_rng);
+  const auto explicit_estimate = service.estimate_diameter(config, rng, pairs);
+  const auto selecting_estimate = service.estimate_diameter(config, rng);
+
+  EXPECT_DOUBLE_EQ(explicit_estimate.max_mean_steps,
+                   selecting_estimate.max_mean_steps);
+  EXPECT_DOUBLE_EQ(explicit_estimate.overall_mean_steps,
+                   selecting_estimate.overall_mean_steps);
+  ASSERT_EQ(explicit_estimate.pairs.size(), selecting_estimate.pairs.size());
+  for (std::size_t p = 0; p < explicit_estimate.pairs.size(); ++p) {
+    EXPECT_EQ(explicit_estimate.pairs[p].s, selecting_estimate.pairs[p].s);
+    EXPECT_EQ(explicit_estimate.pairs[p].t, selecting_estimate.pairs[p].t);
+    EXPECT_DOUBLE_EQ(explicit_estimate.pairs[p].mean_steps,
+                     selecting_estimate.pairs[p].mean_steps);
+  }
+}
+
+TEST(RouteService, QueueStatsTrackSubmissions) {
+  auto engine = NavigationEngine::from_family("path", 64);
+  RouteService service(engine);
+  EXPECT_EQ(service.queue_stats().submitted_batches, 0u);
+  auto f1 = service.submit({{0, 63}, {1, 63}}, Rng(1));
+  auto f2 = service.submit({{2, 40}}, Rng(2));
+  (void)f1.get();
+  (void)f2.get();
+  const auto stats = service.queue_stats();
+  EXPECT_EQ(stats.submitted_batches, 2u);
+  EXPECT_EQ(stats.submitted_pairs, 3u);
+  EXPECT_EQ(stats.executed_batches, 2u);
+  EXPECT_EQ(stats.shed_batches, 0u);
+  // Both futures resolved: nothing can still be queued.
+  EXPECT_EQ(stats.queued_batches, 0u);
+  EXPECT_EQ(stats.queued_pairs, 0u);
+  EXPECT_GE(stats.peak_queued_pairs, 1u);
+}
+
+TEST(RouteService, PauseHoldsTheQueueAndResumeDrainsIt) {
+  auto engine = NavigationEngine::from_family("path", 64);
+  RouteService service(engine);
+  service.pause();
+  auto future = service.submit({{0, 63}}, Rng(1));
+  // Paused: the batch must still be queued (dequeueing is frozen, so this
+  // cannot race with the service thread).
+  EXPECT_EQ(service.queue_stats().queued_batches, 1u);
+  EXPECT_EQ(future.wait_for(std::chrono::milliseconds(20)),
+            std::future_status::timeout);
+  service.resume();
+  EXPECT_EQ(future.get().at(0).steps, 63u);
+  EXPECT_EQ(service.queue_stats().queued_batches, 0u);
+}
+
+TEST(RouteService, BoundedAdmissionBlocksProducersUntilRoomFrees) {
+  auto engine = NavigationEngine::from_family("path", 64);
+  RouteServiceOptions options;
+  options.admission = AdmissionPolicy::bounded(4);
+  RouteService service(engine, options);
+  service.pause();
+
+  // Admitted into the empty queue even though it exceeds the bound — the
+  // oversized-batch rule that keeps a single big batch serviceable.
+  auto big = service.submit({{0, 9}, {1, 9}, {2, 9}, {3, 9}, {4, 9}, {5, 9}},
+                            Rng(1));
+  EXPECT_EQ(service.queue_stats().queued_pairs, 6u);
+
+  // A second producer must block while the queue is over the bound; while
+  // the service stays paused, its batch cannot be enqueued.
+  std::promise<void> submitted;
+  auto submitted_future = submitted.get_future();
+  std::thread producer([&] {
+    auto small = service.submit({{7, 20}}, Rng(2));
+    submitted.set_value();
+    (void)small.get();
+  });
+  EXPECT_EQ(submitted_future.wait_for(std::chrono::milliseconds(40)),
+            std::future_status::timeout);
+  EXPECT_EQ(service.queue_stats().queued_batches, 1u);
+
+  service.resume();
+  producer.join();
+  (void)big.get();
+  const auto stats = service.queue_stats();
+  EXPECT_EQ(stats.blocked_submits, 1u);
+  EXPECT_EQ(stats.submitted_batches, 2u);
+  EXPECT_EQ(stats.executed_batches, 2u);
+}
+
+TEST(RouteService, ShedAdmissionFailsAgedFuturesWithShedError) {
+  auto engine = NavigationEngine::from_family("path", 64);
+  RouteServiceOptions options;
+  options.admission = AdmissionPolicy::shed(1e-6);
+  RouteService service(engine, options);
+  service.pause();
+  auto stale = service.submit({{0, 63}}, Rng(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  service.resume();
+  EXPECT_THROW((void)stale.get(), ShedError);
+  const auto stats = service.queue_stats();
+  EXPECT_EQ(stats.shed_batches, 1u);
+  EXPECT_EQ(stats.shed_pairs, 1u);
+  EXPECT_EQ(stats.executed_batches, 0u);
+
+  // A generous deadline admits everything again: shedding is per batch, not
+  // a poisoned state.
+  RouteServiceOptions lenient;
+  lenient.admission = AdmissionPolicy::shed(60.0);
+  RouteService healthy(engine, lenient);
+  auto fresh = healthy.submit({{0, 63}}, Rng(1));
+  EXPECT_EQ(fresh.get().at(0).steps, 63u);
+  EXPECT_EQ(healthy.queue_stats().shed_batches, 0u);
 }
 
 TEST(RouteService, SchemeSizeMismatchRejected) {

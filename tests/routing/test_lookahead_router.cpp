@@ -6,6 +6,7 @@
 #include "core/uniform_scheme.hpp"
 #include "graph/generators.hpp"
 #include "routing/greedy_router.hpp"
+#include "routing/router_factory.hpp"
 #include "runtime/stats.hpp"
 
 namespace nav::routing {
@@ -106,6 +107,56 @@ TEST(LookaheadRouter, TraceConsistent) {
     if (!result.long_flags[i]) {
       EXPECT_TRUE(g.has_edge(result.trace[i], result.trace[i + 1]));
     }
+  }
+}
+
+TEST(LookaheadRouter, DeeperAwarenessIsMonotoneOrEqualPastDepth3) {
+  // The E10 sweep stops at d = 3; this pins the untested d = 4, 5 regime on
+  // a non-trivial instance: a 2048-node path under the uniform scheme, the
+  // geometry where awareness depth matters most. Over a fixed-seed set of
+  // sampled augmentations, mean hops must not increase from d = 3 to 4 to 5
+  // (chains only grow candidate sets), and every route respects the
+  // (1 + d) · dist(s, t) bound.
+  const auto g = graph::make_path(2048);
+  graph::DistanceMatrix oracle(g);
+  core::UniformScheme scheme(g);
+  const LookaheadRouter d3(g, oracle, 3);
+  const LookaheadRouter d4(g, oracle, 4);
+  const LookaheadRouter d5(g, oracle, 5);
+
+  Rng rng(0xE10);
+  RunningStats steps3, steps4, steps5;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto contacts = core::sample_all_contacts(scheme, rng);
+    const auto r3 = d3.route(0, 2047, contacts);
+    const auto r4 = d4.route(0, 2047, contacts);
+    const auto r5 = d5.route(0, 2047, contacts);
+    ASSERT_TRUE(r3.reached && r4.reached && r5.reached);
+    EXPECT_LE(r3.steps, 4u * r3.initial_distance);
+    EXPECT_LE(r4.steps, 5u * r4.initial_distance);
+    EXPECT_LE(r5.steps, 6u * r5.initial_distance);
+    steps3.add(r3.steps);
+    steps4.add(r4.steps);
+    steps5.add(r5.steps);
+  }
+  EXPECT_LE(steps4.mean(), steps3.mean());
+  EXPECT_LE(steps5.mean(), steps4.mean());
+  // Depth is doing real work, not ties: d = 5 must strictly beat d = 3 on
+  // this seed.
+  EXPECT_LT(steps5.mean(), steps3.mean());
+}
+
+TEST(LookaheadRouter, RegistryBuildsDepths4And5) {
+  const auto g = graph::make_grid2d(12, 12);
+  graph::DistanceMatrix oracle(g);
+  for (const unsigned depth : {4u, 5u}) {
+    const auto router = routing::make_router(
+        "lookahead:" + std::to_string(depth), g, oracle);
+    EXPECT_EQ(router->name(), "lookahead:" + std::to_string(depth));
+    core::UniformScheme scheme(g);
+    const auto result = router->route(0, 143, &scheme, Rng(1));
+    EXPECT_TRUE(result.reached);
+    EXPECT_LE(result.steps, (1u + depth) * result.initial_distance);
   }
 }
 

@@ -98,6 +98,50 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
 }
 
+TEST(QuantileSummary, MatchesPercentileOnUnsortedInput) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(static_cast<double>(i));
+  const auto summary = summarize(xs);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.mean, 50.5);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 100.0);
+  EXPECT_DOUBLE_EQ(summary.p50, percentile(xs, 0.50));
+  EXPECT_DOUBLE_EQ(summary.p90, percentile(xs, 0.90));
+  EXPECT_DOUBLE_EQ(summary.p95, percentile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(summary.p99, percentile(xs, 0.99));
+}
+
+TEST(QuantileSummary, EmptySampleIsAllZero) {
+  const auto summary = summarize({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 0.0);
+}
+
+TEST(HistogramPercentile, InterpolatesInsideBins) {
+  // 100 samples uniform over [0, 10) in 10 bins: the histogram percentile
+  // must land within a bin width of the exact order statistic.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_NEAR(h.percentile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.95), 9.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramPercentile, ResolvesOverflowAndUnderflowToTheEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);  // underflow
+  h.add(0.5);
+  h.add(9.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.percentile(0.01), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1.0);
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_THROW((void)empty.percentile(0.5), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(1.5), std::invalid_argument);
+}
+
 TEST(Histogram, CountsFallInRightBins) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
