@@ -19,30 +19,31 @@
 // Since the router registry this is a declarative grid over both axes; the
 // previous revision hand-rolled the same comparison with two router objects
 // and a manual table.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E10 (extension): neighbour-of-neighbour lookahead vs the "
-                "ball distribution",
-                "local knowledge buys a constant factor; the Theorem 4 "
-                "distribution changes the exponent");
+  bench::Harness h("e10", "e10_lookahead",
+                   "E10 (extension): neighbour-of-neighbour lookahead vs the "
+                   "ball distribution",
+                   "local knowledge buys a constant factor; the Theorem 4 "
+                   "distribution changes the exponent",
+                   argc, argv);
+  h.group_by({"scheme", "router"});
 
-  const unsigned hi = opt.quick ? 13 : 16;
-  const std::size_t resamples = opt.quick ? 8 : 12;
+  const unsigned hi = h.quick() ? 13 : 16;
+  const std::size_t resamples = h.quick() ? 8 : 12;
 
   for (const auto* family : {"path", "torus2d"}) {
-    bench::section(std::string("E10: ") + family);
+    if (!h.section(std::string("E10: ") + family)) continue;
     const auto result =
-        bench::run_and_print(api::Experiment::on(family)
-                                 .sizes(bench::pow2_sizes(10, hi))
-                                 .schemes({"uniform", "ball"})
-                                 .routers({"greedy", "lookahead:1"})
-                                 .pairs(2)
-                                 .resamples(resamples)
-                                 .seed(0xE10),
-                             opt);
+        h.run_and_print(api::Experiment::on(family)
+                            .sizes(bench::pow2_sizes(10, hi))
+                            .schemes({"uniform", "ball"})
+                            .routers({"greedy", "lookahead:1"})
+                            .pairs(2)
+                            .resamples(resamples)
+                            .seed(h.seed(0xE10)));
 
     // Constant-factor view: lookahead's win over plain greedy per scheme at
     // the largest size (the fits table above gives the exponent view).
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
       const api::CellResult* greedy_cell = nullptr;
       const api::CellResult* non_cell = nullptr;
       for (const auto& cell : result.cells) {
-        if (cell.scheme != scheme || cell.n_actual != result.cells.back().n_actual)
+        if (cell.scheme != scheme ||
+            cell.n_actual != result.cells.back().n_actual)
           continue;
         if (cell.router == "greedy") greedy_cell = &cell;
         if (cell.router == "lookahead:1") non_cell = &cell;
@@ -66,13 +68,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::section("E10 summary");
-  std::cout
-      << "PASS criteria: on the path, uniform x lookahead:1 improves plain\n"
-         "greedy by a roughly n-independent factor (same ~0.5 exponent in\n"
-         "the fits table), while ball changes the exponent itself (~1/3);\n"
-         "ball x lookahead:1 <= ball everywhere. Knowledge composes with,\n"
-         "but does not substitute for, the universal ~O(n^{1/3})\n"
-         "distribution of Theorem 4.\n";
-  return 0;
+  if (h.section("E10 summary")) {
+    std::cout
+        << "PASS criteria: on the path, uniform x lookahead:1 improves plain\n"
+           "greedy by a roughly n-independent factor (same ~0.5 exponent in\n"
+           "the fits table), while ball changes the exponent itself (~1/3);\n"
+           "ball x lookahead:1 <= ball everywhere. Knowledge composes with,\n"
+           "but does not substitute for, the universal ~O(n^{1/3})\n"
+           "distribution of Theorem 4.\n";
+  }
+  return h.finish();
 }

@@ -10,7 +10,7 @@
 // The workload interleaves targets (pair i gets target i mod T), the
 // adversarial order for an LRU and the natural order for a service fed by
 // independent clients.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 namespace {
 
@@ -61,71 +61,71 @@ ModeResult run_mode(const nav::graph::Graph& g,
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E11 — batch routing service: target-sharded oracle prefetch",
-                "sharding a batch by target cuts BFS churn from ~#pairs to "
-                "#targets at cache-oracle sizes, at identical results");
+  bench::Harness h("e11", "e11_service",
+                   "E11 — batch routing service: target-sharded oracle "
+                   "prefetch",
+                   "sharding a batch by target cuts BFS churn from ~#pairs "
+                   "to #targets at cache-oracle sizes, at identical results",
+                   argc, argv);
+  h.group_by({"mode", "n"});
 
-  const graph::NodeId n = opt.quick ? 4096 : 16384;
-  const std::size_t num_pairs = opt.quick ? 1024 : 4096;
-  const std::size_t distinct_targets = opt.quick ? 128 : 256;
+  const graph::NodeId n = h.quick() ? 4096 : 16384;
+  const std::size_t num_pairs = h.quick() ? 1024 : 4096;
+  const std::size_t distinct_targets = h.quick() ? 128 : 256;
   const std::size_t cache_capacity = 64;  // EngineOptions default
 
-  Rng graph_rng(0x5eed);
-  const auto g = graph::family("grid2d").make(n, graph_rng);
-  Rng scheme_rng(0x5eed);
-  const auto scheme = core::make_scheme("uniform", g, scheme_rng);
-  const auto pairs =
-      interleaved_pairs(g.num_nodes(), num_pairs, distinct_targets, 17);
+  if (h.section("per-pair (legacy route_many order) vs target-sharded")) {
+    Rng graph_rng(h.seed(0x5eed));
+    const auto g = graph::family("grid2d").make(n, graph_rng);
+    Rng scheme_rng(h.seed(0x5eed));
+    const auto scheme = core::make_scheme("uniform", g, scheme_rng);
+    const auto pairs =
+        interleaved_pairs(g.num_nodes(), num_pairs, distinct_targets,
+                          h.seed(17));
 
-  bench::section("per-pair (legacy route_many order) vs target-sharded");
-  std::cout << "n=" << g.num_nodes() << "  pairs=" << num_pairs
-            << "  distinct targets=" << distinct_targets
-            << "  cache capacity=" << cache_capacity << "\n";
+    std::cout << "n=" << g.num_nodes() << "  pairs=" << num_pairs
+              << "  distinct targets=" << distinct_targets
+              << "  cache capacity=" << cache_capacity << "\n";
 
-  const auto per_pair =
-      run_mode(g, scheme.get(), pairs, cache_capacity, false);
-  const auto sharded = run_mode(g, scheme.get(), pairs, cache_capacity, true);
+    const auto per_pair =
+        run_mode(g, scheme.get(), pairs, cache_capacity, false);
+    const auto sharded =
+        run_mode(g, scheme.get(), pairs, cache_capacity, true);
 
-  // The whole point: execution schedule must not change a single hop count.
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    NAV_REQUIRE(per_pair.results[i].steps == sharded.results[i].steps,
-                "sharded results diverged from per-pair results");
-  }
+    // The whole point: execution schedule must not change a single hop count.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      NAV_REQUIRE(per_pair.results[i].steps == sharded.results[i].steps,
+                  "sharded results diverged from per-pair results");
+    }
 
-  Table table({"mode", "pairs", "bfs (oracle misses)", "sec", "pairs/sec"});
-  const auto add = [&](const std::string& mode, const ModeResult& r) {
-    table.add_row({mode, Table::integer(pairs.size()),
-                   Table::integer(r.misses), Table::num(r.seconds, 3),
-                   Table::num(static_cast<double>(pairs.size()) / r.seconds,
-                              0)});
-  };
-  add("per-pair", per_pair);
-  add("target-sharded", sharded);
-  std::cout << table.to_ascii();
-  const double speedup = per_pair.seconds / sharded.seconds;
-  std::cout << "speedup (wall-clock): " << Table::num(speedup, 2) << "x   "
-            << "BFS churn cut: " << per_pair.misses << " -> "
-            << sharded.misses << "\n";
-
-  if (opt.jsonl) {
-    std::ofstream out("bench_e11_service.jsonl");
-    api::JsonLinesSink sink(out);
-    const auto record = [&](const std::string& mode, const ModeResult& r) {
-      sink.write({{"experiment", std::string("e11_service")},
-                  {"mode", mode},
+    Table table({"mode", "pairs", "bfs (oracle misses)", "sec", "pairs/sec"});
+    const auto add = [&](const std::string& mode, const ModeResult& r) {
+      table.add_row({mode, Table::integer(pairs.size()),
+                     Table::integer(r.misses), Table::num(r.seconds, 3),
+                     Table::num(static_cast<double>(pairs.size()) / r.seconds,
+                                0)});
+      double mean_steps = 0.0;
+      for (const auto& result : r.results) {
+        mean_steps += static_cast<double>(result.steps);
+      }
+      mean_steps /= static_cast<double>(r.results.size());
+      h.add_cell({{"mode", mode},
                   {"n", static_cast<std::uint64_t>(g.num_nodes())},
                   {"pairs", static_cast<std::uint64_t>(pairs.size())},
                   {"targets", static_cast<std::uint64_t>(distinct_targets)},
                   {"cache_capacity",
                    static_cast<std::uint64_t>(cache_capacity)},
                   {"bfs", static_cast<std::uint64_t>(r.misses)},
+                  {"mean_steps", mean_steps},
                   {"seconds", r.seconds}});
     };
-    record("per-pair", per_pair);
-    record("target-sharded", sharded);
-    sink.flush();
-    std::cout << "jsonl written: bench_e11_service.jsonl\n";
+    add("per-pair", per_pair);
+    add("target-sharded", sharded);
+    std::cout << table.to_ascii();
+    const double speedup = per_pair.seconds / sharded.seconds;
+    std::cout << "speedup (wall-clock): " << Table::num(speedup, 2) << "x   "
+              << "BFS churn cut: " << per_pair.misses << " -> "
+              << sharded.misses << "\n";
   }
-  return 0;
+  return h.finish();
 }

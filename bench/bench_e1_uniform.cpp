@@ -9,32 +9,34 @@
 //   path/cycle/caterpillar   exponent ~ 0.5
 //   grid2d/torus2d           exponent ~ 1/3
 //   balanced_tree/gnp        near-flat (diameter-capped)
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E1: uniform scheme — the O(sqrt n) universal baseline",
-                "greedy diameter under phi_unif is O(sqrt n) on every family; "
-                "tight (exponent ~0.5) on path-like families");
+  bench::Harness h("e1", "e1_uniform",
+                   "E1: uniform scheme — the O(sqrt n) universal baseline",
+                   "greedy diameter under phi_unif is O(sqrt n) on every "
+                   "family; tight (exponent ~0.5) on path-like families",
+                   argc, argv);
+  h.group_by({"scheme", "family"});
 
-  const unsigned hi = opt.quick ? 13 : 17;
+  const unsigned hi = h.quick() ? 13 : 17;
   for (const auto* family :
        {"path", "cycle", "caterpillar", "grid2d", "torus2d", "balanced_tree",
         "gnp"}) {
-    bench::section(std::string("E1: uniform on ") + family);
-    bench::run_and_print(api::Experiment::on(family)
-                             .sizes(bench::pow2_sizes(10, hi))
-                             .schemes({"uniform"})
-                             .pairs(12)
-                             .resamples(16)
-                             .seed(0xE1),
-                         opt);
+    if (!h.section(std::string("E1: uniform on ") + family)) continue;
+    h.run_and_print(api::Experiment::on(family)
+                        .sizes(bench::pow2_sizes(10, hi))
+                        .schemes({"uniform"})
+                        .pairs(12)
+                        .resamples(16)
+                        .seed(h.seed(0xE1)));
   }
 
-  bench::section("E1 summary");
-  std::cout
-      << "PASS criteria: path/cycle/caterpillar exponents in [0.40, 0.60];\n"
-         "grid/torus exponents in [0.25, 0.42]; tree/gnp well below 0.3.\n";
-  return 0;
+  if (h.section("E1 summary")) {
+    std::cout
+        << "PASS criteria: path/cycle/caterpillar exponents in [0.40, 0.60];\n"
+           "grid/torus exponents in [0.25, 0.42]; tree/gnp well below 0.3.\n";
+  }
+  return h.finish();
 }

@@ -10,7 +10,7 @@
 // Expected shape: measured steps between the adversarial endpoints scale as
 // ~n^0.5 for EVERY matrix (exponent fit ~0.5), sitting above the proof's
 // (|S|/3)·(1 - mass) floor.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <cmath>
 
@@ -29,20 +29,24 @@ core::MatrixPtr make_matrix(const std::string& kind, core::Label n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E2: Theorem 1 — name-independent schemes hit Omega(sqrt n)",
-                "for any matrix, some labeling of the path forces "
-                "Omega(sqrt n) greedy steps between segment endpoints");
+  bench::Harness h("e2", "e2_adversarial",
+                   "E2: Theorem 1 — name-independent schemes hit "
+                   "Omega(sqrt n)",
+                   "for any matrix, some labeling of the path forces "
+                   "Omega(sqrt n) greedy steps between segment endpoints",
+                   argc, argv);
+  h.group_by({"matrix", "n"});
 
-  const unsigned hi = opt.quick ? 11 : 14;
+  const unsigned hi = h.quick() ? 11 : 14;
   for (const auto* kind : {"U", "A", "M"}) {
-    bench::section(std::string("E2: adversarial labeling vs matrix ") + kind);
+    if (!h.section(std::string("E2: adversarial labeling vs matrix ") + kind))
+      continue;
     Table table({"matrix", "n", "segment", "internal mass", "steps (mean)",
                  "ci95", "steps/sqrt(n)", "floor (|S|/3)(1-mass)"});
     std::vector<double> ns, steps;
     for (unsigned e = 8; e <= hi; ++e) {
       const core::Label n = core::Label{1} << e;
-      Rng rng(0xE2 + e);
+      Rng rng(h.seed(0xE2) + e);
       const auto matrix = make_matrix(kind, n);
       const auto inst = core::make_adversarial_path(*matrix, rng);
       core::MatrixScheme scheme(matrix, inst.labeling);
@@ -50,7 +54,7 @@ int main(int argc, char** argv) {
       graph::TargetDistanceCache oracle(inst.path, 4);
       const auto est = routing::estimate_pair(
           inst.path, &scheme, oracle, inst.source, inst.target, 32,
-          Rng(0x5eed ^ e));
+          Rng(h.seed(0x5eed) ^ e));
       const double segment =
           static_cast<double>(inst.segment_end - inst.segment_begin);
       const double floor = segment / 3.0 * (1.0 - inst.internal_mass);
@@ -60,6 +64,14 @@ int main(int argc, char** argv) {
                      Table::num(est.ci_halfwidth, 1),
                      Table::num(est.mean_steps / std::sqrt(n), 2),
                      Table::num(floor, 1)});
+      h.add_cell({{"matrix", std::string(kind)},
+                  {"n", static_cast<std::uint64_t>(n)},
+                  {"segment", segment},
+                  {"internal_mass", inst.internal_mass},
+                  {"steps_mean", est.mean_steps},
+                  {"ci95", est.ci_halfwidth},
+                  {"steps_over_sqrt_n", est.mean_steps / std::sqrt(n)},
+                  {"floor", floor}});
       ns.push_back(n);
       steps.push_back(est.mean_steps);
     }
@@ -69,10 +81,12 @@ int main(int argc, char** argv) {
               << " (R^2 = " << Table::num(fit.r_squared, 3) << ")\n";
   }
 
-  bench::section("E2 summary");
-  std::cout << "PASS criteria: every matrix's exponent in [0.40, 0.60]; every\n"
-               "measured mean above its (|S|/3)(1-mass) floor. This matches\n"
-               "Theorem 1: no name-independent matrix beats sqrt(n), so the\n"
-               "labeling L of Theorem 2 is essential.\n";
-  return 0;
+  if (h.section("E2 summary")) {
+    std::cout
+        << "PASS criteria: every matrix's exponent in [0.40, 0.60]; every\n"
+           "measured mean above its (|S|/3)(1-mass) floor. This matches\n"
+           "Theorem 1: no name-independent matrix beats sqrt(n), so the\n"
+           "labeling L of Theorem 2 is essential.\n";
+  }
+  return h.finish();
 }

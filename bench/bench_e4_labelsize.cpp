@@ -11,24 +11,28 @@
 // labeling. Expected shape: the fitted exponent *increases* as eps decreases
 // (eps=1 recovers the polylog scheme; eps=0 collapses to one label, i.e.
 // an essentially uniform scheme at ~0.5).
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <cmath>
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E4: Theorem 3 — small label alphabets reintroduce n^beta",
-                "k = n^eps labels on the path => greedy diameter "
-                "Omega(n^beta) for all beta < (1-eps)/3");
+  bench::Harness h("e4", "e4_labelsize",
+                   "E4: Theorem 3 — small label alphabets reintroduce n^beta",
+                   "k = n^eps labels on the path => greedy diameter "
+                   "Omega(n^beta) for all beta < (1-eps)/3",
+                   argc, argv);
+  h.group_by({"eps", "n"});
 
-  const unsigned hi = opt.quick ? 12 : 16;
+  const unsigned hi = h.quick() ? 12 : 16;
   const double epsilons[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 
   Table fits({"eps", "fitted exponent", "R^2", "Thm 3 floor (1-eps)/3",
               "greedy diam @ max n"});
+  bool any_eps_ran = false;
   for (const double eps : epsilons) {
-    bench::section("E4: eps = " + Table::num(eps, 2));
+    if (!h.section("E4: eps = " + Table::num(eps, 2))) continue;
+    any_eps_ran = true;
     Table table({"eps", "n", "k=n^eps", "greedy diam (max pair)", "ci95"});
     std::vector<double> ns, steps;
     for (unsigned e = 8; e <= hi; ++e) {
@@ -41,10 +45,15 @@ int main(int argc, char** argv) {
       trials.num_pairs = 8;
       trials.resamples = 12;
       const auto est = routing::estimate_greedy_diameter(
-          g, scheme.get(), oracle, trials, Rng(0xE4 + e));
+          g, scheme.get(), oracle, trials, Rng(h.seed(0xE4) + e));
       table.add_row({Table::num(eps, 2), Table::integer(n), Table::integer(k),
                      Table::num(est.max_mean_steps, 1),
                      Table::num(est.max_ci_halfwidth, 1)});
+      h.add_cell({{"eps", eps},
+                  {"n", static_cast<std::uint64_t>(n)},
+                  {"k", static_cast<std::uint64_t>(k)},
+                  {"greedy_diameter", est.max_mean_steps},
+                  {"ci95", est.max_ci_halfwidth}});
       ns.push_back(n);
       steps.push_back(est.max_mean_steps);
     }
@@ -57,16 +66,17 @@ int main(int argc, char** argv) {
                   Table::num(steps.back(), 1)});
   }
 
-  bench::section("E4 summary: exponent vs label budget");
-  std::cout << fits.to_ascii();
-  std::cout
-      << "PASS criteria: every fitted exponent sits at or above the Theorem 3\n"
-         "floor (1-eps)/3 (the theorem is a lower bound; measured curves may\n"
-         "be steeper), and at the largest size a bigger label budget is never\n"
-         "worse beyond CI noise. Note the polylog payoff of large eps only\n"
-         "separates from sqrt-n beyond n ~ 2^15 (the (1+log n)-slot hierarchy\n"
-         "rows fire slowly), so small-n exponents cluster near 0.4-0.5 for\n"
-         "every eps — exactly the constants-vs-asymptotics story the bound\n"
-         "min{ps log^2 n, sqrt n} encodes.\n";
-  return 0;
+  if (any_eps_ran && h.section("E4 summary: exponent vs label budget")) {
+    std::cout << fits.to_ascii();
+    std::cout
+        << "PASS criteria: every fitted exponent sits at or above the Theorem 3\n"
+           "floor (1-eps)/3 (the theorem is a lower bound; measured curves may\n"
+           "be steeper), and at the largest size a bigger label budget is never\n"
+           "worse beyond CI noise. Note the polylog payoff of large eps only\n"
+           "separates from sqrt-n beyond n ~ 2^15 (the (1+log n)-slot hierarchy\n"
+           "rows fire slowly), so small-n exponents cluster near 0.4-0.5 for\n"
+           "every eps — exactly the constants-vs-asymptotics story the bound\n"
+           "min{ps log^2 n, sqrt n} encodes.\n";
+  }
+  return h.finish();
 }

@@ -10,29 +10,33 @@
 //     ~1/3 (+ polylog drift) vs uniform's ~0.5, with a visible crossover;
 //   * on every other family the ball scheme stays within polylog of the best
 //     (universality) — it never loses badly anywhere.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <cmath>
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E5: Theorem 4 — the ball scheme breaks the sqrt(n) barrier",
-                "greedy diameter of the ball scheme is ~O(n^{1/3}) on every "
-                "graph; uniform is Theta(sqrt n) on the path");
+  bench::Harness h("e5", "e5_ball",
+                   "E5: Theorem 4 — the ball scheme breaks the sqrt(n) "
+                   "barrier",
+                   "greedy diameter of the ball scheme is ~O(n^{1/3}) on "
+                   "every graph; uniform is Theta(sqrt n) on the path",
+                   argc, argv);
+  h.group_by({"scheme", "family"});
 
-  const unsigned hi = opt.quick ? 13 : 17;
+  const unsigned hi = h.quick() ? 13 : 17;
 
   // Part 1: the barrier families, where the separation is visible.
   for (const auto* family : {"path", "cycle", "caterpillar"}) {
-    bench::section(std::string("E5: uniform vs ml vs ball on ") + family);
-    const auto result = bench::run_and_print(api::Experiment::on(family)
-                                                 .sizes(bench::pow2_sizes(10, hi))
-                                                 .schemes({"uniform", "ml", "ball"})
-                                                 .pairs(8)
-                                                 .resamples(12)
-                                                 .seed(0xE5),
-                                             opt);
+    if (!h.section(std::string("E5: uniform vs ml vs ball on ") + family))
+      continue;
+    const auto result =
+        h.run_and_print(api::Experiment::on(family)
+                            .sizes(bench::pow2_sizes(10, hi))
+                            .schemes({"uniform", "ml", "ball"})
+                            .pairs(8)
+                            .resamples(12)
+                            .seed(h.seed(0xE5)));
 
     // Crossover report: the first size where ball strictly beats uniform.
     graph::NodeId crossover = 0;
@@ -57,15 +61,15 @@ int main(int argc, char** argv) {
   // average, so staying below c·n^{1/3}·log n on all families is the claim).
   for (const auto* family : {"torus2d", "random_regular", "comb",
                              "ring_of_cliques", "lollipop"}) {
-    bench::section(std::string("E5u: ball universality on ") + family);
-    const auto result = bench::run_and_print(api::Experiment::on(family)
-                                                 .sizes(bench::pow2_sizes(
-                                                     10, opt.quick ? 12 : 15))
-                                                 .schemes({"uniform", "ball"})
-                                                 .pairs(8)
-                                                 .resamples(10)
-                                                 .seed(0xE5u),
-                                             opt);
+    if (!h.section(std::string("E5u: ball universality on ") + family))
+      continue;
+    const auto result =
+        h.run_and_print(api::Experiment::on(family)
+                            .sizes(bench::pow2_sizes(10, h.quick() ? 12 : 15))
+                            .schemes({"uniform", "ball"})
+                            .pairs(8)
+                            .resamples(10)
+                            .seed(h.seed(0xE5u)));
     for (const auto& r : result.cells) {
       if (r.scheme != "ball") continue;
       const double n = static_cast<double>(r.n_actual);
@@ -78,11 +82,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::section("E5 summary");
-  std::cout
-      << "PASS criteria: on path/cycle/caterpillar the ball exponent lands in\n"
-         "[0.28, 0.45] and uniform in [0.40, 0.60], ball < uniform from some\n"
-         "crossover size on; on every universality family the ball scheme\n"
-         "stays below 4 n^{1/3} log2 n (no WARNING lines above).\n";
-  return 0;
+  if (h.section("E5 summary")) {
+    std::cout
+        << "PASS criteria: on path/cycle/caterpillar the ball exponent lands in\n"
+           "[0.28, 0.45] and uniform in [0.40, 0.60], ball < uniform from some\n"
+           "crossover size on; on every universality family the ball scheme\n"
+           "stays below 4 n^{1/3} log2 n (no WARNING lines above).\n";
+  }
+  return h.finish();
 }

@@ -10,7 +10,7 @@
 // The bench routes with tracing, classifies every hop by the distance to the
 // target (outside B / inside B above n^{1/3} / within n^{1/3}), and checks
 // each bucket scales like Õ(n^{1/3}) — the mechanism, not just the total.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -41,19 +41,21 @@ graph::Dist ball_radius_for_size(const std::vector<graph::Dist>& dist_to_t,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E6: Theorem 4 proof mechanics — per-phase step counts",
-                "each phase of the five-phase analysis contributes "
-                "~O(n^{1/3}) steps (B = n^{2/3} closest nodes to t)");
+  bench::Harness h("e6", "e6_phases",
+                   "E6: Theorem 4 proof mechanics — per-phase step counts",
+                   "each phase of the five-phase analysis contributes "
+                   "~O(n^{1/3}) steps (B = n^{2/3} closest nodes to t)",
+                   argc, argv);
+  h.group_by({"family", "n"});
 
-  const unsigned hi = opt.quick ? 13 : 17;
+  const unsigned hi = h.quick() ? 13 : 17;
   for (const auto* family : {"path", "torus2d"}) {
-    bench::section(std::string("E6: phase breakdown on ") + family);
+    if (!h.section(std::string("E6: phase breakdown on ") + family)) continue;
     Table table({"family", "n", "total", "enter B", "inside B", "final n^1/3",
                  "n^1/3 ref"});
     std::vector<double> ns, enter, middle, final_leg;
     for (unsigned e = 12; e <= hi; ++e) {
-      Rng rng(0xE6);
+      Rng rng(h.seed(0xE6));
       const auto g =
           graph::family(family).make(graph::NodeId{1} << e, rng);
       const auto n = static_cast<double>(g.num_nodes());
@@ -68,7 +70,7 @@ int main(int argc, char** argv) {
       const auto cbrt_n = static_cast<graph::Dist>(std::cbrt(n));
 
       RunningStats s_enter, s_middle, s_final, s_total;
-      const int trials = opt.quick ? 8 : 16;
+      const int trials = h.quick() ? 8 : 16;
       for (int trial = 0; trial < trials; ++trial) {
         Rng trial_rng = rng.child(static_cast<std::uint64_t>(trial) + e * 100);
         const auto result =
@@ -91,6 +93,12 @@ int main(int argc, char** argv) {
                      Table::num(s_middle.mean(), 1),
                      Table::num(s_final.mean(), 1),
                      Table::num(std::cbrt(n), 1)});
+      h.add_cell({{"family", std::string(family)},
+                  {"n", static_cast<std::uint64_t>(g.num_nodes())},
+                  {"total_steps", s_total.mean()},
+                  {"enter_b_steps", s_enter.mean()},
+                  {"inside_b_steps", s_middle.mean()},
+                  {"final_leg_steps", s_final.mean()}});
       ns.push_back(n);
       enter.push_back(std::max(1.0, s_enter.mean()));
       middle.push_back(std::max(1.0, s_middle.mean()));
@@ -103,12 +111,13 @@ int main(int argc, char** argv) {
               << Table::num(fit_power_law(ns, final_leg).slope, 2) << "\n";
   }
 
-  bench::section("E6 summary");
-  std::cout << "PASS criteria: on the path every phase exponent is in\n"
-               "[0.1, 0.5] — each phase is bounded by ~O(n^{1/3}), and the\n"
-               "bound is an upper bound, so drifting *below* 1/3 (polylog\n"
-               "mixing effects at these sizes) is consistent — and no phase\n"
-               "dominates asymptotically. On the torus the total is\n"
-               "diameter-capped but the same decomposition applies.\n";
-  return 0;
+  if (h.section("E6 summary")) {
+    std::cout << "PASS criteria: on the path every phase exponent is in\n"
+                 "[0.1, 0.5] — each phase is bounded by ~O(n^{1/3}), and the\n"
+                 "bound is an upper bound, so drifting *below* 1/3 (polylog\n"
+                 "mixing effects at these sizes) is consistent — and no phase\n"
+                 "dominates asymptotically. On the torus the total is\n"
+                 "diameter-capped but the same decomposition applies.\n";
+  }
+  return h.finish();
 }

@@ -10,30 +10,30 @@
 //      fixed k is tuned to one distance scale; the uniform mixture over
 //      log n scales is what makes the scheme distance-oblivious.
 //  (c) the rank-based scheme as an external comparator.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <cmath>
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E7: ablations — why (A+U)/2, why the k-mixture, why L",
-                "removing any ingredient of either construction costs "
-                "polynomial factors somewhere");
+  bench::Harness h("e7", "e7_ablation",
+                   "E7: ablations — why (A+U)/2, why the k-mixture, why L",
+                   "removing any ingredient of either construction costs "
+                   "polynomial factors somewhere",
+                   argc, argv);
+  h.group_by({"scheme", "n"});
 
-  const unsigned hi = opt.quick ? 12 : 14;
+  const unsigned hi = h.quick() ? 12 : 14;
 
   // (a) ML halves and labelings on the path (ps = 1: hierarchy shines).
-  bench::section("E7a: ML ingredients on path");
-  {
-    bench::run_and_print(api::Experiment::on("path")
-                             .sizes(bench::pow2_sizes(9, hi))
-                             .schemes({"ml", "ml-A-only", "ml-U-only",
-                                       "ml-labelU", "ml-random-label"})
-                             .pairs(8)
-                             .resamples(10)
-                             .seed(0xE7A),
-                         opt);
+  if (h.section("E7a: ML ingredients on path")) {
+    h.run_and_print(api::Experiment::on("path")
+                        .sizes(bench::pow2_sizes(9, hi))
+                        .schemes({"ml", "ml-A-only", "ml-U-only",
+                                  "ml-labelU", "ml-random-label"})
+                        .pairs(8)
+                        .resamples(10)
+                        .seed(h.seed(0xE7A)));
     std::cout
         << "expectation: ml-A-only matches ml on the path (the hierarchy\n"
            "does the work when ps=1); ml-U-only ~ uniform (~n^0.5);\n"
@@ -42,24 +42,21 @@ int main(int argc, char** argv) {
   }
 
   // (a') same on a tree to show A-only remains fine with proper L.
-  bench::section("E7a': ML ingredients on random trees");
-  {
-    bench::run_and_print(api::Experiment::on("random_tree")
-                             .sizes(bench::pow2_sizes(9, hi))
-                             .schemes({"ml", "ml-A-only", "ml-U-only"})
-                             .pairs(8)
-                             .resamples(10)
-                             .seed(0xE7B),
-                         opt);
+  if (h.section("E7a': ML ingredients on random trees")) {
+    h.run_and_print(api::Experiment::on("random_tree")
+                        .sizes(bench::pow2_sizes(9, hi))
+                        .schemes({"ml", "ml-A-only", "ml-U-only"})
+                        .pairs(8)
+                        .resamples(10)
+                        .seed(h.seed(0xE7B)));
   }
 
   // (b) ball mixture vs fixed radii on the path.
-  bench::section("E7b: ball k-mixture vs fixed k on path");
-  {
-    const unsigned e = opt.quick ? 12 : 15;
+  if (h.section("E7b: ball k-mixture vs fixed k on path")) {
+    const unsigned e = h.quick() ? 12 : 15;
     const graph::NodeId n = graph::NodeId{1} << e;
     const auto log_n = e;
-    bench::run_and_print(
+    h.run_and_print(
         api::Experiment::on("path")
             .sizes({n})
             .schemes({"ball", "ball-fixed:" + std::to_string(log_n / 3),
@@ -68,8 +65,7 @@ int main(int argc, char** argv) {
                       "ball-fixed:" + std::to_string(log_n)})
             .pairs(8)
             .resamples(10)
-            .seed(0xE7C),
-        opt);
+            .seed(h.seed(0xE7C)));
     std::cout
         << "expectation: small fixed k ~ slow long-range progress; k = log n\n"
            "~ uniform (~sqrt n); the mixture is competitive with the best\n"
@@ -77,16 +73,14 @@ int main(int argc, char** argv) {
   }
 
   // (c) literature comparators on the path (moderate n: BFS sampling).
-  bench::section("E7c: distance/density-adaptive comparators");
-  {
-    bench::run_and_print(api::Experiment::on("path")
-                             .sizes(bench::pow2_sizes(9, opt.quick ? 11 : 12))
-                             .schemes({"ball", "rank", "kleinberg:1.0",
-                                       "growth"})
-                             .pairs(6)
-                             .resamples(8)
-                             .seed(0xE7D),
-                         opt);
+  if (h.section("E7c: distance/density-adaptive comparators")) {
+    h.run_and_print(api::Experiment::on("path")
+                        .sizes(bench::pow2_sizes(9, h.quick() ? 11 : 12))
+                        .schemes({"ball", "rank", "kleinberg:1.0",
+                                  "growth"})
+                        .pairs(6)
+                        .resamples(8)
+                        .seed(h.seed(0xE7D)));
     std::cout
         << "expectation: on the 1-D path, rank, harmonic alpha=1, and the\n"
            "ball-harmonic 'growth' scheme ([6,21]'s bounded-growth recipe)\n"
@@ -97,10 +91,11 @@ int main(int argc, char** argv) {
            "n^{1/3}.\n";
   }
 
-  bench::section("E7 summary");
-  std::cout << "PASS criteria: (a) ml-random-label and ml-U-only exponents\n"
-               ">= 0.4 on the path while ml/ml-A-only stay polylog-flat;\n"
-               "(b) the mixture is within 2x of the best fixed k and far\n"
-               "from the worst; (c) informational.\n";
-  return 0;
+  if (h.section("E7 summary")) {
+    std::cout << "PASS criteria: (a) ml-random-label and ml-U-only exponents\n"
+                 ">= 0.4 on the path while ml/ml-A-only stay polylog-flat;\n"
+                 "(b) the mixture is within 2x of the best fixed k and far\n"
+                 "from the worst; (c) informational.\n";
+  }
+  return h.finish();
 }

@@ -6,25 +6,29 @@
 // both sides — the classic U-shaped curve. This bench regenerates the curve
 // and places the paper's universal schemes on it: uniform (= alpha 0) and
 // the ball scheme, which needs no tuned exponent at all.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <cmath>
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E8: Kleinberg alpha-sweep on the 2D torus",
-                "greedy routing is polylog exactly at alpha = 2; the ball "
-                "scheme is competitive without knowing the dimension");
+  bench::Harness h("e8", "e8_kleinberg",
+                   "E8: Kleinberg alpha-sweep on the 2D torus",
+                   "greedy routing is polylog exactly at alpha = 2; the ball "
+                   "scheme is competitive without knowing the dimension",
+                   argc, argv);
+  h.group_by({"scheme", "n"});
 
   const std::vector<graph::NodeId> sides =
-      opt.quick ? std::vector<graph::NodeId>{32, 64}
+      h.quick() ? std::vector<graph::NodeId>{32, 64}
                 : std::vector<graph::NodeId>{32, 64, 128, 256, 512};
   const double alphas[] = {0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
 
   for (const auto side : sides) {
-    bench::section("E8: torus side " + Table::integer(side) + " (n = " +
-                   Table::integer(static_cast<std::uint64_t>(side) * side) + ")");
+    const auto n_nodes = static_cast<std::uint64_t>(side) * side;
+    if (!h.section("E8: torus side " + Table::integer(side) + " (n = " +
+                   Table::integer(n_nodes) + ")"))
+      continue;
     api::EngineOptions options;
     options.cache_capacity = 16;
     api::NavigationEngine engine(graph::make_torus2d(side, side), options);
@@ -35,11 +39,18 @@ int main(int argc, char** argv) {
     Table table({"scheme", "greedy diam (est)", "ci95", "mean"});
     auto run = [&](core::SchemePtr scheme) {
       engine.use_scheme(std::move(scheme));
-      const auto est = engine.estimate_diameter(trials, Rng(0xE8 ^ side));
+      const auto est =
+          engine.estimate_diameter(trials, Rng(h.seed(0xE8) ^ side));
       table.add_row({engine.scheme_spec(),
                      Table::num(est.max_mean_steps, 1),
                      Table::num(est.max_ci_halfwidth, 1),
                      Table::num(est.overall_mean_steps, 1)});
+      h.add_cell({{"scheme", engine.scheme_spec()},
+                  {"side", static_cast<std::uint64_t>(side)},
+                  {"n", n_nodes},
+                  {"greedy_diameter", est.max_mean_steps},
+                  {"ci95", est.max_ci_halfwidth},
+                  {"mean_steps", est.overall_mean_steps}});
       return est.max_mean_steps;
     };
 
@@ -57,16 +68,20 @@ int main(int argc, char** argv) {
     std::cout << table.to_ascii();
     std::cout << "best alpha at this size: " << Table::num(best_alpha, 1)
               << "\n";
+    h.add_cell({{"side", static_cast<std::uint64_t>(side)},
+                {"n", n_nodes},
+                {"best_alpha", best_alpha}});
   }
 
-  bench::section("E8 summary");
-  std::cout
-      << "PASS criteria: each size shows the U-shape with a catastrophic\n"
-         "right flank (alpha >= 2.5 blows up polynomially), and the optimal\n"
-         "alpha drifts monotonically upward toward the asymptotic optimum 2\n"
-         "as n grows (0 -> 0.5 -> 1 -> 1.5 -> ... ) — the classic finite-size\n"
-         "effect reported for Kleinberg grids (cf. Martel-Nguyen, PODC'04).\n"
-         "Uniform matches alpha=0 closely; the untuned ball scheme stays\n"
-         "within a small factor of the tuned optimum at every size.\n";
-  return 0;
+  if (h.section("E8 summary")) {
+    std::cout
+        << "PASS criteria: each size shows the U-shape with a catastrophic\n"
+           "right flank (alpha >= 2.5 blows up polynomially), and the optimal\n"
+           "alpha drifts monotonically upward toward the asymptotic optimum 2\n"
+           "as n grows (0 -> 0.5 -> 1 -> 1.5 -> ... ) — the classic finite-size\n"
+           "effect reported for Kleinberg grids (cf. Martel-Nguyen, PODC'04).\n"
+           "Uniform matches alpha=0 closely; the untuned ball scheme stays\n"
+           "within a small factor of the tuned optimum at every size.\n";
+  }
+  return h.finish();
 }

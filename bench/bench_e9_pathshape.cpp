@@ -7,21 +7,22 @@
 //   (b) certified shape values across the full family zoo at working sizes —
 //       the per-family inputs to Theorem 2's prediction;
 //   (c) validity + gap statistics on random small instances.
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include <cmath>
 
 int main(int argc, char** argv) {
   using namespace nav;
-  const auto opt = bench::parse_options(argc, argv);
-  bench::banner("E9: the pathshape parameter (Definition 2)",
-                "shape = min(width, length) per bag; ps(G) <= pw(G); small on "
-                "paths/caterpillars/cliques/interval/permutation, O(log n) on "
-                "trees");
+  bench::Harness h("e9", "e9_pathshape",
+                   "E9: the pathshape parameter (Definition 2)",
+                   "shape = min(width, length) per bag; ps(G) <= pw(G); small "
+                   "on paths/caterpillars/cliques/interval/permutation, "
+                   "O(log n) on trees",
+                   argc, argv);
+  h.group_by({"family", "graph"});
 
   // (a) small graphs: portfolio vs exact pathwidth.
-  bench::section("E9a: portfolio shape vs exact pathwidth (small graphs)");
-  {
+  if (h.section("E9a: portfolio shape vs exact pathwidth (small graphs)")) {
     struct Case {
       const char* name;
       graph::Graph g;
@@ -45,6 +46,12 @@ int main(int argc, char** argv) {
                      Table::integer(pw), Table::integer(best.measures.shape),
                      best.method,
                      best.measures.shape <= pw ? "yes" : "NO (worse than pw)"});
+      h.add_cell({{"graph", std::string(c.name)},
+                  {"n", static_cast<std::uint64_t>(c.g.num_nodes())},
+                  {"method", best.method},
+                  {"exact_pathwidth", static_cast<std::uint64_t>(pw)},
+                  {"portfolio_shape",
+                   static_cast<std::uint64_t>(best.measures.shape)}});
     }
     std::cout << table.to_ascii();
     std::cout << "note: 'NO' entries are allowed — the portfolio gives an\n"
@@ -53,13 +60,12 @@ int main(int argc, char** argv) {
   }
 
   // (b) certified shapes across families at working sizes.
-  bench::section("E9b: certified pathshape bounds per family");
-  {
-    const graph::NodeId n = opt.quick ? 1024 : 4096;
+  if (h.section("E9b: certified pathshape bounds per family")) {
+    const graph::NodeId n = h.quick() ? 1024 : 4096;
     Table table({"family", "n", "shape UB", "width", "length", "bags",
                  "method", "sec"});
     for (const auto& fam : graph::all_families()) {
-      Rng rng(0xE9);
+      Rng rng(h.seed(0xE9));
       Timer timer;
       const auto g = fam.make(n, rng);
       const auto best = decomp::best_path_decomposition(g);
@@ -69,45 +75,58 @@ int main(int argc, char** argv) {
                      Table::integer(best.measures.length),
                      Table::integer(best.measures.num_bags), best.method,
                      Table::num(timer.seconds(), 2)});
+      h.add_cell({{"family", std::string(fam.name)},
+                  {"n", static_cast<std::uint64_t>(g.num_nodes())},
+                  {"method", best.method},
+                  {"shape_ub",
+                   static_cast<std::uint64_t>(best.measures.shape)},
+                  {"width", static_cast<std::uint64_t>(best.measures.width)},
+                  {"length",
+                   static_cast<std::uint64_t>(best.measures.length)},
+                  {"num_bags",
+                   static_cast<std::uint64_t>(best.measures.num_bags)},
+                  {"seconds", timer.seconds()}});
     }
     std::cout << table.to_ascii();
   }
 
   // (b') model-specific certified decompositions (Corollary 1 inputs).
-  bench::section("E9b': AT-free certificates (interval & permutation)");
-  {
-    const graph::NodeId n = opt.quick ? 512 : 2048;
-    Rng rng(0xE9B);
+  if (h.section("E9b': AT-free certificates (interval & permutation)")) {
+    const graph::NodeId n = h.quick() ? 512 : 2048;
+    Rng rng(h.seed(0xE9B));
     Table table({"model", "n", "length", "shape", "valid"});
+    const auto record = [&](const std::string& model, const graph::Graph& g,
+                            const decomp::PathDecomposition& pd) {
+      const auto m = decomp::measure_capped(g, pd, 1u << 20);
+      table.add_row({model, Table::integer(g.num_nodes()),
+                     Table::integer(m.length), Table::integer(m.shape),
+                     pd.is_valid(g) ? "yes" : "NO"});
+      h.add_cell({{"model", model},
+                  {"n", static_cast<std::uint64_t>(g.num_nodes())},
+                  {"length", static_cast<std::uint64_t>(m.length)},
+                  {"shape", static_cast<std::uint64_t>(m.shape)},
+                  {"valid", static_cast<std::uint64_t>(pd.is_valid(g))}});
+    };
     {
       const auto model = graph::connected_random_interval_model(n, rng);
       const auto g = model.to_graph();
-      const auto pd = decomp::interval_decomposition(model);
-      const auto m = decomp::measure_capped(g, pd, 1u << 20);
-      table.add_row({"interval clique path", Table::integer(g.num_nodes()),
-                     Table::integer(m.length), Table::integer(m.shape),
-                     pd.is_valid(g) ? "yes" : "NO"});
+      record("interval clique path", g, decomp::interval_decomposition(model));
     }
     {
       const auto model = graph::banded_permutation_model(n, 8, rng);
       const auto g = model.to_graph();
-      const auto pd = decomp::permutation_decomposition(model);
-      const auto m = decomp::measure_capped(g, pd, 1u << 20);
-      table.add_row({"permutation cuts", Table::integer(g.num_nodes()),
-                     Table::integer(m.length), Table::integer(m.shape),
-                     pd.is_valid(g) ? "yes" : "NO"});
+      record("permutation cuts", g, decomp::permutation_decomposition(model));
     }
     std::cout << table.to_ascii();
   }
 
   // (c) random small instances: gap statistics vs exact pathwidth.
-  bench::section("E9c: random G(12, 0.3): portfolio vs exact, 20 seeds");
-  {
+  if (h.section("E9c: random G(12, 0.3): portfolio vs exact, 20 seeds")) {
     RunningStats gap;
     int valid = 0;
     const int seeds = 20;
     for (int seed = 0; seed < seeds; ++seed) {
-      Rng rng(static_cast<std::uint64_t>(seed) + 0xE9C);
+      Rng rng(static_cast<std::uint64_t>(seed) + h.seed(0xE9C));
       const auto g = graph::make_connected_gnp(12, 0.3, rng);
       const auto pw = decomp::exact_pathwidth(g);
       const auto best = decomp::best_path_decomposition(g);
@@ -119,14 +138,21 @@ int main(int argc, char** argv) {
     std::cout << "shapeUB - pw: mean " << Table::num(gap.mean(), 2) << ", min "
               << Table::num(gap.min(), 0) << ", max "
               << Table::num(gap.max(), 0) << "\n";
+    h.add_cell({{"model", std::string("connected_gnp(12,0.3)")},
+                {"seeds", static_cast<std::uint64_t>(seeds)},
+                {"valid", static_cast<std::uint64_t>(valid)},
+                {"gap_mean", gap.mean()},
+                {"gap_min", gap.min()},
+                {"gap_max", gap.max()}});
   }
 
-  bench::section("E9 summary");
-  std::cout
-      << "PASS criteria: every decomposition valid; path/caterpillar/\n"
-         "interval/permutation shapes <= 2; tree families <= log2(n)+1;\n"
-         "clique-bearing families (K9, lollipop, ring_of_cliques) show\n"
-         "shape < pathwidth (length rescues wide bags) — the reason the\n"
-         "paper introduces shape instead of reusing pathwidth.\n";
-  return 0;
+  if (h.section("E9 summary")) {
+    std::cout
+        << "PASS criteria: every decomposition valid; path/caterpillar/\n"
+           "interval/permutation shapes <= 2; tree families <= log2(n)+1;\n"
+           "clique-bearing families (K9, lollipop, ring_of_cliques) show\n"
+           "shape < pathwidth (length rescues wide bags) — the reason the\n"
+           "paper introduces shape instead of reusing pathwidth.\n";
+  }
+  return h.finish();
 }

@@ -1,8 +1,20 @@
 // bench_micro.cpp — google-benchmark micro suite (M0): throughput of the
 // primitives every experiment is built from. Informational — these numbers
 // bound how large the E1..E9 grids can go on a given machine.
+//
+// The custom main wires the suite onto bench::Harness: besides the usual
+// --benchmark_* flags, --quick caps per-benchmark time, and --jsonl emits
+// BENCH_micro.json (nav-bench-trajectory-v1, one cell per benchmark run,
+// every metric wall-clock/loose — the deterministic surface of a timing
+// suite is its registered series, which compare_bench.py tracks through
+// added/removed-series reporting and the list golden pins byte-for-byte).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
 #include "nav/nav.hpp"
 
 namespace {
@@ -178,4 +190,60 @@ void BM_DiameterDoubleSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DiameterDoubleSweep)->Arg(64)->Arg(256);
 
+/// ConsoleReporter plus trajectory capture: every per-iteration run becomes
+/// one harness cell keyed by benchmark name; timings and rates are loose
+/// metrics by construction.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TrajectoryReporter(bench::Harness& harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      api::Record cell = {
+          {"benchmark", run.benchmark_name()},
+          {"real_time_ns", run.GetAdjustedRealTime()},
+          {"cpu_time_ns", run.GetAdjustedCPUTime()},
+      };
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        cell.push_back(
+            {"items_per_second", static_cast<double>(items->second.value)});
+      }
+      harness_.add_cell(std::move(cell));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::Harness& harness_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // No banner: google-benchmark prints its own context block, and the
+  // --benchmark_list_tests output is golden-pinned byte-for-byte.
+  bench::Harness h("micro", "micro", /*title=*/"", /*claim=*/"", argc, argv,
+                   /*allow_unknown_flags=*/true);
+
+  // Rebuild an argv for google-benchmark: its own flags pass through
+  // untouched, and --quick maps to a short per-benchmark min time so smoke
+  // runs and the CI bench gate stay fast.
+  std::vector<std::string> args;
+  args.emplace_back(argv[0]);
+  if (h.quick()) args.emplace_back("--benchmark_min_time=0.01");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) == 0) args.emplace_back(argv[i]);
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(args.size());
+  for (auto& arg : args) bench_argv.push_back(arg.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  TrajectoryReporter reporter(h);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return h.finish();
+}

@@ -1,0 +1,144 @@
+// harness.hpp — the shared bench harness every experiment binary runs on.
+//
+// Grown from the old header-only bench_common.hpp: besides the banner and
+// section headers, the Harness now owns
+//
+//   * the shared CLI: --quick, --csv, --jsonl, --out <dir>, --seed <n>,
+//     --section <substr> (repeatable section filter), --list-sections,
+//     --help;
+//   * uniform trajectory emission: with --jsonl every bench writes a
+//     `nav-bench-trajectory-v1` document BENCH_<id>.json (e.g. BENCH_e1.json)
+//     holding every recorded cell, and refreshes a merged BENCH_all.json
+//     from all per-bench documents present in the output directory — the
+//     files scripts/plot_bench.py renders and scripts/compare_bench.py
+//     diffs for regressions;
+//   * wall-clock classification: metric names in kLooseMetrics (seconds,
+//     routes/sec, sojourn percentiles, queue counters, google-benchmark
+//     timings) are listed in the document's "loose_metrics" so downstream
+//     tooling (golden tests, compare_bench.py) masks or loosely thresholds
+//     them while hop counts and stretch stay strict.
+//
+// A bench binary is a sequence of guarded sections:
+//
+//   int main(int argc, char** argv) {
+//     nav::bench::Harness h("e1", "e1_uniform", "E1: ...", "claim ...",
+//                           argc, argv);
+//     if (h.section("E1: uniform on path")) {
+//       h.run_and_print(nav::api::Experiment::on("path")
+//                           .sizes(nav::bench::pow2_sizes(10, 13))
+//                           .seed(h.seed(0xE1)));
+//     }
+//     if (h.section("hand-rolled part")) {
+//       ...
+//       h.add_cell({{"mode", std::string("fast")}, {"hops", 12.0}});
+//     }
+//     return h.finish();
+//   }
+//
+// Sections run only when no --section filter excludes them, so a single
+// binary doubles as a collection of individually runnable experiments.
+// Cells recorded while a section is active carry a "section" field in the
+// trajectory document (explicit add_cell records keep their caller-chosen
+// bytes in the per-bench .jsonl stream — that surface is golden-pinned).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nav/nav.hpp"
+
+namespace nav::bench {
+
+/// Parsed shared bench CLI. See Harness for flag semantics.
+struct BenchOptions {
+  bool quick = false;          ///< --quick: smaller grids for smoke runs
+  bool csv = false;            ///< --csv: write sweep_<family>.csv per sweep
+  bool jsonl = false;          ///< --jsonl: sweep/bench .jsonl + BENCH_*.json
+  bool list_sections = false;  ///< --list-sections: print sections, run none
+  bool seed_set = false;       ///< --seed was given
+  std::uint64_t seed = 0;      ///< --seed value (meaningful iff seed_set)
+  std::string out_dir = ".";   ///< --out: directory for every produced file
+  std::vector<std::string> section_filters;  ///< --section substrings
+};
+
+/// Parses the shared flags. With `allow_unknown` (bench_micro, which also
+/// carries --benchmark_* flags) unrecognised arguments are ignored;
+/// otherwise they print usage and exit(2). --help prints usage and exit(0).
+BenchOptions parse_options(int argc, char** argv, bool allow_unknown = false);
+
+/// Geometric size grid 2^lo .. 2^hi.
+std::vector<graph::NodeId> pow2_sizes(unsigned lo, unsigned hi);
+
+/// One experiment binary's run: banner, guarded sections, recorded cells,
+/// and (with --jsonl) the trajectory documents written by finish().
+class Harness {
+ public:
+  /// `id` names the trajectory document (BENCH_<id>.json); `name` is the
+  /// bench identity inside it and the stem of the per-bench jsonl
+  /// (bench_<name>.jsonl). An empty `title` suppresses the banner
+  /// (bench_micro: google-benchmark prints its own context block).
+  Harness(std::string id, std::string name, const std::string& title,
+          const std::string& claim, int argc, char** argv,
+          bool allow_unknown_flags = false);
+
+  /// Writes the trajectory documents if finish() was not called explicitly.
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  [[nodiscard]] const BenchOptions& options() const noexcept { return opt_; }
+  [[nodiscard]] bool quick() const noexcept { return opt_.quick; }
+
+  /// The bench's master seed: `fallback` normally, or a --seed-derived
+  /// perturbation of it (fallback ^ splitmix64(--seed), so one --seed value
+  /// shifts every stream of the bench consistently).
+  [[nodiscard]] std::uint64_t seed(std::uint64_t fallback) const noexcept;
+
+  /// Opens a section: prints the header and returns true when the section
+  /// should run; returns false when filtered out by --section or when
+  /// --list-sections is enumerating. Guard every work block with it.
+  [[nodiscard]] bool section(const std::string& title);
+
+  /// Records one trajectory cell under the current section. The record's
+  /// own fields (keys + metrics) are kept verbatim; with --jsonl it is also
+  /// streamed, byte-for-byte as passed, to bench_<name>.jsonl.
+  void add_cell(api::Record cell);
+
+  /// Runs one sweep grid and prints its table and exponent fits; optional
+  /// CSV and JSON Lines dumps land in the output directory, and every cell
+  /// is recorded into the trajectory document.
+  api::ExperimentResult run_and_print(api::Experiment experiment);
+
+  /// Overrides the trajectory document's "group_by" rendering hint
+  /// (default: the first two string-valued key fields observed).
+  void group_by(std::vector<std::string> fields);
+
+  /// Writes BENCH_<id>.json and refreshes BENCH_all.json (when --jsonl and
+  /// not --list-sections). Idempotent; returns the process exit code (0).
+  int finish();
+
+  /// `file_name` placed in the --out directory (the name unchanged when the
+  /// output directory is the default "."). For bench-produced aux files.
+  [[nodiscard]] std::string out_path(const std::string& file_name) const;
+
+ private:
+  void write_trajectory();
+  void write_merged();
+
+  std::string id_;
+  std::string name_;
+  BenchOptions opt_;
+  std::string current_section_;
+  std::vector<api::Record> cells_;
+  std::vector<std::string> group_by_;
+  std::ofstream bench_jsonl_;
+  std::unique_ptr<api::JsonLinesSink> bench_sink_;
+  bool finished_ = false;
+};
+
+}  // namespace nav::bench

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Golden-file checks for the bench binaries themselves.
 
-Two modes, both run from ctest (see CMakeLists.txt):
+Three modes, all run from ctest (see CMakeLists.txt):
 
   jsonl <binary> <produced-file> <golden>
       Runs `<binary> --quick --jsonl` in a scratch directory and compares
@@ -9,6 +9,14 @@ Two modes, both run from ctest (see CMakeLists.txt):
       wall-clock-dependent fields (MASKED_KEYS set to 0). Everything else —
       field order, counts, hop/stretch quantiles, double formatting — is
       pinned byte-for-byte through a canonical re-dump.
+
+  traj <binary> <produced-file> <golden>
+      Runs `<binary> --quick --jsonl` in a scratch directory and compares
+      the produced nav-bench-trajectory-v1 document (BENCH_<id>.json, the
+      bench::Harness output) against the golden: header fields (schema,
+      key/metric classification, group_by) and every cell are pinned after
+      masking the document's own loose_metrics plus MASKED_KEYS — i.e. the
+      harness's wall-clock classification drives the masking.
 
   list <binary> <golden>
       Runs `<binary> --benchmark_list_tests` (google-benchmark) and
@@ -53,7 +61,38 @@ def canonicalise(text):
     return lines
 
 
-def run_jsonl(binary, produced_name, golden_path, update):
+def canonicalise_traj(text):
+    """One line per trajectory-document header field and per masked cell."""
+    doc = json.loads(text)
+    masked = MASKED_KEYS | set(doc.get("loose_metrics", []))
+    lines = []
+    for key in ("schema", "bench", "id", "quick", "group_by", "key_fields",
+                "metrics", "loose_metrics"):
+        lines.append(f"{key}: {json.dumps(doc.get(key))}")
+    for cell in doc.get("cells", []):
+        for key in masked & cell.keys():
+            cell[key] = 0
+        lines.append(json.dumps(cell, separators=(", ", ": ")))
+    return lines
+
+
+def diff_lines(produced_name, golden_path, produced, golden):
+    if produced == golden:
+        print(f"ok: {produced_name} matches {golden_path} "
+              f"({len(produced)} lines)")
+        return 0
+    print(f"FAIL: {produced_name} diverges from {golden_path}",
+          file=sys.stderr)
+    for i in range(max(len(produced), len(golden))):
+        want = golden[i] if i < len(golden) else "<missing>"
+        got = produced[i] if i < len(produced) else "<missing>"
+        if want != got:
+            print(f"line {i + 1}:\n  golden:   {want}\n  produced: {got}",
+                  file=sys.stderr)
+    return 1
+
+
+def run_masked(binary, produced_name, golden_path, update, canonicaliser):
     with tempfile.TemporaryDirectory() as scratch:
         result = subprocess.run(
             [str(pathlib.Path(binary).resolve()), "--quick", "--jsonl"],
@@ -67,7 +106,7 @@ def run_jsonl(binary, produced_name, golden_path, update):
             print(f"FAIL: {binary} did not write {produced_name}",
                   file=sys.stderr)
             return 1
-        produced = canonicalise(produced_file.read_text())
+        produced = canonicaliser(produced_file.read_text())
 
     golden_file = pathlib.Path(golden_path)
     if update:
@@ -75,20 +114,12 @@ def run_jsonl(binary, produced_name, golden_path, update):
         golden_file.write_text("\n".join(produced) + "\n")
         print(f"updated {golden_path} ({len(produced)} lines)")
         return 0
-    golden = canonicalise(golden_file.read_text())
-    if produced == golden:
-        print(f"ok: {produced_name} matches {golden_path} "
-              f"({len(produced)} lines, {len(MASKED_KEYS)} masked keys)")
-        return 0
-    print(f"FAIL: {produced_name} diverges from {golden_path}",
-          file=sys.stderr)
-    for i in range(max(len(produced), len(golden))):
-        want = golden[i] if i < len(golden) else "<missing>"
-        got = produced[i] if i < len(produced) else "<missing>"
-        if want != got:
-            print(f"line {i + 1}:\n  golden:   {want}\n  produced: {got}",
-                  file=sys.stderr)
-    return 1
+    # jsonl goldens re-canonicalise idempotently (each line is JSON); traj
+    # goldens are already the canonical line format, so compare raw lines.
+    golden = (canonicalise(golden_file.read_text())
+              if canonicaliser is canonicalise
+              else golden_file.read_text().splitlines())
+    return diff_lines(produced_name, golden_path, produced, golden)
 
 
 def run_list(binary, golden_path, update):
@@ -118,7 +149,10 @@ def main():
     if update:
         args.remove("--update")
     if len(args) == 4 and args[0] == "jsonl":
-        return run_jsonl(args[1], args[2], args[3], update)
+        return run_masked(args[1], args[2], args[3], update, canonicalise)
+    if len(args) == 4 and args[0] == "traj":
+        return run_masked(args[1], args[2], args[3], update,
+                          canonicalise_traj)
     if len(args) == 3 and args[0] == "list":
         return run_list(args[1], args[2], update)
     print(__doc__, file=sys.stderr)

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Render BENCH_*.json consolidated trajectories as charts.
 
-Consumes the `nav-bench-trajectory-v1` documents the bench binaries write
-next to themselves (currently bench_e12_workload's BENCH_workload.json):
+Consumes the `nav-bench-trajectory-v1` documents the bench harness writes
+under --jsonl (BENCH_e1.json ... BENCH_e12.json, BENCH_micro.json), as well
+as the merged BENCH_all.json ({"merged": true, "benches": [...]}, rendered
+bench by bench):
 
     {
       "schema": "nav-bench-trajectory-v1",
-      "bench": "...", "family": "...", "n": ..., "quick": ...,
+      "bench": "...", "id": "...", "quick": ...,
       "group_by": ["scheme", "workload"],
-      "metrics": ["hops_p50", ...],
+      "key_fields": ["section", "family", ...],
+      "metrics": ["greedy_diameter", ...],
+      "loose_metrics": ["seconds", ...],
       "cells": [ {flat jsonl row}, ... ]
     }
 
@@ -17,7 +21,7 @@ first group_by field, with one bar per value of the second. With --png and
 matplotlib installed it also writes <bench>_<metric>.png; without
 matplotlib the flag degrades to a warning (no hard dependency).
 
-Usage: scripts/plot_bench.py [BENCH_workload.json ...] [--metric M] [--png]
+Usage: scripts/plot_bench.py [BENCH_all.json ...] [--metric M] [--png]
 Exit code: 0 on success, 1 when no input document can be read.
 """
 
@@ -42,7 +46,11 @@ def load_documents(paths):
             print(f"warning: {path} is not a nav-bench-trajectory-v1 "
                   "document", file=sys.stderr)
             continue
-        documents.append((path, doc))
+        if doc.get("merged"):
+            for sub in doc.get("benches", []):
+                documents.append((f"{path}#{sub.get('bench')}", sub))
+        else:
+            documents.append((path, doc))
     return documents
 
 
