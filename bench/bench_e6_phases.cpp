@@ -26,7 +26,7 @@ struct PhaseBreakdown {
 };
 
 /// Distance threshold d such that |{v : dist(v,t) <= d}| >= size.
-graph::Dist ball_radius_for_size(const std::vector<graph::Dist>& dist_to_t,
+graph::Dist ball_radius_for_size(std::span<const graph::Dist> dist_to_t,
                                  std::size_t size) {
   std::vector<graph::Dist> sorted;
   sorted.reserve(dist_to_t.size());

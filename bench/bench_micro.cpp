@@ -10,12 +10,19 @@
 // added/removed-series reporting and the list golden pins byte-for-byte).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness.hpp"
 #include "nav/nav.hpp"
+#include "runtime/alloc_counter.hpp"
+
+// Counting allocator for the whole binary: the BFS-kernel cells report a
+// deterministic allocs-per-query strict metric next to their (loose)
+// throughput.
+NAV_DEFINE_ALLOC_COUNTER();
 
 namespace {
 
@@ -190,6 +197,91 @@ void BM_DiameterDoubleSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DiameterDoubleSweep)->Arg(64)->Arg(256);
 
+// ---- M1: BFS engine kernels ------------------------------------------------
+// Hand-timed (not google-benchmark registered, so the --benchmark_list_tests
+// golden stays untouched): each cell carries a deterministic allocs_per_query
+// strict metric next to its loose nodes_per_sec, proving the engine kernels
+// run allocation-free where the pre-engine reference pays per-call heap round
+// trips. Families straddle the direction-optimizing regimes: torus2d (high
+// diameter — the sweep stays top-down), hypercube and G(n,p) with mean degree
+// 8 (low diameter, exploding frontiers — the sweep flips bottom-up).
+void run_bfs_kernel_cells(bench::Harness& h) {
+  using graph::Dist;
+  using graph::NodeId;
+  std::vector<unsigned> exponents{12, 16};
+  if (!h.quick()) exponents.push_back(18);
+
+  for (const unsigned e : exponents) {
+    const auto n = NodeId{1} << e;
+    for (const std::string& family :
+         {std::string("torus2d"), std::string("hypercube"), std::string("gnp8"),
+          std::string("regular16")}) {
+      Rng rng(h.seed(0xB1F5) ^ e);
+      graph::Graph g;
+      if (family == "torus2d") {
+        const auto side = NodeId{1} << (e / 2);
+        g = graph::make_torus2d(side, n / side);
+      } else if (family == "hypercube") {
+        g = graph::make_hypercube(e);
+      } else if (family == "gnp8") {
+        g = graph::make_connected_gnp(n, 8.0 / static_cast<double>(n), rng);
+      } else {
+        // Diameter ~log n / log d: the frontier-explosion regime where the
+        // bottom-up sweep pays off hardest.
+        g = graph::make_random_regular(n, 16, rng);
+      }
+
+      auto& ws = graph::local_bfs_workspace();
+      std::vector<Dist> out(g.num_nodes());
+      const std::size_t reps = std::max<std::size_t>(
+          4, (h.quick() ? (std::size_t{1} << 23) : (std::size_t{1} << 24)) / n);
+
+      double ref_rate = 0.0;
+      for (const std::string& kernel :
+           {std::string("reference"), std::string("workspace"),
+            std::string("diropt")}) {
+        auto run_once = [&](std::size_t i) {
+          // Rotate sources deterministically so no level structure is
+          // accidentally cached between repetitions.
+          const auto s =
+              static_cast<NodeId>((i * 2654435761u) % g.num_nodes());
+          if (kernel == "reference") {
+            benchmark::DoNotOptimize(graph::bfs_distances_reference(g, s));
+          } else if (kernel == "workspace") {
+            ws.distances_into_scalar(g, s, out);
+            benchmark::DoNotOptimize(out.data());
+          } else {
+            ws.distances_into(g, s, out);  // direction-optimizing full sweep
+            benchmark::DoNotOptimize(out.data());
+          }
+        };
+        run_once(0);  // warm: workspace growth, graph pages
+        const std::uint64_t allocs_before = nav::allocation_count();
+        run_once(1);
+        const auto allocs_per_query =
+            static_cast<double>(nav::allocation_count() - allocs_before);
+        nav::Timer timer;
+        for (std::size_t i = 0; i < reps; ++i) run_once(i);
+        const double rate =
+            static_cast<double>(g.num_nodes()) * static_cast<double>(reps) /
+            timer.seconds();
+        if (kernel == "reference") ref_rate = rate;
+        const double speedup = ref_rate > 0.0 ? rate / ref_rate : 1.0;
+        h.add_cell({{"family", family},
+                    {"kernel", kernel},
+                    {"n", static_cast<double>(g.num_nodes())},
+                    {"nodes_per_sec", rate},
+                    {"allocs_per_query", allocs_per_query},
+                    {"speedup", speedup}});
+        std::printf(
+            "  %-9s n=2^%-2u %-10s %9.2f Mnodes/s  allocs/query %3.0f  x%.2f\n",
+            family.c_str(), e, kernel.c_str(), rate / 1e6, allocs_per_query,
+            speedup);
+      }
+    }
+  }
+}
+
 /// ConsoleReporter plus trajectory capture: every per-iteration run becomes
 /// one harness cell keyed by benchmark name; timings and rates are loose
 /// metrics by construction.
@@ -226,6 +318,21 @@ int main(int argc, char** argv) {
   // --benchmark_list_tests output is golden-pinned byte-for-byte.
   bench::Harness h("micro", "micro", /*title=*/"", /*claim=*/"", argc, argv,
                    /*allow_unknown_flags=*/true);
+
+  // The hand-timed BFS-kernel cells. Suppressed under --benchmark_list_tests:
+  // that output is golden-pinned byte-for-byte and must stay pure.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_list_tests", 22) == 0) {
+      list_only = true;
+    }
+  }
+  if (!list_only && h.section("M1: BFS engine kernels (family x size)")) {
+    run_bfs_kernel_cells(h);
+  }
+  // The google-benchmark cells below are recorded section-less: their series
+  // keys ({benchmark: BM_*}) predate sections and stay baseline-aligned.
+  h.end_section();
 
   // Rebuild an argv for google-benchmark: its own flags pass through
   // untouched, and --quick maps to a short per-benchmark min time so smoke

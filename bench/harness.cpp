@@ -38,6 +38,7 @@ const char* const kLooseMetrics[] = {
     "peak_queued_pairs", "blocked_submits",
     "real_time_ns",    "cpu_time_ns",
     "items_per_second", "bytes_per_second",
+    "nodes_per_sec",
 };
 
 /// Numeric fields that identify a cell (grid coordinates) rather than

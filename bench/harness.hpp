@@ -104,6 +104,12 @@ class Harness {
   /// --list-sections is enumerating. Guard every work block with it.
   [[nodiscard]] bool section(const std::string& title);
 
+  /// Closes the current section: later cells carry no "section" field again.
+  /// Needed when section-less recording (bench_micro's google-benchmark
+  /// reporter, whose series keys are golden/baseline-tracked without a
+  /// section) follows a harness section in the same binary.
+  void end_section() { current_section_.clear(); }
+
   /// Records one trajectory cell under the current section. The record's
   /// own fields (keys + metrics) are kept verbatim; with --jsonl it is also
   /// streamed, byte-for-byte as passed, to bench_<name>.jsonl.

@@ -144,7 +144,7 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
         }
       }
       auto shard_body = [&](std::size_t k) {
-        const std::vector<graph::Dist>& dist = *pinned[k - lo];
+        const graph::DistView& dist = *pinned[k - lo];
         for (const std::size_t i : shard_jobs[k]) {
           results[i] = router_.route_resolved(jobs[i].source, jobs[i].target,
                                               dist, scheme_, jobs[i].rng);

@@ -3,30 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/bfs_engine.hpp"
+
 namespace nav::core {
-
-namespace {
-
-/// Per-thread BFS scratch with epoch-stamped visited marks (no O(n) clearing
-/// between samples). Grows to the largest graph seen on this thread.
-struct BfsScratch {
-  std::vector<std::uint64_t> stamp;
-  std::vector<NodeId> queue;
-  std::uint64_t epoch = 0;
-
-  void prepare(std::size_t n) {
-    if (stamp.size() < n) stamp.assign(n, 0);
-    ++epoch;
-    queue.clear();
-  }
-};
-
-BfsScratch& scratch() {
-  thread_local BfsScratch s;
-  return s;
-}
-
-}  // namespace
 
 BallScheme::BallScheme(const Graph& g, std::uint32_t levels)
     : graph_(g), levels_(levels), ecc_upper_(g.num_nodes()) {
@@ -49,35 +28,15 @@ NodeId BallScheme::sample_from_ball(NodeId u, graph::Dist radius,
   const graph::Dist known = ecc_upper_[u].load(std::memory_order_relaxed);
   if (known != 0 && radius >= known) return random_index(rng, n);
 
-  auto& s = scratch();
-  s.prepare(n);
-  s.stamp[u] = s.epoch;
-  s.queue.push_back(u);
-  std::size_t head = 0;
-  std::size_t level_end = 1;  // exclusive end of the current BFS level
-  graph::Dist depth = 0;
-  while (head < s.queue.size() && depth < radius) {
-    // Expand one full level.
-    while (head < level_end) {
-      const NodeId x = s.queue[head++];
-      for (const NodeId y : graph_.neighbors(x)) {
-        if (s.stamp[y] != s.epoch) {
-          s.stamp[y] = s.epoch;
-          s.queue.push_back(y);
-        }
-      }
-    }
-    ++depth;
-    level_end = s.queue.size();
-    if (s.queue.size() == n) {
-      // Ball exhausted the graph: remember ecc(u) <= depth for next time,
-      // and sample over node ids directly so the draw is bit-identical to
-      // the cached-shortcut path above (determinism across cache states).
-      ecc_upper_[u].store(depth, std::memory_order_relaxed);
-      return random_index(rng, n);
-    }
+  const auto view = graph::local_bfs_workspace().ball(graph_, u, radius);
+  if (view.whole_graph) {
+    // Ball exhausted the graph: remember ecc(u) <= depth for next time, and
+    // sample over node ids directly so the draw is bit-identical to the
+    // cached-shortcut path above (determinism across cache states).
+    ecc_upper_[u].store(view.exhausted_depth, std::memory_order_relaxed);
+    return random_index(rng, n);
   }
-  return s.queue[random_index(rng, s.queue.size())];
+  return view.order[random_index(rng, view.order.size())];
 }
 
 NodeId BallScheme::sample_contact(NodeId u, Rng& rng) const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/bfs_engine.hpp"
+
 namespace nav::decomp {
 
 std::size_t bag_width(const Bag& bag) {
@@ -10,53 +12,31 @@ std::size_t bag_width(const Bag& bag) {
 
 namespace {
 
-/// Epoch-stamped BFS scratch: bag_length runs one early-exit BFS per bag
-/// member, and decompositions can have Θ(n) bags, so per-call O(n) clearing
-/// would make measuring a decomposition quadratic.
-struct LengthScratch {
-  std::vector<std::uint64_t> stamp;   // visited marker
-  std::vector<std::uint64_t> member;  // bag-membership marker
-  std::vector<NodeId> queue;
-  std::uint64_t epoch = 0;
-
-  void prepare(std::size_t n) {
-    if (stamp.size() < n) {
-      stamp.assign(n, 0);
-      member.assign(n, 0);
-    }
-    ++epoch;
-    queue.clear();
-  }
-};
-
-LengthScratch& length_scratch() {
-  thread_local LengthScratch s;
-  return s;
-}
-
-/// Max distance from `source` to any bag member: BFS that stops as soon as
-/// every member has been reached, or once the depth exceeds `cap` (then the
-/// true value is > cap and kInfDist is returned as "too far").
+/// Max distance from `source` to any bag member: early-exit BFS on the
+/// engine workspace (visited via epoch stamps, bag membership via the
+/// workspace's second marker channel). Stops as soon as every member has
+/// been reached, or once the depth exceeds `cap` (then the true value is
+/// > cap and kInfDist is returned as "too far"). The caller owns the epoch:
+/// ws.prepare + mark(bag) must precede each call.
 Dist farthest_member(const Graph& g, const Bag& bag, NodeId source,
-                     LengthScratch& s, Dist cap) {
+                     graph::BfsWorkspace& ws, Dist cap) {
   std::size_t remaining = bag.size();
-  s.queue.clear();
-  const std::uint64_t visit_mark = s.epoch;
-  s.stamp[source] = visit_mark;
-  s.queue.push_back(source);
-  if (s.member[source] == s.epoch) --remaining;
+  auto& queue = ws.queue();
+  queue.clear();
+  ws.try_visit(source);
+  queue.push_back(source);
+  if (ws.marked(source)) --remaining;
   std::size_t head = 0;
   std::size_t level_end = 1;
   Dist depth = 0;
   Dist farthest = 0;
-  while (head < s.queue.size() && remaining > 0 && depth < cap) {
+  while (head < queue.size() && remaining > 0 && depth < cap) {
     while (head < level_end && remaining > 0) {
-      const NodeId u = s.queue[head++];
+      const NodeId u = queue[head++];
       for (const NodeId v : g.neighbors(u)) {
-        if (s.stamp[v] != visit_mark) {
-          s.stamp[v] = visit_mark;
-          s.queue.push_back(v);
-          if (s.member[v] == s.epoch) {
+        if (ws.try_visit(v)) {
+          queue.push_back(v);
+          if (ws.marked(v)) {
             --remaining;
             farthest = depth + 1;
           }
@@ -64,23 +44,24 @@ Dist farthest_member(const Graph& g, const Bag& bag, NodeId source,
       }
     }
     ++depth;
-    level_end = s.queue.size();
+    level_end = queue.size();
   }
   return remaining == 0 ? farthest : graph::kInfDist;
 }
 
+/// bag_length runs one early-exit BFS per bag member, and decompositions can
+/// have Θ(n) bags — the workspace's O(1) epoch reset is what keeps measuring
+/// a decomposition linear instead of quadratic.
 Dist length_impl(const Graph& g, const Bag& bag, Dist cap) {
-  auto& s = length_scratch();
-  s.prepare(g.num_nodes());
-  for (const NodeId v : bag) s.member[v] = s.epoch;
+  auto& ws = graph::local_bfs_workspace();
   Dist length = 0;
   for (const NodeId u : bag) {
-    const Dist d = farthest_member(g, bag, u, s, cap);
+    // Fresh visit epoch per source, re-marking membership under it.
+    ws.prepare(g.num_nodes());
+    for (const NodeId v : bag) ws.mark(v);
+    const Dist d = farthest_member(g, bag, u, ws, cap);
     if (d == graph::kInfDist) return graph::kInfDist;  // unreachable or > cap
     length = std::max(length, d);
-    // Fresh visit epoch for the next source, re-marking membership.
-    ++s.epoch;
-    for (const NodeId v : bag) s.member[v] = s.epoch;
   }
   return length;
 }

@@ -2,103 +2,47 @@
 
 #include <algorithm>
 
+#include "graph/bfs_engine.hpp"
+
 namespace nav::graph {
 
+// The free functions are convenience wrappers over the BFS engine: they run
+// on the calling thread's pooled BfsWorkspace (bfs_engine.hpp), so the only
+// allocation left is the returned container itself — and ball_size() drops
+// even that. Hot paths (distance oracle, schemes, measures) hold a workspace
+// and call the kernels directly.
+
 std::vector<Dist> bfs_distances(const Graph& g, NodeId source) {
-  return bfs_distances_bounded(g, source, kInfDist);
+  std::vector<Dist> dist(g.num_nodes());
+  local_bfs_workspace().distances_into(g, source, dist);
+  return dist;
 }
 
 std::vector<Dist> bfs_distances_bounded(const Graph& g, NodeId source,
                                         Dist radius) {
-  NAV_REQUIRE(source < g.num_nodes(), "BFS source out of range");
-  std::vector<Dist> dist(g.num_nodes(), kInfDist);
-  std::vector<NodeId> queue;
-  queue.reserve(64);
-  dist[source] = 0;
-  queue.push_back(source);
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const NodeId u = queue[head++];
-    const Dist du = dist[u];
-    if (du >= radius) continue;  // children would exceed the radius
-    for (const NodeId v : g.neighbors(u)) {
-      if (dist[v] == kInfDist) {
-        dist[v] = du + 1;
-        queue.push_back(v);
-      }
-    }
-  }
+  std::vector<Dist> dist(g.num_nodes());
+  local_bfs_workspace().distances_into(g, source, dist, radius);
   return dist;
 }
 
 std::vector<NodeId> ball(const Graph& g, NodeId center, Dist radius) {
-  NAV_REQUIRE(center < g.num_nodes(), "ball center out of range");
-  // Frontier BFS keeping a visited flag keyed by a local map-free trick:
-  // we reuse a distance array only over touched nodes, then reset them.
-  // For simplicity and cache friendliness at simulation scale, use a
-  // byte-visited array (allocation dominated by graph size anyway).
-  std::vector<std::uint8_t> visited(g.num_nodes(), 0);
-  std::vector<NodeId> order;
-  std::vector<NodeId> frontier{center};
-  visited[center] = 1;
-  order.push_back(center);
-  Dist depth = 0;
-  std::vector<NodeId> next;
-  while (!frontier.empty() && depth < radius) {
-    next.clear();
-    for (const NodeId u : frontier) {
-      for (const NodeId v : g.neighbors(u)) {
-        if (!visited[v]) {
-          visited[v] = 1;
-          next.push_back(v);
-          order.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
-    ++depth;
-  }
-  return order;
+  const auto view = local_bfs_workspace().ball(g, center, radius);
+  return {view.order.begin(), view.order.end()};
 }
 
 std::size_t ball_size(const Graph& g, NodeId center, Dist radius) {
-  return ball(g, center, radius).size();
+  return local_bfs_workspace().ball(g, center, radius).order.size();
 }
 
 std::vector<Dist> multi_source_bfs(const Graph& g,
                                    const std::vector<NodeId>& sources) {
-  NAV_REQUIRE(!sources.empty(), "multi_source_bfs needs at least one source");
-  std::vector<Dist> dist(g.num_nodes(), kInfDist);
-  std::vector<NodeId> queue;
-  for (const NodeId s : sources) {
-    NAV_REQUIRE(s < g.num_nodes(), "BFS source out of range");
-    if (dist[s] == kInfDist) {
-      dist[s] = 0;
-      queue.push_back(s);
-    }
-  }
-  std::size_t head = 0;
-  while (head < queue.size()) {
-    const NodeId u = queue[head++];
-    for (const NodeId v : g.neighbors(u)) {
-      if (dist[v] == kInfDist) {
-        dist[v] = dist[u] + 1;
-        queue.push_back(v);
-      }
-    }
-  }
+  std::vector<Dist> dist(g.num_nodes());
+  local_bfs_workspace().multi_source_into(g, sources, dist);
   return dist;
 }
 
 FarthestResult farthest_node(const Graph& g, NodeId source) {
-  const auto dist = bfs_distances(g, source);
-  FarthestResult result{source, 0};
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (dist[v] != kInfDist && dist[v] > result.distance) {
-      result = {v, dist[v]};
-    }
-  }
-  return result;
+  return local_bfs_workspace().farthest(g, source);
 }
 
 std::vector<NodeId> shortest_path(const Graph& g, NodeId source, NodeId target) {

@@ -3,6 +3,11 @@
 // Everything in the paper reduces to unweighted shortest-path distances:
 // greedy routing compares dist_G(·, t); the ball scheme of Theorem 4 samples
 // from B(u, 2^k); the pathlength measure needs pairwise bag distances.
+//
+// These free functions are convenience wrappers over the reusable engine in
+// bfs_engine.hpp (epoch-stamped workspaces, direction-optimizing full
+// sweeps): they allocate only the returned container. Allocation-sensitive
+// callers should hold a BfsWorkspace and use its kernels directly.
 #pragma once
 
 #include <cstdint>
@@ -26,10 +31,13 @@ inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
                                                       Dist radius);
 
 /// The ball B(u, r) = { v : dist(u, v) <= r }, in BFS (distance, id) order.
-/// This is the sampling domain of the Theorem 4 scheme. Cost O(|edges in ball|).
+/// This is the sampling domain of the Theorem 4 scheme. Cost O(|edges in
+/// ball|) — the visited set is epoch-stamped workspace state, not a fresh
+/// O(n) array per call.
 [[nodiscard]] std::vector<NodeId> ball(const Graph& g, NodeId center, Dist radius);
 
-/// |B(u, r)| without materialising the ball.
+/// |B(u, r)| without materialising the ball. Allocation-free once the
+/// calling thread's workspace is warm.
 [[nodiscard]] std::size_t ball_size(const Graph& g, NodeId center, Dist radius);
 
 /// Multi-source BFS: distance to the nearest source.

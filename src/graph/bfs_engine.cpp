@@ -1,0 +1,376 @@
+#include "graph/bfs_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "runtime/scratch_pool.hpp"
+
+namespace nav::graph {
+
+namespace {
+
+// Beamer switching thresholds: go bottom-up when the frontier's out-edges
+// exceed unexplored/kAlpha, back to top-down when the frontier shrinks under
+// n/kBeta. Pure heuristics — distances are level-synchronous and identical
+// under any schedule.
+constexpr std::uint64_t kAlpha = 15;
+constexpr std::uint64_t kBeta = 18;
+
+// Below these sizes the bitmap bookkeeping outweighs any bottom-up win.
+constexpr std::size_t kDiroptMinNodes = 1024;
+constexpr std::uint64_t kDiroptMinDirectedEdges = 4096;
+
+inline void set_bit(std::vector<std::uint64_t>& bits, NodeId v) {
+  bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+}
+
+inline bool test_bit(const std::vector<std::uint64_t>& bits, NodeId v) {
+  return (bits[v >> 6] >> (v & 63)) & 1u;
+}
+
+}  // namespace
+
+void BfsWorkspace::prepare(std::size_t n) {
+  if (stamp_.size() < n) {
+    stamp_.assign(n, 0);
+    if (!mark_stamp_.empty()) mark_stamp_.assign(n, 0);
+    epoch_ = 0;
+  }
+  if (++epoch_ == 0) {
+    // 16-bit generation counter wrapped: stale stamps from 65535 epochs ago
+    // could collide, so pay one full clear and restart at 1 (0 is reserved
+    // as "never stamped"). Amortised cost: O(n / 65535) per prepare.
+    std::fill(stamp_.begin(), stamp_.end(), std::uint16_t{0});
+    std::fill(mark_stamp_.begin(), mark_stamp_.end(), std::uint16_t{0});
+    epoch_ = 1;
+  }
+  queue_.clear();
+}
+
+void BfsWorkspace::mark(NodeId v) {
+  if (mark_stamp_.size() < stamp_.size()) mark_stamp_.resize(stamp_.size(), 0);
+  mark_stamp_[v] = epoch_;
+}
+
+void BfsWorkspace::distances_into(const Graph& g, NodeId source,
+                                  std::span<Dist> out, Dist radius) {
+  if (radius == kInfDist && g.num_nodes() >= kDiroptMinNodes &&
+      2 * g.num_edges() >= kDiroptMinDirectedEdges) {
+    diropt_into(g, source, out);
+    return;
+  }
+  distances_into_scalar(g, source, out, radius);
+}
+
+void BfsWorkspace::distances_into_scalar(const Graph& g, NodeId source,
+                                         std::span<Dist> out, Dist radius) {
+  NAV_REQUIRE(source < g.num_nodes(), "BFS source out of range");
+  NAV_REQUIRE(out.size() == g.num_nodes(), "distance output size mismatch");
+  // The output doubles as the visited set (unvisited == kInfDist), so the
+  // dense kernels need no stamps — only the reusable queue.
+  std::fill(out.begin(), out.end(), kInfDist);
+  queue_.clear();
+  out[source] = 0;
+  queue_.push_back(source);
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId u = queue_[head++];
+    const Dist du = out[u];
+    if (du >= radius) continue;  // children would exceed the radius
+    for (const NodeId v : g.neighbors(u)) {
+      if (out[v] == kInfDist) {
+        out[v] = du + 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+}
+
+void BfsWorkspace::ensure_bitmaps(std::size_t words) {
+  if (front_bits_.size() < words) {
+    front_bits_.resize(words);
+    next_bits_.resize(words);
+    visited_bits_.resize(words);
+  }
+}
+
+void BfsWorkspace::diropt_into(const Graph& g, NodeId source,
+                               std::span<Dist> out) {
+  const std::size_t n = g.num_nodes();
+  NAV_REQUIRE(source < n, "BFS source out of range");
+  NAV_REQUIRE(out.size() == n, "distance output size mismatch");
+  std::fill(out.begin(), out.end(), kInfDist);
+
+  const std::size_t words = (n + 63) / 64;
+  ensure_bitmaps(words);
+  std::fill(visited_bits_.begin(), visited_bits_.begin() + words, 0u);
+  // Bits >= n never enter the frontier; mask them out of "unvisited".
+  const std::uint64_t tail_mask =
+      (n % 64) ? ((std::uint64_t{1} << (n % 64)) - 1) : ~std::uint64_t{0};
+
+  queue_.clear();
+  out[source] = 0;
+  set_bit(visited_bits_, source);
+  queue_.push_back(source);
+
+  std::uint64_t unexplored = 2 * g.num_edges();
+  std::uint64_t frontier_edges = g.degree(source);
+  std::size_t frontier_count = 1;
+  std::size_t level_begin = 0;  // current level = queue_[level_begin..end)
+  Dist depth = 0;
+  bool bottom_up = false;
+  bool growing = true;  // frontier larger than its predecessor?
+
+  while (frontier_count > 0) {
+    // Beamer's switch gate needs both conditions: a frontier rich in
+    // out-edges AND still growing. Past the sweep's midpoint frontiers
+    // shrink while unexplored edges run out, and flipping there would make
+    // every tail level scan all remaining unvisited nodes fruitlessly.
+    if (!bottom_up && growing && frontier_edges > unexplored / kAlpha) {
+      // Flip to bottom-up: materialise the current level as a bitmap.
+      std::fill(front_bits_.begin(), front_bits_.begin() + words, 0u);
+      for (std::size_t i = level_begin; i < queue_.size(); ++i) {
+        set_bit(front_bits_, queue_[i]);
+      }
+      bottom_up = true;
+    }
+
+    if (bottom_up) {
+      // Bottom-up level: every unvisited node scans its own neighbours for a
+      // frontier member and stops at the first hit.
+      std::fill(next_bits_.begin(), next_bits_.begin() + words, 0u);
+      std::size_t next_count = 0;
+      std::uint64_t next_edges = 0;
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t unvisited = ~visited_bits_[w];
+        if (w == words - 1) unvisited &= tail_mask;
+        while (unvisited != 0) {
+          const auto bit = static_cast<unsigned>(std::countr_zero(unvisited));
+          unvisited &= unvisited - 1;
+          const auto v = static_cast<NodeId>(w * 64 + bit);
+          for (const NodeId u : g.neighbors(v)) {
+            if (test_bit(front_bits_, u)) {
+              out[v] = depth + 1;
+              set_bit(next_bits_, v);
+              ++next_count;
+              next_edges += g.degree(v);
+              break;
+            }
+          }
+        }
+      }
+      // Newly found nodes enter visited after the scan (a level must not see
+      // its own members as frontier candidates' "visited").
+      for (std::size_t w = 0; w < words; ++w) visited_bits_[w] |= next_bits_[w];
+      std::swap(front_bits_, next_bits_);
+      unexplored -= std::min<std::uint64_t>(unexplored, frontier_edges);
+      growing = next_count > frontier_count;
+      frontier_count = next_count;
+      frontier_edges = next_edges;
+      ++depth;
+      if (frontier_count > 0 && !growing && frontier_count < n / kBeta) {
+        // Flip back: rebuild the queue from the frontier bitmap.
+        queue_.clear();
+        for (std::size_t w = 0; w < words; ++w) {
+          std::uint64_t bits = front_bits_[w];
+          while (bits != 0) {
+            const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            queue_.push_back(static_cast<NodeId>(w * 64 + bit));
+          }
+        }
+        level_begin = 0;
+        bottom_up = false;
+      }
+    } else {
+      // Top-down level: expand the queue slice, tracking the next level's
+      // out-edge count for the switch heuristic.
+      const std::size_t level_end = queue_.size();
+      std::uint64_t next_edges = 0;
+      for (std::size_t i = level_begin; i < level_end; ++i) {
+        const NodeId u = queue_[i];
+        const Dist du = out[u];
+        for (const NodeId v : g.neighbors(u)) {
+          if (out[v] == kInfDist) {
+            out[v] = du + 1;
+            set_bit(visited_bits_, v);
+            queue_.push_back(v);
+            next_edges += g.degree(v);
+          }
+        }
+      }
+      unexplored -= std::min<std::uint64_t>(unexplored, frontier_edges);
+      level_begin = level_end;
+      const std::size_t next_count = queue_.size() - level_end;
+      growing = next_count > frontier_count;
+      frontier_count = next_count;
+      frontier_edges = next_edges;
+      ++depth;
+    }
+  }
+}
+
+void BfsWorkspace::multi_source_into(const Graph& g,
+                                     std::span<const NodeId> sources,
+                                     std::span<Dist> out) {
+  NAV_REQUIRE(!sources.empty(), "multi_source_bfs needs at least one source");
+  NAV_REQUIRE(out.size() == g.num_nodes(), "distance output size mismatch");
+  std::fill(out.begin(), out.end(), kInfDist);
+  queue_.clear();
+  for (const NodeId s : sources) {
+    NAV_REQUIRE(s < g.num_nodes(), "BFS source out of range");
+    if (out[s] == kInfDist) {
+      out[s] = 0;
+      queue_.push_back(s);
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId u = queue_[head++];
+    for (const NodeId v : g.neighbors(u)) {
+      if (out[v] == kInfDist) {
+        out[v] = out[u] + 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+}
+
+BfsWorkspace::BallView BfsWorkspace::ball(const Graph& g, NodeId center,
+                                          Dist radius) {
+  NAV_REQUIRE(center < g.num_nodes(), "ball center out of range");
+  const std::size_t n = g.num_nodes();
+  prepare(n);
+  try_visit(center);
+  queue_.push_back(center);
+  std::size_t head = 0;
+  std::size_t level_end = 1;
+  Dist depth = 0;
+  BallView view;
+  while (head < queue_.size() && depth < radius) {
+    while (head < level_end) {
+      const NodeId u = queue_[head++];
+      for (const NodeId v : g.neighbors(u)) {
+        if (try_visit(v)) queue_.push_back(v);
+      }
+    }
+    ++depth;
+    level_end = queue_.size();
+    if (queue_.size() == n) {
+      // The ball swallowed the graph: no later level can add members, and
+      // depth is an eccentricity upper bound for the center.
+      view.whole_graph = true;
+      view.exhausted_depth = depth;
+      break;
+    }
+  }
+  view.order = {queue_.data(), queue_.size()};
+  return view;
+}
+
+Dist BfsWorkspace::eccentricity(const Graph& g, NodeId source) {
+  NAV_REQUIRE(source < g.num_nodes(), "BFS source out of range");
+  prepare(g.num_nodes());
+  try_visit(source);
+  queue_.push_back(source);
+  std::size_t head = 0;
+  std::size_t level_end = 1;
+  Dist ecc = 0;
+  while (head < queue_.size()) {
+    while (head < level_end) {
+      const NodeId u = queue_[head++];
+      for (const NodeId v : g.neighbors(u)) {
+        if (try_visit(v)) queue_.push_back(v);
+      }
+    }
+    if (queue_.size() > level_end) ++ecc;  // a new, non-empty level exists
+    level_end = queue_.size();
+  }
+  return ecc;
+}
+
+FarthestResult BfsWorkspace::farthest(const Graph& g, NodeId source) {
+  NAV_REQUIRE(source < g.num_nodes(), "BFS source out of range");
+  prepare(g.num_nodes());
+  try_visit(source);
+  queue_.push_back(source);
+  std::size_t head = 0;
+  std::size_t level_end = 1;
+  std::size_t level_begin = 0;
+  Dist ecc = 0;
+  while (head < queue_.size()) {
+    while (head < level_end) {
+      const NodeId u = queue_[head++];
+      for (const NodeId v : g.neighbors(u)) {
+        if (try_visit(v)) queue_.push_back(v);
+      }
+    }
+    if (queue_.size() > level_end) {
+      ++ecc;
+      level_begin = level_end;  // the new last level starts here
+    }
+    level_end = queue_.size();
+  }
+  // queue_[level_begin..end) holds exactly the nodes at distance ecc;
+  // smallest id among them matches the reference's ascending-id scan.
+  NodeId best = queue_[level_begin];
+  for (std::size_t i = level_begin + 1; i < queue_.size(); ++i) {
+    best = std::min(best, queue_[i]);
+  }
+  return {best, ecc};
+}
+
+BfsWorkspace& local_bfs_workspace() {
+  return nav::thread_scratch<BfsWorkspace>();
+}
+
+std::vector<Dist> bfs_distances_reference(const Graph& g, NodeId source,
+                                          Dist radius) {
+  NAV_REQUIRE(source < g.num_nodes(), "BFS source out of range");
+  std::vector<Dist> dist(g.num_nodes(), kInfDist);
+  std::vector<NodeId> queue;
+  queue.reserve(64);
+  dist[source] = 0;
+  queue.push_back(source);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    const Dist du = dist[u];
+    if (du >= radius) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist[v] == kInfDist) {
+        dist[v] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ball_reference(const Graph& g, NodeId center, Dist radius) {
+  NAV_REQUIRE(center < g.num_nodes(), "ball center out of range");
+  std::vector<std::uint8_t> visited(g.num_nodes(), 0);
+  std::vector<NodeId> order;
+  std::vector<NodeId> frontier{center};
+  visited[center] = 1;
+  order.push_back(center);
+  Dist depth = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty() && depth < radius) {
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = 1;
+          next.push_back(v);
+          order.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+    ++depth;
+  }
+  return order;
+}
+
+}  // namespace nav::graph

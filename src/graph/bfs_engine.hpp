@@ -1,0 +1,165 @@
+// bfs_engine.hpp — the reusable, allocation-free BFS engine.
+//
+// Every subsystem bottoms out in unweighted BFS: the distance oracle runs
+// one sweep per distinct target, the Theorem 4 ball scheme samples from
+// B(u, 2^k) millions of times, diameter/pathshape sweep all sources, and
+// lookahead routers multiply distance queries per hop. The free functions in
+// bfs.hpp used to heap-allocate and zero-fill O(n) state per call; they are
+// now thin wrappers over this engine, and the hot paths (oracle, schemes,
+// workloads, decomposition measures) call it directly.
+//
+// Design:
+//
+//   * BfsWorkspace owns grow-only scratch (a queue, epoch-stamped visited /
+//     marker arrays, frontier bitmaps). prepare() opens a fresh traversal in
+//     O(1) by bumping a 16-bit generation counter — a node is visited iff
+//     its stamp equals the current epoch, so nothing is cleared between
+//     traversals. On epoch wraparound (every 65535 prepares) the stamp
+//     arrays are re-zeroed once, keeping the reset amortised O(1) and the
+//     stale-stamp collision impossible (tested by a >2^16-iteration stress).
+//
+//   * Dense kernels (distances_into / multi_source_into) write straight into
+//     a caller-provided span — e.g. an arena slot of the distance oracle —
+//     using the output itself as the visited set. A warm workspace performs
+//     ZERO heap allocations per sweep (proven by the counting-allocator
+//     test).
+//
+//   * distances_into with radius == kInfDist runs the direction-optimizing
+//     kernel (Beamer et al., "Direction-Optimizing Breadth-First Search"):
+//     when the frontier's out-edges exceed 1/alpha of the unexplored edges
+//     the sweep flips to bottom-up — every unvisited node scans its own
+//     neighbours for a frontier member and stops at the first hit — and
+//     flips back once the frontier falls under n/beta. On low-diameter
+//     families (hypercube, G(n,p)) where frontiers explode this is worth
+//     2-4x; distances are bit-identical to the scalar kernel by level
+//     synchronisation (differential-tested across all families).
+//
+//   * Sparse kernels (ball / eccentricity / farthest) never touch O(n)
+//     output: cost is O(|visited| + |edges scanned|) via the epoch stamps.
+//     This is what makes the ball scheme's inner sampling loop cheap.
+//
+//   * The visitation primitives (prepare / try_visit / visited / mark /
+//     marked / queue) are public so specialised traversals — bag-length
+//     measurement in decomposition/measures.cpp, the workload ball sampler —
+//     build on the same scratch instead of growing their own.
+//
+// Workspaces are pooled per worker thread: call local_bfs_workspace() (built
+// on runtime/scratch_pool.hpp) from any thread, including nav::parallel_for
+// bodies — each worker reuses its private instance with no synchronisation.
+// A workspace is NOT re-entrant: one traversal at a time per instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace nav::graph {
+
+class BfsWorkspace {
+ public:
+  // ---- lifecycle --------------------------------------------------------
+  /// Opens a fresh traversal over a graph of (at least) n nodes: bumps the
+  /// epoch and clears the queue. O(1) amortised; allocates only when n grows
+  /// beyond every previous prepare on this instance.
+  void prepare(std::size_t n);
+
+  /// Current generation counter (diagnostics; lets the wraparound stress
+  /// test assert it actually wrapped).
+  [[nodiscard]] std::uint16_t epoch() const noexcept { return epoch_; }
+
+  /// Nodes this workspace can traverse without reallocating.
+  [[nodiscard]] std::size_t capacity() const noexcept { return stamp_.size(); }
+
+  // ---- visitation primitives (valid between prepares) -------------------
+  /// Marks v visited; true iff v was unvisited this epoch.
+  bool try_visit(NodeId v) {
+    if (stamp_[v] == epoch_) return false;
+    stamp_[v] = epoch_;
+    return true;
+  }
+  [[nodiscard]] bool visited(NodeId v) const { return stamp_[v] == epoch_; }
+
+  /// Second, independent epoch-scoped marker channel (bag membership,
+  /// source sets). Lazily sized on first use; wraps with the visited stamps.
+  void mark(NodeId v);
+  [[nodiscard]] bool marked(NodeId v) const {
+    return v < mark_stamp_.size() && mark_stamp_[v] == epoch_;
+  }
+
+  /// Scratch queue for custom traversals (also used by the kernels below;
+  /// contents are invalidated by any kernel call on this workspace).
+  [[nodiscard]] std::vector<NodeId>& queue() noexcept { return queue_; }
+
+  // ---- dense kernels (write a full distance array) -----------------------
+  /// Single-source distances into out (size n; unreached entries get
+  /// kInfDist). radius == kInfDist runs the direction-optimizing full sweep;
+  /// a finite radius runs the frontier-bounded scalar kernel (nodes farther
+  /// than radius keep kInfDist). Zero allocations once warm.
+  void distances_into(const Graph& g, NodeId source, std::span<Dist> out,
+                      Dist radius = kInfDist);
+
+  /// The scalar reference kernel behind distances_into — public so
+  /// differential tests can pin the direction-optimizing kernel against it.
+  void distances_into_scalar(const Graph& g, NodeId source, std::span<Dist> out,
+                             Dist radius = kInfDist);
+
+  /// Multi-source distances (distance to the nearest source) into out.
+  void multi_source_into(const Graph& g, std::span<const NodeId> sources,
+                         std::span<Dist> out);
+
+  // ---- sparse kernels (cost O(|ball|), no O(n) output) -------------------
+  /// The ball B(center, radius) in BFS (distance, id) order.
+  struct BallView {
+    /// Members in discovery order, center first. Points into the workspace
+    /// queue: valid until the next kernel call or prepare on this instance.
+    std::span<const NodeId> order;
+    /// True when the ball swallowed the whole graph at depth <= radius; the
+    /// expansion stops there (further levels cannot add members).
+    bool whole_graph = false;
+    /// The depth at which that happened (an eccentricity upper bound for
+    /// center); 0 when whole_graph is false.
+    Dist exhausted_depth = 0;
+  };
+  [[nodiscard]] BallView ball(const Graph& g, NodeId center, Dist radius);
+
+  /// max { dist(source, v) : v reachable } without materialising distances.
+  [[nodiscard]] Dist eccentricity(const Graph& g, NodeId source);
+
+  /// Farthest reachable node (smallest id among ties) and its distance.
+  [[nodiscard]] FarthestResult farthest(const Graph& g, NodeId source);
+
+ private:
+  void diropt_into(const Graph& g, NodeId source, std::span<Dist> out);
+  void ensure_bitmaps(std::size_t words);
+
+  std::vector<std::uint16_t> stamp_;       // visited iff stamp_[v] == epoch_
+  std::vector<std::uint16_t> mark_stamp_;  // marked  iff mark_stamp_[v] == epoch_
+  std::uint16_t epoch_ = 0;
+  std::vector<NodeId> queue_;
+  // Direction-optimizing scratch: current/next frontier and visited bitmaps.
+  std::vector<std::uint64_t> front_bits_, next_bits_, visited_bits_;
+};
+
+/// The calling thread's pooled workspace (one per worker thread, via
+/// runtime/scratch_pool.hpp). Safe from parallel_for bodies; never hold the
+/// reference across a point where the same thread may re-enter the engine.
+[[nodiscard]] BfsWorkspace& local_bfs_workspace();
+
+// ---- pre-engine reference implementations -------------------------------
+// The seed repo's allocating scalar kernels, kept verbatim as the
+// differential-test baseline and the bench_micro "pre-PR" comparison point.
+// New code should use BfsWorkspace (or the bfs.hpp wrappers).
+
+/// Allocating scalar BFS; bit-identical output to distances_into.
+[[nodiscard]] std::vector<Dist> bfs_distances_reference(const Graph& g,
+                                                        NodeId source,
+                                                        Dist radius = kInfDist);
+
+/// Allocating per-call-visited ball; identical order to BfsWorkspace::ball.
+[[nodiscard]] std::vector<NodeId> ball_reference(const Graph& g, NodeId center,
+                                                 Dist radius);
+
+}  // namespace nav::graph

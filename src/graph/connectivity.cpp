@@ -2,12 +2,17 @@
 
 #include <algorithm>
 
+#include "graph/bfs_engine.hpp"
+
 namespace nav::graph {
 
 Components connected_components(const Graph& g) {
   Components result;
   result.component_of.assign(g.num_nodes(), kNoNode);
-  std::vector<NodeId> queue;
+  // component_of doubles as the visited set; only the queue is scratch.
+  auto& ws = local_bfs_workspace();
+  ws.prepare(g.num_nodes());
+  auto& queue = ws.queue();
   for (NodeId start = 0; start < g.num_nodes(); ++start) {
     if (result.component_of[start] != kNoNode) continue;
     const auto comp = static_cast<NodeId>(result.count++);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/bfs_engine.hpp"
 #include "graph/connectivity.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -10,12 +11,9 @@ namespace nav::graph {
 std::vector<Dist> eccentricities(const Graph& g) {
   std::vector<Dist> ecc(g.num_nodes(), 0);
   nav::parallel_for(0, g.num_nodes(), [&](std::size_t u) {
-    const auto dist = bfs_distances(g, static_cast<NodeId>(u));
-    Dist e = 0;
-    for (const Dist d : dist) {
-      if (d != kInfDist) e = std::max(e, d);  // within-component eccentricity
-    }
-    ecc[u] = e;
+    // Workspace kernel: no per-source distance array at all — the BFS level
+    // count is the within-component eccentricity.
+    ecc[u] = local_bfs_workspace().eccentricity(g, static_cast<NodeId>(u));
   });
   return ecc;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/bfs_engine.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace nav::graph {
@@ -14,26 +15,38 @@ std::vector<DistVecPtr> DistanceOracle::prefetch(
   return pinned;
 }
 
-DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.num_nodes()) {
-  rows_.resize(n_);
+DistanceMatrix::DistanceMatrix(const Graph& g)
+    : n_(g.num_nodes()),
+      slab_(std::make_shared<std::vector<Dist>>(
+          static_cast<std::size_t>(n_) * n_)) {
+  Dist* const rows = slab_->data();
   nav::parallel_for(0, n_, [&](std::size_t t) {
-    rows_[t] = std::make_shared<const std::vector<Dist>>(
-        bfs_distances(g, static_cast<NodeId>(t)));
+    // Each worker reuses its pooled workspace; rows are disjoint slab slices.
+    local_bfs_workspace().distances_into(
+        g, static_cast<NodeId>(t), {rows + t * n_, static_cast<std::size_t>(n_)});
   });
 }
 
 Dist DistanceMatrix::distance(NodeId u, NodeId target) const {
   NAV_ASSERT(u < n_ && target < n_);
-  return (*rows_[target])[u];
+  return (*slab_)[static_cast<std::size_t>(target) * n_ + u];
 }
 
 DistVecPtr DistanceMatrix::distances_to(NodeId target) const {
   NAV_ASSERT(target < n_);
-  return rows_[target];
+  // Aliasing handle: pins the whole slab, views one row.
+  return {std::shared_ptr<const Dist>(
+              slab_, slab_->data() + static_cast<std::size_t>(target) * n_),
+          n_};
 }
 
 TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity)
-    : graph_(g), capacity_(capacity == 0 ? 1 : capacity) {}
+    : graph_(g),
+      capacity_(capacity == 0 ? 1 : capacity),
+      // One slot beyond the LRU capacity: a miss on a full cache computes its
+      // row BEFORE evicting (the victim's slot frees only after the insert),
+      // so without the spare every such miss would spill to the heap.
+      arena_(capacity_ + 1, g.num_nodes()) {}
 
 TargetDistanceCache::TargetDistanceCache(const Graph& g, MemoryBudget budget)
     : TargetDistanceCache(g, capacity_for_budget(budget, g.num_nodes())) {}
@@ -47,6 +60,19 @@ std::size_t TargetDistanceCache::capacity_for_budget(MemoryBudget budget,
 
 Dist TargetDistanceCache::distance(NodeId u, NodeId target) const {
   return (*distances_to(target))[u];
+}
+
+DistVecPtr TargetDistanceCache::compute_row(NodeId target) const {
+  const std::size_t n = graph_.num_nodes();
+  // Steady state: a recycled arena slot, zero heap allocations. When every
+  // slot is pinned (a prefetch wave larger than the budget), spill to a
+  // plain heap row — correctness never depends on the arena having room.
+  std::shared_ptr<Dist> row = arena_.try_acquire();
+  if (row == nullptr) {
+    row = std::shared_ptr<Dist>(new Dist[n], std::default_delete<Dist[]>());
+  }
+  local_bfs_workspace().distances_into(graph_, target, {row.get(), n});
+  return {std::move(row), n};
 }
 
 DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
@@ -63,8 +89,7 @@ DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
   }
   // BFS outside the lock: concurrent misses on the same target may compute it
   // twice; both results are identical, the second insert wins harmlessly.
-  auto dist = std::make_shared<const std::vector<Dist>>(
-      bfs_distances(graph_, target));
+  DistVecPtr dist = compute_row(target);
   std::lock_guard lock(mutex_);
   const auto it = cache_.find(target);
   if (it != cache_.end()) return it->second.distances;  // lost the race
@@ -73,7 +98,7 @@ DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
   while (cache_.size() > capacity_) {
     const NodeId victim = lru_.back();
     lru_.pop_back();
-    cache_.erase(victim);
+    cache_.erase(victim);  // the slot recycles once the last pin drops
   }
   return dist;
 }
@@ -100,7 +125,7 @@ std::vector<DistVecPtr> TargetDistanceCache::prefetch(
       } else {
         ++misses_;
         missing.push_back(t);
-        by_target.emplace(t, nullptr);  // reserve the slot
+        by_target.emplace(t, DistVecPtr{});  // reserve the slot
       }
     }
   }
@@ -108,8 +133,7 @@ std::vector<DistVecPtr> TargetDistanceCache::prefetch(
   // this is the batched-prefetch win over miss-by-miss distances_to.
   std::vector<DistVecPtr> fresh(missing.size());
   nav::parallel_for(0, missing.size(), [&](std::size_t i) {
-    fresh[i] = std::make_shared<const std::vector<Dist>>(
-        bfs_distances(graph_, missing[i]));
+    fresh[i] = compute_row(missing[i]);
   });
   // Pass 3 (under the lock): install the new vectors, newest-first LRU.
   if (!missing.empty()) {

@@ -7,10 +7,20 @@
 //   * TargetDistanceCache — one BFS per distinct target, LRU-capped. Right
 //     choice for big sweeps where each target serves thousands of trials.
 //
-// distances_to() hands out shared ownership so a routing episode can keep the
-// vector alive even if the cache evicts the entry concurrently.
+// Storage is arena-backed (runtime/arena.hpp): both oracles carve per-target
+// distance rows out of slabs instead of allocating one std::vector<Dist> per
+// target — the cache's slab budget is MemoryBudget, and a steady-state miss
+// BFS-fills a recycled slot, so the O(n) row never touches the heap (the
+// BFS runs on the worker thread's pooled BfsWorkspace, also allocation-free;
+// only O(1) LRU/map bookkeeping nodes are allocated per miss, and hits
+// allocate nothing at all).
+//
+// distances_to() hands out a shared-ownership DistVecPtr so a routing episode
+// can keep the row alive even if the cache evicts the entry concurrently —
+// the slot returns to the arena only when the last pin drops.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -21,12 +31,66 @@
 
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
+#include "runtime/arena.hpp"
 
 namespace nav::graph {
 
-/// Shared-ownership handle to one target's distance vector. Holding it pins
-/// the vector even if a caching oracle evicts the entry concurrently.
-using DistVecPtr = std::shared_ptr<const std::vector<Dist>>;
+/// Read-only view of one target's distance vector (size n, indexed by node).
+/// Converts implicitly to std::span<const Dist> — the type
+/// Router::route_resolved takes.
+class DistView {
+ public:
+  DistView() = default;
+  DistView(const Dist* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] const Dist& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const Dist* data() const noexcept { return data_; }
+  [[nodiscard]] const Dist* begin() const noexcept { return data_; }
+  [[nodiscard]] const Dist* end() const noexcept { return data_ + size_; }
+  operator std::span<const Dist>() const noexcept { return {data_, size_}; }
+
+  /// Element-wise equality against any contiguous Dist range (vectors
+  /// convert): the form differential tests want.
+  friend bool operator==(const DistView& a, std::span<const Dist> b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  const Dist* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Shared-ownership handle to one target's distance row. Holding it pins the
+/// underlying storage — an arena slot or matrix-slab row — even if a caching
+/// oracle evicts the entry concurrently. Pointer-like: *p is the DistView,
+/// p->size() works, handles compare by identity (same storage).
+class DistVecPtr {
+ public:
+  DistVecPtr() = default;
+  DistVecPtr(std::shared_ptr<const Dist> data, std::size_t size) noexcept
+      : owner_(std::move(data)), view_(owner_.get(), size) {}
+
+  [[nodiscard]] const DistView& operator*() const noexcept { return view_; }
+  [[nodiscard]] const DistView* operator->() const noexcept { return &view_; }
+  explicit operator bool() const noexcept { return owner_ != nullptr; }
+
+  /// Identity (not element) comparison, matching shared_ptr semantics:
+  /// handles are equal iff they pin the same storage.
+  friend bool operator==(const DistVecPtr& a, const DistVecPtr& b) noexcept {
+    return a.owner_ == b.owner_;
+  }
+  friend bool operator==(const DistVecPtr& a, std::nullptr_t) noexcept {
+    return a.owner_ == nullptr;
+  }
+
+ private:
+  std::shared_ptr<const Dist> owner_;
+  DistView view_;
+};
 
 /// Abstract distance-to-target service (thread-safe).
 class DistanceOracle {
@@ -51,8 +115,8 @@ class DistanceOracle {
       std::span<const NodeId> targets) const;
 };
 
-/// Dense all-pairs table. Memory: n² × 4 bytes. Built with a parallel
-/// all-source BFS sweep at construction.
+/// Dense all-pairs table. Memory: one n² × 4-byte slab, rows aliased into
+/// it. Built with a parallel all-source BFS sweep at construction.
 class DistanceMatrix final : public DistanceOracle {
  public:
   explicit DistanceMatrix(const Graph& g);
@@ -64,7 +128,7 @@ class DistanceMatrix final : public DistanceOracle {
 
  private:
   NodeId n_;
-  std::vector<DistVecPtr> rows_;  // rows_[t] maps u -> dist(u, t)
+  std::shared_ptr<std::vector<Dist>> slab_;  // n_ rows of n_ entries
 };
 
 /// Cache sizing by bytes instead of entry count: the number of resident
@@ -74,10 +138,13 @@ struct MemoryBudget {
   std::size_t bytes = 64u << 20;
 };
 
-/// Per-target BFS cache with LRU eviction.
+/// Per-target BFS cache with LRU eviction over arena-slab rows.
 class TargetDistanceCache final : public DistanceOracle {
  public:
   /// `capacity` = number of target distance vectors kept alive in the cache.
+  /// The arena holds capacity + 1 slots (slabs grow lazily towards it): the
+  /// spare serves the miss-on-full-cache window where the new row is
+  /// computed before the victim's slot frees.
   explicit TargetDistanceCache(const Graph& g, std::size_t capacity = 64);
 
   /// Sizes the LRU from a byte budget via capacity_for_budget.
@@ -95,7 +162,9 @@ class TargetDistanceCache final : public DistanceOracle {
   /// over the global thread pool (callers must therefore not invoke this
   /// from inside a pool task), then inserted; resident ones are bumped.
   /// Returned pins outlive eviction, so a batch larger than the capacity is
-  /// still served correctly — the LRU just ends at its capacity.
+  /// still served correctly — the LRU just ends at its capacity. (Pins in
+  /// excess of the arena budget spill to plain heap rows; they free on
+  /// release rather than recycling.)
   [[nodiscard]] std::vector<DistVecPtr> prefetch(
       std::span<const NodeId> targets) const override;
 
@@ -107,6 +176,10 @@ class TargetDistanceCache final : public DistanceOracle {
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
 
  private:
+  /// One BFS into a fresh row (arena slot, or heap when all slots are
+  /// pinned) on the calling thread's workspace.
+  [[nodiscard]] DistVecPtr compute_row(NodeId target) const;
+
   struct Entry {
     std::list<NodeId>::iterator lru_it;
     DistVecPtr distances;
@@ -114,6 +187,7 @@ class TargetDistanceCache final : public DistanceOracle {
 
   const Graph& graph_;
   std::size_t capacity_;
+  mutable SlabArena<Dist> arena_;
   mutable std::mutex mutex_;
   mutable std::list<NodeId> lru_;  // front = most recently used
   mutable std::unordered_map<NodeId, Entry> cache_;

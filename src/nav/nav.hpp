@@ -51,11 +51,14 @@
 /// \brief Demand models (make_workload) and open-loop load driving
 /// (TrafficDriver) for RouteService.
 
-// runtime — deterministic RNG, stats, tables, timing, the thread pool.
+// runtime — deterministic RNG, stats, tables, timing, the thread pool,
+// scratch pooling and slab arenas.
+#include "runtime/arena.hpp"
 #include "runtime/assert.hpp"
 #include "runtime/discrete_distribution.hpp"
 #include "runtime/parse.hpp"
 #include "runtime/rng.hpp"
+#include "runtime/scratch_pool.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/table.hpp"
 #include "runtime/thread_pool.hpp"
@@ -63,6 +66,7 @@
 
 // graph — CSR graphs, generators, the family registry, distances.
 #include "graph/bfs.hpp"
+#include "graph/bfs_engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/diameter.hpp"
 #include "graph/distance_oracle.hpp"

@@ -1,0 +1,121 @@
+// arena.hpp — slab arena of fixed-size, refcount-recycled slots.
+//
+// The distance oracle used to allocate one std::vector<Dist> per cached
+// target: at steady state every cache miss paid a heap round trip sized by
+// the graph. SlabArena replaces that with chunked slabs carved into
+// fixed-size slots handed out as shared_ptr handles:
+//
+//   * try_acquire() pops a recycled slot from the free list — no allocation
+//     in steady state. Chunks are only allocated while the arena grows
+//     towards its slot budget, so memory stays proportional to what is
+//     actually live (a cache with a huge MemoryBudget on a small working set
+//     never touches most of its budget).
+//   * The returned shared_ptr owns the *slot*: when the last copy drops, the
+//     slot re-enters the free list. A consumer can therefore pin a slot past
+//     eviction from whatever index structure sits on top (the LRU contract
+//     of TargetDistanceCache) — the slot is recycled only when every pin is
+//     gone.
+//   * Handles co-own the arena state: destroying the arena object while
+//     handles are live is safe; the slabs are freed with the last handle.
+//
+// Slots are never zeroed on acquire — callers overwrite them fully (a BFS
+// kernel writes every entry of its output span). T must be trivially
+// destructible (slots are recycled, not destroyed).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/assert.hpp"
+
+namespace nav {
+
+template <typename T>
+class SlabArena {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SlabArena recycles slots without running destructors");
+
+ public:
+  /// An arena of up to `slot_count` slots of `slot_size` T's each. Chunks of
+  /// `slots_per_chunk` slots are allocated on demand (0 = auto: ~8 MiB per
+  /// chunk, at least one slot, never more than the budget).
+  SlabArena(std::size_t slot_count, std::size_t slot_size,
+            std::size_t slots_per_chunk = 0)
+      : state_(std::make_shared<State>()),
+        slot_count_(slot_count),
+        slot_size_(slot_size == 0 ? 1 : slot_size) {
+    NAV_REQUIRE(slot_count >= 1, "arena needs at least one slot");
+    if (slots_per_chunk == 0) {
+      constexpr std::size_t kChunkBytes = 8u << 20;
+      slots_per_chunk = kChunkBytes / (slot_size_ * sizeof(T));
+    }
+    slots_per_chunk_ = std::max<std::size_t>(1, std::min(slots_per_chunk, slot_count_));
+  }
+
+  /// A writable slot of slot_size() T's (uninitialised), or nullptr when
+  /// every slot is pinned. The handle returns the slot to the free list on
+  /// destruction and keeps the slab alive past the arena itself.
+  [[nodiscard]] std::shared_ptr<T> try_acquire() {
+    T* slot = nullptr;
+    {
+      std::lock_guard lock(state_->mutex);
+      if (!state_->free_slots.empty()) {
+        slot = state_->free_slots.back();
+        state_->free_slots.pop_back();
+      } else if (state_->slots_allocated < slot_count_) {
+        const std::size_t grow =
+            std::min(slots_per_chunk_, slot_count_ - state_->slots_allocated);
+        state_->chunks.emplace_back(new T[grow * slot_size_]);
+        T* const chunk = state_->chunks.back().get();
+        // Hand out the first slot; queue the rest for later acquires.
+        slot = chunk;
+        for (std::size_t i = grow; i-- > 1;) {
+          state_->free_slots.push_back(chunk + i * slot_size_);
+        }
+        state_->slots_allocated += grow;
+      }
+      if (slot != nullptr) ++state_->slots_in_use;
+    }
+    if (slot == nullptr) return nullptr;
+    // The deleter's copy of `state` keeps slabs alive until the last handle.
+    std::shared_ptr<State> state = state_;
+    return std::shared_ptr<T>(slot, [state](T* p) {
+      std::lock_guard lock(state->mutex);
+      state->free_slots.push_back(p);
+      --state->slots_in_use;
+    });
+  }
+
+  [[nodiscard]] std::size_t slot_size() const noexcept { return slot_size_; }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slot_count_; }
+
+  /// Slots held by live handles right now.
+  [[nodiscard]] std::size_t slots_in_use() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->slots_in_use;
+  }
+  /// Slots carved out of chunks so far (the arena's memory high-water mark).
+  [[nodiscard]] std::size_t slots_allocated() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->slots_allocated;
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<T[]>> chunks;
+    std::vector<T*> free_slots;
+    std::size_t slots_allocated = 0;
+    std::size_t slots_in_use = 0;
+  };
+
+  std::shared_ptr<State> state_;
+  std::size_t slot_count_;
+  std::size_t slot_size_;
+  std::size_t slots_per_chunk_;
+};
+
+}  // namespace nav

@@ -7,6 +7,7 @@
 
 #include "api/result_sink.hpp"
 #include "graph/bfs.hpp"
+#include "graph/bfs_engine.hpp"
 #include "graph/diameter.hpp"
 #include "runtime/assert.hpp"
 #include "runtime/discrete_distribution.hpp"
@@ -93,10 +94,7 @@ class ZipfWorkload final : public Workload {
 class LocalWorkload final : public Workload {
  public:
   LocalWorkload(std::string spec, const graph::Graph& g, graph::Dist radius)
-      : spec_(std::move(spec)),
-        graph_(g),
-        radius_(radius),
-        visited_stamp_(g.num_nodes(), 0) {
+      : spec_(std::move(spec)), graph_(g), radius_(radius) {
     NAV_REQUIRE(g.num_nodes() >= 2, "workload needs n >= 2");
     NAV_REQUIRE(radius >= 1, "local workload needs radius >= 1");
   }
@@ -104,50 +102,24 @@ class LocalWorkload final : public Workload {
   [[nodiscard]] std::string name() const override { return spec_; }
 
   [[nodiscard]] Pair next(Rng& rng) override {
+    // The engine's epoch-stamped ball kernel costs O(|ball|) per draw, so
+    // small-radius demand never pays an O(n) reset (the reason this class
+    // used to carry its own stamped scratch).
+    auto& ws = graph::local_bfs_workspace();
     while (true) {
       const auto s = static_cast<NodeId>(random_index(rng, graph_.num_nodes()));
-      collect_ball(s);
-      if (members_.size() < 2) continue;  // isolated within the radius
-      // members_ is in BFS (distance, id) order with s first; skip it.
-      const auto pick = 1 + random_index(rng, members_.size() - 1);
-      return {s, members_[pick]};
+      const auto members = ws.ball(graph_, s, radius_).order;
+      if (members.size() < 2) continue;  // isolated within the radius
+      // members is in BFS (distance, id) order with s first; skip it.
+      const auto pick = 1 + random_index(rng, members.size() - 1);
+      return {s, members[pick]};
     }
   }
 
  private:
-  /// graph::ball with reusable scratch: generation draws one ball per pair,
-  /// and the generic helper's fresh O(n) visited array per call would
-  /// dominate small-radius draws. Stamps make the reset free.
-  void collect_ball(NodeId center) {
-    ++stamp_;
-    members_.clear();
-    frontier_.clear();
-    frontier_.push_back(center);
-    visited_stamp_[center] = stamp_;
-    members_.push_back(center);
-    graph::Dist depth = 0;
-    while (!frontier_.empty() && depth < radius_) {
-      next_.clear();
-      for (const NodeId u : frontier_) {
-        for (const NodeId v : graph_.neighbors(u)) {
-          if (visited_stamp_[v] != stamp_) {
-            visited_stamp_[v] = stamp_;
-            next_.push_back(v);
-            members_.push_back(v);
-          }
-        }
-      }
-      frontier_.swap(next_);
-      ++depth;
-    }
-  }
-
   std::string spec_;
   const graph::Graph& graph_;
   graph::Dist radius_;
-  std::uint64_t stamp_ = 0;
-  std::vector<std::uint64_t> visited_stamp_;  // visited iff == stamp_
-  std::vector<NodeId> members_, frontier_, next_;
 };
 
 /// Far pairs by construction: s uniform, t whichever double-sweep peripheral

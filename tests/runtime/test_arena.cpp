@@ -1,0 +1,78 @@
+#include "runtime/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace nav {
+namespace {
+
+TEST(SlabArena, SlotsAreDistinctAndWritable) {
+  SlabArena<std::uint32_t> arena(4, 8);
+  auto a = arena.try_acquire();
+  auto b = arena.try_acquire();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+  for (std::size_t i = 0; i < 8; ++i) a.get()[i] = 100 + i;
+  for (std::size_t i = 0; i < 8; ++i) b.get()[i] = 200 + i;
+  EXPECT_EQ(a.get()[7], 107u);
+  EXPECT_EQ(b.get()[0], 200u);
+}
+
+TEST(SlabArena, ExhaustsAtSlotBudget) {
+  SlabArena<std::uint32_t> arena(2, 4);
+  auto a = arena.try_acquire();
+  auto b = arena.try_acquire();
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_EQ(arena.try_acquire(), nullptr);  // every slot pinned
+  EXPECT_EQ(arena.slots_in_use(), 2u);
+}
+
+TEST(SlabArena, ReleasedSlotsRecycleWithoutNewChunks) {
+  SlabArena<std::uint32_t> arena(2, 4);
+  auto a = arena.try_acquire();
+  const auto* first = a.get();
+  a.reset();  // back to the free list
+  EXPECT_EQ(arena.slots_in_use(), 0u);
+  auto b = arena.try_acquire();
+  EXPECT_EQ(b.get(), first);  // LIFO recycling, no growth
+  EXPECT_EQ(arena.slots_allocated(), 2u);  // the first chunk covered both slots
+}
+
+TEST(SlabArena, ChunksGrowLazilyTowardsBudget) {
+  // 100-slot budget, 10 slots per chunk: memory tracks the working set.
+  SlabArena<std::uint32_t> arena(100, 4, 10);
+  EXPECT_EQ(arena.slots_allocated(), 0u);
+  std::vector<std::shared_ptr<std::uint32_t>> pins;
+  for (int i = 0; i < 15; ++i) pins.push_back(arena.try_acquire());
+  EXPECT_EQ(arena.slots_allocated(), 20u);  // two chunks carved
+  EXPECT_EQ(arena.slots_in_use(), 15u);
+}
+
+TEST(SlabArena, HandlesOutliveTheArena) {
+  std::shared_ptr<std::uint32_t> pin;
+  {
+    SlabArena<std::uint32_t> arena(1, 16);
+    pin = arena.try_acquire();
+    for (std::size_t i = 0; i < 16; ++i) pin.get()[i] = 7;
+  }  // arena object gone; the handle co-owns the slab
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(pin.get()[i], 7u);
+}
+
+TEST(SlabArena, CrossThreadReleaseIsSafe) {
+  SlabArena<std::uint32_t> arena(8, 4);
+  std::vector<std::shared_ptr<std::uint32_t>> pins;
+  for (int i = 0; i < 8; ++i) pins.push_back(arena.try_acquire());
+  std::thread releaser([&] { pins.clear(); });
+  releaser.join();
+  EXPECT_EQ(arena.slots_in_use(), 0u);
+  EXPECT_NE(arena.try_acquire(), nullptr);
+}
+
+}  // namespace
+}  // namespace nav

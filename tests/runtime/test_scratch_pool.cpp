@@ -1,0 +1,87 @@
+#include "runtime/scratch_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace nav {
+namespace {
+
+struct Counter {
+  int value = 0;
+};
+
+TEST(ThreadScratch, StablePerThreadDistinctAcrossThreads) {
+  Counter& a = thread_scratch<Counter>();
+  a.value = 42;
+  EXPECT_EQ(&a, &thread_scratch<Counter>());
+  EXPECT_EQ(thread_scratch<Counter>().value, 42);
+  Counter* other = nullptr;
+  int other_initial = -1;
+  std::thread([&] {
+    other = &thread_scratch<Counter>();
+    other_initial = other->value;
+  }).join();
+  EXPECT_NE(other, &a);
+  EXPECT_EQ(other_initial, 0);  // fresh instance, not a's state
+}
+
+TEST(ScratchPool, LeaseRecyclesInstances) {
+  ScratchPool<Counter> pool;
+  Counter* first = nullptr;
+  {
+    auto lease = pool.acquire();
+    lease->value = 7;
+    first = &*lease;
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+  auto lease = pool.acquire();
+  EXPECT_EQ(&*lease, first);   // recycled, not reconstructed
+  EXPECT_EQ(lease->value, 7);  // state survives (scratch contract: grow-only)
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(ScratchPool, ConcurrentAcquiresGetDistinctInstances) {
+  ScratchPool<Counter> pool;
+  auto a = pool.acquire();
+  auto b = pool.acquire();
+  EXPECT_NE(&*a, &*b);
+}
+
+TEST(ScratchPool, LeaseSurvivesPoolDestruction) {
+  ScratchPool<Counter>::Lease* escaped = nullptr;
+  {
+    ScratchPool<Counter> pool;
+    escaped = new ScratchPool<Counter>::Lease(pool.acquire());
+    (*escaped)->value = 9;
+  }  // pool dies with a lease outstanding
+  EXPECT_EQ((**escaped).value, 9);
+  delete escaped;  // returns into the orphaned free list, then frees with it
+}
+
+TEST(ScratchPool, MovedFromLeaseDoesNotDoubleReturn) {
+  ScratchPool<Counter> pool;
+  {
+    auto a = pool.acquire();
+    auto b = std::move(a);
+    b->value = 3;
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(ScratchPool, MoveAssignReturnsTheDisplacedInstance) {
+  // a = move(b) must put a's instance back in the pool, not destroy it —
+  // otherwise every reassignment permanently shrinks the pool.
+  ScratchPool<Counter> pool;
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    a = std::move(b);
+    EXPECT_EQ(pool.idle(), 1u);  // a's original instance came back at once
+  }
+  EXPECT_EQ(pool.idle(), 2u);  // both instances survive the scope
+}
+
+}  // namespace
+}  // namespace nav
