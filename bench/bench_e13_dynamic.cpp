@@ -1,0 +1,386 @@
+// bench_e13_dynamic.cpp — E13: navigability of a graph that refuses to hold
+// still — churn/failure streams, incremental oracle invalidation, and
+// feedback-driven rewiring.
+//
+// Claim under test: the paper's augmentation schemes are built for a static
+// graph, but their navigability degrades gracefully under edge failures and
+// churn (the robustness reading of "Navigability is a Robust Property"),
+// the oracle layer can track mutations by invalidating only the distance
+// rows a mutation can actually change (strictly fewer than a full flush),
+// and a self-organizing rewire scheme recovers navigability from routing
+// feedback alone (Zhuo et al.).
+//
+// Four sections:
+//   1. E13a — robustness surface: family × scheme × fail_frac grid. The
+//      scheme is built on the pristine graph, a one-shot "fail:<frac>"
+//      stream removes edges, and the surviving trial pairs are routed with
+//      the stale augmentation. success_rate is the fraction of pairs still
+//      connected; stretch measures the detour the failures force.
+//   2. E13b — churn under live traffic: a TrafficDriver closes the loop
+//      around RouteService while a "churn:<rate>" stream mutates the
+//      DynamicGraph between batches; the DynamicOracle's invalidation
+//      counters ride along in the cells.
+//   3. E13c — incremental vs full-flush: the same mutation sequence driven
+//      through Mode::kIncremental and Mode::kFullFlush oracles; asserts the
+//      acceptance criterion (incremental retains rows — invalidates
+//      strictly fewer targets than the flush reference) and spot-checks
+//      bit-identical distances against a cold oracle.
+//   4. E13d — rewire self-organization: rounds of traced routes feeding
+//      RewireScheme::learn(); mean hops fall as losing nodes re-draw.
+//
+// BENCH_dynamic.json: with --jsonl the harness writes the consolidated
+// nav-bench-trajectory-v1 document (pinned by the bench golden test; the
+// wall-clock fields are masked there).
+#include <algorithm>
+#include <cstdlib>
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace nav;
+
+/// Cold reference distances: a fresh BFS on the current graph state.
+graph::DistVecPtr cold_row(const graph::Graph& g, graph::NodeId target) {
+  graph::TargetDistanceCache cold(g, 1);
+  return cold.distances_to(target);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("dynamic", "e13_dynamic",
+                   "E13 — dynamic graphs: failures, churn, incremental "
+                   "invalidation, and self-organized rewiring",
+                   "augmentation schemes built statically keep routing under "
+                   "moderate edge failure (success degrades smoothly, "
+                   "stretch grows); the DynamicOracle invalidates strictly "
+                   "fewer rows than a full flush at identical distances; "
+                   "feedback rewiring lowers mean hops round over round",
+                   argc, argv);
+  h.group_by({"family", "scheme"});
+
+  // ---- 1. robustness surface: scheme × family × failed fraction ---------
+  if (h.section("E13a: robustness surface (stale scheme vs edge failures)")) {
+    const graph::NodeId n = h.quick() ? 512 : 2048;
+    const std::vector<std::string> families =
+        h.quick() ? std::vector<std::string>{"torus2d", "random_regular"}
+                  : std::vector<std::string>{"torus2d", "random_regular",
+                                             "gnp"};
+    const std::vector<std::string> schemes =
+        h.quick() ? std::vector<std::string>{"uniform", "ball"}
+                  : std::vector<std::string>{"uniform", "ball", "ml"};
+    const std::vector<std::string> fracs =
+        h.quick() ? std::vector<std::string>{"0", "0.05", "0.15"}
+                  : std::vector<std::string>{"0",   "0.02", "0.05",
+                                             "0.1", "0.2",  "0.3"};
+    routing::TrialConfig trials;
+    trials.num_pairs = h.quick() ? 8 : 24;
+    trials.resamples = h.quick() ? 4 : 8;
+
+    for (std::size_t fi = 0; fi < families.size(); ++fi) {
+      const auto& family = families[fi];
+      Rng graph_rng = Rng(h.seed(0xE13A)).child(fi);
+      const graph::Graph g = graph::family(family).make(n, graph_rng);
+      // One pair set per family, selected on the PRISTINE graph, shared by
+      // every (scheme, frac) cell — the surface is a controlled comparison.
+      Rng pair_rng = Rng(h.seed(0x9a1e)).child(fi);
+      const auto pairs = routing::select_trial_pairs(g, trials, pair_rng);
+
+      Table table({"scheme", "fail_frac", "m", "success", "greedy-diam",
+                   "mean", "stretch"});
+      for (std::size_t ki = 0; ki < schemes.size(); ++ki) {
+        Rng scheme_rng = Rng(h.seed(0x5c4e)).child(fi).child(ki);
+        const auto scheme = core::make_scheme(schemes[ki], g, scheme_rng);
+
+        for (const auto& frac : fracs) {
+          nav::Timer timer;
+          dynamic::DynamicGraph dyn(g);
+          if (frac != "0") {
+            const auto stream =
+                dynamic::make_mutation_stream("fail:" + frac);
+            Rng fail_rng = Rng(h.seed(0xFA11)).child(fi);
+            dyn.apply(stream->step(dyn, fail_rng));
+          }
+          const auto oracle = api::make_distance_oracle(
+              dyn.graph(), /*dense_limit=*/4096, trials.num_pairs + 8);
+          const auto router =
+              routing::make_router("greedy", dyn.graph(), *oracle);
+          api::RouteServiceOptions options;
+          const api::RouteService service(dyn.graph(), *oracle, scheme.get(),
+                                          *router, options);
+
+          // Pairs the failures disconnected cannot be routed greedily; the
+          // surviving fraction IS the robustness metric.
+          std::vector<std::pair<graph::NodeId, graph::NodeId>> kept;
+          for (const auto& [s, t] : pairs) {
+            if (oracle->distance(s, t) != graph::kInfDist) {
+              kept.push_back({s, t});
+            }
+          }
+          const double success = static_cast<double>(kept.size()) /
+                                 static_cast<double>(pairs.size());
+          routing::GreedyDiameterEstimate estimate;
+          double stretch_sum = 0.0;
+          std::size_t stretch_count = 0;
+          if (!kept.empty()) {
+            estimate = service.estimate_diameter(
+                trials, Rng(h.seed(0x7a1a)).child(fi).child(ki), kept);
+            for (const auto& pe : estimate.pairs) {
+              if (pe.distance >= 1) {
+                stretch_sum +=
+                    pe.mean_steps / static_cast<double>(pe.distance);
+                ++stretch_count;
+              }
+            }
+          }
+          const double stretch =
+              stretch_count > 0
+                  ? stretch_sum / static_cast<double>(stretch_count)
+                  : 0.0;
+          table.add_row({schemes[ki], frac,
+                         Table::integer(dyn.graph().num_edges()),
+                         Table::num(success, 3),
+                         Table::num(estimate.max_mean_steps, 1),
+                         Table::num(estimate.overall_mean_steps, 1),
+                         Table::num(stretch, 2)});
+          h.add_cell({{"experiment", std::string("e13_dynamic")},
+                      {"family", family},
+                      {"scheme", schemes[ki]},
+                      {"fail_frac", std::strtod(frac.c_str(), nullptr)},
+                      {"n", static_cast<std::uint64_t>(g.num_nodes())},
+                      {"m", static_cast<std::uint64_t>(
+                                dyn.graph().num_edges())},
+                      {"success_rate", success},
+                      {"greedy_diameter", estimate.max_mean_steps},
+                      {"mean_steps", estimate.overall_mean_steps},
+                      {"stretch_mean", stretch},
+                      {"seconds", timer.seconds()}});
+        }
+      }
+      std::cout << family << " n=" << g.num_nodes() << "\n"
+                << table.to_ascii();
+    }
+  }
+
+  // ---- 2. churn under live traffic --------------------------------------
+  if (h.section("E13b: churn between batches (TrafficDriver closed loop)")) {
+    const graph::NodeId n = h.quick() ? 1024 : 4096;
+    const std::size_t batches = h.quick() ? 6 : 24;
+    const std::size_t batch_size = h.quick() ? 64 : 256;
+    const std::vector<std::string> schemes = {"uniform", "ball"};
+    // churn:0 closes the loop without mutating — it must reproduce the
+    // open-loop route results bit for bit (pinned by the workload tests).
+    const std::vector<std::string> churn_specs = {"churn:0", "churn:2",
+                                                  "churn:8"};
+
+    for (const auto& scheme_spec : schemes) {
+      Table table({"mutations", "events", "epoch", "unreached", "hops p50",
+                   "hops p95", "stretch p95", "invalidated", "retained"});
+      for (const auto& churn : churn_specs) {
+        nav::Timer timer;
+        Rng graph_rng(h.seed(0xE13B));
+        dynamic::DynamicGraph dyn(
+            graph::family("torus2d").make(n, graph_rng));
+        dynamic::DynamicOracle oracle(dyn);
+        Rng scheme_rng(h.seed(0x5eed));
+        const auto scheme =
+            core::make_scheme(scheme_spec, dyn.graph(), scheme_rng);
+        const auto router =
+            routing::make_router("greedy", dyn.graph(), oracle);
+        api::RouteServiceOptions options;
+        options.tolerate_unreachable = true;  // churn may cut a pair off
+        api::RouteService service(dyn.graph(), oracle, scheme.get(), *router,
+                                  options);
+        const auto demand = workload::make_workload(
+            "zipf:1.2", dyn.graph(), Rng(h.seed(0xE13B)));
+        const auto stream = dynamic::make_mutation_stream(churn);
+
+        workload::TrafficOptions traffic;
+        traffic.schedule = "burst:4:0.0";
+        traffic.batches = batches;
+        traffic.batch_size = batch_size;
+        traffic.dynamic_graph = &dyn;
+        traffic.mutations = stream.get();
+        workload::TrafficDriver driver(service, *demand, traffic);
+        const auto report = driver.run(Rng(h.seed(0xD81)));
+        const auto stats = oracle.stats();
+
+        table.add_row({churn, Table::integer(report.mutation_events),
+                       Table::integer(report.final_epoch),
+                       Table::integer(report.pairs_unreached),
+                       Table::num(report.hops.p50, 1),
+                       Table::num(report.hops.p95, 1),
+                       Table::num(report.stretch.p95, 2),
+                       Table::integer(stats.targets_invalidated),
+                       Table::integer(stats.targets_retained)});
+        h.add_cell({{"experiment", std::string("e13_dynamic")},
+                    {"family", std::string("torus2d")},
+                    {"scheme", scheme_spec},
+                    {"mutations", churn},
+                    {"n", static_cast<std::uint64_t>(dyn.graph().num_nodes())},
+                    {"batches", static_cast<std::uint64_t>(batches)},
+                    {"batch_size", static_cast<std::uint64_t>(batch_size)},
+                    {"pairs_admitted",
+                     static_cast<std::uint64_t>(report.pairs_admitted)},
+                    {"pairs_unreached",
+                     static_cast<std::uint64_t>(report.pairs_unreached)},
+                    {"mutation_events",
+                     static_cast<std::uint64_t>(report.mutation_events)},
+                    {"final_epoch", report.final_epoch},
+                    {"hops_p50", report.hops.p50},
+                    {"hops_p95", report.hops.p95},
+                    {"stretch_p95", report.stretch.p95},
+                    {"targets_scanned", stats.targets_scanned},
+                    {"targets_invalidated", stats.targets_invalidated},
+                    {"targets_retained", stats.targets_retained},
+                    {"seconds", timer.seconds()}});
+      }
+      std::cout << "scheme=" << scheme_spec << "\n" << table.to_ascii();
+    }
+  }
+
+  // ---- 3. incremental vs full-flush (the acceptance counters) -----------
+  if (h.section("E13c: incremental invalidation vs full flush")) {
+    const graph::NodeId n = h.quick() ? 512 : 2048;
+    const std::size_t steps = h.quick() ? 8 : 32;
+    const std::string churn = "churn:1";
+
+    // Drive BOTH oracles through the identical mutation sequence: the
+    // stream runs against the incremental graph, and each delta's effective
+    // events replay onto the flush graph.
+    Rng graph_rng_a(h.seed(0xE13C));
+    Rng graph_rng_b(h.seed(0xE13C));
+    dynamic::DynamicGraph dyn_inc(
+        graph::family("torus2d").make(n, graph_rng_a));
+    dynamic::DynamicGraph dyn_flush(
+        graph::family("torus2d").make(n, graph_rng_b));
+    dynamic::DynamicOracle::Options inc_options;
+    inc_options.mode = dynamic::DynamicOracle::Mode::kIncremental;
+    dynamic::DynamicOracle::Options flush_options;
+    flush_options.mode = dynamic::DynamicOracle::Mode::kFullFlush;
+    dynamic::DynamicOracle inc(dyn_inc, inc_options);
+    dynamic::DynamicOracle flush(dyn_flush, flush_options);
+
+    const auto stream = dynamic::make_mutation_stream(churn);
+    Rng churn_rng(h.seed(0xC4a2));
+    Rng probe_rng(h.seed(0x90be));
+    std::size_t mismatches = 0;
+    for (std::size_t s = 0; s < steps; ++s) {
+      const auto delta = dyn_inc.apply(stream->step(dyn_inc, churn_rng));
+      dyn_flush.apply(delta.events);
+      // Spot-check: both modes — and a cold BFS on the mutated graph —
+      // agree bit for bit on a sample of rows after every step.
+      for (int probe = 0; probe < 4; ++probe) {
+        const auto target = static_cast<graph::NodeId>(
+            probe_rng.next_below(dyn_inc.graph().num_nodes()));
+        const auto row_inc = inc.distances_to(target);
+        const auto row_flush = flush.distances_to(target);
+        const auto row_cold = cold_row(dyn_inc.graph(), target);
+        for (graph::NodeId u = 0; u < dyn_inc.graph().num_nodes(); ++u) {
+          if ((*row_inc)[u] != (*row_cold)[u] ||
+              (*row_flush)[u] != (*row_cold)[u]) {
+            ++mismatches;
+          }
+        }
+      }
+    }
+    const auto inc_stats = inc.stats();
+    const auto flush_stats = flush.stats();
+    NAV_REQUIRE(mismatches == 0,
+                "incremental/full-flush/cold distances diverged");
+    // The PR's acceptance criterion: the tightness test must retain rows —
+    // invalidate strictly fewer targets than the flush reference does.
+    NAV_REQUIRE(inc_stats.targets_retained > 0,
+                "incremental invalidation retained nothing");
+    NAV_REQUIRE(
+        inc_stats.targets_invalidated < flush_stats.targets_invalidated,
+        "incremental invalidation was no tighter than a full flush");
+
+    Table table({"mode", "steps", "scanned", "invalidated", "retained",
+                 "full flushes"});
+    const auto add = [&](const char* mode_name,
+                         const dynamic::InvalidationStats& stats) {
+      table.add_row({mode_name, Table::integer(steps),
+                     Table::integer(stats.targets_scanned),
+                     Table::integer(stats.targets_invalidated),
+                     Table::integer(stats.targets_retained),
+                     Table::integer(stats.full_flushes)});
+      h.add_cell({{"experiment", std::string("e13_dynamic")},
+                  {"family", std::string("torus2d")},
+                  {"mode", std::string(mode_name)},
+                  {"mutations", churn},
+                  {"n", static_cast<std::uint64_t>(
+                            dyn_inc.graph().num_nodes())},
+                  {"mutation_steps", static_cast<std::uint64_t>(steps)},
+                  {"targets_scanned", stats.targets_scanned},
+                  {"targets_invalidated", stats.targets_invalidated},
+                  {"targets_retained", stats.targets_retained},
+                  {"full_flushes", stats.full_flushes}});
+    };
+    add("incremental", inc_stats);
+    add("full_flush", flush_stats);
+    std::cout << table.to_ascii()
+              << "(distances bit-identical across modes and a cold rebuild "
+                 "at every step)\n";
+  }
+
+  // ---- 4. rewire self-organization --------------------------------------
+  if (h.section("E13d: feedback rewiring (mean hops round over round)")) {
+    const graph::NodeId n = h.quick() ? 256 : 1024;
+    const std::size_t rounds = h.quick() ? 6 : 12;
+    const std::size_t routes_per_round = h.quick() ? 128 : 512;
+
+    Rng graph_rng(h.seed(0xE13D));
+    const graph::Graph g = graph::family("cycle").make(n, graph_rng);
+    const auto oracle =
+        api::make_distance_oracle(g, /*dense_limit=*/4096, 8);
+    const auto router = routing::make_router("greedy", g, *oracle);
+    Rng scheme_build_rng(h.seed(0x5e1f));
+    const auto scheme =
+        dynamic::make_rewire_scheme("rewire:uniform", g, scheme_build_rng);
+
+    Rng round_rng(h.seed(0x2e81));
+    Table table({"round", "mean hops", "rewired", "successes", "failures"});
+    for (std::size_t round = 0; round < rounds; ++round) {
+      Rng route_rng = round_rng.child(round);
+      std::vector<routing::RouteResult> results;
+      results.reserve(routes_per_round);
+      double hop_sum = 0.0;
+      for (std::size_t i = 0; i < routes_per_round; ++i) {
+        const auto s =
+            static_cast<graph::NodeId>(route_rng.next_below(g.num_nodes()));
+        auto t =
+            static_cast<graph::NodeId>(route_rng.next_below(g.num_nodes() - 1));
+        if (t >= s) ++t;
+        results.push_back(router->route(s, t, scheme.get(),
+                                        route_rng.child(i),
+                                        /*record_trace=*/true));
+        hop_sum += static_cast<double>(results.back().steps);
+      }
+      const double mean_hops =
+          hop_sum / static_cast<double>(routes_per_round);
+      Rng learn_rng = round_rng.child(0xF00 + round);
+      const auto learned = scheme->learn(results, learn_rng);
+
+      table.add_row({Table::integer(round), Table::num(mean_hops, 2),
+                     Table::integer(learned.nodes_rewired),
+                     Table::integer(learned.successes),
+                     Table::integer(learned.failures)});
+      h.add_cell({{"experiment", std::string("e13_dynamic")},
+                  {"family", std::string("cycle")},
+                  {"scheme", std::string("rewire:uniform")},
+                  {"n", static_cast<std::uint64_t>(g.num_nodes())},
+                  {"round", static_cast<std::uint64_t>(round)},
+                  {"mean_hops", mean_hops},
+                  {"nodes_rewired",
+                   static_cast<std::uint64_t>(learned.nodes_rewired)},
+                  {"long_link_successes",
+                   static_cast<std::uint64_t>(learned.successes)},
+                  {"long_link_failures",
+                   static_cast<std::uint64_t>(learned.failures)}});
+    }
+    std::cout << table.to_ascii();
+  }
+  return h.finish();
+}

@@ -27,61 +27,6 @@ constexpr const char* kUsage = R"(shared bench flags:
   --help               this text
 )";
 
-/// Wall-clock-dependent metric names: listed as "loose_metrics" in the
-/// trajectory document so golden tests mask them and compare_bench.py
-/// thresholds them loosely (or ignores them) instead of strictly.
-const char* const kLooseMetrics[] = {
-    "seconds",         "sec",
-    "routes_per_sec",  "pairs_per_sec",
-    "speedup",         "sojourn_ms_p50",
-    "sojourn_ms_p95",  "sojourn_ms_p99",
-    "peak_queued_pairs", "blocked_submits",
-    "real_time_ns",    "cpu_time_ns",
-    "items_per_second", "bytes_per_second",
-    "nodes_per_sec",
-};
-
-/// Numeric fields that identify a cell (grid coordinates) rather than
-/// measure it; string-valued fields are always keys.
-const char* const kNumericKeyFields[] = {
-    "n",     "n_requested", "side",    "pairs",      "targets",
-    "eps",   "k",           "alpha",   "batches",    "batch_size",
-    "cache_capacity",
-};
-
-bool contains(const char* const* first, const char* const* last,
-              const std::string& name) {
-  return std::find_if(first, last, [&](const char* s) {
-           return name == s;
-         }) != last;
-}
-
-bool is_loose_metric(const std::string& name) {
-  return contains(std::begin(kLooseMetrics), std::end(kLooseMetrics), name);
-}
-
-bool is_key_field(const api::Field& field) {
-  if (std::holds_alternative<std::string>(field.value)) return true;
-  return contains(std::begin(kNumericKeyFields), std::end(kNumericKeyFields),
-                  field.key);
-}
-
-void push_unique(std::vector<std::string>& names, const std::string& name) {
-  if (std::find(names.begin(), names.end(), name) == names.end()) {
-    names.push_back(name);
-  }
-}
-
-std::string json_string_array(const std::vector<std::string>& names) {
-  std::ostringstream out;
-  out << "[";
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    out << (i ? ", " : "") << '"' << names[i] << '"';
-  }
-  out << "]";
-  return out.str();
-}
-
 }  // namespace
 
 BenchOptions parse_options(int argc, char** argv, bool allow_unknown) {
@@ -132,7 +77,8 @@ Harness::Harness(std::string id, std::string name, const std::string& title,
                  bool allow_unknown_flags)
     : id_(std::move(id)),
       name_(std::move(name)),
-      opt_(parse_options(argc, argv, allow_unknown_flags)) {
+      opt_(parse_options(argc, argv, allow_unknown_flags)),
+      traj_(id_, name_, opt_.quick, opt_.out_dir) {
   if (opt_.out_dir != ".") {
     std::filesystem::create_directories(opt_.out_dir);
   }
@@ -184,11 +130,7 @@ void Harness::add_cell(api::Record cell) {
   }
   // The trajectory copy carries the section so cell keys stay unique even
   // when two sections measure the same grid coordinates.
-  api::Record traj;
-  traj.reserve(cell.size() + 1);
-  if (!current_section_.empty()) traj.push_back({"section", current_section_});
-  for (auto& field : cell) traj.push_back(std::move(field));
-  cells_.push_back(std::move(traj));
+  traj_.add_cell(std::move(cell), current_section_);
 }
 
 api::ExperimentResult Harness::run_and_print(api::Experiment experiment) {
@@ -221,20 +163,13 @@ api::ExperimentResult Harness::run_and_print(api::Experiment experiment) {
   if (jsonl_open) std::cout << "jsonl written: " << stem << ".jsonl\n";
 
   for (const auto& cell : result.cells) {
-    api::Record traj;
-    const auto record = cell.record();
-    traj.reserve(record.size() + 1);
-    if (!current_section_.empty()) {
-      traj.push_back({"section", current_section_});
-    }
-    for (const auto& field : record) traj.push_back(field);
-    cells_.push_back(std::move(traj));
+    traj_.add_cell(cell.record(), current_section_);
   }
   return result;
 }
 
 void Harness::group_by(std::vector<std::string> fields) {
-  group_by_ = std::move(fields);
+  traj_.group_by(std::move(fields));
 }
 
 int Harness::finish() {
@@ -246,131 +181,14 @@ int Harness::finish() {
     std::cout << "jsonl written: bench_" << name_ << ".jsonl\n";
   }
   if (opt_.jsonl && !opt_.list_sections) {
-    write_trajectory();
-    write_merged();
+    traj_.write_document();
+    traj_.write_merged();
   }
   return 0;
 }
 
 std::string Harness::out_path(const std::string& file_name) const {
-  // The default directory keeps bare file names (they appear inside
-  // golden-pinned records, e.g. E12's trace:<path> workload spec).
-  if (opt_.out_dir.empty() || opt_.out_dir == ".") return file_name;
-  return (std::filesystem::path(opt_.out_dir) / file_name).string();
-}
-
-void Harness::write_trajectory() {
-  // Classify every field seen across the recorded cells, preserving
-  // first-seen order: string-valued fields and grid-coordinate numerics are
-  // keys; every other numeric is a metric, loose when wall-clock-dependent.
-  std::vector<std::string> key_fields, metrics, loose;
-  std::vector<std::string> string_keys;
-  for (const auto& cell : cells_) {
-    for (const auto& field : cell) {
-      if (is_key_field(field)) {
-        push_unique(key_fields, field.key);
-        if (std::holds_alternative<std::string>(field.value) &&
-            field.key != "section") {
-          push_unique(string_keys, field.key);
-        }
-      } else if (is_loose_metric(field.key)) {
-        push_unique(loose, field.key);
-      } else {
-        push_unique(metrics, field.key);
-      }
-    }
-  }
-  auto group_by = group_by_;
-  if (group_by.empty()) {
-    for (const auto& key : string_keys) {
-      if (group_by.size() < 2) group_by.push_back(key);
-    }
-  }
-
-  const std::string path = out_path("BENCH_" + id_ + ".json");
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "warning: cannot open " << path
-              << " — skipping trajectory output\n";
-    return;
-  }
-  out << "{\n"
-      << "  \"schema\": \"nav-bench-trajectory-v1\",\n"
-      << "  \"bench\": \"" << name_ << "\",\n"
-      << "  \"id\": \"" << id_ << "\",\n"
-      << "  \"quick\": " << (opt_.quick ? "true" : "false") << ",\n"
-      << "  \"group_by\": " << json_string_array(group_by) << ",\n"
-      << "  \"key_fields\": " << json_string_array(key_fields) << ",\n"
-      << "  \"metrics\": " << json_string_array(metrics) << ",\n"
-      << "  \"loose_metrics\": " << json_string_array(loose) << ",\n"
-      << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    out << "    " << api::to_json_line(cells_[i])
-        << (i + 1 < cells_.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "trajectory written: BENCH_" << id_ << ".json\n";
-}
-
-void Harness::write_merged() {
-  // Re-merge every per-bench document present in the output directory, so
-  // running the bench suite in one directory accumulates BENCH_all.json
-  // incrementally (each binary refreshes it on exit).
-  std::vector<std::string> names;
-  std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(opt_.out_dir, ec)) {
-    if (!entry.is_regular_file()) continue;
-    const auto file = entry.path().filename().string();
-    if (file.rfind("BENCH_", 0) != 0 || file.size() < 11 ||
-        file.substr(file.size() - 5) != ".json" || file == "BENCH_all.json") {
-      continue;
-    }
-    names.push_back(file);
-  }
-  if (ec) {
-    std::cerr << "warning: cannot scan " << opt_.out_dir << ": "
-              << ec.message() << "\n";
-    return;
-  }
-  std::sort(names.begin(), names.end());
-
-  std::vector<std::string> documents;
-  for (const auto& file : names) {
-    std::ifstream in(out_path(file));
-    std::ostringstream text;
-    text << in.rdbuf();
-    std::string doc = text.str();
-    // Only fold in documents this schema wrote (a stray BENCH_*.json from
-    // another tool must not corrupt the merge).
-    if (doc.find("\"schema\": \"nav-bench-trajectory-v1\"") ==
-            std::string::npos ||
-        doc.find("\"merged\": true") != std::string::npos) {
-      continue;
-    }
-    while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
-      doc.pop_back();
-    }
-    documents.push_back(std::move(doc));
-  }
-  if (documents.empty()) return;
-
-  const std::string path = out_path("BENCH_all.json");
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "warning: cannot open " << path << " — skipping merge\n";
-    return;
-  }
-  out << "{\n"
-      << "  \"schema\": \"nav-bench-trajectory-v1\",\n"
-      << "  \"merged\": true,\n"
-      << "  \"benches\": [\n";
-  for (std::size_t i = 0; i < documents.size(); ++i) {
-    out << documents[i] << (i + 1 < documents.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "merged trajectory written: BENCH_all.json ("
-            << documents.size() << " benches)\n";
+  return traj_.out_path(file_name);
 }
 
 }  // namespace nav::bench

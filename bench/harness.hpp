@@ -11,12 +11,10 @@
 //     holding every recorded cell, and refreshes a merged BENCH_all.json
 //     from all per-bench documents present in the output directory — the
 //     files scripts/plot_bench.py renders and scripts/compare_bench.py
-//     diffs for regressions;
-//   * wall-clock classification: metric names in kLooseMetrics (seconds,
-//     routes/sec, sojourn percentiles, queue counters, google-benchmark
-//     timings) are listed in the document's "loose_metrics" so downstream
-//     tooling (golden tests, compare_bench.py) masks or loosely thresholds
-//     them while hop counts and stretch stay strict.
+//     diffs for regressions. Emission (including the wall-clock "loose
+//     metric" classification) lives in api::TrajectoryWriter
+//     (src/api/trajectory.hpp), shared with CLI sweep drivers; the harness
+//     is a thin front-end over it.
 //
 // A bench binary is a sequence of guarded sections:
 //
@@ -49,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "api/trajectory.hpp"
 #include "nav/nav.hpp"
 
 namespace nav::bench {
@@ -133,15 +132,11 @@ class Harness {
   [[nodiscard]] std::string out_path(const std::string& file_name) const;
 
  private:
-  void write_trajectory();
-  void write_merged();
-
   std::string id_;
   std::string name_;
   BenchOptions opt_;
+  api::TrajectoryWriter traj_;
   std::string current_section_;
-  std::vector<api::Record> cells_;
-  std::vector<std::string> group_by_;
   std::ofstream bench_jsonl_;
   std::unique_ptr<api::JsonLinesSink> bench_sink_;
   bool finished_ = false;

@@ -8,6 +8,7 @@
 // deadline Shedding.
 //
 //   ./route_server [n] [batches] [workload] [admission]
+//                  [--mutations <spec>]
 //
 //   n          graph size (torus2d), default 8192
 //   batches    batches to submit, default 12 (x 256 pairs each)
@@ -16,10 +17,26 @@
 //               hotset:<k>:<p> | trace:<path>)
 //   admission  unbounded | bounded:<max_queued_pairs> | shed:<seconds>
 //
+//   --mutations <spec>  perturb the graph between batches
+//              (churn:<rate> | fail:<fraction> | targeted:<k> |
+//               trace:<path> | none). Mutations close the driver loop
+//              (each batch is collected before the graph changes), so the
+//              queue never builds and bounded/shed admission would never
+//              engage: a non-"none" spec is mutually exclusive with a
+//              non-unbounded admission policy, checked up front.
+//
+// The whole stack runs on the dynamic subsystem: the graph lives in an
+// epoch-versioned dynamic::DynamicGraph and distances come from a
+// dynamic::DynamicOracle that invalidates exactly the cached targets each
+// mutation can affect — in the static case (no --mutations) that reduces
+// to the classic matrix/cache oracle, in the mutating case the
+// invalidation counters are reported after the run.
+//
 // Output: one line per batch (queue depth at submit, sojourn, status) plus
 // hop/latency percentiles and the admission counters.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "nav/nav.hpp"
 
@@ -50,34 +67,83 @@ nav::api::AdmissionPolicy parse_admission(const std::string& spec) {
 
 int main(int argc, char** argv) try {
   using namespace nav;
-  const auto n =
-      argc > 1 ? parse_spec_number<graph::NodeId>(argv[1], argv[1])
-               : graph::NodeId{8192};
+  // --mutations is the only flag; everything else stays positional.
+  std::vector<std::string> positional;
+  std::string mutation_spec = "none";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutations") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(
+            "--mutations needs a spec: churn:<rate> | fail:<fraction> | "
+            "targeted:<k> | trace:<path> | none");
+      }
+      mutation_spec = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const auto n = !positional.empty()
+                     ? parse_spec_number<graph::NodeId>(positional[0],
+                                                        positional[0])
+                     : graph::NodeId{8192};
   const std::size_t num_batches =
-      argc > 2 ? parse_spec_number<std::size_t>(argv[2], argv[2]) : 12;
-  const std::string workload_spec = argc > 3 ? argv[3] : "zipf:1.1";
-  const std::string admission_spec = argc > 4 ? argv[4] : "unbounded";
+      positional.size() > 1
+          ? parse_spec_number<std::size_t>(positional[1], positional[1])
+          : 12;
+  const std::string workload_spec =
+      positional.size() > 2 ? positional[2] : "zipf:1.1";
+  const std::string admission_spec =
+      positional.size() > 3 ? positional[3] : "unbounded";
+
+  // Both specs go through their strict registries BEFORE the exclusivity
+  // check, so a malformed spec reports as such rather than as a conflict.
+  api::RouteServiceOptions options;
+  options.admission = parse_admission(admission_spec);
+  const bool mutating = mutation_spec != "none";
+  dynamic::MutationStreamPtr stream;
+  if (mutating) stream = dynamic::make_mutation_stream(mutation_spec);
+  if (mutating && admission_spec != "unbounded") {
+    throw std::invalid_argument(
+        "--mutations " + mutation_spec + " conflicts with admission " +
+        admission_spec +
+        ": mutating runs collect each batch before the graph changes "
+        "(closed loop), so bounded/shed admission never engages; use "
+        "admission=unbounded");
+  }
 
   // Cache-oracle regime on purpose: n above the dense limit is where target
   // sharding earns its keep — and skewed demand (the zipf default) is where
-  // one BFS serves the most pairs.
-  auto engine = api::NavigationEngine::from_family("torus2d", n);
-  engine.use_scheme("ball");
-  api::RouteServiceOptions options;
-  options.admission = parse_admission(admission_spec);
-  api::RouteService service(engine, options);
+  // one BFS serves the most pairs. The DynamicOracle applies the same
+  // size policy (dense matrix <= 4096 nodes, LRU target cache above) and
+  // additionally tracks graph mutations by epoch-stamped invalidation.
+  Rng graph_rng(0x5eed);
+  dynamic::DynamicGraph dyn(graph::family("torus2d").make(n, graph_rng));
+  const graph::Graph& g = dyn.graph();
+  dynamic::DynamicOracle oracle(dyn);
+  Rng scheme_rng(0x5eed);
+  const auto scheme = core::make_scheme("ball", g, scheme_rng);
+  const auto router = routing::make_router("greedy", g, oracle);
+  // Failures may disconnect demand pairs; report them instead of aborting.
+  options.tolerate_unreachable = mutating;
+  api::RouteService service(g, oracle, scheme.get(), *router, options);
 
-  const auto demand = engine.make_workload(workload_spec, 2026);
+  const auto demand = workload::make_workload(workload_spec, g, Rng(2026));
   workload::TrafficOptions traffic;
   traffic.schedule = "burst:4:0.0";  // four simultaneous batches per wave
   traffic.batches = num_batches;
   traffic.batch_size = 256;
   traffic.keep_results = true;  // feeds the hop histogram below
+  if (mutating) {
+    traffic.dynamic_graph = &dyn;
+    traffic.mutations = stream.get();
+  }
   workload::TrafficDriver driver(service, *demand, traffic);
 
-  std::cout << "route_server: torus2d n=" << engine.graph().num_nodes()
+  std::cout << "route_server: torus2d n=" << g.num_nodes()
             << ", scheme=ball, router=greedy, workload=" << demand->name()
-            << ", admission=" << admission_spec << ", "
+            << ", admission=" << admission_spec
+            << ", mutations=" << mutation_spec << ", "
             << nav::global_pool().thread_count() << " pool threads\n\n";
 
   const auto report = driver.run(Rng(2026));
@@ -93,7 +159,9 @@ int main(int argc, char** argv) try {
                                         report.hops.max) + 1));
     for (const auto& batch : report.results) {
       for (const auto& route : batch) {
-        hop_histogram.add(static_cast<double>(route.steps));
+        if (route.reached) {
+          hop_histogram.add(static_cast<double>(route.steps));
+        }
       }
     }
     std::cout << "\nhop distribution (binned p95 ~ "
@@ -112,6 +180,18 @@ int main(int argc, char** argv) try {
             << report.pairs_shed << " shed, "
             << report.queue.blocked_submits << " blocked submits, peak queue "
             << report.queue.peak_queued_pairs << " pairs\n";
+  if (mutating) {
+    const auto stats = oracle.stats();
+    std::cout << "mutations: " << report.mutation_steps << " steps, "
+              << report.mutation_events << " events applied, final epoch "
+              << report.final_epoch << ", " << report.pairs_unreached
+              << " pairs unreached\n";
+    std::cout << "invalidation: " << stats.targets_scanned
+              << " cached targets scanned, " << stats.targets_invalidated
+              << " invalidated, " << stats.targets_retained << " retained, "
+              << stats.rows_rebuilt << " rows rebuilt, " << stats.full_flushes
+              << " full flushes\n";
+  }
   const auto totals = service.totals();
   std::cout << "service totals: " << totals.batches << " batches, "
             << totals.pairs << " routes, "
@@ -122,8 +202,9 @@ int main(int argc, char** argv) try {
             << " routes/sec\n";
   return 0;
 } catch (const std::exception& error) {
-  // Bad CLI arguments (unknown workload/admission spec, unreadable trace)
-  // surface as a one-line error, matching sweep_cli.
+  // Bad CLI arguments (unknown workload/admission spec, unreadable trace,
+  // conflicting --mutations/admission combinations) surface as a one-line
+  // error, matching sweep_cli.
   std::cerr << "error: " << error.what() << "\n";
   return 1;
 }

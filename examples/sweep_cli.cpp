@@ -1,17 +1,23 @@
 // sweep_cli.cpp — run arbitrary experiment grids from the command line.
 //
 // The bench binaries pin the paper's experiment grids; this tool lets a user
-// explore workload × scheme × router grids freely:
+// explore mutation × workload × scheme × router grids freely:
 //
 //   ./sweep_cli --family path --sizes 1024,4096,16384
 //               --schemes uniform,ml,ball --routers greedy,lookahead:1
 //               [--workloads uniform,zipf:1.1,adversarial]
+//               [--mutations none,fail:0.05,churn:8]
 //               --pairs 12 --resamples 16 [--seed 7]
 //               [--csv out.csv] [--jsonl out.jsonl]
+//               [--trajectory <id> [--out <dir>]]
 //
 // Prints the sweep table plus per-axis exponent fits; optionally
 // writes CSV and/or JSON Lines for plotting and trajectory tooling. JSON
 // Lines stream as cells finish, so long sweeps can be tailed.
+// --trajectory <id> additionally emits the sweep as a
+// nav-bench-trajectory-v1 document BENCH_<id>.json (and refreshes the
+// merged BENCH_all.json) — the same schema the bench harness writes, so
+// scripts/compare_bench.py can diff a CLI sweep against bench baselines.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -37,20 +43,27 @@ void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " --family <name> --sizes n1,n2,.. --schemes s1,s2,..\n"
-         "       [--routers r1,r2,..] [--workloads w1,w2,..] [--pairs K]\n"
-         "       [--resamples R] [--seed S] [--csv PATH] [--jsonl PATH]\n\n"
+         "       [--routers r1,r2,..] [--workloads w1,w2,..]\n"
+         "       [--mutations m1,m2,..] [--pairs K] [--resamples R]\n"
+         "       [--seed S] [--csv PATH] [--jsonl PATH]\n"
+         "       [--trajectory ID [--out DIR]]\n\n"
          "families: ";
   for (const auto& fam : nav::graph::all_families()) {
     std::cerr << fam.name << ' ';
   }
   std::cerr << "\nschemes: uniform ball ball-fixed:<k> ml ml-labelU "
                "ml-A-only ml-U-only ml-random-label kleinberg:<a> rank "
-               "growth none\n"
+               "growth rewire:uniform none\n"
                "routers: greedy lookahead:<depth>\nworkloads: ";
   for (const auto& info : nav::workload::workload_catalog()) {
     std::cerr << info.spec << ' ';
   }
-  std::cerr << "(\"uniform\" = the classic trial-pair selection)\n";
+  std::cerr << "(\"uniform\" = the classic trial-pair selection)\n"
+               "mutations: ";
+  for (const auto& info : nav::dynamic::mutation_catalog()) {
+    std::cerr << info.spec << ' ';
+  }
+  std::cerr << "(\"none\" = the static graph)\n";
 }
 
 }  // namespace
@@ -62,9 +75,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> schemes;
   std::vector<std::string> routers = {"greedy"};
   std::vector<std::string> workloads = {"uniform"};
+  std::vector<std::string> mutations = {"none"};
   std::size_t pairs = 12, resamples = 16;
   std::uint64_t seed = 0x5eed;
-  std::string csv_path, jsonl_path;
+  std::string csv_path, jsonl_path, trajectory_id, out_dir = ".";
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
@@ -82,6 +96,12 @@ int main(int argc, char** argv) {
       routers = split_csv(value);
     } else if (key == "--workloads") {
       workloads = split_csv(value);
+    } else if (key == "--mutations") {
+      mutations = split_csv(value);
+    } else if (key == "--trajectory") {
+      trajectory_id = value;
+    } else if (key == "--out") {
+      out_dir = value;
     } else if (key == "--pairs") {
       pairs = std::strtoul(value.c_str(), nullptr, 10);
     } else if (key == "--resamples") {
@@ -109,6 +129,7 @@ int main(int argc, char** argv) {
                           .workloads(workloads)
                           .schemes(schemes)
                           .routers(routers)
+                          .mutations(mutations)
                           .pairs(pairs)
                           .resamples(resamples)
                           .seed(seed);
@@ -133,6 +154,14 @@ int main(int argc, char** argv) {
     }
     if (!jsonl_path.empty()) {
       std::cout << "jsonl written: " << jsonl_path << "\n";
+    }
+    if (!trajectory_id.empty()) {
+      // Same schema and writer the bench harness uses, so this document is
+      // directly diffable against bench baselines by compare_bench.py.
+      api::TrajectoryWriter traj(trajectory_id, "sweep_cli_" + family,
+                                 /*quick=*/false, out_dir);
+      for (const auto& cell : result.cells) traj.add_cell(cell.record());
+      if (traj.write_document()) traj.write_merged();
     }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

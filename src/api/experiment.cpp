@@ -1,5 +1,6 @@
 #include "api/experiment.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -7,6 +8,8 @@
 #include "api/engine.hpp"
 #include "api/route_service.hpp"
 #include "core/scheme_factory.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/mutation_stream.hpp"
 #include "graph/diameter.hpp"
 #include "graph/families.hpp"
 #include "routing/router_factory.hpp"
@@ -16,7 +19,7 @@
 namespace nav::api {
 
 Record CellResult::record() const {
-  return {
+  Record out = {
       {"family", family},
       {"workload", workload},
       {"scheme", scheme},
@@ -30,9 +33,33 @@ Record CellResult::record() const {
       {"ci95", ci_halfwidth},
       {"seconds", seconds},
   };
+  if (show_mutations) {
+    // Only an explicit mutations axis emits these two fields, so legacy
+    // grids (and their golden files) keep the exact record layout above.
+    out.insert(out.begin() + 4, {"mutations", mutations});
+    out.insert(out.end() - 1, {"success_rate", success_rate});
+  }
+  return out;
 }
 
 Table ExperimentResult::table() const {
+  const bool with_mutations =
+      std::any_of(cells.begin(), cells.end(),
+                  [](const CellResult& c) { return c.show_mutations; });
+  if (with_mutations) {
+    Table out({"family", "workload", "mutations", "scheme", "router", "n",
+               "m", "diam>=", "greedy-diam", "mean", "ci95", "success",
+               "sec"});
+    for (const auto& c : cells) {
+      out.add_row({c.family, c.workload, c.mutations, c.scheme, c.router,
+                   Table::integer(c.n_actual), Table::integer(c.m),
+                   Table::integer(c.diameter_lb),
+                   Table::num(c.greedy_diameter, 1),
+                   Table::num(c.mean_steps, 1), Table::num(c.ci_halfwidth, 1),
+                   Table::num(c.success_rate, 3), Table::num(c.seconds, 2)});
+    }
+    return out;
+  }
   Table out({"family", "workload", "scheme", "router", "n", "m", "diam>=",
              "greedy-diam", "mean", "ci95", "sec"});
   for (const auto& c : cells) {
@@ -46,11 +73,11 @@ Table ExperimentResult::table() const {
 }
 
 std::vector<AxisFit> ExperimentResult::fits() const {
-  using Key = std::tuple<std::string, std::string, std::string>;
+  using Key = std::tuple<std::string, std::string, std::string, std::string>;
   std::map<Key, std::pair<std::vector<double>, std::vector<double>>> by;
   std::vector<Key> order;
   for (const auto& c : cells) {
-    const Key key{c.workload, c.scheme, c.router};
+    const Key key{c.workload, c.scheme, c.router, c.mutations};
     if (by.find(key) == by.end()) order.push_back(key);
     by[key].first.push_back(static_cast<double>(c.n_actual));
     by[key].second.push_back(c.greedy_diameter);
@@ -59,14 +86,29 @@ std::vector<AxisFit> ExperimentResult::fits() const {
   fits.reserve(order.size());
   for (const auto& key : order) {
     fits.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                    std::get<3>(key),
                     nav::fit_power_law(by[key].first, by[key].second)});
   }
   return fits;
 }
 
 Table ExperimentResult::fit_table() const {
+  const auto all = fits();
+  const bool with_mutations =
+      std::any_of(all.begin(), all.end(),
+                  [](const AxisFit& f) { return f.mutations != "none"; });
+  if (with_mutations) {
+    Table out({"workload", "mutations", "scheme", "router", "exponent",
+               "R^2"});
+    for (const auto& f : all) {
+      out.add_row({f.workload, f.mutations, f.scheme, f.router,
+                   Table::num(f.fit.slope, 3),
+                   Table::num(f.fit.r_squared, 3)});
+    }
+    return out;
+  }
   Table out({"workload", "scheme", "router", "exponent", "R^2"});
-  for (const auto& f : fits()) {
+  for (const auto& f : all) {
     out.add_row({f.workload, f.scheme, f.router, Table::num(f.fit.slope, 3),
                  Table::num(f.fit.r_squared, 3)});
   }
@@ -99,6 +141,11 @@ Experiment& Experiment::schemes(std::vector<std::string> scheme_specs) {
 
 Experiment& Experiment::routers(std::vector<std::string> router_specs) {
   routers_ = std::move(router_specs);
+  return *this;
+}
+
+Experiment& Experiment::mutations(std::vector<std::string> mutation_specs) {
+  mutations_ = std::move(mutation_specs);
   return *this;
 }
 
@@ -142,7 +189,12 @@ ExperimentResult Experiment::run() const {
   NAV_REQUIRE(!workloads_.empty(), "sweep needs workloads");
   NAV_REQUIRE(!schemes_.empty(), "sweep needs schemes");
   NAV_REQUIRE(!routers_.empty(), "sweep needs routers");
+  NAV_REQUIRE(!mutations_.empty(), "sweep needs mutation specs");
   const auto& fam = graph::family(family_);
+  // The axis is "active" once any non-sentinel spec appears; only then do
+  // cells carry the mutations/success_rate fields (legacy layout otherwise).
+  const bool mutation_axis =
+      mutations_.size() > 1 || mutations_.front() != "none";
 
   ExperimentResult result;
   Rng root(seed_);
@@ -159,6 +211,9 @@ ExperimentResult Experiment::run() const {
     // Schemes depend only on (size, scheme index) — their streams carry no
     // workload term — so build each once per size and share it across the
     // workload axis instead of rebuilding identical schemes per workload.
+    // The mutation axis shares them too: the scheme is deliberately built
+    // on the PRISTINE graph, so a mutated cell measures routing with a
+    // stale augmentation — the robustness question.
     std::vector<core::SchemePtr> schemes_built(schemes_.size());
     std::vector<double> scheme_build_seconds(schemes_.size(), 0.0);
     for (std::size_t ki = 0; ki < schemes_.size(); ++ki) {
@@ -168,78 +223,145 @@ ExperimentResult Experiment::run() const {
       scheme_build_seconds[ki] = scheme_timer.seconds();
     }
 
-    for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
-      const auto& workload_spec = workloads_[wi];
-      // "uniform" keeps the legacy path: TrialConfig pair selection AND the
-      // pre-workload-axis stream addresses, so existing grids (and their
-      // golden files) are bit-identical. Any other spec swaps pair selection
-      // for the demand model, with streams salted by the workload index.
-      // Built once per (size, workload) — the construction stream depends on
-      // nothing else, so every cell of the workload shares one hot set /
-      // popularity permutation; reset() before each cell rewinds stateful
-      // generators (trace replay), so adding a scheme or router never
-      // perturbs the demand.
-      const bool legacy_uniform = workload_spec == "uniform";
-      workload::WorkloadPtr demand;
-      if (!legacy_uniform) {
-        demand = workload::make_workload(
-            workload_spec, g, root.child(0x301d).child(si).child(wi));
+    for (std::size_t mi = 0; mi < mutations_.size(); ++mi) {
+      const auto& mutation_spec = mutations_[mi];
+      // "none" keeps the legacy static-graph path — streams, oracle, and
+      // graph object untouched — so the sentinel column of an active-axis
+      // sweep is bit-identical to the same sweep without the axis. Any
+      // other spec perturbs a DynamicGraph copy by ONE stream step before
+      // measurement and rebuilds distances on the mutated topology.
+      const bool mutated = mutation_spec != "none";
+      std::unique_ptr<dynamic::DynamicGraph> dyn;
+      std::unique_ptr<graph::DistanceOracle> mutated_oracle;
+      graph::Dist cell_diameter_lb = diameter_lb;
+      if (mutated) {
+        dyn = std::make_unique<dynamic::DynamicGraph>(g);
+        const auto stream = dynamic::make_mutation_stream(mutation_spec);
+        Rng mutation_rng = root.child(0xD1f5).child(si).child(mi);
+        dyn->apply(stream->step(*dyn, mutation_rng));
+        mutated_oracle = make_distance_oracle(
+            dyn->graph(), dense_oracle_limit_, trials_.num_pairs + 8);
+        cell_diameter_lb = graph::double_sweep_lower_bound(dyn->graph());
       }
+      const graph::Graph& cell_graph = mutated ? dyn->graph() : g;
+      const graph::DistanceOracle& cell_oracle =
+          mutated ? *mutated_oracle : *oracle;
 
-      for (std::size_t ki = 0; ki < schemes_.size(); ++ki) {
-        const auto& scheme_spec = schemes_[ki];
-        const auto& scheme = schemes_built[ki];
-        // Construction cost is billed once, to the first cell that uses the
-        // scheme (wi == 0, ri == 0) — the legacy per-cell accounting for
-        // single-workload single-router grids.
-        const double scheme_seconds =
-            wi == 0 ? scheme_build_seconds[ki] : 0.0;
+      for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
+        const auto& workload_spec = workloads_[wi];
+        // "uniform" keeps the legacy path: TrialConfig pair selection AND
+        // the pre-workload-axis stream addresses, so existing grids (and
+        // their golden files) are bit-identical. Any other spec swaps pair
+        // selection for the demand model, with streams salted by the
+        // workload index. Built once per (size, mutation, workload) — the
+        // construction stream carries no mutation term, so the demand model
+        // redraws identically across the mutation axis; reset() before each
+        // cell rewinds stateful generators (trace replay), so adding a
+        // scheme or router never perturbs the demand.
+        const bool legacy_uniform = workload_spec == "uniform";
+        workload::WorkloadPtr demand;
+        if (!legacy_uniform) {
+          demand = workload::make_workload(
+              workload_spec, cell_graph,
+              root.child(0x301d).child(si).child(wi));
+        }
 
-        for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
-          const auto& router_spec = routers_[ri];
-          nav::Timer timer;
-          const auto router = routing::make_router(router_spec, g, *oracle);
-          // The cell's whole pair × replicate grid routes as one
-          // target-sharded batch; numbers are bit-identical to the
-          // sequential estimator (see RouteService::estimate_diameter).
-          RouteServiceOptions service_options;
-          service_options.parallel = trials_.parallel;
-          const RouteService service(g, *oracle, scheme.get(), *router,
-                                     service_options);
-          routing::GreedyDiameterEstimate estimate;
-          if (legacy_uniform) {
-            estimate = service.estimate_diameter(
-                trials_, root.child(0x7a1a).child(si).child(ki).child(ri));
-          } else {
-            demand->reset();
-            const Rng cell_rng =
-                root.child(0x77a1).child(wi).child(si).child(ki).child(ri);
-            // Pair generation sits at the same child address (0xA11) the
-            // selecting overload uses for select_trial_pairs.
-            Rng demand_rng = cell_rng.child(0xA11);
-            estimate = service.estimate_diameter(
-                trials_, cell_rng,
-                demand->batch(trials_.num_pairs, demand_rng));
+        for (std::size_t ki = 0; ki < schemes_.size(); ++ki) {
+          const auto& scheme_spec = schemes_[ki];
+          const auto& scheme = schemes_built[ki];
+          // Construction cost is billed once, to the first cell that uses
+          // the scheme (mi == 0, wi == 0, ri == 0) — the legacy per-cell
+          // accounting for single-workload single-router grids.
+          const double scheme_seconds =
+              (mi == 0 && wi == 0) ? scheme_build_seconds[ki] : 0.0;
+
+          for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
+            const auto& router_spec = routers_[ri];
+            nav::Timer timer;
+            const auto router =
+                routing::make_router(router_spec, cell_graph, cell_oracle);
+            // The cell's whole pair × replicate grid routes as one
+            // target-sharded batch; numbers are bit-identical to the
+            // sequential estimator (see RouteService::estimate_diameter).
+            RouteServiceOptions service_options;
+            service_options.parallel = trials_.parallel;
+            const RouteService service(cell_graph, cell_oracle, scheme.get(),
+                                       *router, service_options);
+            routing::GreedyDiameterEstimate estimate;
+            double success_rate = 1.0;
+            if (!mutated && legacy_uniform) {
+              estimate = service.estimate_diameter(
+                  trials_, root.child(0x7a1a).child(si).child(ki).child(ri));
+            } else if (!mutated) {
+              demand->reset();
+              const Rng cell_rng =
+                  root.child(0x77a1).child(wi).child(si).child(ki).child(ri);
+              // Pair generation sits at the same child address (0xA11) the
+              // selecting overload uses for select_trial_pairs.
+              Rng demand_rng = cell_rng.child(0xA11);
+              estimate = service.estimate_diameter(
+                  trials_, cell_rng,
+                  demand->batch(trials_.num_pairs, demand_rng));
+            } else {
+              // Mutated cell: draw the pair grid exactly as the matching
+              // static path would (same 0xA11 sub-stream of the cell rng),
+              // then drop pairs the mutation disconnected — a greedy route
+              // to an unreachable target never terminates, and the
+              // surviving fraction IS the robustness metric.
+              const Rng cell_rng = root.child(0xD7a1)
+                                       .child(mi)
+                                       .child(si)
+                                       .child(wi)
+                                       .child(ki)
+                                       .child(ri);
+              Rng pair_rng = cell_rng.child(0xA11);
+              std::vector<std::pair<graph::NodeId, graph::NodeId>> selected;
+              if (legacy_uniform) {
+                selected =
+                    routing::select_trial_pairs(cell_graph, trials_, pair_rng);
+              } else {
+                demand->reset();
+                selected = demand->batch(trials_.num_pairs, pair_rng);
+              }
+              std::vector<std::pair<graph::NodeId, graph::NodeId>> kept;
+              kept.reserve(selected.size());
+              for (const auto& [s, t] : selected) {
+                if (cell_oracle.distance(s, t) != graph::kInfDist) {
+                  kept.push_back({s, t});
+                }
+              }
+              success_rate = static_cast<double>(kept.size()) /
+                             static_cast<double>(selected.size());
+              if (!kept.empty()) {
+                estimate = service.estimate_diameter(trials_, cell_rng, kept);
+              }
+              // All pairs disconnected: the zero-initialised estimate
+              // stands (greedy diameter 0 over an empty trial set) with
+              // success_rate pinned at 0 — the cell still records.
+            }
+
+            CellResult cell;
+            cell.family = family_;
+            cell.workload = workload_spec;
+            cell.scheme = scheme_spec;
+            cell.router = router_spec;
+            cell.mutations = mutation_spec;
+            cell.n_requested = n_req;
+            cell.n_actual = cell_graph.num_nodes();
+            cell.m = cell_graph.num_edges();
+            cell.diameter_lb = cell_diameter_lb;
+            cell.greedy_diameter = estimate.max_mean_steps;
+            cell.mean_steps = estimate.overall_mean_steps;
+            cell.ci_halfwidth = estimate.max_ci_halfwidth;
+            cell.success_rate = success_rate;
+            cell.show_mutations = mutation_axis;
+            // Scheme construction is shared across routers; bill it to the
+            // first router's cell (reproducing the legacy per-cell
+            // accounting for single-router grids).
+            cell.seconds = timer.seconds() + (ri == 0 ? scheme_seconds : 0.0);
+            for (auto* sink : sinks_) sink->write(cell.record());
+            result.cells.push_back(std::move(cell));
           }
-
-          CellResult cell;
-          cell.family = family_;
-          cell.workload = workload_spec;
-          cell.scheme = scheme_spec;
-          cell.router = router_spec;
-          cell.n_requested = n_req;
-          cell.n_actual = g.num_nodes();
-          cell.m = g.num_edges();
-          cell.diameter_lb = diameter_lb;
-          cell.greedy_diameter = estimate.max_mean_steps;
-          cell.mean_steps = estimate.overall_mean_steps;
-          cell.ci_halfwidth = estimate.max_ci_halfwidth;
-          // Scheme construction is shared across routers; bill it to the
-          // first router's cell (reproducing the legacy per-cell accounting
-          // for single-router grids).
-          cell.seconds = timer.seconds() + (ri == 0 ? scheme_seconds : 0.0);
-          for (auto* sink : sinks_) sink->write(cell.record());
-          result.cells.push_back(std::move(cell));
         }
       }
     }

@@ -32,8 +32,8 @@
 #pragma once
 
 /// \file
-/// \brief Experiment: fluent sweep grids (family × sizes × workloads ×
-/// schemes × routers) with streamed results.
+/// \brief Experiment: fluent sweep grids (family × sizes × mutations ×
+/// workloads × schemes × routers) with streamed results.
 
 #include <cstdint>
 #include <string>
@@ -46,31 +46,39 @@
 
 namespace nav::api {
 
-/// One grid cell: (family, n) × workload × scheme × router.
+/// One grid cell: (family, n) × mutation × workload × scheme × router.
 struct CellResult {
   std::string family;              ///< graph::families registry name
   std::string workload;            ///< workload spec ("uniform" = legacy)
   std::string scheme;              ///< core::make_scheme spec
   std::string router;              ///< routing::make_router spec
+  std::string mutations = "none";  ///< dynamic::make_mutation_stream spec
   graph::NodeId n_requested = 0;   ///< size asked of the family
   graph::NodeId n_actual = 0;      ///< size the family produced
-  graph::EdgeId m = 0;             ///< edge count
+  graph::EdgeId m = 0;             ///< edge count (after mutation)
   graph::Dist diameter_lb = 0;     ///< double-sweep lower bound
   double greedy_diameter = 0.0;    ///< max over pairs of mean steps
   double mean_steps = 0.0;         ///< mean over pairs
   double ci_halfwidth = 0.0;       ///< CI at the maximising pair
+  double success_rate = 1.0;       ///< fraction of pairs still connected
   double seconds = 0.0;            ///< wall time of the cell
+  /// True when the sweep carries an explicit mutations axis; gates the
+  /// "mutations"/"success_rate" fields so legacy grids keep their exact
+  /// record layout (the BENCH_*.quick.json goldens pin it).
+  bool show_mutations = false;
 
   /// Flat record for ResultSink streaming.
   [[nodiscard]] Record record() const;
 };
 
-/// Per-(workload, scheme, router) power-law fit of greedy diameter vs n.
+/// Per-(workload, scheme, router, mutations) power-law fit of greedy
+/// diameter vs n.
 struct AxisFit {
-  std::string workload;  ///< workload spec of this fit's cells
-  std::string scheme;    ///< scheme spec of this fit's cells
-  std::string router;    ///< router spec of this fit's cells
-  nav::PowerFit fit;     ///< log-log slope (the exponent) and R²
+  std::string workload;            ///< workload spec of this fit's cells
+  std::string scheme;              ///< scheme spec of this fit's cells
+  std::string router;              ///< router spec of this fit's cells
+  std::string mutations = "none";  ///< mutation spec of this fit's cells
+  nav::PowerFit fit;               ///< log-log slope (the exponent) and R²
 };
 
 /// The finished grid: every cell plus table/fit renderings.
@@ -107,6 +115,15 @@ class Experiment {
   Experiment& schemes(std::vector<std::string> scheme_specs);
   /// Router axis: routing::make_router specs (default {"greedy"}).
   Experiment& routers(std::vector<std::string> router_specs);
+  /// Mutation axis: dynamic::make_mutation_stream specs plus the sentinel
+  /// "none" (the default {"none"} keeps the legacy static-graph path bit
+  /// for bit). Any other spec is applied — one stream step — to a
+  /// DynamicGraph copy of the cell's graph before measurement; the scheme
+  /// stays the one built on the pristine graph (stale augmentation is the
+  /// robustness question), distances come from a fresh oracle on the
+  /// mutated graph, and pairs the mutation disconnected are dropped from
+  /// the estimate and reported via CellResult::success_rate.
+  Experiment& mutations(std::vector<std::string> mutation_specs);
   /// Random (s, t) pairs per cell (routing::TrialConfig::num_pairs).
   Experiment& pairs(std::size_t num_pairs);
   /// Augmentation redraws per pair (routing::TrialConfig::resamples).
@@ -127,9 +144,9 @@ class Experiment {
   /// The family this sweep runs on.
   [[nodiscard]] const std::string& family() const noexcept { return family_; }
 
-  /// Runs the grid; cells ordered size-major, then workload, then scheme,
-  /// then router. Throws std::invalid_argument on an empty grid or unknown
-  /// specs.
+  /// Runs the grid; cells ordered size-major, then mutation, then workload,
+  /// then scheme, then router. Throws std::invalid_argument on an empty
+  /// grid or unknown specs.
   [[nodiscard]] ExperimentResult run() const;
 
  private:
@@ -140,6 +157,7 @@ class Experiment {
   std::vector<std::string> workloads_ = {"uniform"};
   std::vector<std::string> schemes_ = {"uniform"};
   std::vector<std::string> routers_ = {"greedy"};
+  std::vector<std::string> mutations_ = {"none"};
   routing::TrialConfig trials_;
   std::uint64_t seed_ = 0x5eed;
   graph::NodeId dense_oracle_limit_ = 4096;

@@ -23,6 +23,8 @@ RouteService::RouteService(const graph::Graph& g,
     NAV_REQUIRE(scheme_->num_nodes() == graph_.num_nodes(),
                 "scheme/graph size mismatch");
   }
+  NAV_REQUIRE(!options_.tolerate_unreachable || options_.shard_by_target,
+              "tolerate_unreachable requires shard_by_target");
 }
 
 RouteService::RouteService(const NavigationEngine& engine,
@@ -136,16 +138,25 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
       // Reachability check BEFORE the fan-out: pool tasks are noexcept by
       // policy, so every route precondition must be established on this
       // thread, where a throw reaches the caller (or a submit() future).
+      // Under tolerate_unreachable a disconnected pair becomes a
+      // reached = false result here and its job is excluded from routing.
       for (std::size_t k = lo; k < hi; ++k) {
         const auto& dist = *pinned[k - lo];
         for (const std::size_t i : shard_jobs[k]) {
-          NAV_REQUIRE(dist[jobs[i].source] != graph::kInfDist,
+          if (dist[jobs[i].source] != graph::kInfDist) continue;
+          NAV_REQUIRE(options_.tolerate_unreachable,
                       "target unreachable from source");
+          results[i].reached = false;
+          results[i].initial_distance = graph::kInfDist;
         }
       }
       auto shard_body = [&](std::size_t k) {
         const graph::DistView& dist = *pinned[k - lo];
         for (const std::size_t i : shard_jobs[k]) {
+          if (options_.tolerate_unreachable &&
+              dist[jobs[i].source] == graph::kInfDist) {
+            continue;  // already reported as unreached
+          }
           results[i] = router_.route_resolved(jobs[i].source, jobs[i].target,
                                               dist, scheme_, jobs[i].rng);
         }

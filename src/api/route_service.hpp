@@ -162,6 +162,14 @@ struct RouteServiceOptions {
   std::size_t max_pinned_targets = 512;
   /// How submit() admits batches when demand outruns the service.
   AdmissionPolicy admission;
+  /// Report an unreachable (source, target) pair as RouteResult{reached =
+  /// false, initial_distance = kInfDist, steps = 0} instead of throwing.
+  /// The dynamic-graph posture: edge failures can disconnect pairs mid-run,
+  /// and a robustness bench wants the success *rate*, not an exception.
+  /// Requires shard_by_target (checked at construction) — the legacy
+  /// schedule routes inside noexcept pool tasks where the router's own
+  /// precondition would abort the process.
+  bool tolerate_unreachable = false;
 };
 
 /// Telemetry for the most recent batch (route_batch / route_jobs / submit).

@@ -1,0 +1,85 @@
+// trajectory.hpp — the nav-bench-trajectory-v1 document writer.
+//
+// Grown out of bench/harness.cpp so the emission logic has exactly one
+// home: the bench Harness delegates here, and CLI drivers (examples/
+// sweep_cli) emit the same schema without linking the bench harness —
+// making their sweeps diffable by scripts/compare_bench.py against bench
+// baselines. The output is byte-identical to what the harness historically
+// wrote (the BENCH_*.quick.json goldens pin it).
+//
+// A document is: header (schema/bench/id/quick), rendering hint
+// ("group_by"), the field classification, and the recorded cells. Fields
+// classify by name, preserving first-seen order:
+//   * string-valued fields and the grid-coordinate numerics listed in
+//     numeric_key_fields() are KEYS — together they identify a cell's
+//     series across runs (compare_bench.py matches on them);
+//   * every other numeric is a METRIC, compared strictly — except names in
+//     loose_metric_names() (wall-clock observations: seconds, rates,
+//     sojourn quantiles, queue gauges), listed in the document's
+//     "loose_metrics" so golden tests mask them and the regression gate
+//     thresholds them loosely.
+#pragma once
+
+/// \file
+/// \brief TrajectoryWriter: shared nav-bench-trajectory-v1 emission
+/// (BENCH_<id>.json + merged BENCH_all.json) for benches and CLI sweeps.
+
+#include <string>
+#include <vector>
+
+#include "api/result_sink.hpp"
+
+namespace nav::api {
+
+/// True for wall-clock-dependent metric names ("loose_metrics" entries).
+[[nodiscard]] bool is_loose_metric_name(const std::string& name);
+
+/// True for numeric field names that are grid coordinates (cell keys).
+[[nodiscard]] bool is_numeric_key_field(const std::string& name);
+
+/// Accumulates cells and writes the trajectory documents. One writer per
+/// produced BENCH_<id>.json.
+class TrajectoryWriter {
+ public:
+  /// `id` names the document file (BENCH_<id>.json); `name` is the bench
+  /// identity inside it; `quick` is echoed in the header; files land in
+  /// `out_dir` ("." keeps bare names).
+  TrajectoryWriter(std::string id, std::string name, bool quick,
+                   std::string out_dir = ".");
+
+  /// Records one cell. A non-empty `section` is prepended as the cell's
+  /// "section" field (keeps keys unique across sections measuring the same
+  /// grid coordinates).
+  void add_cell(Record cell, const std::string& section = "");
+
+  /// Overrides the document's "group_by" rendering hint (default: the
+  /// first two non-section string-valued key fields observed).
+  void group_by(std::vector<std::string> fields);
+
+  /// Cells recorded so far.
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+  /// Writes BENCH_<id>.json; returns false (with a stderr warning) when the
+  /// file cannot be opened. Logs "trajectory written: ..." on success.
+  bool write_document();
+
+  /// Refreshes BENCH_all.json from every per-bench trajectory document
+  /// present in the output directory (each writer call re-merges, so a
+  /// suite run accumulates incrementally).
+  void write_merged();
+
+  /// `file_name` placed in the output directory (bare when out_dir is ".").
+  [[nodiscard]] std::string out_path(const std::string& file_name) const;
+
+ private:
+  std::string id_;
+  std::string name_;
+  bool quick_;
+  std::string out_dir_;
+  std::vector<Record> cells_;
+  std::vector<std::string> group_by_;
+};
+
+}  // namespace nav::api

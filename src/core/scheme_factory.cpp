@@ -9,6 +9,7 @@
 #include "core/ml_scheme.hpp"
 #include "core/rank_scheme.hpp"
 #include "core/uniform_scheme.hpp"
+#include "dynamic/rewire_scheme.hpp"
 
 namespace nav::core {
 
@@ -52,6 +53,12 @@ SchemePtr make_scheme(const std::string& spec, const Graph& g, Rng& rng) {
   }
   if (spec == "rank") return std::make_unique<RankScheme>(g);
   if (spec == "growth") return std::make_unique<GrowthScheme>(g);
+  if (spec.rfind("rewire:", 0) == 0) {
+    // Self-organizing realised augmentation (dynamic subsystem); callers
+    // that drive the feedback loop use dynamic::make_rewire_scheme directly
+    // to keep the concrete learn() handle.
+    return dynamic::make_rewire_scheme(spec, g, rng);
+  }
   throw std::invalid_argument("unknown scheme spec: " + spec);
 }
 

@@ -12,6 +12,7 @@
 //   "kleinberg:<alpha>"  harmonic baseline, e.g. "kleinberg:2.0"
 //   "rank"               rank-based extension
 //   "growth"             ball-harmonic (bounded-growth predecessor [6,21])
+//   "rewire:uniform"     self-organizing realised links (dynamic subsystem)
 //   "none"               no long-range links (pure BFS baseline)
 #pragma once
 

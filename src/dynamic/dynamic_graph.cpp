@@ -1,0 +1,104 @@
+#include "dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+
+#include "runtime/assert.hpp"
+
+namespace nav::dynamic {
+
+namespace {
+
+/// Canonical (min, max) form every edge is stored and reported in.
+[[nodiscard]] std::pair<NodeId, NodeId> canonical(NodeId u, NodeId v) {
+  return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(Graph base)
+    : graph_(std::move(base)), edges_(graph_.edge_list()) {}
+
+bool DynamicGraph::has_edge(NodeId u, NodeId v) const {
+  const auto e = canonical(u, v);
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+MutationDelta DynamicGraph::apply(std::span<const EdgeMutation> events) {
+  MutationDelta delta;
+  delta.requested = events.size();
+
+  // Stage the new edge set; the CSR is rebuilt once at the end.
+  for (const EdgeMutation& event : events) {
+    switch (event.op) {
+      case EdgeMutation::Op::kAddEdge: {
+        NAV_REQUIRE(event.u < graph_.num_nodes() &&
+                        event.v < graph_.num_nodes(),
+                    "mutation endpoint out of range");
+        NAV_REQUIRE(event.u != event.v, "self loops are not allowed");
+        const auto e = canonical(event.u, event.v);
+        const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+        if (it != edges_.end() && *it == e) break;  // already present: no-op
+        edges_.insert(it, e);
+        ++delta.edges_added;
+        delta.events.push_back(
+            {EdgeMutation::Op::kAddEdge, e.first, e.second});
+        break;
+      }
+      case EdgeMutation::Op::kRemoveEdge: {
+        NAV_REQUIRE(event.u < graph_.num_nodes() &&
+                        event.v < graph_.num_nodes(),
+                    "mutation endpoint out of range");
+        NAV_REQUIRE(event.u != event.v, "self loops are not allowed");
+        const auto e = canonical(event.u, event.v);
+        const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+        if (it == edges_.end() || *it != e) break;  // absent: no-op
+        edges_.erase(it);
+        ++delta.edges_removed;
+        delta.events.push_back(
+            {EdgeMutation::Op::kRemoveEdge, e.first, e.second});
+        break;
+      }
+      case EdgeMutation::Op::kFailNode: {
+        NAV_REQUIRE(event.u < graph_.num_nodes(),
+                    "mutation endpoint out of range");
+        // Expand to the removal of every currently incident edge. Collect
+        // first: erasing while scanning would skip neighbours.
+        std::vector<std::pair<NodeId, NodeId>> incident;
+        for (const auto& e : edges_) {
+          if (e.first == event.u || e.second == event.u) incident.push_back(e);
+        }
+        for (const auto& e : incident) {
+          const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+          NAV_ASSERT(it != edges_.end() && *it == e);
+          edges_.erase(it);
+          ++delta.edges_removed;
+          delta.events.push_back(
+              {EdgeMutation::Op::kRemoveEdge, e.first, e.second});
+        }
+        break;
+      }
+    }
+  }
+
+  if (delta.events.empty()) {
+    delta.epoch = epoch_;
+    return delta;  // nothing changed: no rebuild, no epoch bump, no notify
+  }
+
+  graph_ = Graph(graph_.num_nodes(), edges_);  // in-place: address stable
+  delta.epoch = ++epoch_;
+  for (MutationListener* listener : listeners_) {
+    listener->on_mutation(*this, delta);
+  }
+  return delta;
+}
+
+void DynamicGraph::subscribe(MutationListener& listener) {
+  listeners_.push_back(&listener);
+}
+
+void DynamicGraph::unsubscribe(MutationListener& listener) {
+  std::erase(listeners_, &listener);
+}
+
+}  // namespace nav::dynamic

@@ -1,0 +1,128 @@
+// dynamic_graph.hpp — the time-varying view of a graph::Graph.
+//
+// The paper's model is static ("G is an n-node connected graph"), but the
+// robustness question — Achlioptas & Siminelakis, "Navigability is a Robust
+// Property" — is what survives when edges churn, fail, or are attacked.
+// DynamicGraph makes the graph a versioned object: it owns one graph::Graph
+// whose *address never changes* (mutations assign a freshly built CSR into
+// the same member), so every component holding a `const Graph&` — oracles,
+// schemes, routers, RouteService — observes mutations in place without
+// rebinding. Each effective batch of mutations bumps a monotonic epoch
+// counter, the version number the invalidation layer (dynamic/invalidation)
+// watermarks cached distance rows against.
+//
+// Mutation model: edges toggle; the node set is fixed. kFailNode is sugar —
+// it expands to the removal of every edge currently incident to the node
+// (the node stays, isolated), so listeners only ever see edge events.
+// Applying a batch rebuilds the CSR once, O(n + m); the right trade for this
+// codebase, where a mutation step is rare next to the millions of
+// neighbour-scans between steps, and it keeps graph::Graph immutable.
+//
+// Concurrency contract: apply() requires quiescence — no concurrent readers
+// of graph() during the call. Drivers get this for free by mutating only
+// between drained batches (workload::TrafficDriver closed-loop mode);
+// benches and tests mutate from the single driving thread.
+#pragma once
+
+/// \file
+/// \brief DynamicGraph: epoch-versioned mutable wrapper over the immutable
+/// CSR graph, with listener notification for incremental invalidation.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nav::dynamic {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// One requested change to the graph's edge set.
+struct EdgeMutation {
+  /// What to change.
+  enum class Op : std::uint8_t {
+    kAddEdge,     ///< insert edge {u, v} (no-op if present)
+    kRemoveEdge,  ///< delete edge {u, v} (no-op if absent)
+    kFailNode     ///< remove every edge incident to u (v ignored)
+  };
+  Op op = Op::kAddEdge;  ///< requested operation
+  NodeId u = 0;          ///< first endpoint (the node, for kFailNode)
+  NodeId v = 0;          ///< second endpoint (unused by kFailNode)
+};
+
+/// What one apply() actually did: the effective edge events, in application
+/// order, with kFailNode already expanded to its removals. Only kAddEdge /
+/// kRemoveEdge appear here, normalised to u < v — the form the invalidation
+/// layer's tightness test consumes.
+struct MutationDelta {
+  std::uint64_t epoch = 0;   ///< graph epoch after this batch
+  std::size_t requested = 0; ///< input events (before no-op filtering)
+  std::size_t edges_added = 0;    ///< effective insertions
+  std::size_t edges_removed = 0;  ///< effective deletions
+  /// Effective events in the order they were applied (u < v each).
+  std::vector<EdgeMutation> events;
+
+  /// True when the batch changed nothing (every event was a no-op).
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+class DynamicGraph;
+
+/// Observer of graph mutations (the oracle-invalidation hook). on_mutation
+/// runs inside apply(), on the mutating thread, after the CSR has been
+/// rebuilt — listeners may read g.graph() and see the post-mutation state.
+class MutationListener {
+ public:
+  virtual ~MutationListener() = default;
+  /// Called once per effective apply() with the batch's delta.
+  virtual void on_mutation(const DynamicGraph& g,
+                           const MutationDelta& delta) = 0;
+};
+
+/// Epoch-versioned owner of one mutable graph. See the header comment for
+/// the address-stability and quiescence contracts.
+class DynamicGraph {
+ public:
+  /// Takes ownership of the starting graph (epoch 0).
+  explicit DynamicGraph(Graph base);
+
+  /// The current graph. The returned reference (and the Graph's address)
+  /// stays valid across apply() calls for the DynamicGraph's lifetime.
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Number of effective mutation batches applied so far.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Current edges as (u, v) with u < v, sorted lexicographically — the
+  /// sampling surface for churn/attack streams (uniform edge = uniform
+  /// index).
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges()
+      const noexcept {
+    return edges_;
+  }
+
+  /// O(log m) membership test on the current edge set.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Applies a batch: filters no-ops, expands kFailNode, rebuilds the CSR
+  /// once, bumps the epoch (only when something changed), and notifies
+  /// listeners. Throws std::invalid_argument on out-of-range endpoints or
+  /// self loops. Requires quiescence (no concurrent graph() readers).
+  MutationDelta apply(std::span<const EdgeMutation> events);
+
+  /// Registers a listener (not owned; must unsubscribe before destruction).
+  void subscribe(MutationListener& listener);
+  /// Removes a previously subscribed listener (no-op when absent).
+  void unsubscribe(MutationListener& listener);
+
+ private:
+  Graph graph_;  // address-stable: mutations assign into this member
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // sorted, u < v
+  std::uint64_t epoch_ = 0;
+  std::vector<MutationListener*> listeners_;
+};
+
+}  // namespace nav::dynamic

@@ -1,0 +1,103 @@
+#include "dynamic/rewire_scheme.hpp"
+
+#include <stdexcept>
+
+#include "runtime/assert.hpp"
+#include "runtime/parse.hpp"
+
+namespace nav::dynamic {
+
+namespace {
+
+using graph::NodeId;
+
+/// Uniform draw over V \ {u} — the initial distribution and the kUniform
+/// re-draw rule.
+[[nodiscard]] NodeId draw_other(NodeId u, NodeId n, Rng& rng) {
+  NodeId v = static_cast<NodeId>(rng.next_below(n - 1));
+  if (v >= u) ++v;
+  return v;
+}
+
+}  // namespace
+
+RewireScheme::RewireScheme(const graph::Graph& g, Rule rule, Rng rng)
+    : graph_(g),
+      rule_(rule),
+      contacts_(g.num_nodes(), core::kNoContact),
+      successes_(g.num_nodes(), 0),
+      failures_(g.num_nodes(), 0) {
+  NAV_REQUIRE(g.num_nodes() >= 2, "rewire scheme needs at least two nodes");
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    contacts_[u] = draw_other(u, g.num_nodes(), rng);
+  }
+}
+
+NodeId RewireScheme::sample_contact(NodeId u, Rng& /*rng*/) const {
+  NAV_ASSERT(u < contacts_.size());
+  return contacts_[u];
+}
+
+std::string RewireScheme::name() const { return "rewire:uniform"; }
+
+double RewireScheme::probability(NodeId u, NodeId v) const {
+  NAV_ASSERT(u < contacts_.size() && v < contacts_.size());
+  // A realised augmentation: the row is the indicator of the current link.
+  return contacts_[u] == v ? 1.0 : 0.0;
+}
+
+NodeId RewireScheme::num_nodes() const {
+  return static_cast<NodeId>(contacts_.size());
+}
+
+RewireScheme::LearnReport RewireScheme::learn(
+    std::span<const routing::RouteResult> results, Rng& rng) {
+  LearnReport report;
+  for (const routing::RouteResult& result : results) {
+    if (result.trace.empty()) continue;  // no feedback without a hop trace
+    ++report.traced_routes;
+    // Hop i leaves trace[i]; long_flags[i] says whether it rode the long
+    // link. The final node takes no hop and accrues no evidence.
+    NAV_ASSERT(result.long_flags.size() + 1 == result.trace.size() ||
+               (result.trace.size() <= 1 && result.long_flags.empty()));
+    for (std::size_t i = 0; i < result.long_flags.size(); ++i) {
+      const NodeId x = result.trace[i];
+      NAV_ASSERT(x < contacts_.size());
+      if (result.long_flags[i]) {
+        ++successes_[x];
+        ++report.successes;
+      } else {
+        ++failures_[x];
+        ++report.failures;
+      }
+    }
+  }
+  const NodeId n = static_cast<NodeId>(contacts_.size());
+  for (NodeId u = 0; u < n; ++u) {
+    if (failures_[u] > successes_[u]) {
+      switch (rule_) {
+        case Rule::kUniform:
+          contacts_[u] = draw_other(u, n, rng);
+          break;
+      }
+      successes_[u] = 0;  // fresh link, fresh evidence
+      failures_[u] = 0;
+      ++report.nodes_rewired;
+    }
+  }
+  return report;
+}
+
+std::unique_ptr<RewireScheme> make_rewire_scheme(const std::string& spec,
+                                                 const graph::Graph& g,
+                                                 Rng& rng) {
+  const std::vector<std::string> tokens = split_spec(spec);
+  if (tokens.size() == 2 && tokens[0] == "rewire" && tokens[1] == "uniform") {
+    return std::make_unique<RewireScheme>(g, RewireScheme::Rule::kUniform,
+                                          rng.child(0x5e1f));
+  }
+  throw std::invalid_argument("unknown rewire spec: " + spec +
+                              " (expected rewire:uniform)");
+}
+
+}  // namespace nav::dynamic

@@ -1,0 +1,101 @@
+// rewire_scheme.hpp — long-range links that evolve from routing feedback.
+//
+// "Self-organized Emergence of Navigability on Small-World Networks" (Zhuo
+// et al.) shows that a population of nodes re-drawing their long-range
+// links based on whether routes actually *use* them converges towards a
+// navigable augmentation — navigability as an attractor, not a designed
+// distribution. RewireScheme is that process over this codebase's fixed
+// contact model:
+//
+//   * every node holds ONE concrete long-range contact (drawn uniformly at
+//     construction) — the scheme is a realised augmentation, not a
+//     distribution, so sample_contact is deterministic and probability()
+//     is exact (an indicator);
+//   * learn() consumes a feedback batch of traced RouteResults: a hop out
+//     of node x over its long link scores a success for x, a visit to x
+//     that ignored the link scores a failure. Nodes whose failures exceed
+//     their successes re-draw uniformly (the "uniform" rule) and restart
+//     their evidence; everyone else keeps accumulating.
+//
+// Feedback requires hop traces: routes produced with record_trace = false
+// contribute nothing to learn(). The driver loop — route a batch with
+// traces, learn, repeat — lives in bench_e13_dynamic (section E13d) and the
+// rewire tests.
+//
+// Registry: "rewire:uniform" via core::make_scheme (so the Experiment /
+// sweep_cli scheme axis can carry it); make_rewire_scheme returns the
+// concrete type when the caller needs learn().
+#pragma once
+
+/// \file
+/// \brief RewireScheme: a realised augmentation whose links evolve from
+/// per-node routing feedback ("rewire:<rule>" registry entry).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "routing/router.hpp"
+
+namespace nav::dynamic {
+
+/// Fixed-contact augmentation with feedback-driven re-drawing.
+class RewireScheme final : public core::AugmentationScheme {
+ public:
+  /// Evidence-update rule for learn().
+  enum class Rule : std::uint8_t {
+    kUniform  ///< losing nodes re-draw uniformly over V \ {u}
+  };
+
+  /// Draws every node's initial contact uniformly from `rng`. The scheme
+  /// references g (g must outlive it); a DynamicGraph's in-place mutations
+  /// are observed automatically.
+  RewireScheme(const graph::Graph& g, Rule rule, Rng rng);
+
+  // ---- core::AugmentationScheme -----------------------------------------
+  /// The node's current (fixed) contact; the rng is unused — the realised
+  /// link only changes through learn().
+  [[nodiscard]] graph::NodeId sample_contact(graph::NodeId u,
+                                             Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double probability(graph::NodeId u,
+                                   graph::NodeId v) const override;
+  [[nodiscard]] graph::NodeId num_nodes() const override;
+
+  // ---- the self-organization step ---------------------------------------
+  /// What one learn() batch did.
+  struct LearnReport {
+    std::size_t traced_routes = 0;   ///< results that carried a hop trace
+    std::size_t nodes_rewired = 0;   ///< contacts re-drawn this batch
+    std::size_t successes = 0;       ///< long-link hops credited
+    std::size_t failures = 0;        ///< ignored-link visits debited
+  };
+
+  /// Scores every traced route's hops, then re-draws the contact of each
+  /// node whose accumulated failures exceed its successes (resetting that
+  /// node's evidence). Deterministic given (results order, rng).
+  LearnReport learn(std::span<const routing::RouteResult> results, Rng& rng);
+
+  /// The current realised augmentation (tests, diagnostics).
+  [[nodiscard]] const std::vector<graph::NodeId>& contacts() const noexcept {
+    return contacts_;
+  }
+
+ private:
+  const graph::Graph& graph_;
+  Rule rule_;
+  std::vector<graph::NodeId> contacts_;
+  std::vector<std::uint32_t> successes_;
+  std::vector<std::uint32_t> failures_;
+};
+
+/// Builds a "rewire:<rule>" scheme (currently: "rewire:uniform"). Throws
+/// std::invalid_argument on unknown rules. core::make_scheme dispatches
+/// here; call directly when learn() access is needed.
+[[nodiscard]] std::unique_ptr<RewireScheme> make_rewire_scheme(
+    const std::string& spec, const graph::Graph& g, Rng& rng);
+
+}  // namespace nav::dynamic

@@ -40,6 +40,29 @@ DistVecPtr DistanceMatrix::distances_to(NodeId target) const {
           n_};
 }
 
+void DistanceMatrix::rebuild_rows(const Graph& g,
+                                  std::span<const NodeId> targets) {
+  NAV_REQUIRE(g.num_nodes() == n_, "rebuild graph/matrix size mismatch");
+  Dist* const rows = slab_->data();
+  nav::parallel_for(0, targets.size(), [&](std::size_t i) {
+    const NodeId t = targets[i];
+    NAV_ASSERT(t < n_);
+    local_bfs_workspace().distances_into(
+        g, t, {rows + static_cast<std::size_t>(t) * n_,
+               static_cast<std::size_t>(n_)});
+  });
+}
+
+void DistanceMatrix::rebuild_all(const Graph& g) {
+  NAV_REQUIRE(g.num_nodes() == n_, "rebuild graph/matrix size mismatch");
+  Dist* const rows = slab_->data();
+  nav::parallel_for(0, n_, [&](std::size_t t) {
+    local_bfs_workspace().distances_into(
+        g, static_cast<NodeId>(t),
+        {rows + t * n_, static_cast<std::size_t>(n_)});
+  });
+}
+
 TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity)
     : graph_(g),
       capacity_(capacity == 0 ? 1 : capacity),
@@ -101,6 +124,32 @@ DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
     cache_.erase(victim);  // the slot recycles once the last pin drops
   }
   return dist;
+}
+
+std::vector<NodeId> TargetDistanceCache::resident_targets() const {
+  std::lock_guard lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+DistVecPtr TargetDistanceCache::peek(NodeId target) const {
+  std::lock_guard lock(mutex_);
+  const auto it = cache_.find(target);
+  return it == cache_.end() ? DistVecPtr{} : it->second.distances;
+}
+
+bool TargetDistanceCache::erase(NodeId target) {
+  std::lock_guard lock(mutex_);
+  const auto it = cache_.find(target);
+  if (it == cache_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);  // the slot recycles once the last pin drops
+  return true;
+}
+
+void TargetDistanceCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  cache_.clear();
 }
 
 std::vector<DistVecPtr> TargetDistanceCache::prefetch(

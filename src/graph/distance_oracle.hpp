@@ -126,6 +126,16 @@ class DistanceMatrix final : public DistanceOracle {
 
   [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
 
+  /// Recomputes the given targets' rows in place against `g` (which must
+  /// have the same node count) — the incremental-repair hook for
+  /// dynamic::DynamicOracle. Rows are written through the shared slab, so
+  /// callers must guarantee quiescence: no concurrent queries, and no
+  /// outstanding pins expected to keep their pre-mutation values.
+  void rebuild_rows(const Graph& g, std::span<const NodeId> targets);
+
+  /// Recomputes every row (the full-flush reference path).
+  void rebuild_all(const Graph& g);
+
  private:
   NodeId n_;
   std::shared_ptr<std::vector<Dist>> slab_;  // n_ rows of n_ entries
@@ -174,6 +184,24 @@ class TargetDistanceCache final : public DistanceOracle {
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   /// Queries that had to run a BFS.
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+  // ---- invalidation surface (dynamic::DynamicOracle) ----------------------
+  /// Snapshot of the currently resident targets, LRU order (front = most
+  /// recently used). The set a mutation's tightness test scans.
+  [[nodiscard]] std::vector<NodeId> resident_targets() const;
+
+  /// The resident row for `target` without bumping the LRU or the hit/miss
+  /// counters; empty handle when not resident. Lets the invalidation scan
+  /// read rows without perturbing cache telemetry or eviction order.
+  [[nodiscard]] DistVecPtr peek(NodeId target) const;
+
+  /// Drops `target` if resident (its arena slot recycles once the last pin
+  /// drops); returns whether anything was evicted. Stale rows removed this
+  /// way recompute lazily on the next query — against the *current* graph.
+  bool erase(NodeId target);
+
+  /// Drops every resident row (the full-flush reference path).
+  void clear();
 
  private:
   /// One BFS into a fresh row (arena slot, or heap when all slots are

@@ -51,6 +51,11 @@
 /// \brief Demand models (make_workload) and open-loop load driving
 /// (TrafficDriver) for RouteService.
 
+/// \namespace nav::dynamic
+/// \brief Dynamic graphs: mutation streams (make_mutation_stream),
+/// epoch-versioned DynamicGraph, incremental oracle invalidation
+/// (DynamicOracle), and the feedback-driven RewireScheme.
+
 // runtime — deterministic RNG, stats, tables, timing, the thread pool,
 // scratch pooling and slab arenas.
 #include "runtime/arena.hpp"
@@ -110,11 +115,20 @@
 #include "routing/router_factory.hpp"
 #include "routing/trial_runner.hpp"
 
-// api — the facade: engine, experiment builder, batch service, result sinks.
+// dynamic — mutation streams over epoch-versioned graphs, incremental
+// oracle invalidation, and the feedback-driven rewire scheme.
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/invalidation.hpp"
+#include "dynamic/mutation_stream.hpp"
+#include "dynamic/rewire_scheme.hpp"
+
+// api — the facade: engine, experiment builder, batch service, result
+// sinks, trajectory documents.
 #include "api/engine.hpp"
 #include "api/experiment.hpp"
 #include "api/result_sink.hpp"
 #include "api/route_service.hpp"
+#include "api/trajectory.hpp"
 
 // workload — demand models and admission-controlled load driving.
 #include "workload/traffic_driver.hpp"

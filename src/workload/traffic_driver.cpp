@@ -61,6 +61,10 @@ TrafficDriver::TrafficDriver(api::RouteService& service, Workload& workload,
       schedule_(ArrivalSchedule::parse(options_.schedule)) {
   NAV_REQUIRE(options_.batches >= 1, "traffic needs at least one batch");
   NAV_REQUIRE(options_.batch_size >= 1, "traffic needs non-empty batches");
+  NAV_REQUIRE((options_.mutations == nullptr) ==
+                  (options_.dynamic_graph == nullptr),
+              "mutations and dynamic_graph must be set together");
+  NAV_REQUIRE(options_.mutate_every >= 1, "mutate_every must be >= 1");
 }
 
 WorkloadReport TrafficDriver::run(Rng rng) {
@@ -78,11 +82,52 @@ WorkloadReport TrafficDriver::run(Rng rng) {
   // Submission phase: generate and submit in arrival order, never waiting on
   // completions (open loop). Bounded admission may still block inside
   // submit() — that is the backpressure under test, not a closed loop.
+  // With a MutationStream configured the loop CLOSES: each batch is
+  // collected right after submission so the graph is quiescent at every
+  // mutation point. The demand/routing streams are identical either way.
+  const bool mutating = options_.mutations != nullptr;
+  Rng mutation_rng = rng.child(0xD71);  // dedicated subtree, like 0xB47
   std::vector<std::future<std::vector<routing::RouteResult>>> futures;
   std::vector<double> submitted_at(options_.batches, 0.0);
   futures.reserve(options_.batches);
   report.batches.reserve(options_.batches);
+  std::vector<double> hops, stretch, sojourn_ms;
+  if (options_.keep_results) report.results.resize(options_.batches);
   Timer wall;
+
+  // Collects batch b's future into the report (FIFO completion order).
+  const auto collect = [&](std::size_t b) {
+    try {
+      auto results = futures[b].get();
+      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
+      sojourn_ms.push_back(report.batches[b].sojourn_seconds * 1e3);
+      report.pairs_admitted += results.size();
+      for (const auto& result : results) {
+        if (!result.reached) {
+          ++report.pairs_unreached;
+          continue;  // no hops/stretch sample from a non-route
+        }
+        hops.push_back(static_cast<double>(result.steps));
+        if (result.initial_distance >= 1) {
+          stretch.push_back(static_cast<double>(result.steps) /
+                            static_cast<double>(result.initial_distance));
+        }
+      }
+      if (options_.keep_results) report.results[b] = std::move(results);
+    } catch (const api::ShedError&) {
+      report.batches[b].shed = true;
+      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
+      report.pairs_shed += report.batches[b].pairs;
+    } catch (const std::exception&) {
+      // A batch that failed routing (e.g. an out-of-range endpoint from a
+      // custom Workload) must not abandon the rest of the run: the report
+      // keeps every other batch and accounts this one as failed.
+      report.batches[b].failed = true;
+      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
+      report.pairs_failed += report.batches[b].pairs;
+    }
+  };
+
   for (std::size_t b = 0; b < options_.batches; ++b) {
     auto pairs = workload_.batch(options_.batch_size, gen_rng);
     if (options_.pace) {
@@ -103,38 +148,26 @@ WorkloadReport TrafficDriver::run(Rng rng) {
     futures.push_back(
         service_.submit(std::move(pairs), rng.child(0xB47).child(b)));
     report.batches.push_back(trace);
+    if (mutating) {
+      collect(b);  // drain before any mutation may touch the graph
+      if ((b + 1) % options_.mutate_every == 0 && b + 1 < options_.batches) {
+        const auto events =
+            options_.mutations->step(*options_.dynamic_graph, mutation_rng);
+        const dynamic::MutationDelta delta =
+            options_.dynamic_graph->apply(events);
+        ++report.mutation_steps;
+        report.mutation_events += delta.events.size();
+      }
+    }
   }
 
   // Collection phase: batches complete FIFO, so waiting in submission order
-  // observes each completion promptly.
-  std::vector<double> hops, stretch, sojourn_ms;
-  if (options_.keep_results) report.results.resize(options_.batches);
-  for (std::size_t b = 0; b < options_.batches; ++b) {
-    try {
-      auto results = futures[b].get();
-      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
-      sojourn_ms.push_back(report.batches[b].sojourn_seconds * 1e3);
-      report.pairs_admitted += results.size();
-      for (const auto& result : results) {
-        hops.push_back(static_cast<double>(result.steps));
-        if (result.initial_distance >= 1) {
-          stretch.push_back(static_cast<double>(result.steps) /
-                            static_cast<double>(result.initial_distance));
-        }
-      }
-      if (options_.keep_results) report.results[b] = std::move(results);
-    } catch (const api::ShedError&) {
-      report.batches[b].shed = true;
-      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
-      report.pairs_shed += report.batches[b].pairs;
-    } catch (const std::exception&) {
-      // A batch that failed routing (e.g. an out-of-range endpoint from a
-      // custom Workload) must not abandon the rest of the run: the report
-      // keeps every other batch and accounts this one as failed.
-      report.batches[b].failed = true;
-      report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
-      report.pairs_failed += report.batches[b].pairs;
-    }
+  // observes each completion promptly. (Closed-loop runs collected inline.)
+  if (!mutating) {
+    for (std::size_t b = 0; b < options_.batches; ++b) collect(b);
+  }
+  if (options_.dynamic_graph != nullptr) {
+    report.final_epoch = options_.dynamic_graph->epoch();
   }
   report.seconds = wall.seconds();
   report.hops = summarize(std::move(hops));

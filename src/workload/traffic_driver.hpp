@@ -38,6 +38,8 @@
 
 #include "api/result_sink.hpp"
 #include "api/route_service.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "dynamic/mutation_stream.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/table.hpp"
 #include "workload/workload.hpp"
@@ -78,6 +80,19 @@ struct TrafficOptions {
   /// Retain every admitted batch's RouteResults in the report (tests that
   /// check bit-identity; costs memory on big runs).
   bool keep_results = false;
+
+  // ---- dynamic-graph interleaving (both pointers set together) -----------
+  /// The versioned graph the service routes over; mutations apply here.
+  dynamic::DynamicGraph* dynamic_graph = nullptr;
+  /// Perturbation process stepped between batches. Setting it switches the
+  /// driver to a CLOSED loop: each batch's future is collected before the
+  /// next mutation point, so no route ever runs concurrently with a CSR
+  /// rebuild (the DynamicGraph quiescence contract). The demand and routing
+  /// streams are unchanged — a mutation-free stream (e.g. "churn:0")
+  /// reproduces the open-loop routes bit for bit.
+  dynamic::MutationStream* mutations = nullptr;
+  /// Apply one stream step after every `mutate_every` collected batches.
+  std::size_t mutate_every = 1;
 };
 
 /// One submitted batch as the driver saw it.
@@ -113,6 +128,15 @@ struct WorkloadReport {
   /// gauges and peak_queued_pairs remain service-lifetime values.
   api::QueueStats queue;
   double seconds = 0.0;  ///< wall clock, first submit to last completion
+
+  // ---- dynamic-run observations (not part of record(): the jsonl row and
+  // its goldens are the static schema) --------------------------------------
+  std::size_t mutation_steps = 0;   ///< stream steps applied this run
+  std::size_t mutation_events = 0;  ///< effective edge events across them
+  std::uint64_t final_epoch = 0;    ///< graph epoch when the run ended
+  /// Admitted routes reported unreached (needs the service's
+  /// tolerate_unreachable; always 0 on a static connected graph).
+  std::size_t pairs_unreached = 0;
 
   /// Admitted batches' results (submission order), only when
   /// TrafficOptions::keep_results was set; shed batches leave empty slots.

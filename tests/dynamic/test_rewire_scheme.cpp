@@ -1,0 +1,131 @@
+// test_rewire_scheme.cpp — the self-organization contract: RewireScheme is
+// a realised augmentation (exact indicator probabilities, deterministic
+// sample_contact), learn() only consumes traced routes, losing nodes
+// re-draw deterministically, and the registry spelling "rewire:uniform"
+// reaches it through core::make_scheme.
+#include "dynamic/rewire_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/scheme_factory.hpp"
+#include "graph/distance_oracle.hpp"
+#include "graph/families.hpp"
+#include "routing/router_factory.hpp"
+
+namespace nav::dynamic {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+Graph make_cycle(NodeId n = 128) {
+  Rng rng(2);
+  return graph::family("cycle").make(n, rng);
+}
+
+TEST(RewireScheme, IsARealisedAugmentation) {
+  const auto g = make_cycle();
+  Rng rng(0x11);
+  const auto scheme = make_rewire_scheme("rewire:uniform", g, rng);
+  EXPECT_EQ(scheme->num_nodes(), g.num_nodes());
+  EXPECT_EQ(scheme->name(), "rewire:uniform");
+
+  const auto& contacts = scheme->contacts();
+  ASSERT_EQ(contacts.size(), g.num_nodes());
+  Rng probe(0x22);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NE(contacts[u], u);  // never a self link
+    // sample_contact is deterministic — the realised link, not a draw.
+    EXPECT_EQ(scheme->sample_contact(u, probe), contacts[u]);
+    // probability() is the exact indicator of the realised link.
+    EXPECT_DOUBLE_EQ(scheme->probability(u, contacts[u]), 1.0);
+    const NodeId other = contacts[u] == 0 && u != 1 ? 1 : 0;
+    if (other != contacts[u] && other != u) {
+      EXPECT_DOUBLE_EQ(scheme->probability(u, other), 0.0);
+    }
+  }
+}
+
+TEST(RewireScheme, RegistryDispatchesAndRejects) {
+  const auto g = make_cycle(32);
+  Rng rng(0x33);
+  const auto via_registry = core::make_scheme("rewire:uniform", g, rng);
+  EXPECT_EQ(via_registry->name(), "rewire:uniform");
+
+  Rng rng2(0x34);
+  EXPECT_THROW((void)make_rewire_scheme("rewire:greedy", g, rng2),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_rewire_scheme("rewire", g, rng2),
+               std::invalid_argument);
+}
+
+TEST(RewireScheme, UntracedRoutesContributeNothing) {
+  const auto g = make_cycle();
+  Rng rng(0x44);
+  const auto scheme = make_rewire_scheme("rewire:uniform", g, rng);
+  const auto contacts_before = scheme->contacts();
+
+  graph::DistanceMatrix oracle(g);
+  const auto router = routing::make_router("greedy", g, oracle);
+  std::vector<routing::RouteResult> results;
+  Rng route_rng(0x55);
+  for (int i = 0; i < 32; ++i) {
+    results.push_back(router->route(0, 64, scheme.get(),
+                                    route_rng.child(i),
+                                    /*record_trace=*/false));
+  }
+  Rng learn_rng(0x66);
+  const auto report = scheme->learn(results, learn_rng);
+  EXPECT_EQ(report.traced_routes, 0u);
+  EXPECT_EQ(report.nodes_rewired, 0u);
+  EXPECT_EQ(scheme->contacts(), contacts_before);
+}
+
+// The driver loop of bench_e13_dynamic section E13d, shrunk: route with
+// traces, learn, repeat — identical seeds must give identical trajectories,
+// and evidence must actually accumulate (successes + failures > 0, some
+// node eventually re-draws on a cycle where most initial links are junk).
+TEST(RewireScheme, LearnLoopIsDeterministicAndRewires) {
+  const auto g = make_cycle(256);
+  graph::DistanceMatrix oracle(g);
+
+  auto run_loop = [&]() {
+    Rng scheme_rng(0x77);
+    auto scheme = make_rewire_scheme("rewire:uniform", g, scheme_rng);
+    const auto router = routing::make_router("greedy", g, oracle);
+    std::size_t total_rewired = 0, total_evidence = 0;
+    for (int round = 0; round < 4; ++round) {
+      std::vector<routing::RouteResult> results;
+      Rng route_rng = Rng(0x88).child(round);
+      Rng pair_rng = Rng(0x99).child(round);
+      for (int i = 0; i < 128; ++i) {
+        const auto s = static_cast<NodeId>(pair_rng.next_below(256));
+        auto t = static_cast<NodeId>(pair_rng.next_below(256));
+        if (t == s) t = (t + 1) % 256;
+        results.push_back(router->route(s, t, scheme.get(),
+                                        route_rng.child(i),
+                                        /*record_trace=*/true));
+      }
+      Rng learn_rng = Rng(0xAA).child(round);
+      const auto report = scheme->learn(results, learn_rng);
+      EXPECT_EQ(report.traced_routes, results.size());
+      total_rewired += report.nodes_rewired;
+      total_evidence += report.successes + report.failures;
+    }
+    return std::make_pair(scheme->contacts(), std::make_pair(total_rewired,
+                                                             total_evidence));
+  };
+
+  const auto [contacts_a, counts_a] = run_loop();
+  const auto [contacts_b, counts_b] = run_loop();
+  EXPECT_EQ(contacts_a, contacts_b);  // fully deterministic trajectory
+  EXPECT_EQ(counts_a, counts_b);
+  EXPECT_GT(counts_a.second, 0u);  // evidence accumulated
+  EXPECT_GT(counts_a.first, 0u);   // and some losers re-drew
+}
+
+}  // namespace
+}  // namespace nav::dynamic
