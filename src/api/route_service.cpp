@@ -119,17 +119,21 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
     // target regardless of cache capacity, concurrency, or batch order.
     const std::size_t wave =
         std::max<std::size_t>(1, options_.max_pinned_targets);
+    // One pin vector reused across waves: prefetch_into clears and refills
+    // it, so after the first wave the container itself allocates nothing.
+    std::vector<graph::DistVecPtr> pinned;
     for (std::size_t lo = 0; lo < shard_jobs.size(); lo += wave) {
       const std::size_t hi = std::min(shard_jobs.size(), lo + wave);
       // Sequential mode must stay pool-free end to end (callers may rely on
       // it from inside a pool task), so the batched prefetch — which fans
       // its BFS sweep across the pool — is parallel-only; inline
       // distances_to computes the identical vectors one by one.
-      std::vector<graph::DistVecPtr> pinned;
       if (parallel) {
-        pinned = oracle_.prefetch(
-            std::span<const graph::NodeId>(shard_target).subspan(lo, hi - lo));
+        oracle_.prefetch_into(
+            std::span<const graph::NodeId>(shard_target).subspan(lo, hi - lo),
+            pinned);
       } else {
+        pinned.clear();
         pinned.reserve(hi - lo);
         for (std::size_t k = lo; k < hi; ++k) {
           pinned.push_back(oracle_.distances_to(shard_target[k]));

@@ -22,7 +22,7 @@ const char* const kLooseMetrics[] = {
     "peak_queued_pairs", "blocked_submits",
     "real_time_ns",    "cpu_time_ns",
     "items_per_second", "bytes_per_second",
-    "nodes_per_sec",
+    "nodes_per_sec",   "speedup_vs_scalar",
 };
 
 /// Numeric fields that identify a cell (grid coordinates) rather than
@@ -30,7 +30,7 @@ const char* const kLooseMetrics[] = {
 const char* const kNumericKeyFields[] = {
     "n",     "n_requested", "side",    "pairs",      "targets",
     "eps",   "k",           "alpha",   "batches",    "batch_size",
-    "cache_capacity",
+    "cache_capacity", "workers",
     // dynamic subsystem grid axes (bench_e13_dynamic, sweep_cli):
     "fail_frac", "round", "mutate_every",
 };

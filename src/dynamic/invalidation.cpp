@@ -48,13 +48,14 @@ DistVecPtr DynamicOracle::distances_to(graph::NodeId target) const {
   return row;
 }
 
-std::vector<DistVecPtr> DynamicOracle::prefetch(
-    std::span<const graph::NodeId> targets) const {
-  std::vector<DistVecPtr> rows = backend_ == Backend::kMatrix
-                                     ? matrix_->prefetch(targets)
-                                     : cache_->prefetch(targets);
+void DynamicOracle::prefetch_into(std::span<const graph::NodeId> targets,
+                                  std::vector<DistVecPtr>& out) const {
+  if (backend_ == Backend::kMatrix) {
+    matrix_->prefetch_into(targets, out);
+  } else {
+    cache_->prefetch_into(targets, out);
+  }
   for (const graph::NodeId t : targets) stamp_validated(t);
-  return rows;
 }
 
 bool DynamicOracle::event_affects_row(const EdgeMutation& event,

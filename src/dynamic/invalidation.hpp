@@ -126,8 +126,8 @@ class DynamicOracle final : public graph::DistanceOracle,
   [[nodiscard]] Dist distance(graph::NodeId u,
                               graph::NodeId target) const override;
   [[nodiscard]] DistVecPtr distances_to(graph::NodeId target) const override;
-  [[nodiscard]] std::vector<DistVecPtr> prefetch(
-      std::span<const graph::NodeId> targets) const override;
+  void prefetch_into(std::span<const graph::NodeId> targets,
+                     std::vector<DistVecPtr>& out) const override;
 
   // ---- MutationListener --------------------------------------------------
   /// Runs the per-row tightness test (or the reference flush) against the

@@ -1,78 +1,88 @@
 #include "graph/distance_oracle.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "graph/bfs_engine.hpp"
+#include "runtime/scratch_pool.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace nav::graph {
 
-std::vector<DistVecPtr> DistanceOracle::prefetch(
-    std::span<const NodeId> targets) const {
-  std::vector<DistVecPtr> pinned;
-  pinned.reserve(targets.size());
-  for (const NodeId t : targets) pinned.push_back(distances_to(t));
-  return pinned;
+void DistanceOracle::prefetch_into(std::span<const NodeId> targets,
+                                   std::vector<DistVecPtr>& out) const {
+  out.clear();
+  out.reserve(targets.size());
+  for (const NodeId t : targets) out.push_back(distances_to(t));
 }
 
-DistanceMatrix::DistanceMatrix(const Graph& g)
+DistanceMatrix::DistanceMatrix(const Graph& g, ParallelPolicy policy)
     : n_(g.num_nodes()),
-      slab_(std::make_shared<std::vector<Dist>>(
-          static_cast<std::size_t>(n_) * n_)) {
-  Dist* const rows = slab_->data();
-  nav::parallel_for(0, n_, [&](std::size_t t) {
-    // Each worker reuses its pooled workspace; rows are disjoint slab slices.
-    local_bfs_workspace().distances_into(
-        g, static_cast<NodeId>(t), {rows + t * n_, static_cast<std::size_t>(n_)});
-  });
+      policy_(policy),
+      // Deliberately uninitialised (default-init, not value-init): every
+      // entry is BFS-filled below, and skipping the zero pass means the
+      // first touch of each row happens on the worker that computes it —
+      // on NUMA hosts the pages land near that worker's socket.
+      slab_(new Dist[static_cast<std::size_t>(n_) * n_]) {
+  nav::parallel_for_dynamic(
+      0, n_, [&](std::size_t t) { fill_row(g, static_cast<NodeId>(t)); },
+      policy_.resolved_workers());
+}
+
+void DistanceMatrix::fill_row(const Graph& g, NodeId target) {
+  // Each worker reuses its pooled workspace; rows are disjoint slab slices.
+  local_bfs_workspace().distances_into(
+      g, target,
+      {slab_.get() + static_cast<std::size_t>(target) * n_,
+       static_cast<std::size_t>(n_)});
 }
 
 Dist DistanceMatrix::distance(NodeId u, NodeId target) const {
   NAV_ASSERT(u < n_ && target < n_);
-  return (*slab_)[static_cast<std::size_t>(target) * n_ + u];
+  return slab_[static_cast<std::size_t>(target) * n_ + u];
 }
 
 DistVecPtr DistanceMatrix::distances_to(NodeId target) const {
   NAV_ASSERT(target < n_);
   // Aliasing handle: pins the whole slab, views one row.
   return {std::shared_ptr<const Dist>(
-              slab_, slab_->data() + static_cast<std::size_t>(target) * n_),
+              slab_, slab_.get() + static_cast<std::size_t>(target) * n_),
           n_};
 }
 
 void DistanceMatrix::rebuild_rows(const Graph& g,
                                   std::span<const NodeId> targets) {
   NAV_REQUIRE(g.num_nodes() == n_, "rebuild graph/matrix size mismatch");
-  Dist* const rows = slab_->data();
-  nav::parallel_for(0, targets.size(), [&](std::size_t i) {
-    const NodeId t = targets[i];
-    NAV_ASSERT(t < n_);
-    local_bfs_workspace().distances_into(
-        g, t, {rows + static_cast<std::size_t>(t) * n_,
-               static_cast<std::size_t>(n_)});
-  });
+  nav::parallel_for_dynamic(
+      0, targets.size(),
+      [&](std::size_t i) {
+        NAV_ASSERT(targets[i] < n_);
+        fill_row(g, targets[i]);
+      },
+      policy_.resolved_workers());
 }
 
 void DistanceMatrix::rebuild_all(const Graph& g) {
   NAV_REQUIRE(g.num_nodes() == n_, "rebuild graph/matrix size mismatch");
-  Dist* const rows = slab_->data();
-  nav::parallel_for(0, n_, [&](std::size_t t) {
-    local_bfs_workspace().distances_into(
-        g, static_cast<NodeId>(t),
-        {rows + t * n_, static_cast<std::size_t>(n_)});
-  });
+  nav::parallel_for_dynamic(
+      0, n_, [&](std::size_t t) { fill_row(g, static_cast<NodeId>(t)); },
+      policy_.resolved_workers());
 }
 
-TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity)
+TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity,
+                                         ParallelPolicy policy)
     : graph_(g),
       capacity_(capacity == 0 ? 1 : capacity),
+      policy_(policy),
       // One slot beyond the LRU capacity: a miss on a full cache computes its
       // row BEFORE evicting (the victim's slot frees only after the insert),
       // so without the spare every such miss would spill to the heap.
       arena_(capacity_ + 1, g.num_nodes()) {}
 
-TargetDistanceCache::TargetDistanceCache(const Graph& g, MemoryBudget budget)
-    : TargetDistanceCache(g, capacity_for_budget(budget, g.num_nodes())) {}
+TargetDistanceCache::TargetDistanceCache(const Graph& g, MemoryBudget budget,
+                                         ParallelPolicy policy)
+    : TargetDistanceCache(g, capacity_for_budget(budget, g.num_nodes()),
+                          policy) {}
 
 std::size_t TargetDistanceCache::capacity_for_budget(MemoryBudget budget,
                                                      NodeId n) noexcept {
@@ -85,16 +95,31 @@ Dist TargetDistanceCache::distance(NodeId u, NodeId target) const {
   return (*distances_to(target))[u];
 }
 
-DistVecPtr TargetDistanceCache::compute_row(NodeId target) const {
-  const std::size_t n = graph_.num_nodes();
-  // Steady state: a recycled arena slot, zero heap allocations. When every
-  // slot is pinned (a prefetch wave larger than the budget), spill to a
-  // plain heap row — correctness never depends on the arena having room.
+std::shared_ptr<Dist> TargetDistanceCache::acquire_slot() const {
+  // Steady state: a recycled arena slot (O(1) control-block bookkeeping).
+  // When every slot is pinned (a prefetch wave larger than the budget),
+  // spill to a plain heap row — correctness never depends on the arena
+  // having room.
   std::shared_ptr<Dist> row = arena_.try_acquire();
   if (row == nullptr) {
+    const std::size_t n = graph_.num_nodes();
     row = std::shared_ptr<Dist>(new Dist[n], std::default_delete<Dist[]>());
   }
+  return row;
+}
+
+DistVecPtr TargetDistanceCache::compute_row(NodeId target) const {
+  const std::size_t n = graph_.num_nodes();
+  std::shared_ptr<Dist> row = acquire_slot();
   local_bfs_workspace().distances_into(graph_, target, {row.get(), n});
+  return {std::move(row), n};
+}
+
+DistVecPtr TargetDistanceCache::compute_row_with(ParallelBfs& engine,
+                                                 NodeId target) const {
+  const std::size_t n = graph_.num_nodes();
+  std::shared_ptr<Dist> row = acquire_slot();
+  engine.distances_into(graph_, target, {row.get(), n});
   return {std::move(row), n};
 }
 
@@ -152,17 +177,64 @@ void TargetDistanceCache::clear() {
   cache_.clear();
 }
 
-std::vector<DistVecPtr> TargetDistanceCache::prefetch(
-    std::span<const NodeId> targets) const {
-  // Pass 1 (under the lock): serve residents and dedicate the misses.
-  std::unordered_map<NodeId, DistVecPtr> by_target;
-  by_target.reserve(targets.size());
-  std::vector<NodeId> missing;
+namespace {
+
+// Grow-only per-thread scratch for TargetDistanceCache::prefetch_into: an
+// open-addressing probe table for intra-wave dedup plus the miss lists. No
+// node-based containers, so a warm all-hit wave allocates nothing.
+struct PrefetchScratch {
+  std::vector<std::size_t> table;      // probe slot -> input index + 1; 0 = empty
+  std::vector<std::size_t> first_of;   // input index -> first occurrence index
+  std::vector<NodeId> missing;         // distinct targets needing a BFS
+  std::vector<std::size_t> miss_slot;  // their positions in the output
+  std::vector<DistVecPtr> fresh;       // rows computed for `missing`
+};
+
+}  // namespace
+
+void TargetDistanceCache::prefetch_into(std::span<const NodeId> targets,
+                                        std::vector<DistVecPtr>& out) const {
+  out.clear();
+  out.resize(targets.size());
+  if (targets.empty()) return;
+
+  auto& scratch = nav::thread_scratch<PrefetchScratch>();
+  std::size_t cap = 16;
+  while (cap < targets.size() * 2) cap <<= 1;
+  if (scratch.table.size() < cap) scratch.table.resize(cap);
+  std::fill(scratch.table.begin(), scratch.table.begin() + cap, std::size_t{0});
+  if (scratch.first_of.size() < targets.size()) {
+    scratch.first_of.resize(targets.size());
+  }
+  scratch.missing.clear();
+  scratch.miss_slot.clear();
+  const unsigned shift =
+      64u - static_cast<unsigned>(std::countr_zero(cap));  // cap is a power of 2
+
+  // Pass 1 (under the lock): dedup the wave, serve residents, list misses.
   {
     std::lock_guard lock(mutex_);
-    for (const NodeId t : targets) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const NodeId t = targets[i];
       NAV_ASSERT(t < graph_.num_nodes());
-      if (by_target.count(t) != 0) {  // duplicate: served by this batch's BFS
+      std::size_t slot = static_cast<std::size_t>(
+          (std::uint64_t{t} * 0x9E3779B97F4A7C15ull) >> shift);
+      bool duplicate = false;
+      while (true) {
+        const std::size_t stored = scratch.table[slot];
+        if (stored == 0) {
+          scratch.table[slot] = i + 1;
+          scratch.first_of[i] = i;
+          break;
+        }
+        if (targets[stored - 1] == t) {
+          scratch.first_of[i] = stored - 1;
+          duplicate = true;  // served by the first occurrence's row
+          break;
+        }
+        slot = (slot + 1) & (cap - 1);
+      }
+      if (duplicate) {
         ++hits_;
         continue;
       }
@@ -170,33 +242,54 @@ std::vector<DistVecPtr> TargetDistanceCache::prefetch(
       if (it != cache_.end()) {
         ++hits_;
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-        by_target.emplace(t, it->second.distances);
+        out[i] = it->second.distances;
       } else {
         ++misses_;
-        missing.push_back(t);
-        by_target.emplace(t, DistVecPtr{});  // reserve the slot
+        scratch.missing.push_back(t);
+        scratch.miss_slot.push_back(i);
       }
     }
   }
-  // Pass 2 (no lock): one parallel BFS sweep over the distinct misses —
-  // this is the batched-prefetch win over miss-by-miss distances_to.
-  std::vector<DistVecPtr> fresh(missing.size());
-  nav::parallel_for(0, missing.size(), [&](std::size_t i) {
-    fresh[i] = compute_row(missing[i]);
-  });
+
+  // Pass 2 (no lock): BFS the distinct misses, adaptively in the policy.
+  auto& fresh = scratch.fresh;
+  fresh.clear();
+  fresh.resize(scratch.missing.size());
+  const std::size_t workers = policy_.resolved_workers();
+  if (workers > 1 && scratch.missing.size() >= workers) {
+    // Wide wave: farm whole rows across the pool, one scalar sweep each —
+    // this is the batched-prefetch win over miss-by-miss distances_to.
+    nav::parallel_for_dynamic(
+        0, scratch.missing.size(),
+        [&](std::size_t k) { fresh[k] = compute_row(scratch.missing[k]); },
+        workers);
+  } else if (workers > 1 && !scratch.missing.empty()) {
+    // Narrow wave: fewer misses than workers, so row farming would idle
+    // most lanes — run each miss as one multi-worker sweep instead.
+    std::lock_guard engine_lock(engine_mutex_);
+    if (engine_ == nullptr) engine_ = std::make_unique<ParallelBfs>(policy_);
+    for (std::size_t k = 0; k < scratch.missing.size(); ++k) {
+      fresh[k] = compute_row_with(*engine_, scratch.missing[k]);
+    }
+  } else {
+    for (std::size_t k = 0; k < scratch.missing.size(); ++k) {
+      fresh[k] = compute_row(scratch.missing[k]);
+    }
+  }
+
   // Pass 3 (under the lock): install the new vectors, newest-first LRU.
-  if (!missing.empty()) {
+  if (!scratch.missing.empty()) {
     std::lock_guard lock(mutex_);
-    for (std::size_t i = 0; i < missing.size(); ++i) {
-      const NodeId t = missing[i];
+    for (std::size_t k = 0; k < scratch.missing.size(); ++k) {
+      const NodeId t = scratch.missing[k];
       const auto it = cache_.find(t);
       if (it != cache_.end()) {  // a concurrent caller raced us: keep theirs
-        by_target[t] = it->second.distances;
+        out[scratch.miss_slot[k]] = it->second.distances;
         continue;
       }
       lru_.push_front(t);
-      cache_.emplace(t, Entry{lru_.begin(), fresh[i]});
-      by_target[t] = fresh[i];
+      cache_.emplace(t, Entry{lru_.begin(), fresh[k]});
+      out[scratch.miss_slot[k]] = fresh[k];
     }
     while (cache_.size() > capacity_) {
       const NodeId victim = lru_.back();
@@ -204,10 +297,12 @@ std::vector<DistVecPtr> TargetDistanceCache::prefetch(
       cache_.erase(victim);
     }
   }
-  std::vector<DistVecPtr> pinned;
-  pinned.reserve(targets.size());
-  for (const NodeId t : targets) pinned.push_back(by_target.at(t));
-  return pinned;
+  fresh.clear();  // drop the scratch pins: rows now live via cache_/out
+
+  // Final pass: duplicates alias their first occurrence's pin.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (scratch.first_of[i] != i) out[i] = out[scratch.first_of[i]];
+  }
 }
 
 }  // namespace nav::graph

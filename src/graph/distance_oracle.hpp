@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "graph/bfs.hpp"
+#include "graph/bfs_engine.hpp"
 #include "graph/graph.hpp"
 #include "runtime/arena.hpp"
 
@@ -106,25 +107,47 @@ class DistanceOracle {
   [[nodiscard]] virtual DistVecPtr distances_to(NodeId target) const = 0;
 
   /// Batch interface: materialises (or fetches) the vectors for `targets`
-  /// and returns them pinned, in input order. result[i] stays valid for as
-  /// long as the caller holds it, independent of any cache eviction — the
-  /// contract RouteService target shards rely on. Duplicate targets are
-  /// allowed and share one vector. The base implementation loops
+  /// into `out` (cleared and resized to targets.size()), pinned, in input
+  /// order. out[i] stays valid for as long as the caller holds it,
+  /// independent of any cache eviction — the contract RouteService target
+  /// shards rely on. Duplicate targets are allowed and share one vector.
+  /// Callers reusing `out` across waves pay no allocation for the container
+  /// once it has grown to the largest wave. The base implementation loops
   /// distances_to; caching oracles override it to batch the misses.
-  [[nodiscard]] virtual std::vector<DistVecPtr> prefetch(
-      std::span<const NodeId> targets) const;
+  virtual void prefetch_into(std::span<const NodeId> targets,
+                             std::vector<DistVecPtr>& out) const;
+
+  /// Allocating convenience wrapper over prefetch_into.
+  [[nodiscard]] std::vector<DistVecPtr> prefetch(
+      std::span<const NodeId> targets) const {
+    std::vector<DistVecPtr> pinned;
+    prefetch_into(targets, pinned);
+    return pinned;
+  }
 };
 
 /// Dense all-pairs table. Memory: one n² × 4-byte slab, rows aliased into
-/// it. Built with a parallel all-source BFS sweep at construction.
+/// it. Built with a parallel all-source BFS sweep at construction: rows are
+/// farmed to the worker pool (capped by the policy) and the slab is handed
+/// out UNINITIALISED, so each page is first touched by the worker that
+/// BFS-fills it — on NUMA hosts the rows land near the cores that wrote
+/// them. The policy also caps rebuild_rows/rebuild_all. Distances are
+/// level-synchronous, so the slab is byte-identical for every worker count
+/// (the determinism suite hashes it to prove this).
 class DistanceMatrix final : public DistanceOracle {
  public:
-  explicit DistanceMatrix(const Graph& g);
+  explicit DistanceMatrix(const Graph& g, ParallelPolicy policy = {});
 
   [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
   [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
 
   [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+
+  /// The backing slab: n*n entries, row-major by target. Determinism tests
+  /// hash this to pin worker-count independence byte for byte.
+  [[nodiscard]] std::span<const Dist> slab() const noexcept {
+    return {slab_.get(), static_cast<std::size_t>(n_) * n_};
+  }
 
   /// Recomputes the given targets' rows in place against `g` (which must
   /// have the same node count) — the incremental-repair hook for
@@ -137,8 +160,11 @@ class DistanceMatrix final : public DistanceOracle {
   void rebuild_all(const Graph& g);
 
  private:
+  void fill_row(const Graph& g, NodeId target);
+
   NodeId n_;
-  std::shared_ptr<std::vector<Dist>> slab_;  // n_ rows of n_ entries
+  ParallelPolicy policy_;
+  std::shared_ptr<Dist[]> slab_;  // n_ rows of n_ entries
 };
 
 /// Cache sizing by bytes instead of entry count: the number of resident
@@ -154,11 +180,14 @@ class TargetDistanceCache final : public DistanceOracle {
   /// `capacity` = number of target distance vectors kept alive in the cache.
   /// The arena holds capacity + 1 slots (slabs grow lazily towards it): the
   /// spare serves the miss-on-full-cache window where the new row is
-  /// computed before the victim's slot frees.
-  explicit TargetDistanceCache(const Graph& g, std::size_t capacity = 64);
+  /// computed before the victim's slot frees. `policy` caps how much of the
+  /// machine prefetch waves may use.
+  explicit TargetDistanceCache(const Graph& g, std::size_t capacity = 64,
+                               ParallelPolicy policy = {});
 
   /// Sizes the LRU from a byte budget via capacity_for_budget.
-  TargetDistanceCache(const Graph& g, MemoryBudget budget);
+  TargetDistanceCache(const Graph& g, MemoryBudget budget,
+                      ParallelPolicy policy = {});
 
   /// Entry count affordable under `budget` for n-node vectors (>= 1: the
   /// cache always keeps at least the vector it just computed).
@@ -168,15 +197,19 @@ class TargetDistanceCache final : public DistanceOracle {
   [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
   [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
 
-  /// Batched miss handling: missing targets are BFS'd in one parallel sweep
-  /// over the global thread pool (callers must therefore not invoke this
-  /// from inside a pool task), then inserted; resident ones are bumped.
-  /// Returned pins outlive eviction, so a batch larger than the capacity is
-  /// still served correctly — the LRU just ends at its capacity. (Pins in
-  /// excess of the arena budget spill to plain heap rows; they free on
-  /// release rather than recycling.)
-  [[nodiscard]] std::vector<DistVecPtr> prefetch(
-      std::span<const NodeId> targets) const override;
+  /// Batched miss handling, adaptive in the policy: a wave with at least as
+  /// many distinct misses as workers farms whole rows across the global
+  /// thread pool (callers must therefore not invoke this from inside a pool
+  /// task); a narrower wave runs each miss as one multi-worker ParallelBfs
+  /// sweep instead, so a single cold target still saturates the machine.
+  /// Resident targets are bumped, not recomputed, and a warm all-hit wave
+  /// performs ZERO heap allocations (dedup runs on thread-pooled scratch,
+  /// pins are refcount copies). Returned pins outlive eviction, so a batch
+  /// larger than the capacity is still served correctly — the LRU just ends
+  /// at its capacity. (Pins in excess of the arena budget spill to plain
+  /// heap rows; they free on release rather than recycling.)
+  void prefetch_into(std::span<const NodeId> targets,
+                     std::vector<DistVecPtr>& out) const override;
 
   /// Number of resident vectors the LRU may hold.
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -208,6 +241,14 @@ class TargetDistanceCache final : public DistanceOracle {
   /// pinned) on the calling thread's workspace.
   [[nodiscard]] DistVecPtr compute_row(NodeId target) const;
 
+  /// The same, but the sweep itself fans out over `engine`'s worker team —
+  /// the narrow-wave prefetch path.
+  [[nodiscard]] DistVecPtr compute_row_with(ParallelBfs& engine,
+                                            NodeId target) const;
+
+  /// Acquires the row storage (arena slot, heap spill fallback).
+  [[nodiscard]] std::shared_ptr<Dist> acquire_slot() const;
+
   struct Entry {
     std::list<NodeId>::iterator lru_it;
     DistVecPtr distances;
@@ -215,11 +256,17 @@ class TargetDistanceCache final : public DistanceOracle {
 
   const Graph& graph_;
   std::size_t capacity_;
+  ParallelPolicy policy_;
   mutable SlabArena<Dist> arena_;
   mutable std::mutex mutex_;
   mutable std::list<NodeId> lru_;  // front = most recently used
   mutable std::unordered_map<NodeId, Entry> cache_;
   mutable std::size_t hits_ = 0, misses_ = 0;
+  // Lazily-built multi-worker engine for narrow prefetch waves (fewer
+  // misses than workers). ParallelBfs is not re-entrant, so concurrent
+  // narrow waves serialise on engine_mutex_ — never held with mutex_.
+  mutable std::mutex engine_mutex_;
+  mutable std::unique_ptr<ParallelBfs> engine_;
 };
 
 }  // namespace nav::graph

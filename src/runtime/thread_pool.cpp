@@ -102,9 +102,16 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
 
 void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
                           const std::function<void(std::size_t)>& body) {
+  parallel_for_dynamic(pool, begin, end, body, /*max_workers=*/0);
+}
+
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t max_workers) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t workers = std::max<std::size_t>(1, pool.thread_count());
+  std::size_t workers = std::max<std::size_t>(1, pool.thread_count());
+  if (max_workers != 0) workers = std::min(workers, max_workers);
   if (workers == 1 || total == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
@@ -127,6 +134,12 @@ void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
 void parallel_for_dynamic(std::size_t begin, std::size_t end,
                           const std::function<void(std::size_t)>& body) {
   parallel_for_dynamic(global_pool(), begin, end, body);
+}
+
+void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t max_workers) {
+  parallel_for_dynamic(global_pool(), begin, end, body, max_workers);
 }
 
 ThreadPool& global_pool() {

@@ -82,6 +82,19 @@ void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
 void parallel_for_dynamic(std::size_t begin, std::size_t end,
                           const std::function<void(std::size_t)>& body);
 
+/// parallel_for_dynamic with the worker fan-out capped at `max_workers`
+/// (0 = pool width): at most that many claim tasks are submitted, so callers
+/// can honor a graph::ParallelPolicy narrower than the process-wide pool
+/// without resizing it. max_workers == 1 runs inline on the caller.
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t max_workers);
+
+/// The capped overload on the process-wide pool.
+void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t max_workers);
+
 /// Access to the process-wide pool (created on first use).
 ThreadPool& global_pool();
 

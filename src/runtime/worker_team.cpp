@@ -1,0 +1,69 @@
+#include "runtime/worker_team.hpp"
+
+#include "runtime/thread_pool.hpp"
+
+namespace nav {
+
+WorkerTeam::WorkerTeam(std::size_t lanes)
+    : lanes_(lanes == 0 ? ThreadPool::default_threads() : lanes) {}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_go_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkerTeam::run_raw(void (*fn)(void*, std::size_t), void* ctx) {
+  if (lanes_ <= 1) {
+    fn(ctx, 0);
+    return;
+  }
+  if (!started_) {
+    // Lazy startup: the one moment a team allocates. Kernels warm a team
+    // before entering their measured (allocation-free) steady state.
+    threads_.reserve(lanes_ - 1);
+    for (std::size_t lane = 1; lane < lanes_; ++lane) {
+      threads_.emplace_back([this, lane] { worker_loop(lane); });
+    }
+    started_ = true;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    remaining_ = lanes_ - 1;
+    ++generation_;
+  }
+  cv_go_.notify_all();
+  fn(ctx, 0);  // the caller is lane 0
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void WorkerTeam::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  while (true) {
+    void (*fn)(void*, std::size_t);
+    void* ctx;
+    {
+      std::unique_lock lock(mutex_);
+      cv_go_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      ctx = ctx_;
+    }
+    fn(ctx, lane);
+    bool last;
+    {
+      std::lock_guard lock(mutex_);
+      last = --remaining_ == 0;
+    }
+    if (last) cv_done_.notify_one();
+  }
+}
+
+}  // namespace nav

@@ -1,0 +1,86 @@
+// worker_team.hpp — a persistent fork-join team for intra-kernel parallelism.
+//
+// ThreadPool + parallel_for is the right tool for farming *independent* work
+// items (rows of a DistanceMatrix, shards of a batch). It is the wrong tool
+// for a parallel *kernel* — a single BFS sweep that fans out and rejoins many
+// times per call: submit() allocates a std::function per task, wait_idle()
+// waits on the whole pool (so a kernel cannot run while the pool serves other
+// work), and pool width is global rather than per-kernel.
+//
+// WorkerTeam is the complement: a fixed set of lanes (caller thread = lane 0
+// plus size()-1 private threads) that execute one body per run() call and
+// rejoin at an internal barrier. Dispatch is a raw function pointer + context
+// pointer — no std::function, no queue nodes — so a warm run() performs ZERO
+// heap allocations, which is what lets the parallel BFS kernels keep the
+// engine's allocation-free contract (tests/alloc). Threads start lazily on
+// the first run() that needs them ("worker-pool startup" is the one moment
+// the zero-allocation proofs exempt) and park on a condition variable
+// between runs.
+//
+// Unlike parallel_for, run() may be called from inside a ThreadPool task:
+// the team's lanes are private threads, so there is no pool-idleness wait to
+// deadlock on. A team is NOT re-entrant — one run() at a time per instance.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace nav {
+
+class WorkerTeam {
+ public:
+  /// A team of `lanes` lanes (0 = one per hardware thread, minimum 1). Lane
+  /// 0 is the caller of run(); lanes-1 private threads are started lazily by
+  /// the first run() on a team wider than one lane.
+  explicit WorkerTeam(std::size_t lanes = 0);
+
+  /// Joins the private threads (after draining any parked run).
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  /// Total lanes, including the calling thread's lane 0.
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// True once the private threads have been spawned (diagnostics; the
+  /// zero-allocation tests warm the team first and assert this).
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+  /// Runs body(lane) on every lane in [0, lanes()) concurrently — lane 0 on
+  /// the calling thread — and returns when ALL lanes have finished (a full
+  /// barrier). `body` must not throw (lanes are noexcept-by-policy, like
+  /// pool tasks) and must not call run() on the same team. Zero heap
+  /// allocations once the threads are started.
+  template <typename F>
+  void run(F&& body) {
+    using Body = std::remove_reference_t<F>;
+    run_raw(
+        [](void* ctx, std::size_t lane) { (*static_cast<Body*>(ctx))(lane); },
+        std::addressof(body));
+  }
+
+ private:
+  void run_raw(void (*fn)(void*, std::size_t), void* ctx);
+  void worker_loop(std::size_t lane);
+
+  std::size_t lanes_;
+  bool started_ = false;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_go_;    // a new generation is ready
+  std::condition_variable cv_done_;  // a lane finished the generation
+  void (*fn_)(void*, std::size_t) = nullptr;
+  void* ctx_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped per run(); lanes latch onto it
+  std::size_t remaining_ = 0;     // worker lanes still inside the generation
+  bool stop_ = false;
+};
+
+}  // namespace nav

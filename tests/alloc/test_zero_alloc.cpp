@@ -123,5 +123,82 @@ TEST(ZeroAlloc, ArenaRecyclingServesMissesWithoutRowAllocations) {
   EXPECT_LT(bytes_after - bytes_before, 4096u * sizeof(Dist));
 }
 
+TEST(ZeroAlloc, WarmParallelSweepAllocatesNothing) {
+  // The multi-worker sweep inherits the engine's allocation contract: the
+  // worker-team startup and scratch growth happen on the FIRST sweep (the
+  // one exempt moment); every warm sweep after that — parallel out-fill,
+  // chunk-claimed top-down, bottom-up words, two-pass frontier rebuild —
+  // must never touch the allocator, on any lane.
+  const auto g = make_grid2d(48, 48);
+  ParallelPolicy policy;
+  policy.num_workers = 4;
+  policy.serial_frontier_cutoff = 1;  // force the parallel code paths
+  policy.min_diropt_nodes = 1;
+  ParallelBfs sweep(policy);
+  std::vector<Dist> out(g.num_nodes());
+  sweep.distances_into(g, 0, out);  // warm: lazy thread start + scratch
+  sweep.distances_into(g, 1, out, 7);
+
+  const std::uint64_t before = nav::allocation_count();
+  for (NodeId s = 0; s < 16; ++s) {
+    sweep.distances_into(g, s, out);      // full sweep, all parallel levels
+    sweep.distances_into(g, s, out, 6);   // bounded sweep
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm ParallelBfs must perform zero heap allocations per sweep";
+}
+
+TEST(ZeroAlloc, WarmPrefetchWaveAllocatesNothing) {
+  // An all-hit prefetch wave is the oracle's steady state under RouteService:
+  // dedup runs on grow-only thread scratch, residents are refcount copies
+  // into a caller-reused vector — nothing may reach the allocator.
+  const auto g = make_grid2d(40, 40);
+  TargetDistanceCache cache(g, 8, ParallelPolicy::serial());
+  const std::vector<NodeId> wave{5, 9, 13, 5, 21, 9};
+  std::vector<DistVecPtr> pinned;
+  cache.prefetch_into(wave, pinned);  // warm: misses, scratch, out growth
+  cache.prefetch_into(wave, pinned);  // warm: the all-hit shape itself
+
+  const std::uint64_t before = nav::allocation_count();
+  for (int i = 0; i < 200; ++i) cache.prefetch_into(wave, pinned);
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a resident prefetch wave must perform zero heap allocations";
+  EXPECT_EQ(cache.misses(), 4u);  // only the first wave's distinct targets
+}
+
+TEST(ZeroAlloc, ParallelMissWavesRecycleArenaRows) {
+  // Narrow waves (fewer misses than workers) run each miss as one
+  // multi-worker sweep; the row must still come from a recycled arena slot,
+  // never a fresh heap block. Bookkeeping per miss stays O(1) (LRU node,
+  // map node, slot control block) — the byte counter proves no n-sized row
+  // was ever heap-spilled.
+  const auto g = make_path(4096);
+  ParallelPolicy policy;
+  policy.num_workers = 2;
+  policy.serial_frontier_cutoff = 1;
+  policy.min_diropt_nodes = 1;
+  TargetDistanceCache cache(g, 2, policy);
+  std::vector<DistVecPtr> pinned;
+  std::vector<NodeId> wave(1);
+  for (NodeId t = 0; t < 3; ++t) {  // warm: team start, spare slot, scratch
+    wave[0] = t;
+    cache.prefetch_into(wave, pinned);
+  }
+  pinned.clear();  // drop the last pin so its slot recycles
+  const std::uint64_t count_before = nav::allocation_count();
+  const std::uint64_t bytes_before = nav::allocation_bytes();
+  for (NodeId t = 3; t < 40; ++t) {
+    wave[0] = t;
+    cache.prefetch_into(wave, pinned);  // miss, evict, recycle — every wave
+    pinned.clear();
+  }
+  const std::uint64_t count_after = nav::allocation_count();
+  const std::uint64_t bytes_after = nav::allocation_bytes();
+  EXPECT_LE(count_after - count_before, 37u * 4u);
+  EXPECT_LT(bytes_after - bytes_before, 4096u * sizeof(Dist));
+}
+
 }  // namespace
 }  // namespace nav::graph

@@ -193,6 +193,48 @@ TEST(BfsEngine, KernelsValidateArguments) {
   EXPECT_THROW(ws.multi_source_into(g, {}, out), std::invalid_argument);
 }
 
+TEST(BfsEngine, SparseDenseCutoverIsExplicit) {
+  // The dispatch decision is observable via last_sweep_kind(): radii that
+  // cannot bind (>= n-1) are promoted to the unbounded kernel instead of
+  // silently degrading to a bounded scan of the whole graph, and the
+  // direction-optimizing gate stays pinned to the n/edge thresholds.
+  BfsWorkspace ws;
+  const auto big = make_grid2d(40, 40);  // clears the diropt gate (n=1600)
+  const NodeId n = big.num_nodes();
+  std::vector<Dist> out(n);
+
+  ws.distances_into(big, 0, out);
+  EXPECT_EQ(ws.last_sweep_kind(),
+            BfsWorkspace::SweepKind::kDirectionOptimizing);
+  ws.distances_into(big, 0, out, 3);
+  EXPECT_EQ(ws.last_sweep_kind(), BfsWorkspace::SweepKind::kScalarBounded);
+  // radius n-2 is the largest value that still dispatches bounded...
+  ws.distances_into(big, 0, out, static_cast<Dist>(n - 2));
+  EXPECT_EQ(ws.last_sweep_kind(), BfsWorkspace::SweepKind::kScalarBounded);
+  // ...and n-1 (or anything larger) promotes to the full sweep, with output
+  // identical to the bounded semantics it replaces.
+  for (const Dist r : {static_cast<Dist>(n - 1), static_cast<Dist>(n),
+                       static_cast<Dist>(3 * n)}) {
+    ws.distances_into(big, 0, out, r);
+    EXPECT_EQ(ws.last_sweep_kind(),
+              BfsWorkspace::SweepKind::kDirectionOptimizing)
+        << "r=" << r;
+    EXPECT_EQ(out, bfs_distances_reference(big, 0, r)) << "r=" << r;
+  }
+
+  // Below the gate the full sweep stays scalar — including promoted radii.
+  const auto tiny = make_path(64);
+  std::vector<Dist> tout(64);
+  ws.distances_into(tiny, 0, tout);
+  EXPECT_EQ(ws.last_sweep_kind(), BfsWorkspace::SweepKind::kScalarFull);
+  ws.distances_into(tiny, 0, tout, 63);  // n-1: promoted, still scalar full
+  EXPECT_EQ(ws.last_sweep_kind(), BfsWorkspace::SweepKind::kScalarFull);
+  EXPECT_EQ(tout, bfs_distances_reference(tiny, 0));
+  ws.distances_into(tiny, 0, tout, 62);  // n-2: binds, bounded
+  EXPECT_EQ(ws.last_sweep_kind(), BfsWorkspace::SweepKind::kScalarBounded);
+  EXPECT_EQ(tout, bfs_distances_reference(tiny, 0, 62));
+}
+
 TEST(BfsEngine, LocalWorkspaceIsPerThread) {
   BfsWorkspace* main_ws = &local_bfs_workspace();
   EXPECT_EQ(main_ws, &local_bfs_workspace());  // stable on one thread
