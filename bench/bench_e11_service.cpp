@@ -37,6 +37,7 @@ struct ModeResult {
   double seconds = 0.0;
   std::size_t misses = 0;
   std::vector<nav::routing::RouteResult> results;
+  nav::obs::MetricsSnapshot metrics;  // the service's registry, post-run
 };
 
 ModeResult run_mode(const nav::graph::Graph& g,
@@ -54,6 +55,7 @@ ModeResult run_mode(const nav::graph::Graph& g,
   mode.results = service.route_batch(pairs, Rng(0xE11));
   mode.seconds = timer.seconds();
   mode.misses = cache.misses();
+  mode.metrics = service.metrics().scrape();
   return mode;
 }
 
@@ -118,6 +120,12 @@ int main(int argc, char** argv) {
                   {"bfs", static_cast<std::uint64_t>(r.misses)},
                   {"mean_steps", mean_steps},
                   {"seconds", r.seconds}});
+      // The service's scraped registry rides along as a loose-metric cell
+      // (obs_* fields): queue counters and latency histograms next to the
+      // strict results, without widening the gated surface.
+      h.add_metrics_cell(r.metrics,
+                         {{"mode", mode}, {"scrape", std::string("service")}},
+                         "route_service.");
     };
     add("per-pair", per_pair);
     add("target-sharded", sharded);

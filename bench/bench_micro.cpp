@@ -381,6 +381,75 @@ void run_parallel_bfs_cells(bench::Harness& h) {
   }
 }
 
+// ---- M3: sweep-kind dispatch tallies ---------------------------------------
+// Deterministic STRICT cells: for each family x size a fresh workspace runs a
+// fixed mix of full and bounded sweeps, and the cell records how the engine's
+// dispatcher (radius promotion + direction-optimizing thresholds) classified
+// them, read back through BfsWorkspace::sweep_count(). Any change to the
+// cutover heuristics shows up as a strict metric diff in compare_bench.py
+// instead of a silent throughput cliff. The 2^8 size sits below
+// kDiroptMinNodes, so the scalar-full kind is exercised alongside diropt and
+// scalar-bounded.
+void run_sweep_kind_cells(bench::Harness& h) {
+  using graph::Dist;
+  using graph::NodeId;
+  using SweepKind = graph::BfsWorkspace::SweepKind;
+  std::vector<unsigned> exponents{8, 12};
+  if (!h.quick()) exponents.push_back(16);
+  constexpr std::size_t kFullSweeps = 3;
+  constexpr std::size_t kBoundedSweeps = 5;
+
+  for (const unsigned e : exponents) {
+    const auto n = NodeId{1} << e;
+    for (const std::string& family :
+         {std::string("torus2d"), std::string("hypercube"), std::string("gnp8"),
+          std::string("regular16")}) {
+      Rng rng(h.seed(0xB3F5) ^ e);
+      graph::Graph g;
+      if (family == "torus2d") {
+        const auto side = NodeId{1} << (e / 2);
+        g = graph::make_torus2d(side, n / side);
+      } else if (family == "hypercube") {
+        g = graph::make_hypercube(e);
+      } else if (family == "gnp8") {
+        g = graph::make_connected_gnp(n, 8.0 / static_cast<double>(n), rng);
+      } else {
+        g = graph::make_random_regular(n, 16, rng);
+      }
+
+      graph::BfsWorkspace ws;  // fresh instance: tallies start at zero
+      std::vector<Dist> out(g.num_nodes());
+      const auto source_at = [&](std::size_t i) {
+        return static_cast<NodeId>((i * 2654435761u) % g.num_nodes());
+      };
+      for (std::size_t i = 0; i < kFullSweeps; ++i) {
+        ws.distances_into(g, source_at(i), out);
+      }
+      for (std::size_t i = 0; i < kBoundedSweeps; ++i) {
+        ws.distances_into(g, source_at(i), out, Dist{4});
+      }
+
+      const auto diropt =
+          ws.sweep_count(SweepKind::kDirectionOptimizing);
+      const auto scalar_full = ws.sweep_count(SweepKind::kScalarFull);
+      const auto scalar_bounded = ws.sweep_count(SweepKind::kScalarBounded);
+      h.add_cell({{"family", family},
+                  {"kernel", std::string("dispatch")},
+                  {"n", static_cast<double>(g.num_nodes())},
+                  {"sweeps_diropt", static_cast<double>(diropt)},
+                  {"sweeps_scalar_full", static_cast<double>(scalar_full)},
+                  {"sweeps_scalar_bounded",
+                   static_cast<double>(scalar_bounded)}});
+      std::printf(
+          "  %-9s n=2^%-2u dispatch   diropt %llu  scalar_full %llu"
+          "  scalar_bounded %llu\n",
+          family.c_str(), e, static_cast<unsigned long long>(diropt),
+          static_cast<unsigned long long>(scalar_full),
+          static_cast<unsigned long long>(scalar_bounded));
+    }
+  }
+}
+
 /// ConsoleReporter plus trajectory capture: every per-iteration run becomes
 /// one harness cell keyed by benchmark name; timings and rates are loose
 /// metrics by construction.
@@ -432,6 +501,10 @@ int main(int argc, char** argv) {
   if (!list_only &&
       h.section("M2: parallel BFS sweep (family x size x workers)")) {
     run_parallel_bfs_cells(h);
+  }
+  if (!list_only &&
+      h.section("M3: sweep-kind dispatch tallies (family x size)")) {
+    run_sweep_kind_cells(h);
   }
   // The google-benchmark cells below are recorded section-less: their series
   // keys ({benchmark: BM_*}) predate sections and stay baseline-aligned.

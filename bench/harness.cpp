@@ -133,6 +133,38 @@ void Harness::add_cell(api::Record cell) {
   traj_.add_cell(std::move(cell), current_section_);
 }
 
+void Harness::add_metrics_cell(const obs::MetricsSnapshot& snapshot,
+                               api::Record keys,
+                               const std::string& name_prefix) {
+  const auto field_name = [](const std::string& metric) {
+    std::string out = "obs_" + metric;
+    std::replace(out.begin(), out.end(), '.', '_');
+    return out;
+  };
+  const auto selected = [&](const std::string& metric) {
+    return name_prefix.empty() || metric.starts_with(name_prefix);
+  };
+  api::Record cell = std::move(keys);
+  for (const auto& c : snapshot.counters) {
+    if (selected(c.name)) {
+      cell.push_back({field_name(c.name), static_cast<double>(c.value)});
+    }
+  }
+  for (const auto& g : snapshot.gauges) {
+    if (selected(g.name)) {
+      cell.push_back({field_name(g.name), static_cast<double>(g.value)});
+    }
+  }
+  for (const auto& hist : snapshot.histograms) {
+    if (selected(hist.name)) {
+      cell.push_back(
+          {field_name(hist.name) + "_count", static_cast<double>(hist.total())});
+      cell.push_back({field_name(hist.name) + "_sum", hist.sum});
+    }
+  }
+  add_cell(std::move(cell));
+}
+
 api::ExperimentResult Harness::run_and_print(api::Experiment experiment) {
   Timer timer;
   const std::string stem = "sweep_" + experiment.family();

@@ -114,6 +114,15 @@ class Harness {
   /// streamed, byte-for-byte as passed, to bench_<name>.jsonl.
   void add_cell(api::Record cell);
 
+  /// Embeds a scraped metrics snapshot as one trajectory cell: key fields
+  /// from `keys` plus one numeric field per counter / gauge / histogram
+  /// (count and sum) whose registry name starts with `name_prefix` (empty =
+  /// all). Field names become obs_<registry name with '.' -> '_'>, which the
+  /// trajectory writer classifies as LOOSE metrics — scraped values are
+  /// runtime observations, never a regression-gate surface.
+  void add_metrics_cell(const obs::MetricsSnapshot& snapshot, api::Record keys,
+                        const std::string& name_prefix = "");
+
   /// Runs one sweep grid and prints its table and exponent fits; optional
   /// CSV and JSON Lines dumps land in the output directory, and every cell
   /// is recorded into the trajectory document.

@@ -24,6 +24,11 @@
 //              queue never builds and bounded/shed admission would never
 //              engage: a non-"none" spec is mutually exclusive with a
 //              non-unbounded admission policy, checked up front.
+//   --metrics-out <path>  scrape the process-wide obs registry after the
+//              run and write it in Prometheus text format ("-" = stdout).
+//   --trace-out <path>    enable NAV_TRACE span collection for the run and
+//              write the spans as chrome://tracing JSON (load in
+//              chrome://tracing or https://ui.perfetto.dev).
 //
 // The whole stack runs on the dynamic subsystem: the graph lives in an
 // epoch-versioned dynamic::DynamicGraph and distances come from a
@@ -34,6 +39,7 @@
 //
 // Output: one line per batch (queue depth at submit, sojourn, status) plus
 // hop/latency percentiles and the admission counters.
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -67,22 +73,35 @@ nav::api::AdmissionPolicy parse_admission(const std::string& spec) {
 
 int main(int argc, char** argv) try {
   using namespace nav;
-  // --mutations is the only flag; everything else stays positional.
+  // Flags take a value; everything else stays positional.
   std::vector<std::string> positional;
   std::string mutation_spec = "none";
+  std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto flag_value = [&](const char* usage) {
+      if (i + 1 >= argc) throw std::invalid_argument(usage);
+      return std::string(argv[++i]);
+    };
     if (arg == "--mutations") {
-      if (i + 1 >= argc) {
-        throw std::invalid_argument(
-            "--mutations needs a spec: churn:<rate> | fail:<fraction> | "
-            "targeted:<k> | trace:<path> | none");
-      }
-      mutation_spec = argv[++i];
+      mutation_spec = flag_value(
+          "--mutations needs a spec: churn:<rate> | fail:<fraction> | "
+          "targeted:<k> | trace:<path> | none");
+    } else if (arg == "--metrics-out") {
+      metrics_out = flag_value(
+          "--metrics-out needs a path for the Prometheus text dump "
+          "(\"-\" = stdout)");
+    } else if (arg == "--trace-out") {
+      trace_out = flag_value(
+          "--trace-out needs a path for the chrome://tracing JSON dump");
     } else {
       positional.push_back(arg);
     }
   }
+  // Spans record only while enabled; flipping the gate before the run makes
+  // the whole driver run (submits, batch executions, oracle waves) visible.
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
   const auto n = !positional.empty()
                      ? parse_spec_number<graph::NodeId>(positional[0],
                                                         positional[0])
@@ -126,6 +145,9 @@ int main(int argc, char** argv) try {
   const auto router = routing::make_router("greedy", g, oracle);
   // Failures may disconnect demand pairs; report them instead of aborting.
   options.tolerate_unreachable = mutating;
+  // Fold the service's counters into the process-wide registry so one
+  // --metrics-out scrape sees the whole stack (service + oracle + BFS).
+  options.metrics = &obs::default_registry();
   api::RouteService service(g, oracle, scheme.get(), *router, options);
 
   const auto demand = workload::make_workload(workload_spec, g, Rng(2026));
@@ -200,6 +222,33 @@ int main(int argc, char** argv) try {
                               std::max(totals.seconds, 1e-9),
                           0)
             << " routes/sec\n";
+
+  if (!metrics_out.empty()) {
+    const auto snapshot = obs::default_registry().scrape();
+    if (metrics_out == "-") {
+      obs::write_prometheus(snapshot, std::cout);
+    } else {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        throw std::invalid_argument("cannot open --metrics-out path: " +
+                                    metrics_out);
+      }
+      obs::write_prometheus(snapshot, out);
+      std::cout << "metrics written: " << metrics_out << "\n";
+    }
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::instance().set_enabled(false);
+    std::ofstream out(trace_out);
+    if (!out) {
+      throw std::invalid_argument("cannot open --trace-out path: " +
+                                  trace_out);
+    }
+    obs::Tracer::instance().write_chrome_trace(out);
+    std::cout << "trace written: " << trace_out << " ("
+              << obs::Tracer::instance().event_count() << " spans, "
+              << obs::Tracer::instance().dropped_events() << " dropped)\n";
+  }
   return 0;
 } catch (const std::exception& error) {
   // Bad CLI arguments (unknown workload/admission spec, unreadable trace,

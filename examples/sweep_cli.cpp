@@ -10,6 +10,7 @@
 //               --pairs 12 --resamples 16 [--seed 7]
 //               [--csv out.csv] [--jsonl out.jsonl]
 //               [--trajectory <id> [--out <dir>]]
+//               [--metrics-out metrics.prom] [--trace-out trace.json]
 //
 // Prints the sweep table plus per-axis exponent fits; optionally
 // writes CSV and/or JSON Lines for plotting and trajectory tooling. JSON
@@ -18,6 +19,10 @@
 // nav-bench-trajectory-v1 document BENCH_<id>.json (and refreshes the
 // merged BENCH_all.json) — the same schema the bench harness writes, so
 // scripts/compare_bench.py can diff a CLI sweep against bench baselines.
+//
+// --metrics-out scrapes the process-wide obs registry after the sweep and
+// writes it in Prometheus text format ("-" = stdout); --trace-out enables
+// NAV_TRACE span collection for the run and writes chrome://tracing JSON.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -46,7 +51,8 @@ void usage(const char* argv0) {
          "       [--routers r1,r2,..] [--workloads w1,w2,..]\n"
          "       [--mutations m1,m2,..] [--pairs K] [--resamples R]\n"
          "       [--seed S] [--csv PATH] [--jsonl PATH]\n"
-         "       [--trajectory ID [--out DIR]]\n\n"
+         "       [--trajectory ID [--out DIR]]\n"
+         "       [--metrics-out PATH] [--trace-out PATH]\n\n"
          "families: ";
   for (const auto& fam : nav::graph::all_families()) {
     std::cerr << fam.name << ' ';
@@ -79,6 +85,7 @@ int main(int argc, char** argv) {
   std::size_t pairs = 12, resamples = 16;
   std::uint64_t seed = 0x5eed;
   std::string csv_path, jsonl_path, trajectory_id, out_dir = ".";
+  std::string metrics_out, trace_out;
 
   for (int i = 1; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
@@ -112,6 +119,10 @@ int main(int argc, char** argv) {
       csv_path = value;
     } else if (key == "--jsonl") {
       jsonl_path = value;
+    } else if (key == "--metrics-out") {
+      metrics_out = value;
+    } else if (key == "--trace-out") {
+      trace_out = value;
     } else {
       std::cerr << "unknown option: " << key << "\n";
       usage(argv[0]);
@@ -122,6 +133,10 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 1;
   }
+
+  // Spans record only while the runtime gate is open; flip it before the
+  // sweep so every oracle wave and parallel sweep lands in the ring buffers.
+  if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
 
   try {
     auto experiment = api::Experiment::on(family)
@@ -162,6 +177,31 @@ int main(int argc, char** argv) {
                                  /*quick=*/false, out_dir);
       for (const auto& cell : result.cells) traj.add_cell(cell.record());
       if (traj.write_document()) traj.write_merged();
+    }
+    if (!metrics_out.empty()) {
+      const auto snapshot = obs::default_registry().scrape();
+      if (metrics_out == "-") {
+        obs::write_prometheus(snapshot, std::cout);
+      } else {
+        std::ofstream out(metrics_out);
+        if (!out) {
+          std::cerr << "error: cannot open " << metrics_out << "\n";
+          return 1;
+        }
+        obs::write_prometheus(snapshot, out);
+        std::cout << "metrics written: " << metrics_out << "\n";
+      }
+    }
+    if (!trace_out.empty()) {
+      obs::Tracer::instance().set_enabled(false);
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::cerr << "error: cannot open " << trace_out << "\n";
+        return 1;
+      }
+      obs::Tracer::instance().write_chrome_trace(out);
+      std::cout << "trace written: " << trace_out << " ("
+                << obs::Tracer::instance().event_count() << " spans)\n";
     }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";

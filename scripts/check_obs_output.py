@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate the observability exports the CLIs write.
+
+This is the tool the CI obs-smoke job invokes after running route_server
+(or sweep_cli) with --metrics-out / --trace-out:
+
+    scripts/check_obs_output.py --metrics metrics.prom --trace trace.json
+
+Checks, chosen to catch real export bugs rather than restate the writers:
+
+  Prometheus text (--metrics):
+    * every non-comment line is `name{labels} value` or `name value`, with a
+      metric name matching [a-zA-Z_:][a-zA-Z0-9_:]* and a finite value;
+    * every sample is preceded by a `# TYPE` comment for its family
+      (histogram samples belong to the family without _bucket/_sum/_count);
+    * declared types are counter|gauge|histogram only;
+    * histogram families are complete: _bucket series with increasing
+      cumulative counts, a `+Inf` bucket, and _sum/_count with
+      count == the +Inf bucket;
+    * at least --min-series samples overall (default 1) — an empty scrape
+      from an instrumented binary means the registry was never wired in.
+
+  Chrome trace JSON (--trace):
+    * parses as JSON with a `traceEvents` list;
+    * every event has name/ph/pid/tid/ts and, for ph=="X", a numeric
+      non-negative dur;
+    * timestamps are finite and non-negative;
+    * at least --min-events events (default 1) — a run with tracing enabled
+      must record spans, otherwise the NAV_TRACE gate or ring export broke.
+
+Exit code: 0 when every requested check passes, 1 on a validation failure,
+2 on unreadable input / bad usage. Prints one line per failure with the
+offending line/event so the CI log is enough to diagnose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+TYPE_LINE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<type>\S+)$"
+)
+VALID_TYPES = {"counter", "gauge", "histogram"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(sample_name: str) -> str:
+    """Map a sample name to its declared family (strips histogram suffixes)."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_label_value(labels: str, key: str) -> str | None:
+    match = re.search(rf'{key}="([^"]*)"', labels or "")
+    return match.group(1) if match else None
+
+
+def check_prometheus(path: Path, min_series: int) -> list[str]:
+    errors: list[str] = []
+    declared: dict[str, str] = {}
+    # family -> list of (le, cumulative_count) for histogram bucket audits.
+    buckets: dict[str, list[tuple[str, float]]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+    samples = 0
+
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                match = TYPE_LINE.match(line)
+                if not match:
+                    errors.append(f"{path}:{lineno}: malformed TYPE line: {line}")
+                    continue
+                if match["type"] not in VALID_TYPES:
+                    errors.append(
+                        f"{path}:{lineno}: unknown metric type "
+                        f"'{match['type']}' for {match['name']}"
+                    )
+                declared[match["name"]] = match["type"]
+            continue
+
+        match = SAMPLE_LINE.match(line)
+        if not match:
+            errors.append(f"{path}:{lineno}: unparseable sample line: {line}")
+            continue
+        samples += 1
+        name = match["name"]
+        try:
+            value = float(match["value"])
+        except ValueError:
+            errors.append(f"{path}:{lineno}: non-numeric value: {line}")
+            continue
+        if not math.isfinite(value):
+            errors.append(f"{path}:{lineno}: non-finite value: {line}")
+
+        family = family_of(name)
+        if family not in declared and name not in declared:
+            errors.append(
+                f"{path}:{lineno}: sample '{name}' has no preceding "
+                f"# TYPE declaration"
+            )
+            continue
+        family_type = declared.get(family, declared.get(name))
+        if name.endswith("_bucket"):
+            if family_type != "histogram":
+                errors.append(
+                    f"{path}:{lineno}: _bucket sample under non-histogram "
+                    f"family '{family}'"
+                )
+            le = parse_label_value(match["labels"] or "", "le")
+            if le is None:
+                errors.append(f"{path}:{lineno}: bucket without le label: {line}")
+            else:
+                buckets.setdefault(family, []).append((le, value))
+        elif name.endswith("_sum") and family_type == "histogram":
+            sums[family] = value
+        elif name.endswith("_count") and family_type == "histogram":
+            counts[family] = value
+
+    for family, series in buckets.items():
+        les = [le for le, _ in series]
+        values = [v for _, v in series]
+        if "+Inf" not in les:
+            errors.append(f"{path}: histogram '{family}' is missing a +Inf bucket")
+        if any(b > a for b, a in zip(values, values[1:])):
+            errors.append(
+                f"{path}: histogram '{family}' bucket counts are not "
+                f"cumulative: {values}"
+            )
+        if family not in sums:
+            errors.append(f"{path}: histogram '{family}' is missing _sum")
+        if family not in counts:
+            errors.append(f"{path}: histogram '{family}' is missing _count")
+        elif les and "+Inf" in les:
+            inf_count = values[les.index("+Inf")]
+            if counts[family] != inf_count:
+                errors.append(
+                    f"{path}: histogram '{family}' _count {counts[family]} "
+                    f"!= +Inf bucket {inf_count}"
+                )
+
+    if samples < min_series:
+        errors.append(
+            f"{path}: only {samples} samples, expected at least {min_series} "
+            f"— was the registry wired into the binary?"
+        )
+    return errors
+
+
+def check_chrome_trace(path: Path, min_events: int) -> list[str]:
+    errors: list[str] = []
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON: {exc}"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing or non-list 'traceEvents'"]
+
+    for i, event in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                errors.append(f"{where}: missing '{field}': {event}")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if not math.isfinite(ts) or ts < 0:
+                errors.append(f"{where}: bad ts {ts}")
+        elif ts is not None:
+            errors.append(f"{where}: non-numeric ts {ts!r}")
+        if event.get("ph") == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                errors.append(f"{where}: complete event with bad dur {dur!r}")
+
+    if len(events) < min_events:
+        errors.append(
+            f"{path}: only {len(events)} trace events, expected at least "
+            f"{min_events} — did --trace-out enable the tracer?"
+        )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--metrics", type=Path, help="Prometheus text file")
+    parser.add_argument("--trace", type=Path, help="chrome://tracing JSON file")
+    parser.add_argument("--min-series", type=int, default=1,
+                        help="minimum Prometheus samples (default 1)")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum trace events (default 1)")
+    args = parser.parse_args()
+
+    if args.metrics is None and args.trace is None:
+        parser.error("nothing to check: pass --metrics and/or --trace")
+
+    errors: list[str] = []
+    for path, kind in ((args.metrics, "metrics"), (args.trace, "trace")):
+        if path is not None and not path.is_file():
+            print(f"error: {kind} file not found: {path}", file=sys.stderr)
+            return 2
+    if args.metrics is not None:
+        errors += check_prometheus(args.metrics, args.min_series)
+    if args.trace is not None:
+        errors += check_chrome_trace(args.trace, args.min_events)
+
+    for error in errors:
+        print(f"FAIL: {error}")
+    if not errors:
+        checked = [str(p) for p in (args.metrics, args.trace) if p is not None]
+        print(f"OK: {', '.join(checked)}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 
@@ -25,6 +26,22 @@ RouteService::RouteService(const graph::Graph& g,
   }
   NAV_REQUIRE(!options_.tolerate_unreachable || options_.shard_by_target,
               "tolerate_unreachable requires shard_by_target");
+  metrics_ = options_.metrics != nullptr ? options_.metrics : &owned_metrics_;
+  submitted_batches_ = metrics_->counter("route_service.submitted_batches");
+  submitted_pairs_ = metrics_->counter("route_service.submitted_pairs");
+  executed_batches_ = metrics_->counter("route_service.executed_batches");
+  shed_batches_ = metrics_->counter("route_service.shed_batches");
+  shed_pairs_ = metrics_->counter("route_service.shed_pairs");
+  blocked_submits_ = metrics_->counter("route_service.blocked_submits");
+  queued_batches_ = metrics_->gauge("route_service.queued_batches");
+  queued_pairs_ = metrics_->gauge("route_service.queued_pairs");
+  peak_queued_pairs_ = metrics_->gauge("route_service.peak_queued_pairs");
+  batch_pairs_hist_ =
+      metrics_->histogram("route_service.batch_pairs", 0.0, 4096.0, 64);
+  queue_wait_ms_hist_ =
+      metrics_->histogram("route_service.queue_wait_ms", 0.0, 1000.0, 50);
+  exec_ms_hist_ =
+      metrics_->histogram("route_service.exec_ms", 0.0, 1000.0, 50);
 }
 
 RouteService::RouteService(const NavigationEngine& engine,
@@ -62,6 +79,8 @@ std::vector<routing::RouteResult> RouteService::route_jobs(
 
 std::vector<routing::RouteResult> RouteService::execute_jobs(
     const std::vector<RouteJob>& jobs, bool parallel) const {
+  NAV_OBS_SPAN("route_service.execute_jobs", "pairs",
+               static_cast<double>(jobs.size()));
   nav::Timer timer;
   // Validate before building shards: endpoints reach BFS (prefetch) before
   // they reach the router's own precondition checks.
@@ -175,6 +194,7 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
   }
 
   const double seconds = timer.seconds();
+  exec_ms_hist_.observe(seconds * 1000.0);
   {
     std::lock_guard lock(report_mutex_);
     last_report_.pairs = jobs.size();
@@ -204,11 +224,12 @@ std::future<std::vector<routing::RouteResult>> RouteService::submit(
     if (options_.admission.kind == AdmissionPolicy::Kind::kBounded) {
       // Backpressure: wait for room. An oversized batch is admitted once the
       // queue is empty (the bound throttles the producer; it must not make a
-      // batch unserviceable).
+      // batch unserviceable). The gauge is only written under queue_mutex_,
+      // so reading it in the predicate is race-free.
       const auto has_room = [&] {
-        return stopping_ || queue_stats_.queued_pairs == 0 ||
-               queue_stats_.queued_pairs + incoming <=
-                   options_.admission.max_queued_pairs;
+        const auto depth = static_cast<std::size_t>(queued_pairs_.value());
+        return stopping_ || depth == 0 ||
+               depth + incoming <= options_.admission.max_queued_pairs;
       };
       bool waited = false;
       while (!has_room()) {
@@ -216,16 +237,16 @@ std::future<std::vector<routing::RouteResult>> RouteService::submit(
         queue_space_cv_.wait(lock);
       }
       NAV_REQUIRE(!stopping_, "submit on a stopping RouteService");
-      if (waited) ++queue_stats_.blocked_submits;
+      if (waited) blocked_submits_.inc();
     }
     batch.enqueued_at = std::chrono::steady_clock::now();
     queue_.push_back(std::move(batch));
-    ++queue_stats_.submitted_batches;
-    queue_stats_.submitted_pairs += incoming;
-    ++queue_stats_.queued_batches;
-    queue_stats_.queued_pairs += incoming;
-    queue_stats_.peak_queued_pairs =
-        std::max(queue_stats_.peak_queued_pairs, queue_stats_.queued_pairs);
+    submitted_batches_.inc();
+    submitted_pairs_.inc(incoming);
+    batch_pairs_hist_.observe(static_cast<double>(incoming));
+    queued_batches_.add(1);
+    queued_pairs_.add(static_cast<std::int64_t>(incoming));
+    peak_queued_pairs_.set_max(queued_pairs_.value());
   }
   queue_cv_.notify_one();
   return future;
@@ -248,8 +269,25 @@ void RouteService::resume() {
 }
 
 QueueStats RouteService::queue_stats() const {
+  // Holding queue_mutex_ while reading makes the view exact: every writer
+  // updated the registry under this mutex, so its relaxed shard stores
+  // happen-before these reads. Lock order is queue_mutex_ -> registry
+  // mutex (Counter::value sums shards under the registry lock); no path
+  // acquires them in the opposite order.
   std::lock_guard lock(queue_mutex_);
-  return queue_stats_;
+  QueueStats stats;
+  stats.queued_batches = static_cast<std::size_t>(queued_batches_.value());
+  stats.queued_pairs = static_cast<std::size_t>(queued_pairs_.value());
+  stats.peak_queued_pairs =
+      static_cast<std::size_t>(peak_queued_pairs_.value());
+  stats.submitted_batches =
+      static_cast<std::size_t>(submitted_batches_.value());
+  stats.submitted_pairs = static_cast<std::size_t>(submitted_pairs_.value());
+  stats.executed_batches = static_cast<std::size_t>(executed_batches_.value());
+  stats.shed_batches = static_cast<std::size_t>(shed_batches_.value());
+  stats.shed_pairs = static_cast<std::size_t>(shed_pairs_.value());
+  stats.blocked_submits = static_cast<std::size_t>(blocked_submits_.value());
+  return stats;
 }
 
 void RouteService::service_loop() {
@@ -264,34 +302,36 @@ void RouteService::service_loop() {
       if (queue_.empty()) return;  // stopping and drained
       batch = std::move(queue_.front());
       queue_.pop_front();
-      --queue_stats_.queued_batches;
-      queue_stats_.queued_pairs -= batch.pairs.size();
-      if (options_.admission.kind == AdmissionPolicy::Kind::kShed) {
-        const double waited =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          batch.enqueued_at)
-                .count();
-        if (waited > options_.admission.deadline_seconds) {
-          ++queue_stats_.shed_batches;
-          queue_stats_.shed_pairs += batch.pairs.size();
-          lock.unlock();
-          queue_space_cv_.notify_all();
-          batch.promise.set_exception(std::make_exception_ptr(ShedError(
-              "batch of " + std::to_string(batch.pairs.size()) +
-              " pairs shed after " + std::to_string(waited) + "s in queue")));
-          continue;
-        }
+      queued_batches_.sub(1);
+      queued_pairs_.sub(static_cast<std::int64_t>(batch.pairs.size()));
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        batch.enqueued_at)
+              .count();
+      queue_wait_ms_hist_.observe(waited * 1000.0);
+      if (options_.admission.kind == AdmissionPolicy::Kind::kShed &&
+          waited > options_.admission.deadline_seconds) {
+        shed_batches_.inc();
+        shed_pairs_.inc(batch.pairs.size());
+        lock.unlock();
+        queue_space_cv_.notify_all();
+        batch.promise.set_exception(std::make_exception_ptr(ShedError(
+            "batch of " + std::to_string(batch.pairs.size()) +
+            " pairs shed after " + std::to_string(waited) + "s in queue")));
+        continue;
       }
     }
     queue_space_cv_.notify_all();
     try {
+      NAV_OBS_SPAN("route_service.batch", "pairs",
+                   static_cast<double>(batch.pairs.size()));
       auto results = route_batch(batch.pairs, batch.rng);
       {
         // Counted only on success — "executed" keeps meaning "dequeued AND
         // routed" when a bad batch fails its future below — and before the
         // future resolves, so a caller returning from get() observes it.
         std::lock_guard lock(queue_mutex_);
-        ++queue_stats_.executed_batches;
+        executed_batches_.inc();
       }
       batch.promise.set_value(std::move(results));
     } catch (...) {

@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "api/engine.hpp"
+#include "obs/metrics.hpp"
 #include "routing/router.hpp"
 #include "routing/trial_runner.hpp"
 #include "runtime/assert.hpp"
@@ -134,6 +135,10 @@ struct AdmissionPolicy {
 };
 
 /// Live queue depth plus cumulative admission counters (queue_stats()).
+/// Since the obs migration this struct is a point-in-time VIEW over the
+/// service's metrics registry — the counters live in `route_service.*`
+/// registry metrics and queue_stats() materialises them under the queue
+/// mutex, so the values stay bit-identical to the pre-registry struct.
 struct QueueStats {
   std::size_t queued_batches = 0;     ///< batches waiting right now
   std::size_t queued_pairs = 0;       ///< pairs waiting right now
@@ -170,6 +175,12 @@ struct RouteServiceOptions {
   /// schedule routes inside noexcept pool tasks where the router's own
   /// precondition would abort the process.
   bool tolerate_unreachable = false;
+  /// Registry the service records its `route_service.*` metrics into.
+  /// nullptr (default) gives the service a private registry — multiple
+  /// services never collide on metric names — reachable via metrics().
+  /// Pass &obs::default_registry() to fold the service into the process-wide
+  /// scrape surface (what examples/route_server.cpp does for --metrics-out).
+  obs::Registry* metrics = nullptr;
 };
 
 /// Telemetry for the most recent batch (route_batch / route_jobs / submit).
@@ -249,8 +260,14 @@ class RouteService {
   /// Resumes dequeueing after pause().
   void resume();
 
-  /// Live queue depth and cumulative admission counters.
+  /// Live queue depth and cumulative admission counters — a snapshot view
+  /// over the `route_service.*` registry metrics (see metrics()).
   [[nodiscard]] QueueStats queue_stats() const;
+
+  /// The registry this service records into: the injected one
+  /// (RouteServiceOptions::metrics) or the service's own. Scrape it for the
+  /// queue/admission counters plus the sojourn and execution histograms.
+  [[nodiscard]] obs::Registry& metrics() const { return *metrics_; }
 
   /// Greedy-diameter estimation routed through the batch path: the whole
   /// pair × replicate grid becomes one target-sharded batch. Numbers are
@@ -300,11 +317,30 @@ class RouteService {
   mutable BatchReport last_report_;
   mutable ServiceTotals totals_;
 
+  // Metric storage. The owned registry backs metrics_ unless options.metrics
+  // injected an external one; handles are registered once at construction.
+  // Every queue counter/gauge is written ONLY under queue_mutex_, so
+  // queue_stats() (which reads under the same mutex) sees exact values —
+  // the mutex provides the happens-before the relaxed shard cells need.
+  obs::Registry owned_metrics_;
+  obs::Registry* metrics_ = nullptr;
+  obs::Counter submitted_batches_;
+  obs::Counter submitted_pairs_;
+  obs::Counter executed_batches_;
+  obs::Counter shed_batches_;
+  obs::Counter shed_pairs_;
+  obs::Counter blocked_submits_;
+  obs::Gauge queued_batches_;
+  obs::Gauge queued_pairs_;
+  obs::Gauge peak_queued_pairs_;
+  obs::HistogramHandle batch_pairs_hist_;
+  obs::HistogramHandle queue_wait_ms_hist_;
+  obs::HistogramHandle exec_ms_hist_;
+
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;        // work available / stopping
   std::condition_variable queue_space_cv_;  // room freed (Bounded waiters)
   std::deque<PendingBatch> queue_;
-  QueueStats queue_stats_;
   bool stopping_ = false;
   bool paused_ = false;
   std::thread service_thread_;  // started lazily by submit()

@@ -3,12 +3,50 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.hpp"
 #include "runtime/scratch_pool.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace nav::graph {
 
 namespace {
+
+// Process-wide sweep instrumentation. Handles are registered once; every
+// increment afterwards is a wait-free store into the calling thread's shard.
+// ParallelBfs metrics are touched only by the coordinating thread — lane
+// threads stay registry-free so warm parallel sweeps remain zero-allocation.
+struct BfsMetrics {
+  obs::Counter sweep_diropt;
+  obs::Counter sweep_scalar_full;
+  obs::Counter sweep_scalar_bounded;
+  obs::Counter parallel_sweeps;
+  obs::Counter parallel_levels;
+  obs::Counter inline_levels;
+  obs::HistogramHandle frontier_size;
+  obs::HistogramHandle lanes_active;
+
+  BfsMetrics()
+      : sweep_diropt(obs::default_registry().counter("bfs.sweep_diropt")),
+        sweep_scalar_full(
+            obs::default_registry().counter("bfs.sweep_scalar_full")),
+        sweep_scalar_bounded(
+            obs::default_registry().counter("bfs.sweep_scalar_bounded")),
+        parallel_sweeps(
+            obs::default_registry().counter("parallel_bfs.sweeps")),
+        parallel_levels(
+            obs::default_registry().counter("parallel_bfs.levels_parallel")),
+        inline_levels(
+            obs::default_registry().counter("parallel_bfs.levels_inline")),
+        frontier_size(obs::default_registry().histogram(
+            "parallel_bfs.frontier_size", 0.0, 1 << 16, 64)),
+        lanes_active(obs::default_registry().histogram(
+            "parallel_bfs.lanes_active", 0.0, 64.0, 64)) {}
+};
+
+BfsMetrics& bfs_metrics() {
+  static BfsMetrics* m = new BfsMetrics();
+  return *m;
+}
 
 // Beamer switching thresholds: go bottom-up when the frontier's out-edges
 // exceed unexplored/kAlpha, back to top-down when the frontier shrinks under
@@ -67,11 +105,19 @@ void BfsWorkspace::distances_into(const Graph& g, NodeId source,
   if (radius == kInfDist && n >= kDiroptMinNodes &&
       2 * g.num_edges() >= kDiroptMinDirectedEdges) {
     last_sweep_kind_ = SweepKind::kDirectionOptimizing;
+    ++sweep_tally_[static_cast<std::size_t>(SweepKind::kDirectionOptimizing)];
+    bfs_metrics().sweep_diropt.inc();
     diropt_into(g, source, out);
     return;
   }
   last_sweep_kind_ = radius == kInfDist ? SweepKind::kScalarFull
                                         : SweepKind::kScalarBounded;
+  ++sweep_tally_[static_cast<std::size_t>(last_sweep_kind_)];
+  if (last_sweep_kind_ == SweepKind::kScalarFull) {
+    bfs_metrics().sweep_scalar_full.inc();
+  } else {
+    bfs_metrics().sweep_scalar_bounded.inc();
+  }
   distances_into_scalar(g, source, out, radius);
 }
 
@@ -458,6 +504,13 @@ void ParallelBfs::distances_into(const Graph& g, NodeId source,
   bool bottom_up = false;
   Dist depth = 0;
 
+  // Coordinator-only instrumentation: lane closures never touch the registry,
+  // so warm parallel sweeps stay zero-allocation and lane code stays lean.
+  // Per-level counts accumulate locally and post once at sweep end.
+  bfs_metrics().parallel_sweeps.inc();
+  std::uint64_t levels_parallel = 0;
+  std::uint64_t levels_inline = 0;
+
   while (frontier_count_ > 0) {
     if (depth >= radius) break;  // children would exceed the radius
     if (allow_bottom_up) {
@@ -568,12 +621,24 @@ void ParallelBfs::distances_into(const Graph& g, NodeId source,
       });
     }
 
+    const bool expanded_inline =
+        !bottom_up && frontier_count_ < policy_.serial_frontier_cutoff;
     std::size_t next_count = 0;
     std::uint64_t next_edges = 0;
+    std::size_t active_lanes = 0;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       next_count += static_cast<std::size_t>(lane_stats_[lane].next_count);
       next_edges += lane_stats_[lane].next_edges;
+      if (lane_stats_[lane].next_count > 0) ++active_lanes;
     }
+    if (expanded_inline) {
+      ++levels_inline;
+    } else {
+      ++levels_parallel;
+      bfs_metrics().lanes_active.observe(static_cast<double>(active_lanes));
+    }
+    bfs_metrics().frontier_size.observe(
+        static_cast<double>(frontier_count_));
     // The level barrier has passed: fold the level into visited, make its
     // bitmap the new frontier, and rebuild the node list in ascending order.
     for (std::size_t w = 0; w < words; ++w) visited_bits_[w] |= next_bits_[w];
@@ -586,6 +651,9 @@ void ParallelBfs::distances_into(const Graph& g, NodeId source,
     frontier_edges = next_edges;
     ++depth;
   }
+
+  if (levels_parallel > 0) bfs_metrics().parallel_levels.inc(levels_parallel);
+  if (levels_inline > 0) bfs_metrics().inline_levels.inc(levels_inline);
 }
 
 ParallelBfs& shared_parallel_bfs() {

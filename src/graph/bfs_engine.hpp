@@ -108,6 +108,14 @@ class BfsWorkspace {
     return last_sweep_kind_;
   }
 
+  /// Cumulative dense sweeps dispatched to `kind` on this workspace since
+  /// construction — the per-instance tally behind last_sweep_kind(), and the
+  /// surface bench_micro's strict sweep-kind gate cells read. Mirrored into
+  /// the process-wide `bfs.sweep_*` registry counters.
+  [[nodiscard]] std::uint64_t sweep_count(SweepKind kind) const noexcept {
+    return sweep_tally_[static_cast<std::size_t>(kind)];
+  }
+
   /// Single-source distances into out (size n; unreached entries get
   /// kInfDist). radius == kInfDist runs the direction-optimizing full sweep;
   /// a finite radius runs the frontier-bounded scalar kernel (nodes farther
@@ -157,6 +165,7 @@ class BfsWorkspace {
   std::vector<std::uint16_t> mark_stamp_;  // marked  iff mark_stamp_[v] == epoch_
   std::uint16_t epoch_ = 0;
   SweepKind last_sweep_kind_ = SweepKind::kNone;
+  std::uint64_t sweep_tally_[4] = {0, 0, 0, 0};  // indexed by SweepKind
   std::vector<NodeId> queue_;
   // Direction-optimizing scratch: current/next frontier and visited bitmaps.
   std::vector<std::uint64_t> front_bits_, next_bits_, visited_bits_;

@@ -4,10 +4,40 @@
 #include <bit>
 
 #include "graph/bfs_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/scratch_pool.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace nav::graph {
+
+namespace {
+
+// Library-level oracle telemetry lands in the process-wide registry: every
+// oracle instance feeds the same `oracle.*` series (route_server scrapes
+// them via --metrics-out). Handles are registered once (magic static);
+// increments are wait-free shard writes, mirroring — not replacing — the
+// per-instance hits()/misses() accessors.
+struct OracleMetrics {
+  obs::Counter hits = obs::default_registry().counter("oracle.cache_hits");
+  obs::Counter misses = obs::default_registry().counter("oracle.cache_misses");
+  obs::Counter evictions = obs::default_registry().counter("oracle.evictions");
+  obs::Counter pin_spills =
+      obs::default_registry().counter("oracle.pin_spills");
+  obs::Counter matrix_rows =
+      obs::default_registry().counter("oracle.matrix_rows_built");
+  obs::HistogramHandle wave_width =
+      obs::default_registry().histogram("oracle.wave_width", 0.0, 512.0, 64);
+  obs::HistogramHandle wave_misses =
+      obs::default_registry().histogram("oracle.wave_misses", 0.0, 512.0, 64);
+};
+
+OracleMetrics& oracle_metrics() {
+  static OracleMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void DistanceOracle::prefetch_into(std::span<const NodeId> targets,
                                    std::vector<DistVecPtr>& out) const {
@@ -24,9 +54,14 @@ DistanceMatrix::DistanceMatrix(const Graph& g, ParallelPolicy policy)
       // first touch of each row happens on the worker that computes it —
       // on NUMA hosts the pages land near that worker's socket.
       slab_(new Dist[static_cast<std::size_t>(n_) * n_]) {
+  NAV_OBS_SPAN("oracle.matrix_build", "rows", static_cast<double>(n_));
   nav::parallel_for_dynamic(
       0, n_, [&](std::size_t t) { fill_row(g, static_cast<NodeId>(t)); },
       policy_.resolved_workers());
+  // Counted from the coordinator, not the pool workers: one shard write
+  // instead of n, and lane threads stay metrics-free (the warm-parallel
+  // zero-allocation contract).
+  oracle_metrics().matrix_rows.inc(n_);
 }
 
 void DistanceMatrix::fill_row(const Graph& g, NodeId target) {
@@ -53,6 +88,8 @@ DistVecPtr DistanceMatrix::distances_to(NodeId target) const {
 void DistanceMatrix::rebuild_rows(const Graph& g,
                                   std::span<const NodeId> targets) {
   NAV_REQUIRE(g.num_nodes() == n_, "rebuild graph/matrix size mismatch");
+  NAV_OBS_SPAN("oracle.rebuild_rows", "rows",
+               static_cast<double>(targets.size()));
   nav::parallel_for_dynamic(
       0, targets.size(),
       [&](std::size_t i) {
@@ -60,13 +97,16 @@ void DistanceMatrix::rebuild_rows(const Graph& g,
         fill_row(g, targets[i]);
       },
       policy_.resolved_workers());
+  oracle_metrics().matrix_rows.inc(targets.size());
 }
 
 void DistanceMatrix::rebuild_all(const Graph& g) {
   NAV_REQUIRE(g.num_nodes() == n_, "rebuild graph/matrix size mismatch");
+  NAV_OBS_SPAN("oracle.rebuild_all", "rows", static_cast<double>(n_));
   nav::parallel_for_dynamic(
       0, n_, [&](std::size_t t) { fill_row(g, static_cast<NodeId>(t)); },
       policy_.resolved_workers());
+  oracle_metrics().matrix_rows.inc(n_);
 }
 
 TargetDistanceCache::TargetDistanceCache(const Graph& g, std::size_t capacity,
@@ -104,6 +144,9 @@ std::shared_ptr<Dist> TargetDistanceCache::acquire_slot() const {
   if (row == nullptr) {
     const std::size_t n = graph_.num_nodes();
     row = std::shared_ptr<Dist>(new Dist[n], std::default_delete<Dist[]>());
+    // Already off the zero-allocation path (the row itself came from the
+    // heap), so the counter costs nothing extra.
+    oracle_metrics().pin_spills.inc();
   }
   return row;
 }
@@ -130,10 +173,12 @@ DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
     const auto it = cache_.find(target);
     if (it != cache_.end()) {
       ++hits_;
+      oracle_metrics().hits.inc();
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // bump to front
       return it->second.distances;
     }
     ++misses_;
+    oracle_metrics().misses.inc();
   }
   // BFS outside the lock: concurrent misses on the same target may compute it
   // twice; both results are identical, the second insert wins harmlessly.
@@ -147,6 +192,7 @@ DistVecPtr TargetDistanceCache::distances_to(NodeId target) const {
     const NodeId victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim);  // the slot recycles once the last pin drops
+    oracle_metrics().evictions.inc();
   }
   return dist;
 }
@@ -194,9 +240,12 @@ struct PrefetchScratch {
 
 void TargetDistanceCache::prefetch_into(std::span<const NodeId> targets,
                                         std::vector<DistVecPtr>& out) const {
+  NAV_OBS_SPAN("oracle.prefetch_wave", "targets",
+               static_cast<double>(targets.size()));
   out.clear();
   out.resize(targets.size());
   if (targets.empty()) return;
+  oracle_metrics().wave_width.observe(static_cast<double>(targets.size()));
 
   auto& scratch = nav::thread_scratch<PrefetchScratch>();
   std::size_t cap = 16;
@@ -212,6 +261,9 @@ void TargetDistanceCache::prefetch_into(std::span<const NodeId> targets,
       64u - static_cast<unsigned>(std::countr_zero(cap));  // cap is a power of 2
 
   // Pass 1 (under the lock): dedup the wave, serve residents, list misses.
+  // Registry increments are batched per wave (one shard write per counter,
+  // after the loop) instead of per target.
+  std::size_t wave_hits = 0;
   {
     std::lock_guard lock(mutex_);
     for (std::size_t i = 0; i < targets.size(); ++i) {
@@ -236,11 +288,13 @@ void TargetDistanceCache::prefetch_into(std::span<const NodeId> targets,
       }
       if (duplicate) {
         ++hits_;
+        ++wave_hits;
         continue;
       }
       const auto it = cache_.find(t);
       if (it != cache_.end()) {
         ++hits_;
+        ++wave_hits;
         lru_.splice(lru_.begin(), lru_, it->second.lru_it);
         out[i] = it->second.distances;
       } else {
@@ -250,6 +304,12 @@ void TargetDistanceCache::prefetch_into(std::span<const NodeId> targets,
       }
     }
   }
+  if (wave_hits > 0) oracle_metrics().hits.inc(wave_hits);
+  if (!scratch.missing.empty()) {
+    oracle_metrics().misses.inc(scratch.missing.size());
+  }
+  oracle_metrics().wave_misses.observe(
+      static_cast<double>(scratch.missing.size()));
 
   // Pass 2 (no lock): BFS the distinct misses, adaptively in the policy.
   auto& fresh = scratch.fresh;
@@ -291,11 +351,14 @@ void TargetDistanceCache::prefetch_into(std::span<const NodeId> targets,
       cache_.emplace(t, Entry{lru_.begin(), fresh[k]});
       out[scratch.miss_slot[k]] = fresh[k];
     }
+    std::size_t wave_evictions = 0;
     while (cache_.size() > capacity_) {
       const NodeId victim = lru_.back();
       lru_.pop_back();
       cache_.erase(victim);
+      ++wave_evictions;
     }
+    if (wave_evictions > 0) oracle_metrics().evictions.inc(wave_evictions);
   }
   fresh.clear();  // drop the scratch pins: rows now live via cache_/out
 

@@ -56,6 +56,11 @@
 /// epoch-versioned DynamicGraph, incremental oracle invalidation
 /// (DynamicOracle), and the feedback-driven RewireScheme.
 
+/// \namespace nav::obs
+/// \brief Observability: the wait-free sharded metrics Registry
+/// (counters/gauges/histograms, scrape() aggregation, Prometheus and JSON
+/// writers) and the NAV_TRACE span Tracer with chrome://tracing export.
+
 // runtime — deterministic RNG, stats, tables, timing, the thread pool,
 // scratch pooling and slab arenas.
 #include "runtime/arena.hpp"
@@ -114,6 +119,11 @@
 #include "routing/router.hpp"
 #include "routing/router_factory.hpp"
 #include "routing/trial_runner.hpp"
+
+// obs — the metrics registry (wait-free sharded counters, scrape-time
+// aggregation) and the NAV_TRACE span tracer.
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 // dynamic — mutation streams over epoch-versioned graphs, incremental
 // oracle invalidation, and the feedback-driven rewire scheme.

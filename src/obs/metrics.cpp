@@ -1,0 +1,469 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "runtime/assert.hpp"
+
+namespace nav::obs {
+
+namespace detail {
+
+// One thread's private block of metric cells. Only the owning thread writes;
+// scrape() reads under the registry mutex with relaxed loads (any external
+// synchronisation between writer and reader makes the sums exact — see the
+// header contract). The cell vector is fixed-size once constructed: when a
+// metric registered later needs a cell past the end, the OWNER thread swaps
+// the whole shard for a bigger copy under the registry mutex (cells keep
+// their values; scrape holds the same mutex, so it sees old or new, never
+// both).
+struct Shard {
+  explicit Shard(std::size_t n) : cells(n) {}
+  std::vector<std::atomic<std::uint64_t>> cells;
+};
+
+// Cold-side registry state, shared (via shared_ptr) between the Registry
+// object, every handle, and every attached thread's TLS keepalive — the
+// scratch_pool co-ownership idiom: the last detaching thread can safely be
+// the one that frees the shards.
+struct RegistryState {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct MetricInfo {
+    Kind kind;
+    std::string name;
+    std::uint32_t cell = 0;    // counter cell / histogram base cell
+    std::uint32_t gauge = 0;   // index into gauges
+    double lo = 0.0, hi = 1.0; // histogram shape
+    std::uint32_t bins = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::vector<MetricInfo> metrics;                  // registration order
+  std::unordered_map<std::string, std::uint32_t> by_name;
+  std::uint32_t cells_used = 0;                     // sharded cells allocated
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> gauges;
+  // All shards ever attached. A thread's exit does NOT remove its shard —
+  // counts must stay monotone — so entries whose owner died simply stop
+  // changing. Growth replaces the entry in place (old values copied).
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+namespace {
+
+// Shard sizing: enough headroom that registering a few late metrics does not
+// force a replacement on every thread.
+std::size_t shard_capacity_for(std::uint32_t cells_used) {
+  std::size_t cap = 64;
+  while (cap < cells_used) cap *= 2;
+  return cap;
+}
+
+// Per-thread map from registry state to its shard. A one-entry last-hit
+// cache makes the warm path a pointer compare; the vector scan only runs
+// when a thread uses several registries. Destruction drops the keepalives —
+// the shards themselves stay in RegistryState::shards.
+struct TlsShards {
+  struct Entry {
+    RegistryState* state;
+    Shard* shard;
+    std::shared_ptr<RegistryState> keep;
+  };
+  RegistryState* last_state = nullptr;
+  Shard* last_shard = nullptr;
+  std::vector<Entry> entries;
+};
+
+thread_local TlsShards tls_shards;
+
+// Attaches the calling thread to `state` (allocating its shard) or grows the
+// existing shard so `cell` is addressable. The slow path — runs once per
+// thread (or per late registration burst), under the registry mutex.
+Shard* attach_or_grow(const std::shared_ptr<RegistryState>& state,
+                      std::uint32_t cell) {
+  TlsShards& tls = tls_shards;
+  std::lock_guard<std::mutex> lock(state->mutex);
+  const std::size_t cap =
+      shard_capacity_for(std::max(state->cells_used, cell + 1));
+
+  for (auto& entry : tls.entries) {
+    if (entry.state != state.get()) continue;
+    // Grow by replacement: copy values into a bigger shard and swap it into
+    // the registry's list so scrape() never sees both.
+    auto grown = std::make_unique<Shard>(cap);
+    for (std::size_t i = 0; i < entry.shard->cells.size(); ++i) {
+      grown->cells[i].store(
+          entry.shard->cells[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    for (auto& slot : state->shards) {
+      if (slot.get() == entry.shard) {
+        slot = std::move(grown);
+        entry.shard = slot.get();
+        break;
+      }
+    }
+    tls.last_state = state.get();
+    tls.last_shard = entry.shard;
+    return entry.shard;
+  }
+
+  state->shards.push_back(std::make_unique<Shard>(cap));
+  Shard* shard = state->shards.back().get();
+  tls.entries.push_back({state.get(), shard, state});
+  tls.last_state = state.get();
+  tls.last_shard = shard;
+  return shard;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& cell_for(
+    const std::shared_ptr<RegistryState>& state, std::uint32_t cell) {
+  TlsShards& tls = tls_shards;
+  Shard* shard = nullptr;
+  if (tls.last_state == state.get()) {
+    shard = tls.last_shard;
+  } else {
+    for (auto& entry : tls.entries) {
+      if (entry.state == state.get()) {
+        shard = entry.shard;
+        tls.last_state = entry.state;
+        tls.last_shard = entry.shard;
+        break;
+      }
+    }
+  }
+  if (shard == nullptr || cell >= shard->cells.size()) {
+    shard = attach_or_grow(state, cell);
+  }
+  return shard->cells[cell];
+}
+
+std::uint64_t cell_sum(const RegistryState& state, std::uint32_t cell) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::uint64_t sum = 0;
+  for (const auto& shard : state.shards) {
+    if (cell < shard->cells.size()) {
+      sum += shard->cells[cell].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+}  // namespace detail
+
+void HistogramHandle::observe(double x) const {
+  if (state_ == nullptr) return;
+  std::uint32_t idx;
+  if (x < lo_) {
+    idx = bins_;  // underflow cell
+  } else if (x >= hi_) {
+    idx = bins_ + 1;  // overflow cell
+  } else {
+    auto b = static_cast<std::uint32_t>((x - lo_) / (hi_ - lo_) *
+                                        static_cast<double>(bins_));
+    if (b >= bins_) b = bins_ - 1;  // float edge guard
+    idx = b;
+  }
+  auto& cell = detail::cell_for(state_, base_ + idx);
+  cell.store(cell.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  // The sum cell holds double bits; owner-only writes keep read-modify-write
+  // safe without CAS.
+  auto& sum = detail::cell_for(state_, base_ + bins_ + 2);
+  const double cur =
+      std::bit_cast<double>(sum.load(std::memory_order_relaxed));
+  sum.store(std::bit_cast<std::uint64_t>(cur + x), std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::HistogramValue::total() const noexcept {
+  std::uint64_t t = underflow + overflow;
+  for (const auto c : counts) t += c;
+  return t;
+}
+
+double MetricsSnapshot::HistogramValue::mean() const noexcept {
+  const auto t = total();
+  return t ? sum / static_cast<double>(t) : 0.0;
+}
+
+double MetricsSnapshot::HistogramValue::percentile(double q) const {
+  NAV_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  const auto t = total();
+  if (t == 0) return lo;
+  const double target = q * static_cast<double>(t);
+  double cumulative = static_cast<double>(underflow);
+  if (target <= cumulative) return lo;
+  const double width =
+      (hi - lo) / static_cast<double>(counts.empty() ? 1 : counts.size());
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const auto count = static_cast<double>(counts[b]);
+    if (count > 0.0 && target <= cumulative + count) {
+      const double frac = (target - cumulative) / count;
+      return lo + width * (static_cast<double>(b) + frac);
+    }
+    cumulative += count;
+  }
+  return hi;  // target lands in the overflow mass
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::find_gauge(
+    const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Registry::Registry() : state_(std::make_shared<detail::RegistryState>()) {}
+
+Counter Registry::counter(const std::string& name) {
+  using Kind = detail::RegistryState::Kind;
+  NAV_REQUIRE(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (auto it = state_->by_name.find(name); it != state_->by_name.end()) {
+    const auto& info = state_->metrics[it->second];
+    NAV_REQUIRE(info.kind == Kind::kCounter,
+                "metric name already registered as a different kind");
+    return Counter(state_, info.cell);
+  }
+  detail::RegistryState::MetricInfo info;
+  info.kind = Kind::kCounter;
+  info.name = name;
+  info.cell = state_->cells_used++;
+  state_->by_name.emplace(name,
+                          static_cast<std::uint32_t>(state_->metrics.size()));
+  state_->metrics.push_back(std::move(info));
+  return Counter(state_, state_->metrics.back().cell);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  using Kind = detail::RegistryState::Kind;
+  NAV_REQUIRE(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (auto it = state_->by_name.find(name); it != state_->by_name.end()) {
+    const auto& info = state_->metrics[it->second];
+    NAV_REQUIRE(info.kind == Kind::kGauge,
+                "metric name already registered as a different kind");
+    return Gauge(state_, state_->gauges[info.gauge].get());
+  }
+  detail::RegistryState::MetricInfo info;
+  info.kind = Kind::kGauge;
+  info.name = name;
+  info.gauge = static_cast<std::uint32_t>(state_->gauges.size());
+  state_->gauges.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+  state_->by_name.emplace(name,
+                          static_cast<std::uint32_t>(state_->metrics.size()));
+  state_->metrics.push_back(std::move(info));
+  return Gauge(state_, state_->gauges.back().get());
+}
+
+HistogramHandle Registry::histogram(const std::string& name, double lo,
+                                    double hi, std::size_t bins) {
+  using Kind = detail::RegistryState::Kind;
+  NAV_REQUIRE(!name.empty(), "metric name must be non-empty");
+  NAV_REQUIRE(hi > lo, "histogram range must be non-empty");
+  NAV_REQUIRE(bins >= 1, "histogram needs at least one bin");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (auto it = state_->by_name.find(name); it != state_->by_name.end()) {
+    const auto& info = state_->metrics[it->second];
+    NAV_REQUIRE(info.kind == Kind::kHistogram,
+                "metric name already registered as a different kind");
+    NAV_REQUIRE(info.lo == lo && info.hi == hi && info.bins == bins,
+                "histogram re-registered with a different shape");
+    return HistogramHandle(state_, info.cell, info.lo, info.hi, info.bins);
+  }
+  detail::RegistryState::MetricInfo info;
+  info.kind = Kind::kHistogram;
+  info.name = name;
+  info.cell = state_->cells_used;
+  info.lo = lo;
+  info.hi = hi;
+  info.bins = static_cast<std::uint32_t>(bins);
+  // Cell layout: bins | underflow | overflow | sum (double bits).
+  state_->cells_used += info.bins + 3;
+  state_->by_name.emplace(name,
+                          static_cast<std::uint32_t>(state_->metrics.size()));
+  state_->metrics.push_back(std::move(info));
+  const auto& stored = state_->metrics.back();
+  return HistogramHandle(state_, stored.cell, stored.lo, stored.hi,
+                         stored.bins);
+}
+
+MetricsSnapshot Registry::scrape() const {
+  using Kind = detail::RegistryState::Kind;
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  auto sum_cell = [&](std::uint32_t cell) {
+    std::uint64_t sum = 0;
+    for (const auto& shard : state_->shards) {
+      if (cell < shard->cells.size()) {
+        sum += shard->cells[cell].load(std::memory_order_relaxed);
+      }
+    }
+    return sum;
+  };
+  for (const auto& info : state_->metrics) {
+    switch (info.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({info.name, sum_cell(info.cell)});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back(
+            {info.name,
+             state_->gauges[info.gauge]->load(std::memory_order_relaxed)});
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::HistogramValue h;
+        h.name = info.name;
+        h.lo = info.lo;
+        h.hi = info.hi;
+        h.counts.resize(info.bins);
+        for (std::uint32_t b = 0; b < info.bins; ++b) {
+          h.counts[b] = sum_cell(info.cell + b);
+        }
+        h.underflow = sum_cell(info.cell + info.bins);
+        h.overflow = sum_cell(info.cell + info.bins + 1);
+        // Per-shard sums are double bits; add them in double space.
+        h.sum = 0.0;
+        for (const auto& shard : state_->shards) {
+          const std::uint32_t cell = info.cell + info.bins + 2;
+          if (cell < shard->cells.size()) {
+            h.sum += std::bit_cast<double>(
+                shard->cells[cell].load(std::memory_order_relaxed));
+          }
+        }
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::size_t Registry::metric_count() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->metrics.size();
+}
+
+Registry& default_registry() {
+  // Leaked on purpose: library instrumentation handles and exiting threads'
+  // TLS destructors may touch it during static teardown.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else ('.', '-')
+// becomes '_'. All exported series carry the "nav_" namespace prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "nav_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_json_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+          << "0123456789abcdef"[c & 0xF];
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& out) {
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << g.value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    // Prometheus buckets are cumulative; underflow (below lo) folds into the
+    // first bucket, overflow rides only in the +Inf series.
+    std::uint64_t cumulative = h.underflow;
+    const double width =
+        (h.hi - h.lo) /
+        static_cast<double>(h.counts.empty() ? 1 : h.counts.size());
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      out << name << "_bucket{le=\""
+          << h.lo + width * static_cast<double>(b + 1) << "\"} " << cumulative
+          << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.total() << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.total() << "\n";
+  }
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i) out << ",";
+    write_json_escaped(out, snapshot.counters[i].name);
+    out << ":" << snapshot.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i) out << ",";
+    write_json_escaped(out, snapshot.gauges[i].name);
+    out << ":" << snapshot.gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i) out << ",";
+    write_json_escaped(out, h.name);
+    out << ":{\"lo\":" << h.lo << ",\"hi\":" << h.hi << ",\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out << ",";
+      out << h.counts[b];
+    }
+    out << "],\"underflow\":" << h.underflow << ",\"overflow\":" << h.overflow
+        << ",\"sum\":" << h.sum << ",\"count\":" << h.total() << "}";
+  }
+  out << "}}";
+}
+
+}  // namespace nav::obs

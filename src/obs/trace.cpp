@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace nav::obs {
+
+namespace detail {
+
+// One thread's span ring. The owning thread appends under `mutex`; the
+// mutex is uncontended except while an exporter drains, so a warm record()
+// is a lock + two stores — and allocation-free, which is what the alloc
+// harness pins.
+struct Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid_) : tid(tid_) {
+    events.resize(capacity);
+  }
+  mutable std::mutex mutex;
+  std::uint32_t tid;                // attach order, stable across runs
+  std::vector<TraceEvent> events;   // fixed-size ring storage
+  std::size_t next = 0;             // write cursor
+  std::uint64_t total = 0;          // events ever recorded
+};
+
+struct TracerState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::size_t> ring_capacity{16384};
+  mutable std::mutex mutex;              // guards `rings`
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+namespace {
+
+// Per-thread ring pointer; the keepalive lets a ring-owning thread outlive
+// the (never-destroyed) singleton in any teardown order.
+struct TlsRing {
+  Ring* ring = nullptr;
+  std::shared_ptr<TracerState> keep;
+};
+
+thread_local TlsRing tls_ring;
+
+Ring* attach_ring(const std::shared_ptr<TracerState>& state) {
+  std::lock_guard<std::mutex> lock(state->mutex);
+  const auto tid = static_cast<std::uint32_t>(state->rings.size());
+  state->rings.push_back(std::make_unique<Ring>(
+      state->ring_capacity.load(std::memory_order_relaxed), tid));
+  tls_ring.ring = state->rings.back().get();
+  tls_ring.keep = state;
+  return tls_ring.ring;
+}
+
+}  // namespace
+
+}  // namespace detail
+
+Tracer::Tracer() : state_(std::make_shared<detail::TracerState>()) {}
+
+Tracer& Tracer::instance() {
+  // Leaked on purpose: spans may close during static teardown.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_enabled(bool on) noexcept {
+  state_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const noexcept {
+  return state_->enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  state_->ring_capacity.store(events < 16 ? 16 : events,
+                              std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_ns() noexcept {
+  // One steady origin per process makes every ring's timestamps comparable.
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, const char* arg_name, double arg) {
+  detail::Ring* ring = detail::tls_ring.ring;
+  if (ring == nullptr) ring = detail::attach_ring(state_);
+  std::lock_guard<std::mutex> lock(ring->mutex);
+  TraceEvent& ev = ring->events[ring->next];
+  ev.name = name;
+  ev.tid = ring->tid;
+  ev.start_ns = start_ns;
+  ev.end_ns = end_ns;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  ring->next = (ring->next + 1) % ring->events.size();
+  ++ring->total;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::size_t n = 0;
+  for (const auto& ring : state_->rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    n += ring->total < ring->events.size()
+             ? static_cast<std::size_t>(ring->total)
+             : ring->events.size();
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : state_->rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    if (ring->total > ring->events.size()) {
+      dropped += ring->total - ring->events.size();
+    }
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (const auto& ring : state_->rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->next = 0;
+    ring->total = 0;
+  }
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+          << "0123456789abcdef"[c & 0xF];
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+// Visits each ring's surviving events in recording order (oldest first once
+// the ring has wrapped).
+template <typename Fn>
+void for_each_event(const detail::TracerState& state, Fn&& fn) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    const std::size_t cap = ring->events.size();
+    const std::size_t held = ring->total < cap
+                                 ? static_cast<std::size_t>(ring->total)
+                                 : cap;
+    const std::size_t first = ring->total < cap ? 0 : ring->next;
+    for (std::size_t i = 0; i < held; ++i) {
+      fn(ring->events[(first + i) % cap]);
+    }
+  }
+}
+
+void write_event_fields(std::ostream& out, const TraceEvent& ev) {
+  out << "{\"name\":";
+  write_json_string(out, ev.name);
+  // chrome://tracing complete event: ph "X", ts/dur in microseconds.
+  out << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+      << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1000.0
+      << ",\"dur\":" << static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0;
+  if (ev.arg_name != nullptr) {
+    out << ",\"args\":{";
+    write_json_string(out, ev.arg_name);
+    out << ":" << ev.arg << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for_each_event(*state_, [&](const TraceEvent& ev) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+    write_event_fields(out, ev);
+  });
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for_each_event(*state_, [&](const TraceEvent& ev) {
+    write_event_fields(out, ev);
+    out << "\n";
+  });
+}
+
+}  // namespace nav::obs

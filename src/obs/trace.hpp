@@ -1,0 +1,161 @@
+// trace.hpp — span tracing behind the NAV_TRACE compile-time toggle.
+//
+// A span is one timed region of one thread: `{name, tid, t_start, t_end,
+// arg}`. Spans land in per-thread ring buffers owned by the process-wide
+// Tracer and are exported after the fact as chrome://tracing JSON (load in
+// chrome://tracing or Perfetto) or JSONL (one event per line, for scripts).
+//
+// Two gates keep the cost honest:
+//
+//   * compile time — NAV_TRACE (default 1; the CMake option NAV_TRACE=OFF
+//     defines it to 0 project-wide). With NAV_TRACE=0 the NAV_OBS_SPAN
+//     macro expands to a NullSpan — an empty struct whose constructor takes
+//     and ignores the arguments — so instrumented code compiles to nothing.
+//     Both ScopedSpan and NullSpan are ALWAYS defined (the macro alone
+//     switches), so mixed-TU builds cannot violate the ODR.
+//
+//   * run time — Tracer::set_enabled(). Tracing starts OFF; a disabled
+//     tracer costs one relaxed atomic load per span site. Rings are only
+//     allocated on a thread's first recorded span.
+//
+// Span names and arg names must be string literals (or otherwise outlive
+// the tracer) — events store the pointers, never copies, so recording stays
+// allocation-free once a thread's ring exists. Rings are fixed-capacity and
+// wrap: under overload the newest events win and dropped_events() says how
+// many were lost. Ring writes take a per-ring mutex — uncontended in
+// practice (one writer per ring; exporters touch it only at dump time) and
+// TSan-clean by construction. The wait-free guarantee belongs to the
+// metrics registry; spans only promise zero-allocation-when-warm.
+#pragma once
+
+/// \file
+/// \brief obs::Tracer: per-thread span ring buffers with chrome://tracing
+/// and JSONL export, compiled out entirely under NAV_TRACE=0.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+
+#ifndef NAV_TRACE
+#define NAV_TRACE 1
+#endif
+
+namespace nav::obs {
+
+/// One completed span. `name`/`arg_name` are unowned pointers to literals.
+struct TraceEvent {
+  const char* name = nullptr;      ///< span name (string literal)
+  std::uint32_t tid = 0;           ///< recording thread (attach order)
+  std::uint64_t start_ns = 0;      ///< steady-clock start, ns since trace t0
+  std::uint64_t end_ns = 0;        ///< steady-clock end, ns since trace t0
+  const char* arg_name = nullptr;  ///< optional argument label (literal)
+  double arg = 0.0;                ///< optional argument value
+};
+
+namespace detail {
+struct TracerState;
+}
+
+/// The process-wide span collector. Spans from any thread land in that
+/// thread's ring; exporters merge the rings. Never destroyed.
+class Tracer {
+ public:
+  /// The singleton every NAV_OBS_SPAN records into.
+  [[nodiscard]] static Tracer& instance();
+
+  /// Turns recording on or off (off by default). Span sites check this with
+  /// one relaxed load; toggling does not clear recorded events.
+  void set_enabled(bool on) noexcept;
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Sets the per-thread ring capacity (events). Applies to rings created
+  /// after the call; existing rings keep their size. Default 16384.
+  void set_ring_capacity(std::size_t events);
+
+  /// Records one completed span into the calling thread's ring. Allocation-
+  /// free once the thread's ring exists; drops nothing unless the ring wraps.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+              const char* arg_name = nullptr, double arg = 0.0);
+
+  /// Events currently held across all rings (post-wrap survivors).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events lost to ring wrap since the last clear().
+  [[nodiscard]] std::uint64_t dropped_events() const;
+  /// Discards all recorded events (rings stay attached).
+  void clear();
+
+  /// Nanoseconds since the tracer's steady-clock origin — the timebase of
+  /// TraceEvent::start_ns/end_ns.
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  /// Writes all events as a chrome://tracing "traceEvents" JSON document
+  /// (complete events, ph:"X", microsecond timestamps).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Writes all events as JSONL: one {"name",...} object per line.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  Tracer();
+  std::shared_ptr<detail::TracerState> state_;
+};
+
+/// RAII span: captures the clock on construction (when the tracer is
+/// enabled) and records on destruction. Use via NAV_OBS_SPAN.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* arg_name = nullptr,
+                      double arg = 0.0) noexcept
+      : name_(name), arg_name_(arg_name), arg_(arg) {
+    if (Tracer::instance().enabled()) start_ns_ = Tracer::now_ns() + 1;
+  }
+  ~ScopedSpan() {
+    if (start_ns_ != 0) {
+      Tracer::instance().record(name_, start_ns_ - 1, Tracer::now_ns(),
+                                arg_name_, arg_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches / replaces the span's argument after construction.
+  void set_arg(const char* arg_name, double arg) noexcept {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+
+ private:
+  const char* name_;
+  const char* arg_name_;
+  double arg_;
+  std::uint64_t start_ns_ = 0;  // 0 = tracer was disabled at entry
+};
+
+/// The NAV_TRACE=0 stand-in: same constructor shape, no state, no effect.
+struct NullSpan {
+  explicit NullSpan(const char*, const char* = nullptr, double = 0.0) noexcept {
+  }
+  /// No-op mirror of ScopedSpan::set_arg.
+  void set_arg(const char*, double) noexcept {}
+};
+
+}  // namespace nav::obs
+
+// NAV_OBS_SPAN("name") / NAV_OBS_SPAN("name", "arg", value): opens a span
+// covering the rest of the enclosing scope. Compiles to a NullSpan (zero
+// code) when NAV_TRACE=0.
+#define NAV_OBS_DETAIL_CONCAT2(a, b) a##b
+#define NAV_OBS_DETAIL_CONCAT(a, b) NAV_OBS_DETAIL_CONCAT2(a, b)
+#if NAV_TRACE
+#define NAV_OBS_SPAN(...)                                    \
+  ::nav::obs::ScopedSpan NAV_OBS_DETAIL_CONCAT(nav_obs_span_, \
+                                               __COUNTER__) { \
+    __VA_ARGS__                                               \
+  }
+#else
+#define NAV_OBS_SPAN(...)                                    \
+  ::nav::obs::NullSpan NAV_OBS_DETAIL_CONCAT(nav_obs_span_,  \
+                                             __COUNTER__) {  \
+    __VA_ARGS__                                              \
+  }
+#endif

@@ -1,8 +1,21 @@
 #include "runtime/worker_team.hpp"
 
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace nav {
+
+namespace {
+
+// Counted on the dispatching (coordinator) thread only — worker lanes never
+// touch the registry, keeping warm run() calls allocation-free.
+obs::Counter& team_dispatches() {
+  static obs::Counter* c =
+      new obs::Counter(obs::default_registry().counter("worker_team.dispatches"));
+  return *c;
+}
+
+}  // namespace
 
 WorkerTeam::WorkerTeam(std::size_t lanes)
     : lanes_(lanes == 0 ? ThreadPool::default_threads() : lanes) {}
@@ -17,6 +30,7 @@ WorkerTeam::~WorkerTeam() {
 }
 
 void WorkerTeam::run_raw(void (*fn)(void*, std::size_t), void* ctx) {
+  team_dispatches().inc();
   if (lanes_ <= 1) {
     fn(ctx, 0);
     return;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parse.hpp"
 #include "runtime/timer.hpp"
 
@@ -68,6 +70,23 @@ TrafficDriver::TrafficDriver(api::RouteService& service, Workload& workload,
 }
 
 WorkloadReport TrafficDriver::run(Rng rng) {
+  NAV_OBS_SPAN("traffic.run", "batches",
+               static_cast<double>(options_.batches));
+  // Registered against the SERVICE's registry (not necessarily the default
+  // one), so a scrape of the service sees its demand and its admissions side
+  // by side. counter()/histogram() dedup by name, so repeat runs share
+  // handles.
+  obs::Registry& reg = service_.metrics();
+  obs::Counter batches_submitted = reg.counter("traffic.batches_submitted");
+  obs::Counter pairs_submitted = reg.counter("traffic.pairs_submitted");
+  obs::Counter pairs_admitted = reg.counter("traffic.pairs_admitted");
+  obs::Counter pairs_shed = reg.counter("traffic.pairs_shed");
+  obs::Counter pairs_failed = reg.counter("traffic.pairs_failed");
+  obs::Counter mutation_steps = reg.counter("traffic.mutation_steps");
+  obs::Counter mutation_events = reg.counter("traffic.mutation_events");
+  obs::HistogramHandle sojourn_hist =
+      reg.histogram("traffic.sojourn_ms", 0.0, 1000.0, 50);
+
   WorkloadReport report;
   report.workload = workload_.name();
   report.schedule = schedule_.spec;
@@ -101,7 +120,9 @@ WorkloadReport TrafficDriver::run(Rng rng) {
       auto results = futures[b].get();
       report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
       sojourn_ms.push_back(report.batches[b].sojourn_seconds * 1e3);
+      sojourn_hist.observe(report.batches[b].sojourn_seconds * 1e3);
       report.pairs_admitted += results.size();
+      pairs_admitted.inc(results.size());
       for (const auto& result : results) {
         if (!result.reached) {
           ++report.pairs_unreached;
@@ -118,6 +139,7 @@ WorkloadReport TrafficDriver::run(Rng rng) {
       report.batches[b].shed = true;
       report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
       report.pairs_shed += report.batches[b].pairs;
+      pairs_shed.inc(report.batches[b].pairs);
     } catch (const std::exception&) {
       // A batch that failed routing (e.g. an out-of-range endpoint from a
       // custom Workload) must not abandon the rest of the run: the report
@@ -125,6 +147,7 @@ WorkloadReport TrafficDriver::run(Rng rng) {
       report.batches[b].failed = true;
       report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
       report.pairs_failed += report.batches[b].pairs;
+      pairs_failed.inc(report.batches[b].pairs);
     }
   };
 
@@ -142,6 +165,8 @@ WorkloadReport TrafficDriver::run(Rng rng) {
     trace.pairs = pairs.size();
     trace.queued_pairs_at_submit = service_.queue_stats().queued_pairs;
     report.pairs_submitted += pairs.size();
+    batches_submitted.inc();
+    pairs_submitted.inc(pairs.size());
     submitted_at[b] = wall.seconds();
     // Routing streams live in their own subtree (0xB47) so no batch index
     // can collide with the generation (0x6e4) or arrival (0xA881) streams.
@@ -157,6 +182,8 @@ WorkloadReport TrafficDriver::run(Rng rng) {
             options_.dynamic_graph->apply(events);
         ++report.mutation_steps;
         report.mutation_events += delta.events.size();
+        mutation_steps.inc();
+        mutation_events.inc(delta.events.size());
       }
     }
   }

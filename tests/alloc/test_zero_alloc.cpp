@@ -16,6 +16,8 @@
 #include "graph/bfs_engine.hpp"
 #include "graph/distance_oracle.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/greedy_router.hpp"
 #include "runtime/alloc_counter.hpp"
 
@@ -198,6 +200,88 @@ TEST(ZeroAlloc, ParallelMissWavesRecycleArenaRows) {
   const std::uint64_t bytes_after = nav::allocation_bytes();
   EXPECT_LE(count_after - count_before, 37u * 4u);
   EXPECT_LT(bytes_after - bytes_before, 4096u * sizeof(Dist));
+}
+
+TEST(ZeroAlloc, WarmMetricIncrementsAllocateNothing) {
+  // The obs registry's hot-path contract: once this thread's shard exists
+  // (created by the warm-up increments), counter inc, gauge set/add/set_max,
+  // and histogram observe are wait-free stores — zero allocations.
+  obs::Registry reg;
+  const auto counter = reg.counter("alloc_test.counter");
+  const auto gauge = reg.gauge("alloc_test.gauge");
+  const auto hist = reg.histogram("alloc_test.hist", 0.0, 100.0, 32);
+  counter.inc();      // warm: attaches this thread's shard
+  gauge.set(1);
+  hist.observe(1.0);
+
+  const std::uint64_t before = nav::allocation_count();
+  for (int i = 0; i < 10000; ++i) {
+    counter.inc();
+    counter.inc(3);
+    gauge.add(2);
+    gauge.sub(1);
+    gauge.set_max(i);
+    hist.observe(static_cast<double>(i % 150) - 10.0);  // bins + under + over
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "warm metric increments must perform zero heap allocations";
+  EXPECT_EQ(counter.value(), 1u + 10000u * 4u);
+}
+
+TEST(ZeroAlloc, WarmTraceSpansAllocateNothing) {
+  // Span recording promises zero-allocation-when-warm: the ring is created
+  // on this thread's first recorded span, after which NAV_OBS_SPAN is a
+  // clock read plus a locked ring write.
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  { NAV_OBS_SPAN("alloc-test-warm"); }  // warm: attaches this thread's ring
+
+  const std::uint64_t before = nav::allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    NAV_OBS_SPAN("alloc-test-span", "i", static_cast<double>(i));
+  }
+  const std::uint64_t after = nav::allocation_count();
+  tracer.set_enabled(false);
+  EXPECT_EQ(after - before, 0u)
+      << "warm span recording must perform zero heap allocations";
+  EXPECT_GE(tracer.event_count(), 1001u);
+  tracer.clear();
+}
+
+TEST(ZeroAlloc, DisabledTracerSpanSitesAllocateNothing) {
+  // The common case — tracing off — must cost one relaxed load, no ring.
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  const std::uint64_t before = nav::allocation_count();
+  for (int i = 0; i < 1000; ++i) {
+    NAV_OBS_SPAN("disabled-span");
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(ZeroAlloc, InstrumentedWarmRouteHitAllocatesNothing) {
+  // End-to-end: the oracle hit path now bumps registry counters
+  // (oracle.cache_hits et al). A warm hit must STILL be allocation-free —
+  // the instrumentation sweep is not allowed to tax the paths it observes.
+  const auto g = make_grid2d(32, 32);
+  TargetDistanceCache cache(g, 4);
+  core::UniformScheme scheme(g);
+  routing::GreedyRouter router(g, cache);
+  const NodeId target = g.num_nodes() - 1;
+  Rng rng(11);
+  (void)router.route(0, target, &scheme, rng);  // warm: miss + shard attach
+
+  const std::uint64_t before = nav::allocation_count();
+  for (int i = 0; i < 200; ++i) {
+    Rng trial(static_cast<std::uint64_t>(i));
+    (void)router.route(static_cast<NodeId>(i % 31), target, &scheme, trial);
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "instrumented warm route hits must stay allocation-free";
+  EXPECT_EQ(cache.misses(), 1u);
 }
 
 }  // namespace

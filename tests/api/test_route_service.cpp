@@ -296,6 +296,51 @@ TEST(RouteService, QueueStatsTrackSubmissions) {
   EXPECT_GE(stats.peak_queued_pairs, 1u);
 }
 
+TEST(RouteService, QueueStatsBitIdenticalToScrapedRegistry) {
+  // queue_stats() is now a view over the service registry: every field must
+  // equal the corresponding route_service.* counter/gauge in a scrape taken
+  // while the service is quiescent. This is the migration contract — the
+  // public QueueStats API moved onto the registry without changing a value.
+  auto engine = NavigationEngine::from_family("grid2d", 256);
+  engine.use_scheme("uniform");
+  RouteServiceOptions options;
+  options.admission = AdmissionPolicy::shed(/*deadline_seconds=*/60.0);
+  RouteService service(engine, options);
+
+  const auto pairs = mixed_target_pairs(engine.graph().num_nodes(), 24, 6, 9);
+  auto f1 = service.submit(pairs, Rng(3));
+  auto f2 = service.submit({{0, 100}, {1, 101}}, Rng(4));
+  (void)f1.get();
+  (void)f2.get();
+
+  const auto stats = service.queue_stats();
+  const auto snapshot = service.metrics().scrape();
+  const auto counter = [&](const char* name) -> std::size_t {
+    const auto* c = snapshot.find_counter(name);
+    EXPECT_NE(c, nullptr) << name;
+    return c ? static_cast<std::size_t>(c->value) : ~std::size_t{0};
+  };
+  const auto gauge = [&](const char* name) -> std::size_t {
+    const auto* g = snapshot.find_gauge(name);
+    EXPECT_NE(g, nullptr) << name;
+    return g ? static_cast<std::size_t>(g->value) : ~std::size_t{0};
+  };
+  EXPECT_EQ(stats.submitted_batches,
+            counter("route_service.submitted_batches"));
+  EXPECT_EQ(stats.submitted_pairs, counter("route_service.submitted_pairs"));
+  EXPECT_EQ(stats.executed_batches, counter("route_service.executed_batches"));
+  EXPECT_EQ(stats.shed_batches, counter("route_service.shed_batches"));
+  EXPECT_EQ(stats.shed_pairs, counter("route_service.shed_pairs"));
+  EXPECT_EQ(stats.blocked_submits, counter("route_service.blocked_submits"));
+  EXPECT_EQ(stats.queued_batches, gauge("route_service.queued_batches"));
+  EXPECT_EQ(stats.queued_pairs, gauge("route_service.queued_pairs"));
+  EXPECT_EQ(stats.peak_queued_pairs,
+            gauge("route_service.peak_queued_pairs"));
+  // Sanity: the run actually moved the counters.
+  EXPECT_EQ(stats.submitted_batches, 2u);
+  EXPECT_EQ(stats.submitted_pairs, 26u);
+}
+
 TEST(RouteService, PauseHoldsTheQueueAndResumeDrainsIt) {
   auto engine = NavigationEngine::from_family("path", 64);
   RouteService service(engine);

@@ -1,0 +1,159 @@
+// test_trace.cpp — the span tracer: runtime gate, ring wrap accounting,
+// multi-thread rings, and both exporters. The Tracer is a process-wide
+// singleton, so every test clears it and restores the disabled state.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace nav::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  { NAV_OBS_SPAN("quiet"); }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, EnabledSpanRecordsOnDestruction) {
+  Tracer::instance().set_enabled(true);
+  {
+    NAV_OBS_SPAN("work", "items", 7.0);
+    EXPECT_EQ(Tracer::instance().event_count(), 0u);  // still open
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledDoesNotRecord) {
+  // The gate is sampled at span ENTRY: enabling mid-span must not record a
+  // span whose start was never captured.
+  ScopedSpan span("late");
+  Tracer::instance().set_enabled(true);
+  {
+    ScopedSpan inner("inner");
+  }
+  Tracer::instance().set_enabled(false);
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);  // only "inner"
+}
+
+TEST_F(TraceTest, ExplicitRecordCarriesFields) {
+  Tracer::instance().set_enabled(true);
+  Tracer::instance().record("explicit", 1000, 2500, "n", 42.0);
+  std::ostringstream out;
+  Tracer::instance().write_jsonl(out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"explicit\""), std::string::npos);
+  EXPECT_NE(line.find("\"n\""), std::string::npos);
+  EXPECT_NE(line.find("42"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingWrapDropsOldestAndCounts) {
+  Tracer::instance().set_ring_capacity(16);
+  Tracer::instance().set_enabled(true);
+  // A fresh thread gets a fresh (capacity-16) ring; overfill it 3x.
+  std::thread t([] {
+    for (int i = 0; i < 48; ++i) {
+      Tracer::instance().record("spin", 0, 1);
+    }
+  });
+  t.join();
+  EXPECT_EQ(Tracer::instance().event_count(), 16u);
+  EXPECT_EQ(Tracer::instance().dropped_events(), 32u);
+  Tracer::instance().set_ring_capacity(16384);  // restore the default
+}
+
+TEST_F(TraceTest, ClearDiscardsEventsAndDropCounts) {
+  Tracer::instance().set_enabled(true);
+  Tracer::instance().record("gone", 0, 1);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  EXPECT_EQ(Tracer::instance().dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+  Tracer::instance().set_enabled(true);
+  Tracer::instance().record("main-thread", 0, 1);
+  std::thread t([] { Tracer::instance().record("worker-thread", 0, 1); });
+  t.join();
+  std::ostringstream out;
+  Tracer::instance().write_jsonl(out);
+  const std::string text = out.str();
+  // Two events, two distinct "tid": fields.
+  EXPECT_NE(text.find("main-thread"), std::string::npos);
+  EXPECT_NE(text.find("worker-thread"), std::string::npos);
+  std::size_t tid_fields = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("\"tid\":", pos)) != std::string::npos; ++pos) {
+    ++tid_fields;
+  }
+  EXPECT_EQ(tid_fields, 2u);
+}
+
+TEST_F(TraceTest, ChromeTraceIsWellFormedEnvelope) {
+  Tracer::instance().set_enabled(true);
+  Tracer::instance().record("paint", 1000, 3000, "pixels", 64.0);
+  std::ostringstream out;
+  Tracer::instance().write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"paint\""), std::string::npos);
+  // 1000ns start -> 1 microsecond timestamp; 2000ns duration -> 2us.
+  EXPECT_NE(text.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"pixels\":64}"), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST_F(TraceTest, NowNsIsMonotone) {
+  const auto a = Tracer::now_ns();
+  const auto b = Tracer::now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST_F(TraceTest, SetArgAttachesLate) {
+  Tracer::instance().set_enabled(true);
+  {
+    ScopedSpan span("sized-later");
+    span.set_arg("bytes", 128.0);
+  }
+  std::ostringstream out;
+  Tracer::instance().write_jsonl(out);
+  EXPECT_NE(out.str().find("\"bytes\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentRecordingIsSafe) {
+  Tracer::instance().set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        NAV_OBS_SPAN("burst");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Each fresh thread ring holds 16384 >= 500 events: nothing drops.
+  EXPECT_GE(Tracer::instance().event_count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace nav::obs

@@ -1,0 +1,48 @@
+// test_trace_disabled.cpp — proves the NAV_TRACE=0 configuration compiles
+// span sites to no-ops. This TU force-defines NAV_TRACE 0 BEFORE including
+// trace.hpp (the header only defaults the macro, it never overrides), so the
+// NAV_OBS_SPAN macro here expands to NullSpan even though the rest of the
+// test binary is built with tracing on — exactly the mixed-TU situation the
+// always-defined ScopedSpan/NullSpan pair keeps ODR-safe.
+#define NAV_TRACE 0
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace nav::obs {
+namespace {
+
+// The stand-in must be free of state: an empty class, trivially
+// constructible and destructible, so the optimiser erases the span site.
+static_assert(std::is_empty_v<NullSpan>);
+static_assert(std::is_trivially_destructible_v<NullSpan>);
+
+// The macro must have selected NullSpan in this TU.
+#if NAV_TRACE
+#error "NAV_TRACE was force-defined to 0 in this TU"
+#endif
+
+TEST(TraceDisabled, SpanSitesRecordNothingEvenWhenEnabled) {
+  Tracer::instance().clear();
+  Tracer::instance().set_enabled(true);
+  {
+    NAV_OBS_SPAN("compiled-out");
+    NAV_OBS_SPAN("also-gone", "n", 3.0);
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  Tracer::instance().set_enabled(false);
+}
+
+TEST(TraceDisabled, NullSpanAcceptsTheFullScopedSpanShape) {
+  // Same constructor/set_arg surface as ScopedSpan: instrumented code needs
+  // no #if around argument use.
+  NullSpan plain("name");
+  NullSpan with_arg("name", "items", 9.0);
+  with_arg.set_arg("items", 10.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nav::obs

@@ -142,6 +142,46 @@ TEST(HistogramPercentile, ResolvesOverflowAndUnderflowToTheEdges) {
   EXPECT_THROW((void)h.percentile(1.5), std::invalid_argument);
 }
 
+TEST(HistogramPercentile, EmptyHistogramThrowsForEveryQ) {
+  const Histogram empty(0.0, 10.0, 8);
+  EXPECT_THROW((void)empty.percentile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)empty.percentile(0.5), std::invalid_argument);
+  EXPECT_THROW((void)empty.percentile(1.0), std::invalid_argument);
+}
+
+TEST(HistogramPercentile, SingleSampleInterpolatesAcrossItsBin) {
+  // One sample in bin [4, 6): the estimator only knows the bin, so the
+  // percentile sweeps linearly across that bin as q goes 0 -> 1.
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);  // q=0 pins to lo by convention
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);  // bin midpoint
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 6.0);  // bin upper edge
+}
+
+TEST(HistogramPercentile, AllSamplesInOneBinStayInsideThatBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(3.5);  // every sample lands in [3, 4)
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 3.25);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 3.75);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(HistogramPercentile, OutOfRangeSamplesClampToBounds) {
+  // Samples beyond [lo, hi) never enter a bin; the percentile resolves the
+  // underflow mass to lo and the overflow mass to hi instead of extrapolating.
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(-1e9);
+  for (int i = 0; i < 10; ++i) h.add(+1e9);
+  EXPECT_EQ(h.underflow(), 10u);
+  EXPECT_EQ(h.overflow(), 10u);
+  EXPECT_EQ(h.total(), 20u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.0);  // inside the underflow mass
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 1.0);  // inside the overflow mass
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+}
+
 TEST(Histogram, CountsFallInRightBins) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
