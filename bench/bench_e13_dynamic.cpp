@@ -102,8 +102,10 @@ int main(int argc, char** argv) {
             Rng fail_rng = Rng(h.seed(0xFA11)).child(fi);
             dyn.apply(stream->step(dyn, fail_rng));
           }
-          const auto oracle = api::make_distance_oracle(
-              dyn.graph(), /*dense_limit=*/4096, trials.num_pairs + 8);
+          graph::OracleConfig oracle_config;
+          oracle_config.cache_slots = trials.num_pairs + 8;
+          const auto oracle =
+              graph::make_oracle("auto", dyn.graph(), oracle_config);
           const auto router =
               routing::make_router("greedy", dyn.graph(), *oracle);
           api::RouteServiceOptions options;
@@ -333,8 +335,7 @@ int main(int argc, char** argv) {
 
     Rng graph_rng(h.seed(0xE13D));
     const graph::Graph g = graph::family("cycle").make(n, graph_rng);
-    const auto oracle =
-        api::make_distance_oracle(g, /*dense_limit=*/4096, 8);
+    const auto oracle = graph::make_oracle("auto", g);
     const auto router = routing::make_router("greedy", g, *oracle);
     Rng scheme_build_rng(h.seed(0x5e1f));
     const auto scheme =

@@ -450,6 +450,89 @@ void run_sweep_kind_cells(bench::Harness& h) {
   }
 }
 
+// ---- M4: landmark stretch vs k ---------------------------------------------
+// Deterministic STRICT cells: for each family x size, every landmark budget k
+// builds the compressed backend through make_oracle and scores the triangle
+// bound against exact rows over a fixed pair sample — mean and max
+// multiplicative stretch plus the fraction of pairs answered exactly.
+// Landmark selection (farthest-point) and the pair sample are both seeded, so
+// the quality surface is bit-reproducible; only the build time is loose. The
+// compression story is implicit in the key: k rows stored versus n.
+void run_landmark_stretch_cells(bench::Harness& h) {
+  using graph::Dist;
+  using graph::NodeId;
+  std::vector<unsigned> exponents{10, 12};
+  if (!h.quick()) exponents.push_back(14);
+  const std::size_t k_grid[] = {2, 4, 8, 16, 32};
+  constexpr std::size_t kTargets = 16;
+  constexpr std::size_t kSourcesPerTarget = 16;
+
+  for (const unsigned e : exponents) {
+    const auto n = NodeId{1} << e;
+    for (const std::string& family :
+         {std::string("torus2d"), std::string("gnp8")}) {
+      Rng rng(h.seed(0xB4F5) ^ e);
+      graph::Graph g;
+      if (family == "torus2d") {
+        const auto side = NodeId{1} << (e / 2);
+        g = graph::make_torus2d(side, n / side);
+      } else {
+        g = graph::make_connected_gnp(n, 8.0 / static_cast<double>(n), rng);
+      }
+      // The sample: kTargets exact rows, kSourcesPerTarget draws each. One
+      // cache with headroom keeps every exact row resident across the k loop.
+      graph::TargetDistanceCache exact(g, kTargets + 1);
+      Rng pair_rng(h.seed(0xB4F6) ^ e);
+      std::vector<NodeId> targets;
+      for (std::size_t j = 0; j < kTargets; ++j) {
+        targets.push_back(
+            static_cast<NodeId>(random_index(pair_rng, g.num_nodes())));
+      }
+
+      for (const std::size_t k : k_grid) {
+        const std::string spec = "landmark:" + std::to_string(k) + ":farthest";
+        nav::Timer build_timer;
+        const auto oracle = graph::make_oracle(spec, g);
+        const double build_seconds = build_timer.seconds();
+
+        double stretch_sum = 0.0, stretch_max = 0.0;
+        std::size_t pairs = 0, exact_hits = 0;
+        Rng source_rng(h.seed(0xB4F7) ^ e);
+        for (const NodeId t : targets) {
+          const auto row = oracle->distances_to(t);
+          const auto truth = exact.distances_to(t);
+          for (std::size_t i = 0; i < kSourcesPerTarget; ++i) {
+            auto s = static_cast<NodeId>(
+                random_index(source_rng, g.num_nodes() - 1));
+            if (s >= t) ++s;  // s != t: stretch needs a non-zero denominator
+            const double est = static_cast<double>((*row)[s]);
+            const double ref = static_cast<double>((*truth)[s]);
+            const double stretch = est / ref;
+            stretch_sum += stretch;
+            stretch_max = std::max(stretch_max, stretch);
+            exact_hits += (*row)[s] == (*truth)[s] ? 1 : 0;
+            ++pairs;
+          }
+        }
+        const double denom = static_cast<double>(pairs);
+        h.add_cell({{"family", family},
+                    {"oracle", spec},
+                    {"landmarks", static_cast<double>(k)},
+                    {"n", static_cast<double>(g.num_nodes())},
+                    {"mean_stretch", stretch_sum / denom},
+                    {"max_stretch", stretch_max},
+                    {"exact_fraction", static_cast<double>(exact_hits) / denom},
+                    {"seconds", build_seconds}});
+        std::printf(
+            "  %-7s n=2^%-2u k=%-3zu  stretch mean %.4f  max %.2f"
+            "  exact %4.1f%%  build %.3fs\n",
+            family.c_str(), e, k, stretch_sum / denom, stretch_max,
+            100.0 * static_cast<double>(exact_hits) / denom, build_seconds);
+      }
+    }
+  }
+}
+
 /// ConsoleReporter plus trajectory capture: every per-iteration run becomes
 /// one harness cell keyed by benchmark name; timings and rates are loose
 /// metrics by construction.
@@ -505,6 +588,10 @@ int main(int argc, char** argv) {
   if (!list_only &&
       h.section("M3: sweep-kind dispatch tallies (family x size)")) {
     run_sweep_kind_cells(h);
+  }
+  if (!list_only &&
+      h.section("M4: landmark stretch (family x size x k)")) {
+    run_landmark_stretch_cells(h);
   }
   // The google-benchmark cells below are recorded section-less: their series
   // keys ({benchmark: BM_*}) predate sections and stay baseline-aligned.

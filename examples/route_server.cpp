@@ -8,7 +8,7 @@
 // deadline Shedding.
 //
 //   ./route_server [n] [batches] [workload] [admission]
-//                  [--mutations <spec>]
+//                  [--mutations <spec>] [--oracle <spec>]
 //
 //   n          graph size (torus2d), default 8192
 //   batches    batches to submit, default 12 (x 256 pairs each)
@@ -24,6 +24,12 @@
 //              queue never builds and bounded/shed admission would never
 //              engage: a non-"none" spec is mutually exclusive with a
 //              non-unbounded admission policy, checked up front.
+//   --oracle <spec>  distance backend for the static run
+//              (auto | matrix[:width] | cache[:cap][:width] |
+//               landmark:<k>[:sel] — see graph::make_oracle). A custom
+//              backend is built once on the static graph and cannot track
+//              mutations, so a non-"auto" spec is mutually exclusive with
+//              a non-"none" --mutations, checked up front.
 //   --metrics-out <path>  scrape the process-wide obs registry after the
 //              run and write it in Prometheus text format ("-" = stdout).
 //   --trace-out <path>    enable NAV_TRACE span collection for the run and
@@ -76,6 +82,7 @@ int main(int argc, char** argv) try {
   // Flags take a value; everything else stays positional.
   std::vector<std::string> positional;
   std::string mutation_spec = "none";
+  std::string oracle_spec = "auto";
   std::string metrics_out;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +95,10 @@ int main(int argc, char** argv) try {
       mutation_spec = flag_value(
           "--mutations needs a spec: churn:<rate> | fail:<fraction> | "
           "targeted:<k> | trace:<path> | none");
+    } else if (arg == "--oracle") {
+      oracle_spec = flag_value(
+          "--oracle needs a spec: auto | matrix[:width] | "
+          "cache[:cap][:width] | landmark:<k>[:degree|farthest]");
     } else if (arg == "--metrics-out") {
       metrics_out = flag_value(
           "--metrics-out needs a path for the Prometheus text dump "
@@ -130,6 +141,13 @@ int main(int argc, char** argv) try {
         "(closed loop), so bounded/shed admission never engages; use "
         "admission=unbounded");
   }
+  if (mutating && oracle_spec != "auto") {
+    throw std::invalid_argument(
+        "--oracle " + oracle_spec + " conflicts with --mutations " +
+        mutation_spec +
+        ": a custom backend is built once on the static graph and cannot "
+        "track mutations; use --oracle auto");
+  }
 
   // Cache-oracle regime on purpose: n above the dense limit is where target
   // sharding earns its keep — and skewed demand (the zipf default) is where
@@ -140,15 +158,24 @@ int main(int argc, char** argv) try {
   dynamic::DynamicGraph dyn(graph::family("torus2d").make(n, graph_rng));
   const graph::Graph& g = dyn.graph();
   dynamic::DynamicOracle oracle(dyn);
+  // A non-"auto" spec swaps in a make_oracle backend for the whole run; the
+  // exclusivity check above guarantees the graph stays static under it.
+  std::unique_ptr<graph::DistanceOracle> custom_oracle;
+  if (oracle_spec != "auto") {
+    custom_oracle = graph::make_oracle(oracle_spec, g);
+  }
+  graph::DistanceOracle& dist =
+      custom_oracle ? *custom_oracle
+                    : static_cast<graph::DistanceOracle&>(oracle);
   Rng scheme_rng(0x5eed);
   const auto scheme = core::make_scheme("ball", g, scheme_rng);
-  const auto router = routing::make_router("greedy", g, oracle);
+  const auto router = routing::make_router("greedy", g, dist);
   // Failures may disconnect demand pairs; report them instead of aborting.
   options.tolerate_unreachable = mutating;
   // Fold the service's counters into the process-wide registry so one
   // --metrics-out scrape sees the whole stack (service + oracle + BFS).
   options.metrics = &obs::default_registry();
-  api::RouteService service(g, oracle, scheme.get(), *router, options);
+  api::RouteService service(g, dist, scheme.get(), *router, options);
 
   const auto demand = workload::make_workload(workload_spec, g, Rng(2026));
   workload::TrafficOptions traffic;
@@ -165,7 +192,8 @@ int main(int argc, char** argv) try {
   std::cout << "route_server: torus2d n=" << g.num_nodes()
             << ", scheme=ball, router=greedy, workload=" << demand->name()
             << ", admission=" << admission_spec
-            << ", mutations=" << mutation_spec << ", "
+            << ", mutations=" << mutation_spec
+            << ", oracle=" << oracle_spec << ", "
             << nav::global_pool().thread_count() << " pool threads\n\n";
 
   const auto report = driver.run(Rng(2026));

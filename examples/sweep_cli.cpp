@@ -5,6 +5,8 @@
 //
 //   ./sweep_cli --family path --sizes 1024,4096,16384
 //               --schemes uniform,ml,ball --routers greedy,lookahead:1
+//               [--graphs file:karate.dimacs,dimacs:usa.gr]
+//               [--oracle auto,cache:64:u16,landmark:16:farthest]
 //               [--workloads uniform,zipf:1.1,adversarial]
 //               [--mutations none,fail:0.05,churn:8]
 //               --pairs 12 --resamples 16 [--seed 7]
@@ -15,6 +17,10 @@
 // Prints the sweep table plus per-axis exponent fits; optionally
 // writes CSV and/or JSON Lines for plotting and trajectory tooling. JSON
 // Lines stream as cells finish, so long sweeps can be tailed.
+// --graphs takes graph_source specs — family names and/or file-backed
+// "file:<path>" / "dimacs:<path>" entries; --sizes may be omitted when
+// every source is file-backed (the file decides n). --oracle sweeps
+// make_oracle backends as a grid axis.
 // --trajectory <id> additionally emits the sweep as a
 // nav-bench-trajectory-v1 document BENCH_<id>.json (and refreshes the
 // merged BENCH_all.json) — the same schema the bench harness writes, so
@@ -23,6 +29,7 @@
 // --metrics-out scrapes the process-wide obs registry after the sweep and
 // writes it in Prometheus text format ("-" = stdout); --trace-out enables
 // NAV_TRACE span collection for the run and writes chrome://tracing JSON.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -47,12 +54,15 @@ std::vector<std::string> split_csv(const std::string& value) {
 void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " --family <name> --sizes n1,n2,.. --schemes s1,s2,..\n"
-         "       [--routers r1,r2,..] [--workloads w1,w2,..]\n"
-         "       [--mutations m1,m2,..] [--pairs K] [--resamples R]\n"
+      << " --graphs g1,g2,.. [--sizes n1,n2,..] [--schemes s1,s2,..]\n"
+         "       [--family <name>] [--routers r1,r2,..]\n"
+         "       [--workloads w1,w2,..] [--mutations m1,m2,..]\n"
+         "       [--oracle o1,o2,..] [--pairs K] [--resamples R]\n"
          "       [--seed S] [--csv PATH] [--jsonl PATH]\n"
          "       [--trajectory ID [--out DIR]]\n"
          "       [--metrics-out PATH] [--trace-out PATH]\n\n"
+         "graphs: a family name below, file:<path>, or dimacs:<path> "
+         "(--sizes\n        required unless every source is file-backed)\n"
          "families: ";
   for (const auto& fam : nav::graph::all_families()) {
     std::cerr << fam.name << ' ';
@@ -69,19 +79,24 @@ void usage(const char* argv0) {
   for (const auto& info : nav::dynamic::mutation_catalog()) {
     std::cerr << info.spec << ' ';
   }
-  std::cerr << "(\"none\" = the static graph)\n";
+  std::cerr << "(\"none\" = the static graph)\noracles: ";
+  for (const auto& info : nav::graph::oracle_catalog()) {
+    std::cerr << info.spec << ' ';
+  }
+  std::cerr << "(\"auto\" = the size-selected exact backend)\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nav;
-  std::string family;
+  std::vector<std::string> graphs;
   std::vector<graph::NodeId> sizes;
-  std::vector<std::string> schemes;
+  std::vector<std::string> schemes = {"uniform"};
   std::vector<std::string> routers = {"greedy"};
   std::vector<std::string> workloads = {"uniform"};
   std::vector<std::string> mutations = {"none"};
+  std::vector<std::string> oracles = {"auto"};
   std::size_t pairs = 12, resamples = 16;
   std::uint64_t seed = 0x5eed;
   std::string csv_path, jsonl_path, trajectory_id, out_dir = ".";
@@ -91,7 +106,9 @@ int main(int argc, char** argv) {
     const std::string key = argv[i];
     const std::string value = argv[i + 1];
     if (key == "--family") {
-      family = value;
+      graphs.push_back(value);
+    } else if (key == "--graphs") {
+      for (auto& spec : split_csv(value)) graphs.push_back(std::move(spec));
     } else if (key == "--sizes") {
       for (const auto& s : split_csv(value)) {
         sizes.push_back(
@@ -105,6 +122,8 @@ int main(int argc, char** argv) {
       workloads = split_csv(value);
     } else if (key == "--mutations") {
       mutations = split_csv(value);
+    } else if (key == "--oracle") {
+      oracles = split_csv(value);
     } else if (key == "--trajectory") {
       trajectory_id = value;
     } else if (key == "--out") {
@@ -129,7 +148,13 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (family.empty() || sizes.empty() || schemes.empty()) {
+  // File-backed sources carry their own n, so a sweep over only files may
+  // omit --sizes; any family name in the mix still needs them.
+  const bool all_file_backed =
+      !graphs.empty() &&
+      std::all_of(graphs.begin(), graphs.end(), graph::is_graph_spec);
+  if (graphs.empty() || schemes.empty() ||
+      (sizes.empty() && !all_file_backed)) {
     usage(argv[0]);
     return 1;
   }
@@ -139,12 +164,13 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) obs::Tracer::instance().set_enabled(true);
 
   try {
-    auto experiment = api::Experiment::on(family)
+    auto experiment = api::Experiment::graphs(graphs)
                           .sizes(sizes)
                           .workloads(workloads)
                           .schemes(schemes)
                           .routers(routers)
                           .mutations(mutations)
+                          .oracles(oracles)
                           .pairs(pairs)
                           .resamples(resamples)
                           .seed(seed);
@@ -173,7 +199,7 @@ int main(int argc, char** argv) {
     if (!trajectory_id.empty()) {
       // Same schema and writer the bench harness uses, so this document is
       // directly diffable against bench baselines by compare_bench.py.
-      api::TrajectoryWriter traj(trajectory_id, "sweep_cli_" + family,
+      api::TrajectoryWriter traj(trajectory_id, "sweep_cli_" + graphs.front(),
                                  /*quick=*/false, out_dir);
       for (const auto& cell : result.cells) traj.add_cell(cell.record());
       if (traj.write_document()) traj.write_merged();

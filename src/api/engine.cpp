@@ -3,24 +3,18 @@
 #include "api/route_service.hpp"
 #include "graph/families.hpp"
 #include "graph/graph_io.hpp"
+#include "graph/oracle_factory.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace nav::api {
 
-std::unique_ptr<graph::DistanceOracle> make_distance_oracle(
-    const graph::Graph& g, graph::NodeId dense_limit,
-    std::size_t cache_capacity) {
-  if (g.num_nodes() <= dense_limit) {
-    return std::make_unique<graph::DistanceMatrix>(g);
-  }
-  return std::make_unique<graph::TargetDistanceCache>(g, cache_capacity);
-}
-
 NavigationEngine::NavigationEngine(graph::Graph g, EngineOptions options)
     : graph_(std::make_unique<graph::Graph>(std::move(g))) {
   NAV_REQUIRE(graph_->num_nodes() >= 2, "engine needs a routable graph");
-  oracle_ = make_distance_oracle(*graph_, options.dense_oracle_limit,
-                                 options.cache_capacity);
+  graph::OracleConfig config;
+  config.dense_limit = options.dense_oracle_limit;
+  config.cache_slots = options.cache_capacity;
+  oracle_ = graph::make_oracle(options.oracle_spec, *graph_, config);
   router_ = routing::make_router(router_spec_, *graph_, *oracle_);
 }
 
@@ -35,6 +29,14 @@ NavigationEngine NavigationEngine::from_family(const std::string& family,
 NavigationEngine NavigationEngine::from_file(const std::string& path,
                                              EngineOptions options) {
   return NavigationEngine(graph::load_graph(path), options);
+}
+
+NavigationEngine NavigationEngine::load_graph(const std::string& spec,
+                                              EngineOptions options) {
+  const std::string resolved =
+      graph::is_graph_spec(spec) ? spec : "file:" + spec;
+  Rng rng(0);  // file sources ignore both arguments of make
+  return NavigationEngine(graph::graph_source(resolved).make(0, rng), options);
 }
 
 NavigationEngine& NavigationEngine::use_scheme(const std::string& spec,

@@ -6,8 +6,9 @@
 // call site), constructed schemes and routers, and threaded Rngs through
 // every call. NavigationEngine bundles:
 //   * the graph (owned),
-//   * a distance oracle, auto-selected by size: n <= dense_oracle_limit gets
-//     a precomputed DistanceMatrix, larger graphs an LRU TargetDistanceCache,
+//   * a distance oracle built by graph::make_oracle from options.oracle_spec
+//     ("auto" keeps the historical size rule: n <= dense_oracle_limit gets a
+//     precomputed DistanceMatrix, larger graphs an LRU TargetDistanceCache),
 //   * one augmentation scheme (registry spec or a custom SchemePtr),
 //   * one router (registry spec; "greedy" by default),
 // and exposes single routes, batch routing over the global thread pool
@@ -35,19 +36,15 @@ namespace nav::api {
 
 /// Construction knobs for NavigationEngine.
 struct EngineOptions {
-  /// Sizes up to this use a dense all-pairs DistanceMatrix (O(n²) words);
-  /// larger graphs use a per-target BFS cache of `cache_capacity` vectors.
+  /// Distance backend, as a graph::make_oracle spec ("auto" | "matrix[:w]" |
+  /// "cache[:cap][:w]" | "landmark:k[:sel]" — grammar in docs/API.md).
+  std::string oracle_spec = "auto";
+  /// "auto" only: sizes up to this use a dense all-pairs DistanceMatrix
+  /// (O(n²) words); larger graphs use a per-target BFS cache.
   graph::NodeId dense_oracle_limit = 4096;
-  /// Number of target distance vectors the BFS cache keeps resident.
+  /// "auto" / bare "cache": resident target-vector count for the BFS cache.
   std::size_t cache_capacity = 64;
 };
-
-/// The facade's one oracle-selection policy: dense matrix up to
-/// `dense_limit` nodes, LRU target cache of `cache_capacity` above (shared
-/// by NavigationEngine and Experiment).
-[[nodiscard]] std::unique_ptr<graph::DistanceOracle> make_distance_oracle(
-    const graph::Graph& g, graph::NodeId dense_limit,
-    std::size_t cache_capacity);
 
 /// One object owning graph + distance oracle + augmentation scheme + router:
 /// the facade's single-instance entry point. Fluent to configure
@@ -67,6 +64,13 @@ class NavigationEngine {
   [[nodiscard]] static NavigationEngine from_file(const std::string& path,
                                                   EngineOptions options = {});
 
+  /// Loads a real graph by spec or bare path: "file:<path>" (format
+  /// auto-detected: nav-graph, DIMACS, or SNAP edge list), "dimacs:<path>",
+  /// or a plain path (treated as "file:<path>"). Disconnected inputs reduce
+  /// to their largest component — see graph::load_edge_list.
+  [[nodiscard]] static NavigationEngine load_graph(const std::string& spec,
+                                                   EngineOptions options = {});
+
   /// Selects the augmentation by registry spec (core::make_scheme; "none"
   /// clears it). Scheme construction randomness derives from `scheme_seed`.
   NavigationEngine& use_scheme(const std::string& spec,
@@ -80,7 +84,7 @@ class NavigationEngine {
 
   /// The owned graph.
   [[nodiscard]] const graph::Graph& graph() const noexcept { return *graph_; }
-  /// The size-selected distance oracle (dense matrix or target cache).
+  /// The spec-selected distance oracle (graph::make_oracle).
   [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept {
     return *oracle_;
   }

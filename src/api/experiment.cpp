@@ -5,13 +5,13 @@
 #include <memory>
 #include <tuple>
 
-#include "api/engine.hpp"
 #include "api/route_service.hpp"
 #include "core/scheme_factory.hpp"
 #include "dynamic/dynamic_graph.hpp"
 #include "dynamic/mutation_stream.hpp"
 #include "graph/diameter.hpp"
 #include "graph/families.hpp"
+#include "graph/oracle_factory.hpp"
 #include "routing/router_factory.hpp"
 #include "runtime/timer.hpp"
 #include "workload/workload.hpp"
@@ -39,6 +39,11 @@ Record CellResult::record() const {
     out.insert(out.begin() + 4, {"mutations", mutations});
     out.insert(out.end() - 1, {"success_rate", success_rate});
   }
+  if (show_oracle) {
+    // Same gating: only an explicit oracles() axis emits the field, right
+    // after "router" (and after "mutations" when that axis is active too).
+    out.insert(out.begin() + (show_mutations ? 5 : 4), {"oracle", oracle});
+  }
   return out;
 }
 
@@ -46,38 +51,40 @@ Table ExperimentResult::table() const {
   const bool with_mutations =
       std::any_of(cells.begin(), cells.end(),
                   [](const CellResult& c) { return c.show_mutations; });
-  if (with_mutations) {
-    Table out({"family", "workload", "mutations", "scheme", "router", "n",
-               "m", "diam>=", "greedy-diam", "mean", "ci95", "success",
-               "sec"});
-    for (const auto& c : cells) {
-      out.add_row({c.family, c.workload, c.mutations, c.scheme, c.router,
-                   Table::integer(c.n_actual), Table::integer(c.m),
-                   Table::integer(c.diameter_lb),
-                   Table::num(c.greedy_diameter, 1),
-                   Table::num(c.mean_steps, 1), Table::num(c.ci_halfwidth, 1),
-                   Table::num(c.success_rate, 3), Table::num(c.seconds, 2)});
-    }
-    return out;
-  }
-  Table out({"family", "workload", "scheme", "router", "n", "m", "diam>=",
-             "greedy-diam", "mean", "ci95", "sec"});
+  const bool with_oracle =
+      std::any_of(cells.begin(), cells.end(),
+                  [](const CellResult& c) { return c.show_oracle; });
+  std::vector<std::string> header = {"family", "workload"};
+  if (with_mutations) header.push_back("mutations");
+  if (with_oracle) header.push_back("oracle");
+  header.insert(header.end(), {"scheme", "router", "n", "m", "diam>=",
+                               "greedy-diam", "mean", "ci95"});
+  if (with_mutations) header.push_back("success");
+  header.push_back("sec");
+  Table out(std::move(header));
   for (const auto& c : cells) {
-    out.add_row({c.family, c.workload, c.scheme, c.router,
-                 Table::integer(c.n_actual), Table::integer(c.m),
-                 Table::integer(c.diameter_lb),
-                 Table::num(c.greedy_diameter, 1), Table::num(c.mean_steps, 1),
-                 Table::num(c.ci_halfwidth, 1), Table::num(c.seconds, 2)});
+    std::vector<std::string> row = {c.family, c.workload};
+    if (with_mutations) row.push_back(c.mutations);
+    if (with_oracle) row.push_back(c.oracle);
+    row.insert(row.end(),
+               {c.scheme, c.router, Table::integer(c.n_actual),
+                Table::integer(c.m), Table::integer(c.diameter_lb),
+                Table::num(c.greedy_diameter, 1), Table::num(c.mean_steps, 1),
+                Table::num(c.ci_halfwidth, 1)});
+    if (with_mutations) row.push_back(Table::num(c.success_rate, 3));
+    row.push_back(Table::num(c.seconds, 2));
+    out.add_row(std::move(row));
   }
   return out;
 }
 
 std::vector<AxisFit> ExperimentResult::fits() const {
-  using Key = std::tuple<std::string, std::string, std::string, std::string>;
+  using Key = std::tuple<std::string, std::string, std::string, std::string,
+                         std::string>;
   std::map<Key, std::pair<std::vector<double>, std::vector<double>>> by;
   std::vector<Key> order;
   for (const auto& c : cells) {
-    const Key key{c.workload, c.scheme, c.router, c.mutations};
+    const Key key{c.workload, c.scheme, c.router, c.mutations, c.oracle};
     if (by.find(key) == by.end()) order.push_back(key);
     by[key].first.push_back(static_cast<double>(c.n_actual));
     by[key].second.push_back(c.greedy_diameter);
@@ -86,7 +93,7 @@ std::vector<AxisFit> ExperimentResult::fits() const {
   fits.reserve(order.size());
   for (const auto& key : order) {
     fits.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
-                    std::get<3>(key),
+                    std::get<3>(key), std::get<4>(key),
                     nav::fit_power_law(by[key].first, by[key].second)});
   }
   return fits;
@@ -97,20 +104,21 @@ Table ExperimentResult::fit_table() const {
   const bool with_mutations =
       std::any_of(all.begin(), all.end(),
                   [](const AxisFit& f) { return f.mutations != "none"; });
-  if (with_mutations) {
-    Table out({"workload", "mutations", "scheme", "router", "exponent",
-               "R^2"});
-    for (const auto& f : all) {
-      out.add_row({f.workload, f.mutations, f.scheme, f.router,
-                   Table::num(f.fit.slope, 3),
-                   Table::num(f.fit.r_squared, 3)});
-    }
-    return out;
-  }
-  Table out({"workload", "scheme", "router", "exponent", "R^2"});
+  const bool with_oracle = std::any_of(
+      all.begin(), all.end(),
+      [](const AxisFit& f) { return f.oracle != "auto"; });
+  std::vector<std::string> header = {"workload"};
+  if (with_mutations) header.push_back("mutations");
+  if (with_oracle) header.push_back("oracle");
+  header.insert(header.end(), {"scheme", "router", "exponent", "R^2"});
+  Table out(std::move(header));
   for (const auto& f : all) {
-    out.add_row({f.workload, f.scheme, f.router, Table::num(f.fit.slope, 3),
-                 Table::num(f.fit.r_squared, 3)});
+    std::vector<std::string> row = {f.workload};
+    if (with_mutations) row.push_back(f.mutations);
+    if (with_oracle) row.push_back(f.oracle);
+    row.insert(row.end(), {f.scheme, f.router, Table::num(f.fit.slope, 3),
+                           Table::num(f.fit.r_squared, 3)});
+    out.add_row(std::move(row));
   }
   return out;
 }
@@ -121,7 +129,12 @@ void ExperimentResult::write(ResultSink& sink) const {
 }
 
 Experiment Experiment::on(std::string family) {
-  return Experiment(std::move(family));
+  return graphs({std::move(family)});
+}
+
+Experiment Experiment::graphs(std::vector<std::string> specs) {
+  NAV_REQUIRE(!specs.empty(), "sweep needs a graph source");
+  return Experiment(std::move(specs));
 }
 
 Experiment& Experiment::sizes(std::vector<graph::NodeId> sizes) {
@@ -146,6 +159,11 @@ Experiment& Experiment::routers(std::vector<std::string> router_specs) {
 
 Experiment& Experiment::mutations(std::vector<std::string> mutation_specs) {
   mutations_ = std::move(mutation_specs);
+  return *this;
+}
+
+Experiment& Experiment::oracles(std::vector<std::string> oracle_specs) {
+  oracles_ = std::move(oracle_specs);
   return *this;
 }
 
@@ -185,27 +203,50 @@ Experiment& Experiment::stream_to(ResultSink& sink) {
 }
 
 ExperimentResult Experiment::run() const {
-  NAV_REQUIRE(!sizes_.empty(), "sweep needs sizes");
+  NAV_REQUIRE(!graph_specs_.empty(), "sweep needs a graph source");
   NAV_REQUIRE(!workloads_.empty(), "sweep needs workloads");
   NAV_REQUIRE(!schemes_.empty(), "sweep needs schemes");
   NAV_REQUIRE(!routers_.empty(), "sweep needs routers");
   NAV_REQUIRE(!mutations_.empty(), "sweep needs mutation specs");
-  const auto& fam = graph::family(family_);
+  NAV_REQUIRE(!oracles_.empty(), "sweep needs oracle specs");
+  // File-backed sources decide their own n, so a sweep over only files may
+  // omit sizes(); a single placeholder size keeps the loop shape.
+  std::vector<graph::NodeId> sizes = sizes_;
+  if (sizes.empty()) {
+    NAV_REQUIRE(std::all_of(graph_specs_.begin(), graph_specs_.end(),
+                            graph::is_graph_spec),
+                "sweep needs sizes");
+    sizes = {0};
+  }
   // The axis is "active" once any non-sentinel spec appears; only then do
-  // cells carry the mutations/success_rate fields (legacy layout otherwise).
+  // cells carry the mutations/success_rate (resp. oracle) fields, so legacy
+  // grids keep their exact record layout.
   const bool mutation_axis =
       mutations_.size() > 1 || mutations_.front() != "none";
+  const bool oracle_axis = oracles_.size() > 1 || oracles_.front() != "auto";
+  // The "auto" cell reuses the shared per-size oracle below; this config
+  // only serves explicit non-"auto" axis values.
+  graph::OracleConfig oracle_config;
+  oracle_config.dense_limit = dense_oracle_limit_;
+  oracle_config.cache_slots = trials_.num_pairs + 8;
 
   ExperimentResult result;
-  Rng root(seed_);
-  for (std::size_t si = 0; si < sizes_.size(); ++si) {
-    const auto n_req = sizes_[si];
+  Rng master(seed_);
+  for (std::size_t gi = 0; gi < graph_specs_.size(); ++gi) {
+    const auto& graph_spec = graph_specs_[gi];
+    const graph::FamilySpec fam = graph::graph_source(graph_spec);
+    // Source 0 keeps the legacy stream addresses bit for bit (on(f) grids
+    // are unchanged); later sources re-root every derivation under a salted
+    // child so adding a source never perturbs the others' columns.
+    const Rng root = gi == 0 ? master : master.child(0x6ea9).child(gi);
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const auto n_req = sizes[si];
     Rng graph_rng = root.child(0x6aaf).child(si);
     const graph::Graph g = fam.make(n_req, graph_rng);
-    NAV_REQUIRE(g.num_nodes() >= 2, "family produced a trivial graph");
+    NAV_REQUIRE(g.num_nodes() >= 2, "graph source produced a trivial graph");
 
-    const auto oracle =
-        make_distance_oracle(g, dense_oracle_limit_, trials_.num_pairs + 8);
+    const auto oracle = graph::make_oracle("auto", g, oracle_config);
     const auto diameter_lb = graph::double_sweep_lower_bound(g);
 
     // Schemes depend only on (size, scheme index) — their streams carry no
@@ -239,13 +280,28 @@ ExperimentResult Experiment::run() const {
         const auto stream = dynamic::make_mutation_stream(mutation_spec);
         Rng mutation_rng = root.child(0xD1f5).child(si).child(mi);
         dyn->apply(stream->step(*dyn, mutation_rng));
-        mutated_oracle = make_distance_oracle(
-            dyn->graph(), dense_oracle_limit_, trials_.num_pairs + 8);
+        mutated_oracle = graph::make_oracle("auto", dyn->graph(),
+                                            oracle_config);
         cell_diameter_lb = graph::double_sweep_lower_bound(dyn->graph());
       }
       const graph::Graph& cell_graph = mutated ? dyn->graph() : g;
-      const graph::DistanceOracle& cell_oracle =
-          mutated ? *mutated_oracle : *oracle;
+
+      for (std::size_t oi = 0; oi < oracles_.size(); ++oi) {
+        const auto& oracle_spec = oracles_[oi];
+        // "auto" shares the per-size (or per-mutation) oracle built above;
+        // any other spec builds its backend once per (size, mutation)
+        // block, OUTSIDE the cell timers — the cells measure routing on the
+        // backend, not its construction. Trial streams carry no oracle
+        // term, so cells across this axis route the SAME pairs with the
+        // SAME contact draws: the column difference isolates the backend.
+        std::unique_ptr<graph::DistanceOracle> custom_oracle;
+        if (oracle_spec != "auto") {
+          custom_oracle =
+              graph::make_oracle(oracle_spec, cell_graph, oracle_config);
+        }
+        const graph::DistanceOracle& cell_oracle =
+            custom_oracle ? *custom_oracle
+                          : (mutated ? *mutated_oracle : *oracle);
 
       for (std::size_t wi = 0; wi < workloads_.size(); ++wi) {
         const auto& workload_spec = workloads_[wi];
@@ -270,10 +326,10 @@ ExperimentResult Experiment::run() const {
           const auto& scheme_spec = schemes_[ki];
           const auto& scheme = schemes_built[ki];
           // Construction cost is billed once, to the first cell that uses
-          // the scheme (mi == 0, wi == 0, ri == 0) — the legacy per-cell
-          // accounting for single-workload single-router grids.
+          // the scheme (mi == 0, oi == 0, wi == 0, ri == 0) — the legacy
+          // per-cell accounting for single-workload single-router grids.
           const double scheme_seconds =
-              (mi == 0 && wi == 0) ? scheme_build_seconds[ki] : 0.0;
+              (mi == 0 && oi == 0 && wi == 0) ? scheme_build_seconds[ki] : 0.0;
 
           for (std::size_t ri = 0; ri < routers_.size(); ++ri) {
             const auto& router_spec = routers_[ri];
@@ -341,12 +397,15 @@ ExperimentResult Experiment::run() const {
             }
 
             CellResult cell;
-            cell.family = family_;
+            cell.family = graph_spec;
             cell.workload = workload_spec;
             cell.scheme = scheme_spec;
             cell.router = router_spec;
             cell.mutations = mutation_spec;
-            cell.n_requested = n_req;
+            cell.oracle = oracle_spec;
+            // Sizeless file-backed sweeps report the loaded size as the
+            // request too (0 would poison power-law fits' log n).
+            cell.n_requested = n_req == 0 ? cell_graph.num_nodes() : n_req;
             cell.n_actual = cell_graph.num_nodes();
             cell.m = cell_graph.num_edges();
             cell.diameter_lb = cell_diameter_lb;
@@ -355,6 +414,7 @@ ExperimentResult Experiment::run() const {
             cell.ci_halfwidth = estimate.max_ci_halfwidth;
             cell.success_rate = success_rate;
             cell.show_mutations = mutation_axis;
+            cell.show_oracle = oracle_axis;
             // Scheme construction is shared across routers; bill it to the
             // first router's cell (reproducing the legacy per-cell
             // accounting for single-router grids).
@@ -364,7 +424,9 @@ ExperimentResult Experiment::run() const {
           }
         }
       }
+      }
     }
+  }
   }
   for (auto* sink : sinks_) sink->flush();
   return result;

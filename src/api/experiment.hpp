@@ -46,13 +46,15 @@
 
 namespace nav::api {
 
-/// One grid cell: (family, n) × mutation × workload × scheme × router.
+/// One grid cell: (graph source, n) × mutation × oracle × workload × scheme
+/// × router.
 struct CellResult {
-  std::string family;              ///< graph::families registry name
+  std::string family;              ///< graph source: family name or file spec
   std::string workload;            ///< workload spec ("uniform" = legacy)
   std::string scheme;              ///< core::make_scheme spec
   std::string router;              ///< routing::make_router spec
   std::string mutations = "none";  ///< dynamic::make_mutation_stream spec
+  std::string oracle = "auto";     ///< graph::make_oracle spec
   graph::NodeId n_requested = 0;   ///< size asked of the family
   graph::NodeId n_actual = 0;      ///< size the family produced
   graph::EdgeId m = 0;             ///< edge count (after mutation)
@@ -66,18 +68,22 @@ struct CellResult {
   /// "mutations"/"success_rate" fields so legacy grids keep their exact
   /// record layout (the BENCH_*.quick.json goldens pin it).
   bool show_mutations = false;
+  /// Same gating for the "oracle" field: only an explicit oracles() axis
+  /// emits it.
+  bool show_oracle = false;
 
   /// Flat record for ResultSink streaming.
   [[nodiscard]] Record record() const;
 };
 
-/// Per-(workload, scheme, router, mutations) power-law fit of greedy
+/// Per-(workload, scheme, router, mutations, oracle) power-law fit of greedy
 /// diameter vs n.
 struct AxisFit {
   std::string workload;            ///< workload spec of this fit's cells
   std::string scheme;              ///< scheme spec of this fit's cells
   std::string router;              ///< router spec of this fit's cells
   std::string mutations = "none";  ///< mutation spec of this fit's cells
+  std::string oracle = "auto";     ///< oracle spec of this fit's cells
   nav::PowerFit fit;               ///< log-log slope (the exponent) and R²
 };
 
@@ -100,11 +106,20 @@ struct ExperimentResult {
   void write(ResultSink& sink) const;
 };
 
-/// Fluent sweep-grid builder: family × sizes × schemes × routers.
+/// Fluent sweep-grid builder: graph sources × sizes × schemes × routers.
 class Experiment {
  public:
   /// Starts a sweep over the named graph::families entry.
   [[nodiscard]] static Experiment on(std::string family);
+
+  /// Starts a sweep over several graph sources — family names and/or
+  /// file-backed specs ("file:<path>", "dimacs:<path>"; see
+  /// graph::graph_source). on(f) is exactly graphs({f}); a single-source
+  /// sweep keeps the legacy RNG streams bit for bit, later sources get
+  /// disjoint streams. File-backed sources ignore the sizes() axis value
+  /// (the file decides n) and a sweep whose sources are ALL file-backed may
+  /// omit sizes() entirely.
+  [[nodiscard]] static Experiment graphs(std::vector<std::string> specs);
 
   /// Node counts to sweep (requested; families may round).
   Experiment& sizes(std::vector<graph::NodeId> sizes);
@@ -124,6 +139,13 @@ class Experiment {
   /// mutated graph, and pairs the mutation disconnected are dropped from
   /// the estimate and reported via CellResult::success_rate.
   Experiment& mutations(std::vector<std::string> mutation_specs);
+  /// Oracle axis: graph::make_oracle specs (default {"auto"}, the legacy
+  /// size-selected backend, bit for bit). Cells across oracle values share
+  /// their trial streams — same pairs, same contact draws — so a
+  /// landmark-vs-exact column difference isolates the backend's stretch.
+  /// Non-"auto" backends are built once per (size, mutation, oracle) cell
+  /// block, outside the cell timers.
+  Experiment& oracles(std::vector<std::string> oracle_specs);
   /// Random (s, t) pairs per cell (routing::TrialConfig::num_pairs).
   Experiment& pairs(std::size_t num_pairs);
   /// Augmentation redraws per pair (routing::TrialConfig::resamples).
@@ -141,23 +163,27 @@ class Experiment {
   /// the sink must outlive run()).
   Experiment& stream_to(ResultSink& sink);
 
-  /// The family this sweep runs on.
-  [[nodiscard]] const std::string& family() const noexcept { return family_; }
+  /// The first (often only) graph source this sweep runs on.
+  [[nodiscard]] const std::string& family() const noexcept {
+    return graph_specs_.front();
+  }
 
-  /// Runs the grid; cells ordered size-major, then mutation, then workload,
-  /// then scheme, then router. Throws std::invalid_argument on an empty
-  /// grid or unknown specs.
+  /// Runs the grid; cells ordered source-major, then size, then mutation,
+  /// then oracle, then workload, then scheme, then router. Throws
+  /// std::invalid_argument on an empty grid or unknown specs.
   [[nodiscard]] ExperimentResult run() const;
 
  private:
-  explicit Experiment(std::string family) : family_(std::move(family)) {}
+  explicit Experiment(std::vector<std::string> specs)
+      : graph_specs_(std::move(specs)) {}
 
-  std::string family_;
+  std::vector<std::string> graph_specs_;
   std::vector<graph::NodeId> sizes_;
   std::vector<std::string> workloads_ = {"uniform"};
   std::vector<std::string> schemes_ = {"uniform"};
   std::vector<std::string> routers_ = {"greedy"};
   std::vector<std::string> mutations_ = {"none"};
+  std::vector<std::string> oracles_ = {"auto"};
   routing::TrialConfig trials_;
   std::uint64_t seed_ = 0x5eed;
   graph::NodeId dense_oracle_limit_ = 4096;

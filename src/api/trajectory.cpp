@@ -33,6 +33,9 @@ const char* const kNumericKeyFields[] = {
     "cache_capacity", "workers",
     // dynamic subsystem grid axes (bench_e13_dynamic, sweep_cli):
     "fail_frac", "round", "mutate_every",
+    // oracle-backend grid axes (bench_micro M4, sweep_cli --oracle; the
+    // "oracle" spec itself is a string field, hence a key already):
+    "landmarks",
 };
 
 bool contains(const char* const* first, const char* const* last,

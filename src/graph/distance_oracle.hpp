@@ -21,16 +21,19 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/bfs.hpp"
 #include "graph/bfs_engine.hpp"
+#include "graph/dist_slab.hpp"
 #include "graph/graph.hpp"
 #include "runtime/arena.hpp"
 
@@ -98,6 +101,13 @@ class DistanceOracle {
  public:
   virtual ~DistanceOracle() = default;
 
+  /// True when the oracle returns exact graph distances. Approximate
+  /// backends (LandmarkOracle's triangle upper bound) override to false;
+  /// routers read this once at construction to swap the strict-descent
+  /// invariant (which only an exact field guarantees) for stall-tolerant
+  /// termination.
+  [[nodiscard]] virtual bool exact() const noexcept { return true; }
+
   /// dist_G(u, target); kInfDist when unreachable.
   [[nodiscard]] virtual Dist distance(NodeId u, NodeId target) const = 0;
 
@@ -126,28 +136,46 @@ class DistanceOracle {
   }
 };
 
-/// Dense all-pairs table. Memory: one n² × 4-byte slab, rows aliased into
-/// it. Built with a parallel all-source BFS sweep at construction: rows are
-/// farmed to the worker pool (capped by the policy) and the slab is handed
-/// out UNINITIALISED, so each page is first touched by the worker that
+/// Dense all-pairs table. Memory: one n² slab at the chosen storage width
+/// (4-byte Dist by default; 1- or 2-byte packed rows for low-diameter
+/// graphs — see dist_slab.hpp), rows aliased or widened out of it. Built
+/// with a parallel all-source BFS sweep at construction: rows are farmed to
+/// the worker pool (capped by the policy) and the slab is handed out
+/// UNINITIALISED, so each page is first touched by the worker that
 /// BFS-fills it — on NUMA hosts the rows land near the cores that wrote
 /// them. The policy also caps rebuild_rows/rebuild_all. Distances are
 /// level-synchronous, so the slab is byte-identical for every worker count
 /// (the determinism suite hashes it to prove this).
+///
+/// Narrow widths are a pure storage decision: distance() and distances_to()
+/// still speak Dist (single entries widen in place; full rows materialise a
+/// widened copy), and a row whose true distances exceed the width's
+/// max_finite makes construction/rebuild throw std::invalid_argument
+/// instead of storing a saturated lie.
 class DistanceMatrix final : public DistanceOracle {
  public:
-  explicit DistanceMatrix(const Graph& g, ParallelPolicy policy = {});
+  explicit DistanceMatrix(const Graph& g, ParallelPolicy policy = {},
+                          DistWidth width = DistWidth::kU32);
 
   [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
   [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
 
   [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+  /// Storage width of the backing slab.
+  [[nodiscard]] DistWidth width() const noexcept { return width_; }
 
   /// The backing slab: n*n entries, row-major by target. Determinism tests
-  /// hash this to pin worker-count independence byte for byte.
-  [[nodiscard]] std::span<const Dist> slab() const noexcept {
+  /// hash this to pin worker-count independence byte for byte. Only the
+  /// default u32 storage exposes Dist entries directly; narrow matrices
+  /// throw (use packed_slab()).
+  [[nodiscard]] std::span<const Dist> slab() const {
+    NAV_REQUIRE(width_ == DistWidth::kU32,
+                "slab() needs u32 storage; narrow widths expose packed_slab()");
     return {slab_.get(), static_cast<std::size_t>(n_) * n_};
   }
+
+  /// The packed backing bytes at any width (n*n*width_bytes(width())).
+  [[nodiscard]] std::span<const std::uint8_t> packed_slab() const noexcept;
 
   /// Recomputes the given targets' rows in place against `g` (which must
   /// have the same node count) — the incremental-repair hook for
@@ -161,10 +189,14 @@ class DistanceMatrix final : public DistanceOracle {
 
  private:
   void fill_row(const Graph& g, NodeId target);
+  void check_saturation() const;
 
   NodeId n_;
   ParallelPolicy policy_;
-  std::shared_ptr<Dist[]> slab_;  // n_ rows of n_ entries
+  DistWidth width_;
+  std::shared_ptr<Dist[]> slab_;  // u32 storage: n_ rows of n_ entries
+  std::shared_ptr<std::uint8_t[]> packed_;  // narrow storage (else null)
+  std::atomic<bool> saturated_{false};
 };
 
 /// Cache sizing by bytes instead of entry count: the number of resident
@@ -175,24 +207,46 @@ struct MemoryBudget {
 };
 
 /// Per-target BFS cache with LRU eviction over arena-slab rows.
+///
+/// Narrow storage widths (dist_slab.hpp) pack resident rows at 1 or 2 bytes
+/// per entry, so the same MemoryBudget keeps 4x (or 2x) more targets
+/// resident. Routers still consume Dist rows: a small window of widened
+/// rows (kWideWindow slots, LRU over the resident set) backs distances_to,
+/// so a warm working set is served by refcount copies — zero allocations —
+/// while the packed slabs carry the capacity. distance() reads single
+/// packed entries in place and never widens a row. A BFS row whose true
+/// distances exceed the width's max_finite throws std::invalid_argument.
 class TargetDistanceCache final : public DistanceOracle {
  public:
+  /// Widened rows kept alive for narrow-width caches: enough for every
+  /// in-flight prefetch shard of a RouteService wave to pin its row while
+  /// staying far below the packed capacity the budget buys.
+  static constexpr std::size_t kWideWindow = 16;
+
   /// `capacity` = number of target distance vectors kept alive in the cache.
   /// The arena holds capacity + 1 slots (slabs grow lazily towards it): the
   /// spare serves the miss-on-full-cache window where the new row is
   /// computed before the victim's slot frees. `policy` caps how much of the
   /// machine prefetch waves may use.
   explicit TargetDistanceCache(const Graph& g, std::size_t capacity = 64,
-                               ParallelPolicy policy = {});
+                               ParallelPolicy policy = {},
+                               DistWidth width = DistWidth::kU32);
 
   /// Sizes the LRU from a byte budget via capacity_for_budget.
   TargetDistanceCache(const Graph& g, MemoryBudget budget,
-                      ParallelPolicy policy = {});
+                      ParallelPolicy policy = {},
+                      DistWidth width = DistWidth::kU32);
 
   /// Entry count affordable under `budget` for n-node vectors (>= 1: the
   /// cache always keeps at least the vector it just computed).
   [[nodiscard]] static std::size_t capacity_for_budget(MemoryBudget budget,
                                                        NodeId n) noexcept;
+
+  /// The same, at a storage width: narrow rows cost width_bytes(width) per
+  /// entry, so the budget buys proportionally more resident targets.
+  [[nodiscard]] static std::size_t capacity_for_budget(MemoryBudget budget,
+                                                       NodeId n,
+                                                       DistWidth width) noexcept;
 
   [[nodiscard]] Dist distance(NodeId u, NodeId target) const override;
   [[nodiscard]] DistVecPtr distances_to(NodeId target) const override;
@@ -213,6 +267,8 @@ class TargetDistanceCache final : public DistanceOracle {
 
   /// Number of resident vectors the LRU may hold.
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Storage width of resident rows.
+  [[nodiscard]] DistWidth width() const noexcept { return width_; }
   /// Queries served from a resident vector.
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   /// Queries that had to run a BFS.
@@ -237,6 +293,18 @@ class TargetDistanceCache final : public DistanceOracle {
   void clear();
 
  private:
+  struct Entry {
+    std::list<NodeId>::iterator lru_it;
+    /// u32 storage: the row itself. Narrow storage: the widened copy when
+    /// this target is inside the wide window (empty handle otherwise).
+    DistVecPtr distances;
+    /// Narrow storage only: the packed row (width_bytes per entry).
+    std::shared_ptr<std::uint8_t> packed;
+    /// Valid iff `distances` is non-empty on a narrow cache: this target's
+    /// position in wide_lru_.
+    std::list<NodeId>::iterator wide_it;
+  };
+
   /// One BFS into a fresh row (arena slot, or heap when all slots are
   /// pinned) on the calling thread's workspace.
   [[nodiscard]] DistVecPtr compute_row(NodeId target) const;
@@ -249,17 +317,41 @@ class TargetDistanceCache final : public DistanceOracle {
   /// Acquires the row storage (arena slot, heap spill fallback).
   [[nodiscard]] std::shared_ptr<Dist> acquire_slot() const;
 
-  struct Entry {
-    std::list<NodeId>::iterator lru_it;
-    DistVecPtr distances;
-  };
+  // ---- narrow-width internals (width_ != kU32; all *_locked under mutex_)
+  /// A wide-window slot, evicting other entries' widened copies (LRU) when
+  /// the window is full; spills to the heap when every slot is pinned.
+  [[nodiscard]] std::shared_ptr<Dist> acquire_wide_locked() const;
+  /// A packed-row slot (heap spill when the arena is exhausted).
+  [[nodiscard]] std::shared_ptr<std::uint8_t> acquire_packed() const;
+  /// Widens a packed-only resident entry into the wide window.
+  DistVecPtr ensure_wide_locked(NodeId target, Entry& entry) const;
+  /// Installs a freshly computed narrow row (packed + widened) for `target`.
+  DistVecPtr install_narrow_locked(NodeId target,
+                                   std::shared_ptr<Dist> wide,
+                                   std::shared_ptr<std::uint8_t> packed) const;
+  /// Evicts main-LRU overflow, maintaining the wide window; returns the
+  /// number of entries dropped.
+  std::size_t evict_overflow_locked() const;
+  /// Throws the saturation error for this cache's width.
+  [[noreturn]] void throw_saturated() const;
+
+  [[nodiscard]] DistVecPtr narrow_distances_to(NodeId target) const;
+  void narrow_prefetch_into(std::span<const NodeId> targets,
+                            std::vector<DistVecPtr>& out) const;
 
   const Graph& graph_;
   std::size_t capacity_;
   ParallelPolicy policy_;
+  DistWidth width_;
+  /// u32 storage: the row arena (capacity + 1 slots). Narrow storage: the
+  /// wide window (min(capacity, kWideWindow) + 1 slots of widened rows).
   mutable SlabArena<Dist> arena_;
+  /// Narrow storage only: packed rows, capacity + 1 slots of n bytes*width.
+  mutable std::optional<SlabArena<std::uint8_t>> packed_arena_;
   mutable std::mutex mutex_;
   mutable std::list<NodeId> lru_;  // front = most recently used
+  /// Narrow storage: targets with a live widened copy, front = most recent.
+  mutable std::list<NodeId> wide_lru_;
   mutable std::unordered_map<NodeId, Entry> cache_;
   mutable std::size_t hits_ = 0, misses_ = 0;
   // Lazily-built multi-worker engine for narrow prefetch waves (fewer

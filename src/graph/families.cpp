@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
 #include "graph/interval_model.hpp"
 #include "graph/permutation_model.hpp"
 
@@ -114,6 +115,28 @@ bool has_family(const std::string& name) {
     if (fam.name == name) return true;
   }
   return false;
+}
+
+bool is_graph_spec(const std::string& spec) {
+  return spec.rfind("file:", 0) == 0 || spec.rfind("dimacs:", 0) == 0;
+}
+
+FamilySpec graph_source(const std::string& spec) {
+  if (!is_graph_spec(spec)) return family(spec);
+  const bool dimacs = spec.rfind("dimacs:", 0) == 0;
+  const std::string path = spec.substr(dimacs ? 7 : 5);
+  if (path.empty()) {
+    throw std::invalid_argument("graph spec needs a path: " + spec);
+  }
+  EdgeListOptions options;
+  options.format = dimacs ? EdgeListFormat::kDimacs : EdgeListFormat::kAuto;
+  return {spec, /*randomized=*/false,
+          (dimacs ? "DIMACS edge list " : "edge list ") + path,
+          // The file decides the size: n is ignored, and repeated makes are
+          // deterministic (the loader ignores the rng too).
+          [path, options](NodeId, Rng&) {
+            return load_edge_list(path, options).graph;
+          }};
 }
 
 }  // namespace nav::graph

@@ -34,4 +34,17 @@ struct FamilySpec {
 /// True if `name` is registered.
 [[nodiscard]] bool has_family(const std::string& name);
 
+/// True when `spec` names a file-backed graph source rather than a family:
+/// "file:<path>" (format auto-detected, see graph_io.hpp) or
+/// "dimacs:<path>".
+[[nodiscard]] bool is_graph_spec(const std::string& spec);
+
+/// Resolves `spec` — a registered family name OR a file-backed graph spec —
+/// to a FamilySpec by value. File-backed specs ignore the requested n (the
+/// file decides the size; `make` loads it with largest-component
+/// extraction), so Experiment::graphs() and sweep_cli take real graphs
+/// through the same registry surface as synthetic families. Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] FamilySpec graph_source(const std::string& spec);
+
 }  // namespace nav::graph

@@ -74,17 +74,22 @@
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 
-// graph — CSR graphs, generators, the family registry, distances.
+// graph — CSR graphs, generators, the family registry, real-graph
+// ingestion, distances (exact and landmark-approximate), and the
+// make_oracle backend registry.
 #include "graph/bfs.hpp"
 #include "graph/bfs_engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/diameter.hpp"
+#include "graph/dist_slab.hpp"
 #include "graph/distance_oracle.hpp"
 #include "graph/families.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/interval_model.hpp"
+#include "graph/landmark_oracle.hpp"
+#include "graph/oracle_factory.hpp"
 #include "graph/permutation_model.hpp"
 
 // core — augmentation schemes and the scheme registry.

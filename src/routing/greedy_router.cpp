@@ -36,8 +36,14 @@ RouteResult GreedyRouter::route_impl(NodeId s, NodeId t,
       best_dist = dist[contact];
       via_long = true;
     }
-    // Connectivity gives a local neighbour at dist[u] - 1.
-    NAV_ASSERT(best != graph::kNoNode && best_dist < dist[u]);
+    // On an exact field, connectivity gives a local neighbour at dist[u] - 1.
+    // An approximate field (landmark upper bound) is still 1-Lipschitz but
+    // can bottom out at a local minimum: terminate there, reached stays
+    // false and the partial trace/steps survive.
+    if (best == graph::kNoNode || best_dist >= dist[u]) {
+      NAV_ASSERT(!exact_);
+      return result;
+    }
     u = best;
     ++result.steps;
     result.long_links_used += via_long ? 1u : 0u;

@@ -24,9 +24,12 @@ namespace nav::routing {
 
 class GreedyRouter final : public Router {
  public:
-  /// The oracle provides dist_G(·, t); both must outlive the router.
+  /// The oracle provides dist_G(·, t); both must outlive the router. The
+  /// oracle's exact() flag is read once here: approximate fields (landmark
+  /// bound) switch the strict-descent assertion for stall-tolerant
+  /// termination (a stalled route returns with reached == false).
   GreedyRouter(const Graph& g, const graph::DistanceOracle& oracle)
-      : graph_(g), oracle_(oracle) {}
+      : graph_(g), oracle_(oracle), exact_(oracle.exact()) {}
 
   /// Routes s -> t, sampling each visited node's contact lazily from
   /// `scheme` (nullptr: no long-range links — pure shortest-path walk).
@@ -59,6 +62,7 @@ class GreedyRouter final : public Router {
 
   const Graph& graph_;
   const graph::DistanceOracle& oracle_;
+  const bool exact_;
 };
 
 }  // namespace nav::routing

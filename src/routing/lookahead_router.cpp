@@ -108,8 +108,16 @@ RouteResult LookaheadRouter::route_impl(NodeId s, NodeId t,
     const NodeId own = contacts(u);
     if (own != core::kNoContact && own < n) offer(own, true);
 
-    // A local neighbour on a shortest path scores <= du - 1.
-    NAV_ASSERT(best != graph::kNoNode && best_score < du);
+    // On an exact field a local neighbour on a shortest path scores
+    // <= du - 1. An approximate field can stall: no candidate (not even via
+    // its chain) improves on du. Terminate; reached stays false. The commit
+    // loop below never runs on a stall-free hop sequence whose scores lied —
+    // scores come from the same dist array, so a committed chain still
+    // delivers its promised drop.
+    if (best == graph::kNoNode || best_score >= du) {
+      NAV_ASSERT(!exact_);
+      return result;
+    }
     hop(best, best_via_long);
     // If the move was motivated by the candidate's chain, commit: follow the
     // long links until the promised distance drop materialises. The scorer

@@ -40,7 +40,7 @@ class LookaheadRouter final : public Router {
   /// `depth` >= 1 long links of awareness per candidate (1 = classic NoN).
   LookaheadRouter(const Graph& g, const graph::DistanceOracle& oracle,
                   unsigned depth = 1)
-      : graph_(g), oracle_(oracle), depth_(depth) {
+      : graph_(g), oracle_(oracle), depth_(depth), exact_(oracle.exact()) {
     NAV_REQUIRE(depth_ >= 1, "lookahead depth must be >= 1 (0 is greedy)");
   }
 
@@ -83,6 +83,9 @@ class LookaheadRouter final : public Router {
   const Graph& graph_;
   const graph::DistanceOracle& oracle_;
   unsigned depth_;
+  /// Cached oracle.exact(): false swaps the strict-descent assertion for
+  /// stall-tolerant termination (reached == false at a local minimum).
+  const bool exact_;
 };
 
 }  // namespace nav::routing

@@ -15,7 +15,9 @@
 #include "core/uniform_scheme.hpp"
 #include "graph/bfs_engine.hpp"
 #include "graph/distance_oracle.hpp"
+#include "graph/dist_slab.hpp"
 #include "graph/generators.hpp"
+#include "graph/landmark_oracle.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "routing/greedy_router.hpp"
@@ -200,6 +202,55 @@ TEST(ZeroAlloc, ParallelMissWavesRecycleArenaRows) {
   const std::uint64_t bytes_after = nav::allocation_bytes();
   EXPECT_LE(count_after - count_before, 37u * 4u);
   EXPECT_LT(bytes_after - bytes_before, 4096u * sizeof(Dist));
+}
+
+TEST(ZeroAlloc, WarmNarrowCacheHitAllocatesNothing) {
+  // The compact-slab cache's steady state: a wide-window-resident row hit is
+  // a refcount copy of the widened view, and a point query reads the packed
+  // row directly (widen_entry, no row materialisation). Neither may touch
+  // the allocator once warm.
+  const auto g = make_grid2d(40, 40);
+  TargetDistanceCache cache(g, 4, {}, DistWidth::kU16);
+  const NodeId target = 123;
+  (void)cache.distances_to(target);  // the one miss: BFS + narrow + widen
+
+  const std::uint64_t before = nav::allocation_count();
+  Dist sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto pin = cache.distances_to(target);  // wide-window hit
+    sum += (*pin)[static_cast<NodeId>(i % g.num_nodes())];
+    sum += cache.distance(7, target);  // packed point query
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm narrow-width cache hit must perform zero heap allocations";
+  EXPECT_GT(sum, 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ZeroAlloc, WarmLandmarkHitAllocatesNothing) {
+  // The approximate backend inherits the oracle allocation contract: row
+  // materialisation (triangle merge + patch BFS) happens on the miss; a warm
+  // hit is an LRU splice plus a refcount copy, and point queries ride the
+  // same row cache.
+  const auto g = make_grid2d(32, 32);
+  LandmarkOracle oracle(g, {});
+  const NodeId target = g.num_nodes() - 1;
+  (void)oracle.distances_to(target);  // the one miss
+
+  const std::uint64_t before = nav::allocation_count();
+  Dist sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto pin = oracle.distances_to(target);
+    sum += (*pin)[static_cast<NodeId>(i % g.num_nodes())];
+    sum += oracle.distance(5, target);
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm landmark row hit must perform zero heap allocations";
+  EXPECT_GT(sum, 0u);
+  EXPECT_EQ(oracle.misses(), 1u);
+  EXPECT_GE(oracle.hits(), 2000u);
 }
 
 TEST(ZeroAlloc, WarmMetricIncrementsAllocateNothing) {

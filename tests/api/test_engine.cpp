@@ -4,6 +4,7 @@
 
 #include "core/uniform_scheme.hpp"
 #include "graph/generators.hpp"
+#include "graph/landmark_oracle.hpp"
 
 namespace nav::api {
 namespace {
@@ -105,6 +106,38 @@ TEST(NavigationEngine, EstimateDiameterTracksKnownValue) {
   trials.resamples = 2;
   const auto est = engine.estimate_diameter(trials, Rng(6));
   EXPECT_DOUBLE_EQ(est.max_mean_steps, 99.0);
+}
+
+TEST(NavigationEngine, OracleSpecSelectsBackend) {
+  EngineOptions options;
+  options.oracle_spec = "landmark:4";
+  auto engine = NavigationEngine::from_family("grid2d", 256, 0x5eed, options);
+  const auto* landmark =
+      dynamic_cast<const graph::LandmarkOracle*>(&engine.oracle());
+  ASSERT_NE(landmark, nullptr);
+  EXPECT_EQ(landmark->num_landmarks(), 4u);
+  // Stall-tolerant routing end to end: never aborts on the inexact field.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    (void)engine.route(static_cast<graph::NodeId>(i), 255, Rng(i));
+  }
+  EngineOptions bad;
+  bad.oracle_spec = "btree";
+  EXPECT_THROW((void)NavigationEngine::from_family("path", 32, 0, bad),
+               std::invalid_argument);
+}
+
+TEST(NavigationEngine, LoadGraphReadsFileSpecs) {
+  const std::string fixture = std::string(NAV_TEST_DATA_DIR) + "/karate.dimacs";
+  // Bare paths and explicit "file:"/"dimacs:" specs all resolve.
+  auto engine = NavigationEngine::load_graph(fixture);
+  EXPECT_EQ(engine.graph().num_nodes(), 34u);
+  EXPECT_EQ(engine.graph().num_edges(), 78u);
+  auto spec_engine = NavigationEngine::load_graph("dimacs:" + fixture);
+  EXPECT_EQ(spec_engine.graph().num_nodes(), 34u);
+  const auto result = engine.route(0, 33, Rng(1));
+  EXPECT_TRUE(result.reached);
+  EXPECT_THROW((void)NavigationEngine::load_graph("/nonexistent_xyz/k.gr"),
+               std::runtime_error);
 }
 
 TEST(NavigationEngine, EngineIsMovable) {

@@ -132,6 +132,78 @@ TEST(ExperimentApi, AdversarialWorkloadForcesFarPairsOnThePath) {
   EXPECT_GE(result.cells[1].mean_steps, 128.0);
 }
 
+TEST(ExperimentApi, OracleAxisMultipliesTheGrid) {
+  const auto base = small_grid().run();
+  const auto with_axis = small_grid().oracles({"auto", "landmark:4"}).run();
+  ASSERT_EQ(with_axis.cells.size(), 2u * base.cells.size());
+  // Cells are oracle-major inside each size. Trial streams carry no oracle
+  // term, so the "auto" half is bit-identical to the axis-free grid; the
+  // landmark half routes the SAME pairs on the approximate field.
+  std::size_t base_index = 0;
+  for (const auto& cell : with_axis.cells) {
+    EXPECT_TRUE(cell.show_oracle);
+    if (cell.oracle == "auto") {
+      ASSERT_LT(base_index, base.cells.size());
+      EXPECT_EQ(cell.scheme, base.cells[base_index].scheme);
+      EXPECT_EQ(cell.router, base.cells[base_index].router);
+      EXPECT_DOUBLE_EQ(cell.greedy_diameter,
+                       base.cells[base_index].greedy_diameter);
+      EXPECT_DOUBLE_EQ(cell.mean_steps, base.cells[base_index].mean_steps);
+      ++base_index;
+    } else {
+      EXPECT_EQ(cell.oracle, "landmark:4");
+    }
+  }
+  EXPECT_EQ(base_index, base.cells.size());
+  // The axis surfaces in the table (one extra column) but never in
+  // axis-free grids, whose record layout is pinned by golden files.
+  EXPECT_FALSE(base.cells.front().show_oracle);
+  const auto table = with_axis.table();
+  EXPECT_EQ(table.columns(), 12u);
+  EXPECT_NE(table.to_ascii().find("oracle"), std::string::npos);
+  EXPECT_NE(table.to_ascii().find("landmark:4"), std::string::npos);
+}
+
+TEST(ExperimentApi, FileBackedGraphsNeedNoSizes) {
+  const std::string fixture = std::string(NAV_TEST_DATA_DIR) + "/karate.dimacs";
+  const auto result = Experiment::graphs({"file:" + fixture})
+                          .schemes({"uniform"})
+                          .pairs(2)
+                          .resamples(2)
+                          .seed(7)
+                          .run();
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells[0].family, "file:" + fixture);
+  EXPECT_EQ(result.cells[0].n_actual, 34u);
+  // Sizeless file cells backfill the request with the loaded size so
+  // power-law fits never see log 0.
+  EXPECT_EQ(result.cells[0].n_requested, 34u);
+  EXPECT_EQ(result.cells[0].m, 78u);
+  EXPECT_GT(result.cells[0].greedy_diameter, 0.0);
+}
+
+TEST(ExperimentApi, GraphsAxisMixesFamiliesAndFiles) {
+  const std::string fixture = std::string(NAV_TEST_DATA_DIR) + "/karate.dimacs";
+  const auto result = Experiment::graphs({"path", "file:" + fixture})
+                          .sizes({32})
+                          .schemes({"none"})
+                          .pairs(2)
+                          .resamples(2)
+                          .seed(7)
+                          .run();
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].family, "path");
+  EXPECT_EQ(result.cells[0].n_actual, 32u);
+  EXPECT_EQ(result.cells[1].n_actual, 34u);  // the file decides its own n
+  // A generated family in the mix still needs sizes...
+  EXPECT_THROW((void)Experiment::graphs({"path", "file:" + fixture})
+                   .schemes({"none"})
+                   .run(),
+               std::invalid_argument);
+  // ...and the graph axis can never be empty.
+  EXPECT_THROW((void)Experiment::graphs({}), std::invalid_argument);
+}
+
 TEST(ExperimentApi, StreamsCellsToSinksAsJsonLines) {
   std::ostringstream out;
   JsonLinesSink sink(out);
