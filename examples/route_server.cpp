@@ -8,7 +8,7 @@
 // deadline Shedding.
 //
 //   ./route_server [n] [batches] [workload] [admission]
-//                  [--mutations <spec>] [--oracle <spec>]
+//                  [--mutations <spec>] [--oracle <spec>] [--faults <spec>]
 //
 //   n          graph size (torus2d), default 8192
 //   batches    batches to submit, default 12 (x 256 pairs each)
@@ -16,6 +16,10 @@
 //              (uniform | zipf:<s> | local:<r> | adversarial |
 //               hotset:<k>:<p> | trace:<path>)
 //   admission  unbounded | bounded:<max_queued_pairs> | shed:<seconds>
+//              | adaptive:<slo_seconds>. shed and adaptive run in VIRTUAL
+//              time here (50us per pair), so their drop decisions are
+//              deterministic across runs and machines; adaptive drives the
+//              AIMD admission window against the given sojourn SLO.
 //
 //   --mutations <spec>  perturb the graph between batches
 //              (churn:<rate> | fail:<fraction> | targeted:<k> |
@@ -30,6 +34,13 @@
 //              backend is built once on the static graph and cannot track
 //              mutations, so a non-"auto" spec is mutually exclusive with
 //              a non-"none" --mutations, checked up front.
+//   --faults <spec>  deterministic chaos: wrap the serving oracle in a
+//              resilience::FaultyOracle ("stall:<p>", "fail:<p>",
+//              "slow:<p>:<us>", "seed:<n>", combinable with ':', or none).
+//              Faulted runs get a degraded-mode fallback chain — landmark:16
+//              oracle + inexact greedy router — plus bounded retries, and
+//              report a "resilience:" summary line. Composes with
+//              --mutations (faults wrap the dynamic oracle) and --oracle.
 //   --metrics-out <path>  scrape the process-wide obs registry after the
 //              run and write it in Prometheus text format ("-" = stdout).
 //   --trace-out <path>    enable NAV_TRACE span collection for the run and
@@ -70,8 +81,13 @@ nav::api::AdmissionPolicy parse_admission(const std::string& spec) {
     return AdmissionPolicy::shed(
         nav::parse_spec_number<double>(tokens[1], spec));
   }
+  if (tokens.front() == "adaptive" && tokens.size() == 2) {
+    return AdmissionPolicy::adaptive(
+        nav::parse_spec_number<double>(tokens[1], spec));
+  }
   throw std::invalid_argument("admission must be unbounded | bounded:<pairs> "
-                              "| shed:<seconds>, got: " +
+                              "| shed:<seconds> | adaptive:<slo_seconds>, "
+                              "got: " +
                               spec);
 }
 
@@ -83,6 +99,7 @@ int main(int argc, char** argv) try {
   std::vector<std::string> positional;
   std::string mutation_spec = "none";
   std::string oracle_spec = "auto";
+  std::string fault_spec = "none";
   std::string metrics_out;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +116,10 @@ int main(int argc, char** argv) try {
       oracle_spec = flag_value(
           "--oracle needs a spec: auto | matrix[:width] | "
           "cache[:cap][:width] | landmark:<k>[:degree|farthest]");
+    } else if (arg == "--faults") {
+      fault_spec = flag_value(
+          "--faults needs a spec: [stall:<p>][:fail:<p>][:slow:<p>:<us>]"
+          "[:seed:<n>] or none");
     } else if (arg == "--metrics-out") {
       metrics_out = flag_value(
           "--metrics-out needs a path for the Prometheus text dump "
@@ -167,15 +188,47 @@ int main(int argc, char** argv) try {
   graph::DistanceOracle& dist =
       custom_oracle ? *custom_oracle
                     : static_cast<graph::DistanceOracle&>(oracle);
+  // Deterministic chaos: the fault decorator wraps whatever oracle is
+  // serving (dynamic or custom) WITHOUT owning it, so mutations keep
+  // invalidating beneath the faults.
+  const bool faulted = fault_spec != "none";
+  std::unique_ptr<resilience::FaultyOracle> faulty;
+  if (faulted) {
+    faulty = std::make_unique<resilience::FaultyOracle>(
+        static_cast<const graph::DistanceOracle&>(dist),
+        resilience::FaultSpec::parse(split_spec(fault_spec), fault_spec));
+  }
+  graph::DistanceOracle& serving =
+      faulty ? static_cast<graph::DistanceOracle&>(*faulty) : dist;
   Rng scheme_rng(0x5eed);
   const auto scheme = core::make_scheme("ball", g, scheme_rng);
-  const auto router = routing::make_router("greedy", g, dist);
+  // Built over the SERVING oracle: a stall fault makes it inexact, and the
+  // router factory then configures the greedy descent for bound-only rows.
+  const auto router = routing::make_router("greedy", g, serving);
   // Failures may disconnect demand pairs; report them instead of aborting.
   options.tolerate_unreachable = mutating;
+  // Degraded-mode chain for faulted runs: exact-path retries first, then a
+  // landmark fallback (approximate but fault-free), and never an uncaught
+  // fault — pairs whose row survives nothing are reported kFailed.
+  std::unique_ptr<graph::DistanceOracle> fallback_oracle;
+  std::unique_ptr<routing::Router> fallback_router;
+  if (faulted) {
+    fallback_oracle = graph::make_oracle("landmark:16", g);
+    fallback_router = routing::make_router("greedy", g, *fallback_oracle);
+    options.resilience.fallback_oracle = fallback_oracle.get();
+    options.resilience.fallback_router = fallback_router.get();
+    options.resilience.tolerate_faults = true;
+  }
+  // Shed and adaptive run in virtual time here: 50us of virtual service per
+  // pair makes every drop decision a pure function of the arrival schedule.
+  if (options.admission.kind == api::AdmissionPolicy::Kind::kShed ||
+      options.admission.kind == api::AdmissionPolicy::Kind::kAdaptive) {
+    options.virtual_pair_cost_seconds = 50e-6;
+  }
   // Fold the service's counters into the process-wide registry so one
   // --metrics-out scrape sees the whole stack (service + oracle + BFS).
   options.metrics = &obs::default_registry();
-  api::RouteService service(g, dist, scheme.get(), *router, options);
+  api::RouteService service(g, serving, scheme.get(), *router, options);
 
   const auto demand = workload::make_workload(workload_spec, g, Rng(2026));
   workload::TrafficOptions traffic;
@@ -193,7 +246,8 @@ int main(int argc, char** argv) try {
             << ", scheme=ball, router=greedy, workload=" << demand->name()
             << ", admission=" << admission_spec
             << ", mutations=" << mutation_spec
-            << ", oracle=" << oracle_spec << ", "
+            << ", oracle=" << oracle_spec
+            << ", faults=" << fault_spec << ", "
             << nav::global_pool().thread_count() << " pool threads\n\n";
 
   const auto report = driver.run(Rng(2026));
@@ -230,6 +284,25 @@ int main(int argc, char** argv) try {
             << report.pairs_shed << " shed, "
             << report.queue.blocked_submits << " blocked submits, peak queue "
             << report.queue.peak_queued_pairs << " pairs\n";
+  if (faulted) {
+    // Deterministic under a fixed seed and a virtual-time (or unbounded)
+    // admission policy: every number is a pure function of the fault
+    // schedule and the demand — the chaos-smoke CI job diffs this line
+    // across two same-seed runs.
+    std::cout << "resilience: " << faulty->injected_failures() << " injected "
+              << "failures, " << report.queue.retries << " retries, "
+              << report.queue.fallback_pairs << " fallback pairs, "
+              << report.queue.degraded_pairs << " degraded, "
+              << report.queue.failed_pairs << " failed, "
+              << report.queue.deadline_breaches << " deadline breaches\n";
+  }
+  if (report.adaptive) {
+    std::cout << "adaptive: window " << report.adaptive_window_pairs
+              << " pairs, " << report.pairs_rejected << " pairs rejected, "
+              << report.slo_breaches << " slo breaches, sojourn(v) p99 "
+              << Table::num(report.sojourn_v_ms.p99, 2) << " ms, slo "
+              << (report.p99_under_slo ? "met" : "missed") << "\n";
+  }
   if (mutating) {
     const auto stats = oracle.stats();
     std::cout << "mutations: " << report.mutation_steps << " steps, "

@@ -5,10 +5,33 @@
 #include <unordered_set>
 
 #include "obs/trace.hpp"
+#include "resilience/fault_spec.hpp"
+#include "resilience/virtual_clock.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 
 namespace nav::api {
+
+namespace {
+
+/// Per-wave row provenance (see ResilienceOptions): how each pinned slot's
+/// distance vector was obtained.
+enum class RowSource : std::uint8_t {
+  kPrimary,   ///< the service's own oracle (possibly after retries)
+  kFallback,  ///< the degraded fallback oracle
+  kNone       ///< no usable row — retries exhausted, no fallback, tolerated
+};
+
+/// Degradation bookkeeping for one execute_jobs call; folded into the
+/// caller's RouteReport (when asked for) and the resilience counters.
+struct ResilLog {
+  std::vector<DegradationStatus> status;
+  std::size_t retries = 0;
+  std::size_t fallback_pairs = 0;
+  bool deadline_breached = false;
+};
+
+}  // namespace
 
 RouteService::RouteService(const graph::Graph& g,
                            const graph::DistanceOracle& oracle,
@@ -26,6 +49,17 @@ RouteService::RouteService(const graph::Graph& g,
   }
   NAV_REQUIRE(!options_.tolerate_unreachable || options_.shard_by_target,
               "tolerate_unreachable requires shard_by_target");
+  if (options_.admission.kind == AdmissionPolicy::Kind::kAdaptive) {
+    NAV_REQUIRE(options_.virtual_pair_cost_seconds > 0.0,
+                "adaptive admission needs virtual_pair_cost_seconds > 0");
+    NAV_REQUIRE(options_.admission.slo_seconds > 0.0,
+                "adaptive admission needs an SLO > 0");
+    NAV_REQUIRE(options_.admission.adaptive_beta > 0.0 &&
+                    options_.admission.adaptive_beta < 1.0,
+                "adaptive beta must be in (0, 1)");
+    NAV_REQUIRE(options_.admission.adaptive_min_pairs >= 1,
+                "adaptive window floor must be >= 1");
+  }
   metrics_ = options_.metrics != nullptr ? options_.metrics : &owned_metrics_;
   submitted_batches_ = metrics_->counter("route_service.submitted_batches");
   submitted_pairs_ = metrics_->counter("route_service.submitted_pairs");
@@ -42,6 +76,29 @@ RouteService::RouteService(const graph::Graph& g,
       metrics_->histogram("route_service.queue_wait_ms", 0.0, 1000.0, 50);
   exec_ms_hist_ =
       metrics_->histogram("route_service.exec_ms", 0.0, 1000.0, 50);
+  // The adaptive and resilience metrics register LAZILY — adaptive ones
+  // here (the policy is explicit opt-in), resilience ones on the first
+  // degradation event (ensure_resilience_metrics) — so a fault-free,
+  // non-adaptive service scrapes byte-identically to the pre-resilience
+  // schema. Default-constructed handles are no-op / read-as-zero.
+  if (options_.admission.kind == AdmissionPolicy::Kind::kAdaptive) {
+    rejected_batches_ = metrics_->counter("route_service.rejected_batches");
+    rejected_pairs_ = metrics_->counter("route_service.rejected_pairs");
+    slo_breaches_ = metrics_->counter("route_service.slo_breaches");
+    adaptive_window_ = metrics_->gauge("route_service.adaptive_window_pairs");
+  }
+}
+
+void RouteService::ensure_resilience_metrics() const {
+  // Callers hold queue_mutex_. counter() dedups by name, so the flag is
+  // only an idempotence fast path.
+  if (resilience_metrics_registered_) return;
+  retries_ = metrics_->counter("resilience.retries");
+  fallback_routes_ = metrics_->counter("resilience.fallback_routes");
+  deadline_breaches_ = metrics_->counter("resilience.deadline_breaches");
+  degraded_pairs_ = metrics_->counter("resilience.degraded_pairs");
+  failed_pairs_ = metrics_->counter("resilience.failed_pairs");
+  resilience_metrics_registered_ = true;
 }
 
 RouteService::RouteService(const NavigationEngine& engine,
@@ -72,13 +129,27 @@ std::vector<routing::RouteResult> RouteService::route_batch(
   return route_jobs(std::move(jobs));
 }
 
+RouteReport RouteService::route_batch_report(
+    std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs,
+    Rng rng) const {
+  std::vector<RouteJob> jobs;
+  jobs.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    jobs.push_back({pairs[i].first, pairs[i].second, rng.child(i)});
+  }
+  RouteReport report;
+  report.results = execute_jobs(jobs, options_.parallel, &report);
+  return report;
+}
+
 std::vector<routing::RouteResult> RouteService::route_jobs(
     std::vector<RouteJob> jobs) const {
-  return execute_jobs(jobs, options_.parallel);
+  return execute_jobs(jobs, options_.parallel, nullptr);
 }
 
 std::vector<routing::RouteResult> RouteService::execute_jobs(
-    const std::vector<RouteJob>& jobs, bool parallel) const {
+    const std::vector<RouteJob>& jobs, bool parallel,
+    RouteReport* report) const {
   NAV_OBS_SPAN("route_service.execute_jobs", "pairs",
                static_cast<double>(jobs.size()));
   nav::Timer timer;
@@ -92,12 +163,16 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
   std::vector<routing::RouteResult> results(jobs.size());
   std::size_t distinct_targets = 0;
   std::size_t shards = 0;
+  ResilLog resil;
+  resil.status.assign(jobs.size(), DegradationStatus::kExact);
 
   if (!options_.shard_by_target) {
     // Legacy schedule: one job per loop index, request order, no grouping.
     // Pool tasks are noexcept-by-policy (see thread_pool.hpp): a throwing
     // route terminates the process, exactly as the pre-service route_many
-    // did — this mode exists as the bench baseline, not for serving.
+    // did — this mode exists as the bench baseline, not for serving, and
+    // the resilience machinery (which needs the prefetch choke point)
+    // deliberately does not apply here.
     std::unordered_set<graph::NodeId> targets;
     for (const auto& job : jobs) targets.insert(job.target);
     distinct_targets = targets.size();
@@ -131,6 +206,14 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
     distinct_targets = shard_target.size();
     shards = shard_jobs.size();
 
+    const ResilienceOptions& rz = options_.resilience;
+    resilience::VirtualClock& vclock = resilience::global_virtual_clock();
+    const double batch_v0 = vclock.seconds();
+    const auto budget_spent = [&] {
+      return rz.batch_deadline_seconds > 0.0 &&
+             vclock.seconds() - batch_v0 > rz.batch_deadline_seconds;
+    };
+
     // Wave by wave: prefetch the wave's distance vectors in one batch (one
     // parallel BFS sweep over the misses, pinned past any eviction), then
     // route every shard through its pinned vector via route_resolved —
@@ -141,47 +224,134 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
     // One pin vector reused across waves: prefetch_into clears and refills
     // it, so after the first wave the container itself allocates nothing.
     std::vector<graph::DistVecPtr> pinned;
+    std::vector<RowSource> slot_source;
     for (std::size_t lo = 0; lo < shard_jobs.size(); lo += wave) {
       const std::size_t hi = std::min(shard_jobs.size(), lo + wave);
+      const std::size_t slots = hi - lo;
+      slot_source.assign(slots, RowSource::kPrimary);
       // Sequential mode must stay pool-free end to end (callers may rely on
       // it from inside a pool task), so the batched prefetch — which fans
       // its BFS sweep across the pool — is parallel-only; inline
       // distances_to computes the identical vectors one by one.
-      if (parallel) {
-        oracle_.prefetch_into(
-            std::span<const graph::NodeId>(shard_target).subspan(lo, hi - lo),
-            pinned);
-      } else {
-        pinned.clear();
-        pinned.reserve(hi - lo);
-        for (std::size_t k = lo; k < hi; ++k) {
-          pinned.push_back(oracle_.distances_to(shard_target[k]));
+      bool wave_clean = true;
+      try {
+        if (parallel) {
+          oracle_.prefetch_into(
+              std::span<const graph::NodeId>(shard_target).subspan(lo, slots),
+              pinned);
+        } else {
+          pinned.clear();
+          pinned.reserve(slots);
+          for (std::size_t k = lo; k < hi; ++k) {
+            pinned.push_back(oracle_.distances_to(shard_target[k]));
+          }
+        }
+      } catch (const resilience::TransientOracleError&) {
+        // Partial success: a well-behaved thrower (FaultyOracle) has filled
+        // every non-failing slot already; a sequential inline loop stopped
+        // at the first failure. Normalise to one shape — slots-sized with
+        // nulls at the holes — and let the retry loop finish the job.
+        wave_clean = false;
+        pinned.resize(slots);
+      }
+      if (!wave_clean || pinned.size() != slots) {
+        pinned.resize(slots);
+        // The still-missing slots, retried as a shrinking subset with
+        // exponential VIRTUAL backoff: deterministic, never a real sleep.
+        std::vector<std::size_t> pending;
+        for (std::size_t s = 0; s < slots; ++s) {
+          if (!pinned[s]) pending.push_back(s);
+        }
+        double backoff = rz.backoff_base_seconds;
+        std::size_t round = 0;
+        while (!pending.empty() && round < rz.max_retries) {
+          if (budget_spent()) {
+            resil.deadline_breached = true;
+            break;
+          }
+          ++round;
+          ++resil.retries;
+          vclock.advance_seconds(backoff);
+          backoff *= 2.0;
+          std::vector<std::size_t> still;
+          for (const std::size_t s : pending) {
+            try {
+              pinned[s] = oracle_.distances_to(shard_target[lo + s]);
+            } catch (const resilience::TransientOracleError&) {
+              still.push_back(s);
+            }
+          }
+          pending.swap(still);
+        }
+        if (!pending.empty()) {
+          if (rz.fallback_oracle != nullptr) {
+            for (const std::size_t s : pending) {
+              pinned[s] = rz.fallback_oracle->distances_to(shard_target[lo + s]);
+              slot_source[s] = RowSource::kFallback;
+            }
+          } else if (rz.tolerate_faults) {
+            for (const std::size_t s : pending) {
+              slot_source[s] = RowSource::kNone;
+            }
+          } else {
+            std::vector<graph::NodeId> dead;
+            dead.reserve(pending.size());
+            for (const std::size_t s : pending) {
+              dead.push_back(shard_target[lo + s]);
+            }
+            throw resilience::TransientOracleError(std::move(dead));
+          }
         }
       }
       // Reachability check BEFORE the fan-out: pool tasks are noexcept by
       // policy, so every route precondition must be established on this
       // thread, where a throw reaches the caller (or a submit() future).
       // Under tolerate_unreachable a disconnected pair becomes a
-      // reached = false result here and its job is excluded from routing.
+      // reached = false result here and its job is excluded from routing;
+      // rowless (kNone) and fallback-sourced pairs are classified here too.
       for (std::size_t k = lo; k < hi; ++k) {
-        const auto& dist = *pinned[k - lo];
+        const std::size_t s = k - lo;
+        if (slot_source[s] == RowSource::kNone) {
+          for (const std::size_t i : shard_jobs[k]) {
+            results[i].reached = false;
+            results[i].initial_distance = graph::kInfDist;
+            resil.status[i] = DegradationStatus::kFailed;
+          }
+          continue;
+        }
+        if (slot_source[s] == RowSource::kFallback) {
+          for (const std::size_t i : shard_jobs[k]) {
+            resil.status[i] = DegradationStatus::kDegraded;
+          }
+          resil.fallback_pairs += shard_jobs[k].size();
+        }
+        const auto& dist = *pinned[s];
         for (const std::size_t i : shard_jobs[k]) {
           if (dist[jobs[i].source] != graph::kInfDist) continue;
-          NAV_REQUIRE(options_.tolerate_unreachable,
-                      "target unreachable from source");
+          NAV_REQUIRE(
+              options_.tolerate_unreachable ||
+                  slot_source[s] == RowSource::kFallback,
+              "target unreachable from source");
           results[i].reached = false;
           results[i].initial_distance = graph::kInfDist;
+          resil.status[i] = DegradationStatus::kDegraded;
         }
       }
       auto shard_body = [&](std::size_t k) {
-        const graph::DistView& dist = *pinned[k - lo];
+        const std::size_t s = k - lo;
+        if (slot_source[s] == RowSource::kNone) return;
+        const routing::Router& shard_router =
+            slot_source[s] == RowSource::kFallback &&
+                    rz.fallback_router != nullptr
+                ? *rz.fallback_router
+                : router_;
+        const graph::DistView& dist = *pinned[s];
         for (const std::size_t i : shard_jobs[k]) {
-          if (options_.tolerate_unreachable &&
-              dist[jobs[i].source] == graph::kInfDist) {
+          if (dist[jobs[i].source] == graph::kInfDist) {
             continue;  // already reported as unreached
           }
-          results[i] = router_.route_resolved(jobs[i].source, jobs[i].target,
-                                              dist, scheme_, jobs[i].rng);
+          results[i] = shard_router.route_resolved(
+              jobs[i].source, jobs[i].target, dist, scheme_, jobs[i].rng);
         }
       };
       if (parallel) {
@@ -190,6 +360,15 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
       } else {
         for (std::size_t k = lo; k < hi; ++k) shard_body(k);
       }
+    }
+  }
+
+  // A pair that executed on a primary row but did not reach its target
+  // (a stalled bound-only row starved the greedy descent) completed
+  // degraded, not exact.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (resil.status[i] == DegradationStatus::kExact && !results[i].reached) {
+      resil.status[i] = DegradationStatus::kDegraded;
     }
   }
 
@@ -205,6 +384,39 @@ std::vector<routing::RouteResult> RouteService::execute_jobs(
     totals_.pairs += jobs.size();
     totals_.seconds += seconds;
   }
+  std::size_t exact = 0;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+  for (const DegradationStatus s : resil.status) {
+    if (s == DegradationStatus::kExact) ++exact;
+    else if (s == DegradationStatus::kDegraded) ++degraded;
+    else if (s == DegradationStatus::kFailed) ++failed;
+  }
+  if (resil.retries != 0 || resil.fallback_pairs != 0 || degraded != 0 ||
+      failed != 0 || resil.deadline_breached) {
+    // Written under queue_mutex_ so queue_stats() sees exact values; the
+    // fault-free fast path never takes this lock.
+    std::lock_guard lock(queue_mutex_);
+    ensure_resilience_metrics();
+    retries_.inc(resil.retries);
+    fallback_routes_.inc(resil.fallback_pairs);
+    degraded_pairs_.inc(degraded);
+    failed_pairs_.inc(failed);
+    if (resil.deadline_breached) deadline_breaches_.inc();
+  }
+  if (report != nullptr) {
+    report->status = std::move(resil.status);
+    report->exact_pairs = exact;
+    report->degraded_pairs = degraded;
+    report->failed_pairs = failed;
+    report->retries = resil.retries;
+    report->fallback_pairs = resil.fallback_pairs;
+    report->deadline_breached = resil.deadline_breached;
+    report->batch.pairs = jobs.size();
+    report->batch.distinct_targets = distinct_targets;
+    report->batch.shards = shards;
+    report->batch.seconds = seconds;
+  }
   return results;
 }
 
@@ -213,6 +425,22 @@ std::future<std::vector<routing::RouteResult>> RouteService::submit(
   PendingBatch batch;
   batch.pairs = std::move(pairs);
   batch.rng = rng;
+  return submit_impl(std::move(batch));
+}
+
+std::future<std::vector<routing::RouteResult>> RouteService::submit(
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng,
+    double arrival_vtime) {
+  PendingBatch batch;
+  batch.pairs = std::move(pairs);
+  batch.rng = rng;
+  batch.arrival_vtime = arrival_vtime;
+  batch.has_vtime = true;
+  return submit_impl(std::move(batch));
+}
+
+std::future<std::vector<routing::RouteResult>> RouteService::submit_impl(
+    PendingBatch batch) {
   auto future = batch.promise.get_future();
   const std::size_t incoming = batch.pairs.size();
   {
@@ -286,13 +514,32 @@ QueueStats RouteService::queue_stats() const {
   stats.executed_batches = static_cast<std::size_t>(executed_batches_.value());
   stats.shed_batches = static_cast<std::size_t>(shed_batches_.value());
   stats.shed_pairs = static_cast<std::size_t>(shed_pairs_.value());
+  stats.rejected_batches =
+      static_cast<std::size_t>(rejected_batches_.value());
+  stats.rejected_pairs = static_cast<std::size_t>(rejected_pairs_.value());
   stats.blocked_submits = static_cast<std::size_t>(blocked_submits_.value());
+  stats.retries = static_cast<std::size_t>(retries_.value());
+  stats.fallback_pairs = static_cast<std::size_t>(fallback_routes_.value());
+  stats.deadline_breaches =
+      static_cast<std::size_t>(deadline_breaches_.value());
+  stats.degraded_pairs = static_cast<std::size_t>(degraded_pairs_.value());
+  stats.failed_pairs = static_cast<std::size_t>(failed_pairs_.value());
+  stats.slo_breaches = static_cast<std::size_t>(slo_breaches_.value());
+  stats.adaptive_window_pairs = adaptive_window_pairs_;
   return stats;
 }
 
+std::vector<double> RouteService::virtual_sojourns() const {
+  std::lock_guard lock(queue_mutex_);
+  return virtual_sojourns_;
+}
+
 void RouteService::service_loop() {
+  resilience::VirtualClock& vclock = resilience::global_virtual_clock();
   while (true) {
     PendingBatch batch;
+    bool use_virtual = false;
+    double arrival_v = 0.0;
     {
       std::unique_lock lock(queue_mutex_);
       // stopping_ overrides pause: destruction always drains the queue.
@@ -304,39 +551,115 @@ void RouteService::service_loop() {
       queue_.pop_front();
       queued_batches_.sub(1);
       queued_pairs_.sub(static_cast<std::int64_t>(batch.pairs.size()));
+      // Virtual evaluation only when BOTH sides opted in: the submitter
+      // supplied an arrival vtime and the service has a pair cost. All
+      // other combinations keep the historical wall-clock semantics.
+      use_virtual =
+          batch.has_vtime && options_.virtual_pair_cost_seconds > 0.0;
+      arrival_v = batch.arrival_vtime;
+      // The wait this batch pays before the server can start it: virtual
+      // backlog under virtual evaluation, wall queue age otherwise.
       const double waited =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        batch.enqueued_at)
-              .count();
+          use_virtual
+              ? std::max(0.0, vfree_ - arrival_v)
+              : std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - batch.enqueued_at)
+                    .count();
       queue_wait_ms_hist_.observe(waited * 1000.0);
+      const auto depth = static_cast<std::size_t>(queued_pairs_.value());
       if (options_.admission.kind == AdmissionPolicy::Kind::kShed &&
           waited > options_.admission.deadline_seconds) {
         shed_batches_.inc();
         shed_pairs_.inc(batch.pairs.size());
         lock.unlock();
         queue_space_cv_.notify_all();
-        batch.promise.set_exception(std::make_exception_ptr(ShedError(
-            "batch of " + std::to_string(batch.pairs.size()) +
-            " pairs shed after " + std::to_string(waited) + "s in queue")));
+        batch.promise.set_exception(std::make_exception_ptr(
+            ShedError(ShedError::Reason::kDeadline, waited,
+                      batch.pairs.size(), depth)));
         continue;
+      }
+      if (options_.admission.kind == AdmissionPolicy::Kind::kAdaptive &&
+          use_virtual) {
+        if (adaptive_window_pairs_ == 0) {
+          adaptive_window_pairs_ = options_.admission.adaptive_start_pairs;
+          adaptive_window_.set(
+              static_cast<std::int64_t>(adaptive_window_pairs_));
+        }
+        // Reject iff the server is already behind AND admitting this batch
+        // would push the backlog past the window. An idle server always
+        // admits (no single-batch livelock, mirroring Bounded).
+        const double backlog_pairs =
+            std::max(0.0, vfree_ - arrival_v) /
+            options_.virtual_pair_cost_seconds;
+        if (backlog_pairs > 0.0 &&
+            backlog_pairs + static_cast<double>(batch.pairs.size()) >
+                static_cast<double>(adaptive_window_pairs_)) {
+          rejected_batches_.inc();
+          rejected_pairs_.inc(batch.pairs.size());
+          lock.unlock();
+          queue_space_cv_.notify_all();
+          batch.promise.set_exception(std::make_exception_ptr(
+              ShedError(ShedError::Reason::kRejected, waited,
+                        batch.pairs.size(), depth)));
+          continue;
+        }
       }
     }
     queue_space_cv_.notify_all();
     try {
       NAV_OBS_SPAN("route_service.batch", "pairs",
                    static_cast<double>(batch.pairs.size()));
-      auto results = route_batch(batch.pairs, batch.rng);
+      // Injected virtual latency (slow faults, retry backoffs) during this
+      // batch's execution counts toward its virtual service time.
+      const double vexec_before = vclock.seconds();
+      std::vector<RouteJob> jobs;
+      jobs.reserve(batch.pairs.size());
+      for (std::size_t i = 0; i < batch.pairs.size(); ++i) {
+        jobs.push_back({batch.pairs[i].first, batch.pairs[i].second,
+                        batch.rng.child(i)});
+      }
+      RouteReport report;
+      auto results = execute_jobs(jobs, options_.parallel, &report);
+      const double vexec_injected = vclock.seconds() - vexec_before;
       {
         // Counted only on success — "executed" keeps meaning "dequeued AND
         // routed" when a bad batch fails its future below — and before the
         // future resolves, so a caller returning from get() observes it.
         std::lock_guard lock(queue_mutex_);
         executed_batches_.inc();
+        if (use_virtual) {
+          const double start_v = std::max(arrival_v, vfree_);
+          const double exec_v = static_cast<double>(batch.pairs.size()) *
+                                    options_.virtual_pair_cost_seconds +
+                                vexec_injected;
+          vfree_ = start_v + exec_v;
+          const double sojourn_v = vfree_ - arrival_v;
+          virtual_sojourns_.push_back(sojourn_v);
+          if (options_.admission.kind == AdmissionPolicy::Kind::kAdaptive) {
+            if (sojourn_v > options_.admission.slo_seconds) {
+              // Multiplicative decrease, floored: stay serving even when
+              // every batch breaches.
+              slo_breaches_.inc();
+              adaptive_window_pairs_ = std::max(
+                  options_.admission.adaptive_min_pairs,
+                  static_cast<std::size_t>(
+                      static_cast<double>(adaptive_window_pairs_) *
+                      options_.admission.adaptive_beta));
+            } else {
+              adaptive_window_pairs_ +=
+                  options_.admission.adaptive_increase_pairs;
+            }
+            adaptive_window_.set(
+                static_cast<std::int64_t>(adaptive_window_pairs_));
+          }
+        }
       }
       batch.promise.set_value(std::move(results));
     } catch (...) {
-      // A bad batch (e.g. an out-of-range endpoint) fails its own future;
-      // the service thread lives on to serve the rest of the queue.
+      // A bad batch (e.g. an out-of-range endpoint, or a transient fault
+      // that outlived its retries with no fallback configured) fails its
+      // own future; the service thread lives on to serve the rest of the
+      // queue.
       batch.promise.set_exception(std::current_exception());
     }
   }
@@ -370,7 +693,7 @@ routing::GreedyDiameterEstimate RouteService::estimate_diameter(
     }
   }
   const auto results =
-      execute_jobs(jobs, options_.parallel && config.parallel);
+      execute_jobs(jobs, options_.parallel && config.parallel, nullptr);
 
   // Accumulation mirrors estimate_routed_pair / estimate_routed_diameter:
   // replicates in index order per pair, then pair means in pair order.

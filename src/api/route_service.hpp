@@ -42,10 +42,28 @@
 //     empty, so a single batch can never deadlock);
 //   * Shed{deadline_seconds} — batches that waited in the queue longer than
 //     the deadline are dropped at dequeue: their future fails with ShedError
-//     and the service moves on.
+//     and the service moves on. When the submitter supplies a virtual
+//     arrival time (submit's vtime overload) AND virtual_pair_cost_seconds
+//     is set, the wait is evaluated in VIRTUAL time — a deterministic
+//     function of arrival times and batch sizes, never of scheduler luck;
+//   * Adaptive{slo_seconds} — an AIMD controller over an admitted-work
+//     window: a batch whose virtual backlog would overflow the window is
+//     rejected at dequeue (ShedError with Reason::kRejected); each served
+//     batch's virtual sojourn is compared against the SLO, shrinking the
+//     window multiplicatively on a breach and growing it additively
+//     otherwise. Fully virtual-time driven, hence deterministic.
 // queue_stats() exposes the live depth and the admission counters;
 // pause()/resume() freeze dequeueing so tests and drain-style drivers can
 // fill the queue deterministically.
+//
+// Resilience (RouteServiceOptions::resilience): when the oracle injects
+// transient faults (resilience::FaultyOracle, "faulty:" specs), batch
+// execution retries the FAILED SUBSET of each prefetch wave with
+// exponential virtual-time backoff, falls back to a degraded oracle/router
+// pair when retries or the batch's deadline budget are exhausted, and
+// reports a per-pair DegradationStatus in RouteReport. With a fault-free
+// oracle every code path below is byte-identical to the pre-resilience
+// service: the try block costs nothing until a TransientOracleError flies.
 #pragma once
 
 /// \file
@@ -85,12 +103,51 @@ struct RouteJob {
   Rng rng;
 };
 
-/// Thrown through a submit() future when Shed admission drops the batch
-/// (it waited in the queue longer than the policy's deadline).
+/// Thrown through a submit() future when admission drops the batch: Shed
+/// (it aged past the deadline in the queue) or Adaptive (the controller's
+/// window had no room). Carries the structured context of the drop — wait,
+/// batch size, queue depth — so drivers can aggregate without parsing what().
 class ShedError : public std::runtime_error {
  public:
-  /// `what` describes the shed batch (size, measured wait).
-  explicit ShedError(const std::string& what) : std::runtime_error(what) {}
+  /// Why the batch was dropped.
+  enum class Reason : std::uint8_t {
+    kDeadline,  ///< Shed: queued longer than the policy deadline
+    kRejected   ///< Adaptive: admitting it would overflow the AIMD window
+  };
+
+  ShedError(Reason reason, double waited_seconds, std::size_t batch_pairs,
+            std::size_t queue_depth_pairs)
+      : std::runtime_error(
+            "batch of " + std::to_string(batch_pairs) + " pairs " +
+            (reason == Reason::kDeadline ? "shed after " : "rejected after ") +
+            std::to_string(waited_seconds) + "s in queue (" +
+            std::to_string(queue_depth_pairs) + " pairs behind it)"),
+        reason_(reason),
+        waited_seconds_(waited_seconds),
+        batch_pairs_(batch_pairs),
+        queue_depth_pairs_(queue_depth_pairs) {}
+
+  /// Deadline aging (Shed) vs window rejection (Adaptive).
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+  /// How long the batch waited before the drop — wall-clock seconds under
+  /// wall evaluation, virtual seconds under virtual-time evaluation.
+  [[nodiscard]] double waited_seconds() const noexcept {
+    return waited_seconds_;
+  }
+  /// Pairs in the dropped batch.
+  [[nodiscard]] std::size_t batch_pairs() const noexcept {
+    return batch_pairs_;
+  }
+  /// Pairs still queued behind the batch at the moment it was dropped.
+  [[nodiscard]] std::size_t queue_depth_pairs() const noexcept {
+    return queue_depth_pairs_;
+  }
+
+ private:
+  Reason reason_;
+  double waited_seconds_;
+  std::size_t batch_pairs_;
+  std::size_t queue_depth_pairs_;
 };
 
 /// Admission policy for the submit() queue (route_batch/route_jobs run on
@@ -100,16 +157,34 @@ struct AdmissionPolicy {
   enum class Kind : std::uint8_t {
     kUnbounded,  ///< queue every batch (the original FIFO)
     kBounded,    ///< block the producer until the queue has room
-    kShed        ///< drop batches that queued longer than the deadline
+    kShed,       ///< drop batches that queued longer than the deadline
+    kAdaptive    ///< AIMD window targeting a p99 virtual-sojourn SLO
   };
   /// Selected behaviour; the other fields apply per kind.
   Kind kind = Kind::kUnbounded;
   /// kBounded: max pairs waiting in the queue. A batch larger than the bound
   /// is admitted when the queue is empty (no single-batch deadlock).
   std::size_t max_queued_pairs = 0;
-  /// kShed: a batch that waited longer than this many wall-clock seconds is
-  /// shed at dequeue (its future fails with ShedError).
+  /// kShed: a batch that waited longer than this many seconds is shed at
+  /// dequeue (its future fails with ShedError). Wall-clock seconds unless
+  /// the submitter supplied a virtual arrival time AND
+  /// RouteServiceOptions::virtual_pair_cost_seconds is set, in which case
+  /// the wait is virtual (deterministic).
   double deadline_seconds = 0.0;
+  /// kAdaptive: the controller's target — a served batch whose virtual
+  /// sojourn (arrival -> completion) exceeds this breaches the SLO and
+  /// shrinks the window. Requires virtual arrival times and
+  /// virtual_pair_cost_seconds > 0 (checked at construction).
+  double slo_seconds = 0.0;
+  /// kAdaptive: initial admitted-work window, in pairs.
+  std::size_t adaptive_start_pairs = 1024;
+  /// kAdaptive: the window never shrinks below this floor (so the service
+  /// keeps serving SOMETHING under any overload).
+  std::size_t adaptive_min_pairs = 64;
+  /// kAdaptive: additive window growth per SLO-respecting batch.
+  std::size_t adaptive_increase_pairs = 64;
+  /// kAdaptive: multiplicative window decrease on an SLO breach (in (0,1)).
+  double adaptive_beta = 0.5;
 
   /// The original unbounded FIFO (default).
   [[nodiscard]] static AdmissionPolicy unbounded() { return {}; }
@@ -132,6 +207,17 @@ struct AdmissionPolicy {
     policy.deadline_seconds = deadline_seconds;
     return policy;
   }
+  /// SLO-driven adaptive admission: AIMD over an admitted-work window in
+  /// pairs, targeting a virtual-sojourn SLO of `slo_seconds` per batch.
+  /// Deterministic: every decision is a pure function of virtual arrival
+  /// times, batch sizes, and FIFO order.
+  [[nodiscard]] static AdmissionPolicy adaptive(double slo_seconds) {
+    NAV_REQUIRE(slo_seconds > 0.0, "adaptive SLO must be > 0");
+    AdmissionPolicy policy;
+    policy.kind = Kind::kAdaptive;
+    policy.slo_seconds = slo_seconds;
+    return policy;
+  }
 };
 
 /// Live queue depth plus cumulative admission counters (queue_stats()).
@@ -146,9 +232,58 @@ struct QueueStats {
   std::size_t submitted_batches = 0;  ///< batches ever accepted by submit()
   std::size_t submitted_pairs = 0;    ///< pairs ever accepted by submit()
   std::size_t executed_batches = 0;   ///< batches dequeued and routed
-  std::size_t shed_batches = 0;       ///< batches dropped by Shed admission
-  std::size_t shed_pairs = 0;         ///< pairs dropped by Shed admission
+  std::size_t shed_batches = 0;       ///< batches aged out by Shed admission
+  std::size_t shed_pairs = 0;         ///< pairs aged out by Shed admission
+  std::size_t rejected_batches = 0;   ///< batches refused by Adaptive window
+  std::size_t rejected_pairs = 0;     ///< pairs refused by Adaptive window
   std::size_t blocked_submits = 0;    ///< submits that had to wait (Bounded)
+  // Degradation counters (resilience.* metrics; zero on a fault-free stack).
+  std::size_t retries = 0;             ///< prefetch retry rounds taken
+  std::size_t fallback_pairs = 0;      ///< pairs routed via the fallback
+  std::size_t deadline_breaches = 0;   ///< batches whose budget ran out
+  std::size_t degraded_pairs = 0;      ///< pairs completed degraded
+  std::size_t failed_pairs = 0;        ///< pairs with no usable row at all
+  std::size_t slo_breaches = 0;        ///< Adaptive: served-over-SLO batches
+  std::size_t adaptive_window_pairs = 0;  ///< Adaptive: live window size
+};
+
+/// How a pair's route was produced, per RouteReport entry. Order matters:
+/// later values are strictly worse, so drivers can fold with std::max.
+enum class DegradationStatus : std::uint8_t {
+  kExact,     ///< routed on the primary oracle's row and reached the target
+  kDegraded,  ///< completed, but via fallback rows, a stalled (bound-only)
+              ///< row that did not reach, or a tolerated-unreachable pair
+  kShed,      ///< never executed: dropped by Shed/Adaptive admission
+  kFailed     ///< executed but unroutable: no usable distance row survived
+};
+
+/// Degraded-mode knobs: what the service does when the oracle throws
+/// resilience::TransientOracleError mid-batch. Defaults keep retrying
+/// enabled everywhere (the retry loop is free when no fault fires) and the
+/// fallback chain empty.
+struct ResilienceOptions {
+  /// Retry rounds per prefetch wave before giving up on a target. Each
+  /// round retries only the still-failing subset (the oracle's partial-
+  /// success contract fills everything else), so convergence is per-target.
+  std::size_t max_retries = 3;
+  /// Virtual backoff before retry round k: base * 2^(k-1) seconds, advanced
+  /// on the global virtual clock — deterministic, never a real sleep.
+  double backoff_base_seconds = 1e-3;
+  /// Per-batch degradation budget in virtual seconds (0 = unlimited): once
+  /// a batch has accumulated this much injected virtual time, remaining
+  /// faulted targets skip further retries and go straight to the fallback.
+  double batch_deadline_seconds = 0.0;
+  /// Degraded oracle consulted for targets whose retries are exhausted
+  /// (e.g. a landmark oracle — approximate but fault-free). Must outlive
+  /// the service. nullptr = no fallback tier.
+  const graph::DistanceOracle* fallback_oracle = nullptr;
+  /// Router used for fallback rows; must accept inexact distances
+  /// (Router{exact = false}). nullptr falls back to the primary router.
+  const routing::Router* fallback_router = nullptr;
+  /// With no fallback tier: report pairs whose target has no usable row as
+  /// DegradationStatus::kFailed (reached = false) instead of failing the
+  /// whole batch with the oracle's TransientOracleError.
+  bool tolerate_faults = false;
 };
 
 /// Execution knobs for RouteService.
@@ -181,6 +316,14 @@ struct RouteServiceOptions {
   /// Pass &obs::default_registry() to fold the service into the process-wide
   /// scrape surface (what examples/route_server.cpp does for --metrics-out).
   obs::Registry* metrics = nullptr;
+  /// Virtual service cost per pair, in seconds. 0 keeps the historical
+  /// wall-clock admission semantics untouched. > 0 (with vtime submits)
+  /// switches Shed aging and the Adaptive controller to virtual time:
+  /// a batch of P pairs "costs" P * this, plus any virtual time the fault
+  /// layer injected while executing it.
+  double virtual_pair_cost_seconds = 0.0;
+  /// Degraded-mode behaviour under transient oracle faults.
+  ResilienceOptions resilience;
 };
 
 /// Telemetry for the most recent batch (route_batch / route_jobs / submit).
@@ -194,6 +337,28 @@ struct BatchReport {
   std::size_t shards = 0;
   /// Wall-clock seconds spent executing the batch.
   double seconds = 0.0;
+};
+
+/// A batch's results plus its per-pair degradation story — what
+/// route_batch_report returns and what submit() paths tally into the
+/// resilience counters. With a fault-free oracle every status is kExact
+/// (or kDegraded only for tolerated-unreachable pairs).
+struct RouteReport {
+  /// Route result i corresponds to input pair i, as in route_batch.
+  std::vector<routing::RouteResult> results;
+  /// status[i] classifies how results[i] was produced.
+  std::vector<DegradationStatus> status;
+  std::size_t exact_pairs = 0;     ///< status == kExact
+  std::size_t degraded_pairs = 0;  ///< status == kDegraded
+  std::size_t failed_pairs = 0;    ///< status == kFailed
+  /// Prefetch retry rounds this batch consumed.
+  std::size_t retries = 0;
+  /// Pairs routed through the fallback oracle/router tier.
+  std::size_t fallback_pairs = 0;
+  /// True when the batch's virtual deadline budget ran out mid-execution.
+  bool deadline_breached = false;
+  /// The plain execution telemetry (same values as last_report()).
+  BatchReport batch;
 };
 
 /// Cumulative telemetry across the service's lifetime.
@@ -242,6 +407,12 @@ class RouteService {
   [[nodiscard]] std::vector<routing::RouteResult> route_jobs(
       std::vector<RouteJob> jobs) const;
 
+  /// route_batch plus the per-pair degradation story: statuses, retry and
+  /// fallback tallies, deadline verdict. Same results, same determinism.
+  [[nodiscard]] RouteReport route_batch_report(
+      std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs,
+      Rng rng) const;
+
   /// Enqueues a batch on the service thread and returns its future. Batches
   /// execute FIFO; each still fans its shards across the thread pool.
   /// Admission applies here (see RouteServiceOptions::admission): Bounded
@@ -251,6 +422,16 @@ class RouteService {
   /// destruction).
   [[nodiscard]] std::future<std::vector<routing::RouteResult>> submit(
       std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng);
+
+  /// submit() with a VIRTUAL arrival time (seconds on the driver's virtual
+  /// axis, e.g. workload::ArrivalSchedule times). When
+  /// options().virtual_pair_cost_seconds > 0, Shed aging and the Adaptive
+  /// controller evaluate this batch in virtual time — bit-identical across
+  /// runs and machines. Arrival times must be non-decreasing across
+  /// submits (FIFO order is the virtual order).
+  [[nodiscard]] std::future<std::vector<routing::RouteResult>> submit(
+      std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs, Rng rng,
+      double arrival_vtime);
 
   /// Freezes dequeueing: submitted batches accumulate (and age, under Shed)
   /// until resume(). Lets tests and drain-style drivers build a queue of
@@ -293,9 +474,21 @@ class RouteService {
   /// Cumulative telemetry since construction.
   [[nodiscard]] ServiceTotals totals() const;
 
+  /// The options the service was built with (drivers read the virtual pair
+  /// cost and the admission policy back).
+  [[nodiscard]] const RouteServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Virtual sojourn (arrival -> completion, virtual seconds) of every
+  /// batch served so far through the vtime submit path, in completion
+  /// order. Drivers slice this to compute windowed p99s against an SLO.
+  [[nodiscard]] std::vector<double> virtual_sojourns() const;
+
  private:
   [[nodiscard]] std::vector<routing::RouteResult> execute_jobs(
-      const std::vector<RouteJob>& jobs, bool parallel) const;
+      const std::vector<RouteJob>& jobs, bool parallel,
+      RouteReport* report) const;
 
   struct PendingBatch {
     std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
@@ -303,7 +496,19 @@ class RouteService {
     std::promise<std::vector<routing::RouteResult>> promise;
     /// When the batch entered the queue (Shed measures its wait from here).
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Virtual arrival time (submit's vtime overload); valid iff has_vtime.
+    double arrival_vtime = 0.0;
+    bool has_vtime = false;
   };
+
+  /// submit() body shared by both overloads.
+  [[nodiscard]] std::future<std::vector<routing::RouteResult>> submit_impl(
+      PendingBatch batch);
+
+  /// Registers the `resilience.*` counters on first use (under
+  /// queue_mutex_); a fault-free service never registers them, keeping its
+  /// scrape schema byte-identical to the pre-resilience service.
+  void ensure_resilience_metrics() const;
 
   void service_loop();
 
@@ -329,6 +534,8 @@ class RouteService {
   obs::Counter executed_batches_;
   obs::Counter shed_batches_;
   obs::Counter shed_pairs_;
+  obs::Counter rejected_batches_;
+  obs::Counter rejected_pairs_;
   obs::Counter blocked_submits_;
   obs::Gauge queued_batches_;
   obs::Gauge queued_pairs_;
@@ -336,6 +543,20 @@ class RouteService {
   obs::HistogramHandle batch_pairs_hist_;
   obs::HistogramHandle queue_wait_ms_hist_;
   obs::HistogramHandle exec_ms_hist_;
+  // Resilience counters (`resilience.*`): written on the thread that ran
+  // execute_jobs, after the batch completes — never from pool tasks.
+  // Registered LAZILY on the first degradation event (so a fault-free
+  // service's scrape schema is unchanged); mutable because registration may
+  // happen inside const execute_jobs. Adaptive handles register at
+  // construction, but only under the kAdaptive policy.
+  mutable obs::Counter retries_;
+  mutable obs::Counter fallback_routes_;
+  mutable obs::Counter deadline_breaches_;
+  mutable obs::Counter degraded_pairs_;
+  mutable obs::Counter failed_pairs_;
+  mutable bool resilience_metrics_registered_ = false;
+  obs::Counter slo_breaches_;
+  obs::Gauge adaptive_window_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;        // work available / stopping
@@ -344,6 +565,14 @@ class RouteService {
   bool stopping_ = false;
   bool paused_ = false;
   std::thread service_thread_;  // started lazily by submit()
+
+  // Virtual-time serving state (all under queue_mutex_). vfree_ is the
+  // virtual instant the single logical server becomes free; the Adaptive
+  // window and the sojourn log are pure functions of (arrival vtimes, batch
+  // sizes, FIFO order, injected fault latency) — no wall clock anywhere.
+  double vfree_ = 0.0;
+  std::size_t adaptive_window_pairs_ = 0;  // 0 until first adaptive dequeue
+  std::vector<double> virtual_sojourns_;
 };
 
 }  // namespace nav::api

@@ -235,6 +235,10 @@ class ParallelBfs {
 
   /// Lanes this instance fans out to (>= 1).
   [[nodiscard]] std::size_t workers() const noexcept { return team_.lanes(); }
+
+  /// The underlying fork-join team — exposed for lane-failure injection
+  /// (WorkerTeam::fail_lane) in resilience tests and benches.
+  [[nodiscard]] WorkerTeam& team() noexcept { return team_; }
   [[nodiscard]] const ParallelPolicy& policy() const noexcept {
     return policy_;
   }

@@ -4,6 +4,7 @@
 
 #include "graph/connectivity.hpp"
 #include "graph/landmark_oracle.hpp"
+#include "resilience/faulty_oracle.hpp"
 #include "runtime/parse.hpp"
 
 namespace nav::graph {
@@ -121,8 +122,35 @@ std::unique_ptr<DistanceOracle> make_oracle(const std::string& spec,
     return std::make_unique<LandmarkOracle>(g, options);
   }
 
+  if (head == "faulty") {
+    // "faulty:<base-spec>:<fault-spec>": the base spec may itself contain
+    // ':' (e.g. cache:256:u16), so the base ends at the first fault-clause
+    // head (stall | fail | slow | seed) — no base grammar uses those words.
+    std::size_t split = 1;
+    while (split < tokens.size() &&
+           !resilience::FaultSpec::is_fault_head(tokens[split])) {
+      ++split;
+    }
+    if (split == 1 || split == tokens.size()) {
+      throw std::invalid_argument(
+          "faulty spec is 'faulty:<base-spec>:<fault-spec>' (fault-spec: "
+          "stall:<p> | fail:<p> | slow:<p>:<us> | seed:<n>, combinable): " +
+          spec);
+    }
+    std::string base_spec = tokens[1];
+    for (std::size_t i = 2; i < split; ++i) base_spec += ":" + tokens[i];
+    if (tokens[1] == "faulty") {
+      throw std::invalid_argument("faulty decorators do not nest: " + spec);
+    }
+    const auto fault = resilience::FaultSpec::parse(
+        {tokens.begin() + static_cast<std::ptrdiff_t>(split), tokens.end()},
+        spec);
+    return std::make_unique<resilience::FaultyOracle>(
+        make_oracle(base_spec, g, config), fault);
+  }
+
   throw std::invalid_argument("unknown oracle spec: " + spec +
-                              " (auto | matrix | cache | landmark)");
+                              " (auto | matrix | cache | landmark | faulty)");
 }
 
 const std::vector<OracleInfo>& oracle_catalog() {
@@ -134,6 +162,8 @@ const std::vector<OracleInfo>& oracle_catalog() {
        "per-target BFS cache, LRU-capped by entry count or byte budget"},
       {"landmark:<k>[:degree|farthest]",
        "approximate k-landmark triangle bound (farthest-point default)"},
+      {"faulty:<base>:[stall:<p>][:fail:<p>][:slow:<p>:<us>][:seed:<n>]",
+       "deterministic fault injection over any base oracle (chaos testing)"},
   };
   return catalog;
 }

@@ -14,6 +14,9 @@
 //                             ("256") or a byte budget ("64M"; K/M/G suffix)
 //   landmark:K[:SELECTION]    LandmarkOracle with K landmarks; SELECTION is
 //                             "degree" or "farthest" (default)
+//   faulty:BASE:FAULTS        resilience::FaultyOracle over any BASE spec;
+//                             FAULTS combines stall:<p>, fail:<p>,
+//                             slow:<p>:<us>, seed:<n> (deterministic chaos)
 //
 // WIDTH is "u8" | "u16" | "u32" | "auto"; "auto" measures an eccentricity
 // from node 0 and picks the narrowest width covering 2x that bound (the

@@ -137,6 +137,13 @@
 #include "dynamic/mutation_stream.hpp"
 #include "dynamic/rewire_scheme.hpp"
 
+// resilience — deterministic fault injection (seeded fault schedules, the
+// faulty: oracle decorator, virtual-time latency) for chaos testing the
+// serving stack.
+#include "resilience/fault_spec.hpp"
+#include "resilience/faulty_oracle.hpp"
+#include "resilience/virtual_clock.hpp"
+
 // api — the facade: engine, experiment builder, batch service, result
 // sinks, trajectory documents.
 #include "api/engine.hpp"

@@ -1,0 +1,119 @@
+#include "resilience/fault_spec.hpp"
+
+#include "runtime/parse.hpp"
+#include "runtime/rng.hpp"
+
+namespace nav::resilience {
+
+namespace {
+
+// Domain-separation salts for the three draw families. Each draw hashes
+// (seed ^ salt, target, attempt) through SplitMix64 — the same finalizer the
+// Rng seeds with — and converts the top 53 bits to a uniform double.
+constexpr std::uint64_t kStallSalt = 0x57a11'0000'0001ULL;
+constexpr std::uint64_t kFailSalt = 0xfa11'0000'0002ULL;
+constexpr std::uint64_t kSlowSalt = 0x510e'0000'0003ULL;
+
+double uniform_draw(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                    std::uint64_t b) noexcept {
+  std::uint64_t state = seed ^ salt;
+  (void)splitmix64_next(state);  // decorrelate adjacent seeds
+  state ^= a * 0x9e3779b97f4a7c15ULL;
+  (void)splitmix64_next(state);
+  state ^= b * 0xc2b2ae3d27d4eb4fULL;
+  const std::uint64_t h = splitmix64_next(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double parse_probability(const std::string& token, const std::string& spec) {
+  const double p = parse_spec_number<double>(token, spec);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("fault probability must be in [0, 1]: " +
+                                spec);
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::vector<std::string>& tokens,
+                           const std::string& full_spec) {
+  FaultSpec out;
+  bool saw_stall = false, saw_fail = false, saw_slow = false, saw_seed = false;
+  bool any_clause = false;
+  std::size_t i = 0;
+  const auto take = [&](const char* what) -> const std::string& {
+    if (i >= tokens.size()) {
+      throw std::invalid_argument(std::string("fault clause needs ") + what +
+                                  ": " + full_spec);
+    }
+    return tokens[i++];
+  };
+  while (i < tokens.size()) {
+    const std::string head = tokens[i++];
+    if (head == "stall" && !saw_stall) {
+      out.stall_p = parse_probability(take("a probability"), full_spec);
+      saw_stall = any_clause = true;
+    } else if (head == "fail" && !saw_fail) {
+      out.fail_p = parse_probability(take("a probability"), full_spec);
+      saw_fail = any_clause = true;
+    } else if (head == "slow" && !saw_slow) {
+      out.slow_p = parse_probability(take("a probability"), full_spec);
+      out.slow_us = parse_spec_number<double>(take("microseconds"), full_spec);
+      if (out.slow_us < 0.0) {
+        throw std::invalid_argument("slow latency must be >= 0 us: " +
+                                    full_spec);
+      }
+      saw_slow = any_clause = true;
+    } else if (head == "seed" && !saw_seed) {
+      out.seed = parse_spec_number<std::uint64_t>(take("a seed"), full_spec);
+      saw_seed = true;
+    } else {
+      throw std::invalid_argument(
+          "bad or repeated fault clause '" + head +
+          "' (stall:<p> | fail:<p> | slow:<p>:<us> | seed:<n>): " + full_spec);
+    }
+  }
+  if (!any_clause) {
+    throw std::invalid_argument(
+        "fault spec needs at least one of stall/fail/slow: " + full_spec);
+  }
+  out.spec = full_spec;
+  return out;
+}
+
+bool FaultSpec::is_fault_head(const std::string& token) {
+  return token == "stall" || token == "fail" || token == "slow" ||
+         token == "seed";
+}
+
+bool FaultSpec::stalled(graph::NodeId target) const noexcept {
+  if (stall_p <= 0.0) return false;
+  return uniform_draw(seed, kStallSalt, target, 0) < stall_p;
+}
+
+bool FaultSpec::fails(graph::NodeId target,
+                      std::uint64_t attempt) const noexcept {
+  if (fail_p <= 0.0) return false;
+  return uniform_draw(seed, kFailSalt, target, attempt) < fail_p;
+}
+
+bool FaultSpec::slow(graph::NodeId target,
+                     std::uint64_t attempt) const noexcept {
+  if (slow_p <= 0.0) return false;
+  return uniform_draw(seed, kSlowSalt, target, attempt) < slow_p;
+}
+
+graph::Dist FaultSpec::stall_transform(graph::Dist d,
+                                       graph::NodeId target) const noexcept {
+  if (d == graph::kInfDist || d <= stall_exact_radius) return d;
+  if (d >= graph::kInfDist - 1) return d;  // never widen into the sentinel
+  // Parity jitter keyed on (seed, target, d): the same true distance always
+  // widens the same way toward the same target, so the perturbed field is a
+  // pure function of the exact field — prefetched rows and single queries
+  // agree entry for entry.
+  const double u = uniform_draw(seed, kStallSalt ^ 0xd157, target, d);
+  return d + (u < 0.5 ? 0u : 1u);
+}
+
+}  // namespace nav::resilience

@@ -1,0 +1,13 @@
+#include "resilience/virtual_clock.hpp"
+
+namespace nav::resilience {
+
+VirtualClock& global_virtual_clock() {
+  // Leaked singleton (never destroyed): oracles and services may consult the
+  // clock from static-destruction-ordered contexts, same idiom as
+  // obs::default_registry().
+  static VirtualClock* clock = new VirtualClock();
+  return *clock;
+}
+
+}  // namespace nav::resilience

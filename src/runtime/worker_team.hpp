@@ -20,14 +20,27 @@
 // Unlike parallel_for, run() may be called from inside a ThreadPool task:
 // the team's lanes are private threads, so there is no pool-idleness wait to
 // deadlock on. A team is NOT re-entrant — one run() at a time per instance.
+//
+// Lane-failure injection (nav::resilience): fail_lane() marks a worker lane
+// failed, optionally after a countdown of dispatches (so a test can lose a
+// lane MID-sweep at a deterministic point). A failed lane still participates
+// in the barrier protocol — it latches each generation and decrements the
+// join counter — but skips the body; the coordinator (lane 0) executes the
+// skipped lane's body after its own, so every lane index in [0, lanes()) is
+// still executed exactly once per run(). Kernels whose writes are lane-owned
+// or idempotent (ParallelBfs bottom-up ranges, frontier rebuild prefix sums,
+// CAS-published depths) therefore produce BIT-IDENTICAL output with and
+// without failed lanes — only the thread that ran the range differs.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace nav {
@@ -65,6 +78,21 @@ class WorkerTeam {
         std::addressof(body));
   }
 
+  /// Fault injection: marks worker lane `lane` (1 <= lane < lanes()) failed
+  /// once `after_dispatches` further dispatches have completed healthily
+  /// (0 = the very next run() already runs degraded). From then on the lane's body is executed by the coordinator
+  /// instead — full work coverage, bit-identical kernel output (see the
+  /// header comment). Lane 0 is the caller and cannot fail. Thread-safe;
+  /// takes effect at dispatch boundaries only, so a sweep in flight is never
+  /// torn mid-generation.
+  void fail_lane(std::size_t lane, std::uint64_t after_dispatches = 0);
+
+  /// Clears every injected lane failure (pending and active).
+  void heal_lanes();
+
+  /// Worker lanes currently marked failed.
+  [[nodiscard]] std::size_t failed_lanes() const;
+
  private:
   void run_raw(void (*fn)(void*, std::size_t), void* ctx);
   void worker_loop(std::size_t lane);
@@ -73,7 +101,7 @@ class WorkerTeam {
   bool started_ = false;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_go_;    // a new generation is ready
   std::condition_variable cv_done_;  // a lane finished the generation
   void (*fn_)(void*, std::size_t) = nullptr;
@@ -81,6 +109,16 @@ class WorkerTeam {
   std::uint64_t generation_ = 0;  // bumped per run(); lanes latch onto it
   std::size_t remaining_ = 0;     // worker lanes still inside the generation
   bool stop_ = false;
+
+  // Lane-failure injection state (all under mutex_). failed_/gen_failed_
+  // are sized at construction so marking and latching never allocate;
+  // gen_failed_ is the per-generation snapshot lanes and the coordinator
+  // read (stable for the whole generation — fail_lane during a sweep only
+  // affects the NEXT dispatch).
+  std::vector<std::uint8_t> failed_;
+  std::vector<std::uint8_t> gen_failed_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> pending_failures_;
+  bool any_failed_ = false;
 };
 
 }  // namespace nav

@@ -81,6 +81,7 @@ WorkloadReport TrafficDriver::run(Rng rng) {
   obs::Counter pairs_submitted = reg.counter("traffic.pairs_submitted");
   obs::Counter pairs_admitted = reg.counter("traffic.pairs_admitted");
   obs::Counter pairs_shed = reg.counter("traffic.pairs_shed");
+  obs::Counter pairs_rejected = reg.counter("traffic.pairs_rejected");
   obs::Counter pairs_failed = reg.counter("traffic.pairs_failed");
   obs::Counter mutation_steps = reg.counter("traffic.mutation_steps");
   obs::Counter mutation_events = reg.counter("traffic.mutation_events");
@@ -94,6 +95,7 @@ WorkloadReport TrafficDriver::run(Rng rng) {
   // even when the service is shared across driver runs (bench_e12 reuses
   // one service per scheme).
   const api::QueueStats before = service_.queue_stats();
+  const std::size_t vsojourns_before = service_.virtual_sojourns().size();
   const auto arrivals =
       schedule_.arrival_times(options_.batches, rng.child(0xA881));
   Rng gen_rng = rng.child(0x6e4);
@@ -135,11 +137,17 @@ WorkloadReport TrafficDriver::run(Rng rng) {
         }
       }
       if (options_.keep_results) report.results[b] = std::move(results);
-    } catch (const api::ShedError&) {
-      report.batches[b].shed = true;
+    } catch (const api::ShedError& e) {
       report.batches[b].sojourn_seconds = wall.seconds() - submitted_at[b];
-      report.pairs_shed += report.batches[b].pairs;
-      pairs_shed.inc(report.batches[b].pairs);
+      if (e.reason() == api::ShedError::Reason::kRejected) {
+        report.batches[b].rejected = true;
+        report.pairs_rejected += report.batches[b].pairs;
+        pairs_rejected.inc(report.batches[b].pairs);
+      } else {
+        report.batches[b].shed = true;
+        report.pairs_shed += report.batches[b].pairs;
+        pairs_shed.inc(report.batches[b].pairs);
+      }
     } catch (const std::exception&) {
       // A batch that failed routing (e.g. an out-of-range endpoint from a
       // custom Workload) must not abandon the rest of the run: the report
@@ -170,8 +178,11 @@ WorkloadReport TrafficDriver::run(Rng rng) {
     submitted_at[b] = wall.seconds();
     // Routing streams live in their own subtree (0xB47) so no batch index
     // can collide with the generation (0x6e4) or arrival (0xA881) streams.
-    futures.push_back(
-        service_.submit(std::move(pairs), rng.child(0xB47).child(b)));
+    // The virtual arrival time rides along: the service only evaluates it
+    // when its own virtual_pair_cost_seconds opts in (deterministic Shed /
+    // Adaptive); otherwise the submit is identical to the vtime-free one.
+    futures.push_back(service_.submit(std::move(pairs),
+                                      rng.child(0xB47).child(b), arrivals[b]));
     report.batches.push_back(trace);
     if (mutating) {
       collect(b);  // drain before any mutation may touch the graph
@@ -209,7 +220,35 @@ WorkloadReport TrafficDriver::run(Rng rng) {
   report.queue.executed_batches -= before.executed_batches;
   report.queue.shed_batches -= before.shed_batches;
   report.queue.shed_pairs -= before.shed_pairs;
+  report.queue.rejected_batches -= before.rejected_batches;
+  report.queue.rejected_pairs -= before.rejected_pairs;
   report.queue.blocked_submits -= before.blocked_submits;
+  report.queue.retries -= before.retries;
+  report.queue.fallback_pairs -= before.fallback_pairs;
+  report.queue.deadline_breaches -= before.deadline_breaches;
+  report.queue.degraded_pairs -= before.degraded_pairs;
+  report.queue.failed_pairs -= before.failed_pairs;
+  report.queue.slo_breaches -= before.slo_breaches;
+
+  // Adaptive-run summary: deterministic virtual sojourns of the batches
+  // this run actually served, and the strict p99-vs-SLO verdict.
+  const auto& admission = service_.options().admission;
+  if (admission.kind == api::AdmissionPolicy::Kind::kAdaptive &&
+      service_.options().virtual_pair_cost_seconds > 0.0) {
+    report.adaptive = true;
+    report.slo_seconds = admission.slo_seconds;
+    const auto vsojourns = service_.virtual_sojourns();
+    std::vector<double> run_v_ms;
+    run_v_ms.reserve(vsojourns.size() - vsojourns_before);
+    for (std::size_t i = vsojourns_before; i < vsojourns.size(); ++i) {
+      run_v_ms.push_back(vsojourns[i] * 1e3);
+    }
+    report.sojourn_v_ms = summarize(std::move(run_v_ms));
+    report.slo_breaches = report.queue.slo_breaches;
+    report.p99_under_slo =
+        report.sojourn_v_ms.p99 <= report.slo_seconds * 1e3;
+    report.adaptive_window_pairs = report.queue.adaptive_window_pairs;
+  }
   return report;
 }
 
@@ -221,7 +260,9 @@ Table WorkloadReport::table() const {
                  Table::integer(b.pairs),
                  Table::integer(b.queued_pairs_at_submit),
                  Table::num(b.sojourn_seconds * 1e3, 2),
-                 b.shed ? "shed" : (b.failed ? "failed" : "ok")});
+                 b.shed ? "shed"
+                        : (b.rejected ? "rejected"
+                                      : (b.failed ? "failed" : "ok"))});
   }
   return out;
 }
@@ -229,7 +270,7 @@ Table WorkloadReport::table() const {
 api::Record WorkloadReport::record() const {
   const double routes_per_sec =
       static_cast<double>(pairs_admitted) / std::max(seconds, 1e-9);
-  return {
+  api::Record row = {
       {"workload", workload},
       {"schedule", schedule},
       {"batches", static_cast<std::uint64_t>(batches.size())},
@@ -253,6 +294,23 @@ api::Record WorkloadReport::record() const {
       {"seconds", seconds},
       {"routes_per_sec", routes_per_sec},
   };
+  // Adaptive fields are appended ONLY for adaptive runs: the static schema
+  // above — and every golden pinned to it — stays byte-identical when the
+  // controller is off. sojourn_v_* and p99_under_slo are virtual-time
+  // numbers, hence STRICT under golden comparison (unlike sojourn_ms_*).
+  if (adaptive) {
+    row.push_back({"pairs_rejected", static_cast<std::uint64_t>(pairs_rejected)});
+    row.push_back({"slo_ms", slo_seconds * 1e3});
+    row.push_back({"sojourn_v_ms_p50", sojourn_v_ms.p50});
+    row.push_back({"sojourn_v_ms_p95", sojourn_v_ms.p95});
+    row.push_back({"sojourn_v_ms_p99", sojourn_v_ms.p99});
+    row.push_back({"slo_breaches", static_cast<std::uint64_t>(slo_breaches)});
+    row.push_back(
+        {"p99_under_slo", static_cast<std::uint64_t>(p99_under_slo ? 1 : 0)});
+    row.push_back({"adaptive_window_pairs",
+                   static_cast<std::uint64_t>(adaptive_window_pairs)});
+  }
+  return row;
 }
 
 }  // namespace nav::workload

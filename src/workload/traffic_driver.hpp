@@ -102,7 +102,8 @@ struct BatchTrace {
   std::size_t pairs = 0;                 ///< pairs in the batch
   std::size_t queued_pairs_at_submit = 0;  ///< queue depth seen at submit
   double sojourn_seconds = 0.0;          ///< wall submit -> future ready
-  bool shed = false;                     ///< dropped by Shed admission
+  bool shed = false;                     ///< aged out by Shed admission
+  bool rejected = false;                 ///< refused by the Adaptive window
   /// Failed in routing (its future carried a non-shed exception, e.g. an
   /// out-of-range endpoint from a custom Workload). The run continues.
   bool failed = false;
@@ -116,7 +117,8 @@ struct WorkloadReport {
 
   std::size_t pairs_submitted = 0;  ///< total pairs handed to submit()
   std::size_t pairs_admitted = 0;   ///< pairs whose batch executed
-  std::size_t pairs_shed = 0;       ///< pairs whose batch was shed
+  std::size_t pairs_shed = 0;       ///< pairs whose batch aged out (Shed)
+  std::size_t pairs_rejected = 0;   ///< pairs refused by Adaptive admission
   std::size_t pairs_failed = 0;     ///< pairs whose batch failed routing
 
   QuantileSummary hops;        ///< steps per admitted route
@@ -137,6 +139,21 @@ struct WorkloadReport {
   /// Admitted routes reported unreached (needs the service's
   /// tolerate_unreachable; always 0 on a static connected graph).
   std::size_t pairs_unreached = 0;
+
+  // ---- adaptive-admission observations (appended to record() ONLY when
+  // adaptive is true, so the static jsonl schema — and its goldens — stay
+  // byte-identical for every non-adaptive run) ------------------------------
+  /// True when the service ran AdmissionPolicy::kAdaptive in virtual time.
+  bool adaptive = false;
+  double slo_seconds = 0.0;        ///< the controller's target
+  /// Virtual sojourns of THIS run's served batches, milliseconds.
+  /// Deterministic (virtual time), unlike sojourn_ms.
+  QuantileSummary sojourn_v_ms;
+  std::size_t slo_breaches = 0;    ///< served batches over the SLO this run
+  /// The strict acceptance metric: p99 virtual sojourn within the SLO.
+  bool p99_under_slo = false;
+  /// The controller's window when the run ended (live value).
+  std::size_t adaptive_window_pairs = 0;
 
   /// Admitted batches' results (submission order), only when
   /// TrafficOptions::keep_results was set; shed batches leave empty slots.

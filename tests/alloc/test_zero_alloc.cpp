@@ -20,6 +20,7 @@
 #include "graph/landmark_oracle.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "resilience/faulty_oracle.hpp"
 #include "routing/greedy_router.hpp"
 #include "runtime/alloc_counter.hpp"
 
@@ -333,6 +334,39 @@ TEST(ZeroAlloc, InstrumentedWarmRouteHitAllocatesNothing) {
   EXPECT_EQ(after - before, 0u)
       << "instrumented warm route hits must stay allocation-free";
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ZeroAlloc, WarmFaultFreeFaultyOracleHitAllocatesNothing) {
+  // The resilience decorator must not tax the healthy path: with no fault
+  // family active, a warm FaultyOracle hit is the base oracle's hit plus an
+  // attempt-counter bump on an existing map entry — still allocation-free.
+  // (Stall widening allocates by design — the heap copy IS the fault — so
+  // only the fault-free posture carries the zero-alloc contract.)
+  const auto g = make_grid2d(32, 32);
+  TargetDistanceCache cache(g, 4);
+  const resilience::FaultSpec spec;  // all probabilities zero
+  const resilience::FaultyOracle faulty(cache, spec);
+  core::UniformScheme scheme(g);
+  routing::GreedyRouter router(g, faulty);
+  const NodeId target = g.num_nodes() - 1;
+  Rng rng(17);
+  // Warm: the base cache miss, the attempt-counter map entry for `target`,
+  // and the router's scratch.
+  (void)router.route(0, target, &scheme, rng);
+
+  const std::uint64_t before = nav::allocation_count();
+  std::uint32_t hops = 0;
+  for (int i = 0; i < 200; ++i) {
+    Rng trial(static_cast<std::uint64_t>(i));
+    hops += router.route(static_cast<NodeId>(i % 31), target, &scheme, trial)
+                .steps;
+    hops += faulty.distance(7, target);
+  }
+  const std::uint64_t after = nav::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "a warm fault-free FaultyOracle hit must stay allocation-free";
+  EXPECT_GT(hops, 0u);
+  EXPECT_EQ(faulty.injected_failures(), 0u);
 }
 
 }  // namespace

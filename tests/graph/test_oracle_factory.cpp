@@ -113,11 +113,12 @@ TEST(OracleFactory, SaturationSurfacesAtConstruction) {
 
 TEST(OracleFactory, CatalogListsEverySpecFamily) {
   const auto& catalog = oracle_catalog();
-  ASSERT_EQ(catalog.size(), 4u);
+  ASSERT_EQ(catalog.size(), 5u);
   EXPECT_EQ(catalog[0].spec.rfind("auto", 0), 0u);
   EXPECT_EQ(catalog[1].spec.rfind("matrix", 0), 0u);
   EXPECT_EQ(catalog[2].spec.rfind("cache", 0), 0u);
   EXPECT_EQ(catalog[3].spec.rfind("landmark", 0), 0u);
+  EXPECT_EQ(catalog[4].spec.rfind("faulty", 0), 0u);
   for (const auto& info : catalog) EXPECT_FALSE(info.description.empty());
 }
 

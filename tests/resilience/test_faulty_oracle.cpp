@@ -1,0 +1,229 @@
+// test_faulty_oracle.cpp — the fault-injecting decorator's contract: exact
+// pass-through when fault-free, per-attempt fail draws that converge under
+// retry, the partial-success prefetch contract, stall widening that stays a
+// valid upper bound, and virtual (never wall) slow latency. Plus the
+// make_oracle("faulty:...") registration.
+#include "resilience/faulty_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/oracle_factory.hpp"
+#include "resilience/virtual_clock.hpp"
+
+namespace nav::resilience {
+namespace {
+
+using graph::Dist;
+using graph::DistVecPtr;
+using graph::NodeId;
+using graph::make_oracle;
+
+FaultSpec parse_faults(const std::string& spec) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      tokens.push_back(spec.substr(start));
+      break;
+    }
+    tokens.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return FaultSpec::parse(tokens, spec);
+}
+
+TEST(FaultyOracle, FaultFreeSpecIsATransparentDecorator) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto base = make_oracle("matrix", g);
+  FaultSpec spec;  // all probabilities zero
+  const FaultyOracle faulty(*base, spec);
+  EXPECT_TRUE(faulty.exact());
+  for (NodeId t = 0; t < g.num_nodes(); t += 7) {
+    EXPECT_TRUE(*faulty.distances_to(t) == *base->distances_to(t)) << t;
+    EXPECT_EQ(faulty.distance(0, t), base->distance(0, t)) << t;
+  }
+  EXPECT_EQ(faulty.injected_failures(), 0u);
+  EXPECT_EQ(faulty.stalled_rows(), 0u);
+}
+
+TEST(FaultyOracle, StallMakesTheOracleInexact) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto base = make_oracle("matrix", g);
+  const FaultyOracle stalled(*base, parse_faults("stall:0.5"));
+  EXPECT_FALSE(stalled.exact());
+  const FaultyOracle failing(*base, parse_faults("fail:0.5"));
+  EXPECT_TRUE(failing.exact());  // fail faults do not change exactness
+}
+
+TEST(FaultyOracle, StalledRowsAreWidenedUpperBounds) {
+  const auto g = graph::make_path(64);
+  const auto base = make_oracle("matrix", g);
+  const FaultyOracle faulty(*base, parse_faults("stall:1.0"));
+  const NodeId target = 0;
+  ASSERT_TRUE(faulty.fault_spec().stalled(target));
+  const auto exact_row = base->distances_to(target);
+  const auto widened = faulty.distances_to(target);
+  for (std::size_t u = 0; u < g.num_nodes(); ++u) {
+    const Dist d = (*exact_row)[u];
+    EXPECT_GE((*widened)[u], d) << u;
+    EXPECT_LE((*widened)[u], d + 1) << u;
+    if (d <= faulty.fault_spec().stall_exact_radius) {
+      EXPECT_EQ((*widened)[u], d) << u;
+    }
+    // The single-entry query agrees with the row entry for entry.
+    EXPECT_EQ(faulty.distance(static_cast<NodeId>(u), target), (*widened)[u]);
+  }
+  EXPECT_GT(faulty.stalled_rows(), 0u);
+}
+
+TEST(FaultyOracle, FailDrawsAreFreshPerAttemptSoRetriesConverge) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto base = make_oracle("matrix", g);
+  const FaultyOracle faulty(*base, parse_faults("fail:0.5"));
+  // Hammer every target until it answers: with per-attempt draws at p = 0.5
+  // each target succeeds in a handful of attempts; a stuck per-target draw
+  // would loop forever on its first failing target.
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    bool answered = false;
+    for (int attempt = 0; attempt < 64 && !answered; ++attempt) {
+      try {
+        (void)faulty.distances_to(t);
+        answered = true;
+      } catch (const TransientOracleError&) {
+      }
+    }
+    EXPECT_TRUE(answered) << t;
+  }
+  EXPECT_GT(faulty.injected_failures(), 0u);
+}
+
+TEST(FaultyOracle, SameSeedSameAttemptOrderSameFailures) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto base = make_oracle("matrix", g);
+  const auto run = [&] {
+    const FaultyOracle faulty(*base, parse_faults("fail:0.3:seed:11"));
+    std::vector<NodeId> failed;
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      try {
+        (void)faulty.distances_to(t);
+      } catch (const TransientOracleError& e) {
+        failed.insert(failed.end(), e.targets().begin(), e.targets().end());
+      }
+    }
+    return failed;
+  };
+  // Fresh decorators replay the identical fault schedule: same targets fail
+  // on the same (first) attempt.
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultyOracle, PrefetchFillsSurvivorsBeforeThrowing) {
+  const auto g = graph::make_grid2d(10, 10);
+  const auto base = make_oracle("cache:16", g);
+  const FaultyOracle faulty(*base, parse_faults("fail:0.4:seed:3"));
+  // Find a wave whose first attempt fails a strict subset.
+  std::vector<NodeId> wave = {0, 5, 9, 13, 21, 34, 55, 89};
+  std::vector<DistVecPtr> out;
+  std::vector<NodeId> failed;
+  try {
+    faulty.prefetch_into(wave, out);
+  } catch (const TransientOracleError& e) {
+    failed = e.targets();
+  }
+  ASSERT_FALSE(failed.empty())
+      << "fail:0.4 over 8 targets should fail at least one on attempt 0";
+  ASSERT_LT(failed.size(), wave.size())
+      << "and should not fail all of them";
+  ASSERT_EQ(out.size(), wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    const bool did_fail = std::find(failed.begin(), failed.end(), wave[i]) !=
+                          failed.end();
+    if (did_fail) {
+      // Failed positions stay null — the retry loop knows exactly what to
+      // re-request.
+      EXPECT_EQ(out[i], nullptr) << i;
+    } else {
+      // Partial success: every surviving position was filled BEFORE the
+      // throw, and with the correct row.
+      ASSERT_NE(out[i], nullptr) << i;
+      EXPECT_TRUE(*out[i] == *base->distances_to(wave[i])) << i;
+    }
+  }
+  // Retrying just the failed subset converges (per-attempt fresh draws).
+  std::vector<NodeId> pending = failed;
+  for (int round = 0; round < 64 && !pending.empty(); ++round) {
+    std::vector<DistVecPtr> retry;
+    try {
+      faulty.prefetch_into(pending, retry);
+      pending.clear();
+    } catch (const TransientOracleError& e) {
+      pending = e.targets();
+    }
+  }
+  EXPECT_TRUE(pending.empty());
+}
+
+TEST(FaultyOracle, PrefetchSharesRowsAcrossDuplicateTargets) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto base = make_oracle("matrix", g);
+  const FaultyOracle faulty(*base, parse_faults("stall:1.0"));
+  const std::vector<NodeId> wave = {7, 3, 7, 7, 3};
+  std::vector<DistVecPtr> out;
+  faulty.prefetch_into(wave, out);
+  ASSERT_EQ(out.size(), wave.size());
+  // One fault draw and one widened copy per DISTINCT target; duplicate
+  // positions share the handle (identity compare).
+  EXPECT_EQ(out[0], out[2]);
+  EXPECT_EQ(out[0], out[3]);
+  EXPECT_EQ(out[1], out[4]);
+  EXPECT_EQ(faulty.stalled_rows(), 2u);
+}
+
+TEST(FaultyOracle, SlowFaultsAdvanceTheVirtualClockOnly) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto base = make_oracle("matrix", g);
+  VirtualClock clock;  // private clock: the test owns the whole timeline
+  const FaultyOracle faulty(*base, parse_faults("slow:1.0:250"), &clock);
+  const auto before = clock.micros();
+  (void)faulty.distances_to(0);
+  (void)faulty.distances_to(1);
+  EXPECT_EQ(clock.micros(), before + 500u);
+  EXPECT_EQ(faulty.injected_slow_micros(), 500u);
+}
+
+TEST(FaultyOracle, FactoryBuildsTheDecorator) {
+  const auto g = graph::make_grid2d(8, 8);
+  const auto oracle =
+      make_oracle("faulty:cache:8:fail:0.05:stall:0.1:seed:7", g);
+  const auto* faulty = dynamic_cast<const FaultyOracle*>(oracle.get());
+  ASSERT_NE(faulty, nullptr);
+  EXPECT_FALSE(faulty->exact());  // stall:0.1 > 0
+  EXPECT_DOUBLE_EQ(faulty->fault_spec().fail_p, 0.05);
+  EXPECT_DOUBLE_EQ(faulty->fault_spec().stall_p, 0.1);
+  EXPECT_EQ(faulty->fault_spec().seed, 7u);
+  // The base spec before the first fault head went to the cache backend.
+  EXPECT_NE(dynamic_cast<const graph::TargetDistanceCache*>(&faulty->base()),
+            nullptr);
+}
+
+TEST(FaultyOracle, FactoryRejectsDegenerateSpecs) {
+  const auto g = graph::make_cycle(8);
+  // No fault clauses at all.
+  EXPECT_THROW((void)make_oracle("faulty:cache", g), std::invalid_argument);
+  EXPECT_THROW((void)make_oracle("faulty", g), std::invalid_argument);
+  // Nested fault decorators are rejected, not silently stacked.
+  EXPECT_THROW((void)make_oracle("faulty:faulty:cache:fail:0.1", g),
+               std::invalid_argument);
+  // Unknown fault clause.
+  EXPECT_THROW((void)make_oracle("faulty:cache:crash:0.5", g),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nav::resilience

@@ -1,0 +1,116 @@
+// test_worker_team_failure.cpp — the lane-failure injection contract:
+// a failed lane's body is taken over by the coordinator (full work coverage,
+// every lane index executed exactly once per run), countdowns trigger at
+// deterministic dispatch boundaries mid-sweep, and ParallelBfs slabs stay
+// bit-identical to the scalar engine with lanes failed.
+#include "runtime/worker_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "graph/bfs_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace nav {
+namespace {
+
+TEST(WorkerTeamFailure, FailedLaneBodyRunsOnTheCoordinator) {
+  WorkerTeam team(4);
+  std::vector<std::thread::id> ran_by(4);
+  auto record = [&](std::size_t lane) {
+    ran_by[lane] = std::this_thread::get_id();
+  };
+  team.run(record);
+  // Healthy baseline: lane 0 is the caller, workers run their own bodies.
+  EXPECT_EQ(ran_by[0], std::this_thread::get_id());
+  EXPECT_NE(ran_by[2], std::this_thread::get_id());
+
+  team.fail_lane(2);
+  EXPECT_EQ(team.failed_lanes(), 1u);
+  std::vector<std::uint32_t> runs(4, 0);
+  std::mutex runs_mutex;
+  team.run([&](std::size_t lane) {
+    std::lock_guard lock(runs_mutex);
+    ++runs[lane];
+    ran_by[lane] = std::this_thread::get_id();
+  });
+  // Every lane index still executed exactly once; the failed lane's body ran
+  // on the coordinating (calling) thread.
+  EXPECT_EQ(runs, (std::vector<std::uint32_t>{1, 1, 1, 1}));
+  EXPECT_EQ(ran_by[2], std::this_thread::get_id());
+
+  team.heal_lanes();
+  EXPECT_EQ(team.failed_lanes(), 0u);
+  team.run(record);
+  EXPECT_NE(ran_by[2], std::this_thread::get_id());
+}
+
+TEST(WorkerTeamFailure, CountdownFailsTheLaneMidSequence) {
+  WorkerTeam team(3);
+  team.run([](std::size_t) {});  // start the workers
+  // Fail lane 1 after 2 more dispatches: dispatches 0 and 1 are healthy,
+  // dispatch 2 onward is taken over.
+  team.fail_lane(1, 2);
+  EXPECT_EQ(team.failed_lanes(), 0u) << "countdown pending, not active yet";
+  std::vector<bool> taken_over;
+  for (int dispatch = 0; dispatch < 4; ++dispatch) {
+    std::vector<std::thread::id> ran_by(3);
+    std::mutex mutex;
+    team.run([&](std::size_t lane) {
+      std::lock_guard lock(mutex);
+      ran_by[lane] = std::this_thread::get_id();
+    });
+    taken_over.push_back(ran_by[1] == std::this_thread::get_id());
+  }
+  EXPECT_EQ(taken_over, (std::vector<bool>{false, false, true, true}));
+  EXPECT_EQ(team.failed_lanes(), 1u);
+}
+
+TEST(WorkerTeamFailure, RejectsLaneZeroAndOutOfRangeLanes) {
+  WorkerTeam team(2);
+  EXPECT_THROW(team.fail_lane(0), std::invalid_argument);
+  EXPECT_THROW(team.fail_lane(2), std::invalid_argument);
+}
+
+TEST(WorkerTeamFailure, ParallelBfsSlabsBitIdenticalUnderLaneLoss) {
+  // The acceptance bar: a parallel sweep that loses a lane MID-SWEEP (the
+  // countdown fires between level dispatches) still produces distances
+  // bit-identical to the scalar engine — the coordinator covers the failed
+  // lane's ranges, only the executing thread differs.
+  const auto g = graph::make_grid2d(40, 40);
+  graph::BfsWorkspace scalar;
+  std::vector<graph::Dist> expect(g.num_nodes());
+  scalar.distances_into_scalar(g, 0, expect);
+
+  graph::ParallelPolicy policy;
+  policy.num_workers = 4;
+  policy.serial_frontier_cutoff = 1;  // force parallel dispatch every level
+  policy.min_diropt_nodes = 1;
+  graph::ParallelBfs sweep(policy);
+  std::vector<graph::Dist> got(g.num_nodes());
+  sweep.distances_into(g, 0, got);  // healthy warm-up sweep
+  ASSERT_EQ(got, expect);
+
+  // Lose lane 3 a few dispatches into the next sweep, then lane 1 entirely.
+  sweep.team().fail_lane(3, 5);
+  sweep.distances_into(g, 0, got);
+  EXPECT_EQ(got, expect) << "mid-sweep lane loss changed the slab";
+
+  sweep.team().fail_lane(1);
+  sweep.distances_into(g, 0, got);
+  EXPECT_EQ(got, expect) << "two failed lanes changed the slab";
+  EXPECT_EQ(sweep.team().failed_lanes(), 2u);
+
+  sweep.team().heal_lanes();
+  sweep.distances_into(g, 0, got);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(sweep.team().failed_lanes(), 0u);
+}
+
+}  // namespace
+}  // namespace nav

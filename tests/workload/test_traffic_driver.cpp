@@ -147,13 +147,18 @@ TEST(TrafficDriver, BoundedAdmissionBlocksUnderSaturatingBurst) {
   }
 }
 
-TEST(TrafficDriver, ShedAdmissionDropsAgedBatches) {
-  // Batches aged behind a paused service blow any microsecond deadline, so
-  // the whole burst sheds: every future fails with ShedError and the report
-  // accounts every pair as shed, none as admitted.
+TEST(TrafficDriver, ShedAdmissionDropsAgedBatchesInVirtualTime) {
+  // Virtual-time shedding: the driver stamps every batch with its arrival
+  // vtime, and with virtual_pair_cost_seconds set the deadline is evaluated
+  // against the virtual backlog — a pure function of arrivals and batch
+  // sizes, no pause/sleep choreography, deterministic on any machine. The
+  // burst lands all four batches at vtime 0; batch 0 occupies the server
+  // for 16 * 2^-7 = 0.125 virtual seconds, so batches 1-3 each age 0.125 >
+  // 0.1 and shed.
   const auto engine = make_engine();
   RouteServiceOptions options;
-  options.admission = AdmissionPolicy::shed(1e-6);
+  options.admission = AdmissionPolicy::shed(0.1);
+  options.virtual_pair_cost_seconds = 0.0078125;
   RouteService service(engine, options);
   const auto workload = engine.make_workload("uniform", 1);
   TrafficOptions traffic;
@@ -161,20 +166,72 @@ TEST(TrafficDriver, ShedAdmissionDropsAgedBatches) {
   traffic.batches = 4;
   traffic.batch_size = 16;
   TrafficDriver driver(service, *workload, traffic);
-
-  service.pause();
-  std::thread resumer([&service] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    service.resume();
-  });
   const auto report = driver.run(Rng(0x5ed));
-  resumer.join();
 
-  EXPECT_EQ(report.pairs_shed, 4u * 16u);
-  EXPECT_EQ(report.pairs_admitted, 0u);
-  EXPECT_EQ(report.queue.shed_batches, 4u);
-  EXPECT_EQ(report.hops.count, 0u);
-  for (const auto& batch : report.batches) EXPECT_TRUE(batch.shed);
+  EXPECT_EQ(report.pairs_admitted, 16u);
+  EXPECT_EQ(report.pairs_shed, 3u * 16u);
+  EXPECT_EQ(report.queue.shed_batches, 3u);
+  EXPECT_EQ(report.hops.count, 16u);
+  EXPECT_FALSE(report.batches[0].shed);
+  for (std::size_t b = 1; b < 4; ++b) EXPECT_TRUE(report.batches[b].shed) << b;
+  // The exact same run sheds the exact same batches.
+  RouteService replay_service(engine, options);
+  const auto replay_workload = engine.make_workload("uniform", 1);
+  TrafficDriver replay(replay_service, *replay_workload, traffic);
+  const auto again = replay.run(Rng(0x5ed));
+  EXPECT_EQ(again.pairs_shed, report.pairs_shed);
+  EXPECT_EQ(again.pairs_admitted, report.pairs_admitted);
+}
+
+TEST(TrafficDriver, AdaptiveAdmissionReportsDeterministicSloVerdict) {
+  // Overload through the AIMD controller: every batch arrives at vtime 0,
+  // the first admitted batch breaches the 0.05 s SLO (32 pairs * 2^-7 s =
+  // 0.25 s sojourn), the window halves, and the rest are rejected. The
+  // report's adaptive block carries the virtual quantiles and the strict
+  // p99_under_slo verdict, all replay-stable.
+  const auto engine = make_engine();
+  const auto run = [&] {
+    RouteServiceOptions options;
+    options.admission = AdmissionPolicy::adaptive(0.05);
+    options.admission.adaptive_start_pairs = 64;
+    options.admission.adaptive_min_pairs = 16;
+    options.virtual_pair_cost_seconds = 0.0078125;
+    RouteService service(engine, options);
+    const auto workload = engine.make_workload("zipf:1.1", 0x77);
+    TrafficOptions traffic;
+    traffic.schedule = "burst:6:0.0";
+    traffic.batches = 6;
+    traffic.batch_size = 32;
+    TrafficDriver driver(service, *workload, traffic);
+    return driver.run(Rng(0xADA));
+  };
+  const auto report = run();
+  EXPECT_TRUE(report.adaptive);
+  EXPECT_DOUBLE_EQ(report.slo_seconds, 0.05);
+  EXPECT_EQ(report.pairs_admitted, 32u);
+  EXPECT_EQ(report.pairs_rejected, 5u * 32u);
+  EXPECT_EQ(report.pairs_shed, 0u);
+  EXPECT_EQ(report.queue.rejected_batches, 5u);
+  EXPECT_EQ(report.slo_breaches, 1u);
+  EXPECT_FALSE(report.p99_under_slo);  // 250 ms p99 vs 50 ms SLO
+  EXPECT_EQ(report.sojourn_v_ms.count, 1u);
+  EXPECT_DOUBLE_EQ(report.sojourn_v_ms.p99, 250.0);
+  EXPECT_EQ(report.adaptive_window_pairs, 32u);
+  EXPECT_FALSE(report.batches[0].rejected);
+  EXPECT_TRUE(report.batches[1].rejected);
+  // The jsonl row grows the adaptive columns only on adaptive runs, and the
+  // verdict is replay-stable.
+  const auto record = report.record();
+  bool has_verdict = false;
+  for (const auto& field : record) {
+    if (field.key == "p99_under_slo") has_verdict = true;
+  }
+  EXPECT_TRUE(has_verdict);
+  const auto again = run();
+  EXPECT_EQ(again.pairs_rejected, report.pairs_rejected);
+  EXPECT_EQ(again.slo_breaches, report.slo_breaches);
+  EXPECT_EQ(again.p99_under_slo, report.p99_under_slo);
+  EXPECT_DOUBLE_EQ(again.sojourn_v_ms.p99, report.sojourn_v_ms.p99);
 }
 
 TEST(TrafficDriver, ReportSummarisesQuantilesAndRendersTable) {
